@@ -1,0 +1,31 @@
+//! # genie-backend — executing the plan
+//!
+//! Backends realize a scheduler's plan on concrete substrates (§3.4).
+//! Three are provided, one per plane of the reproduction:
+//!
+//! - [`local::LocalBackend`] — real arithmetic on the client CPU: the
+//!   "Local (Upper Bound)" mode of §4 and the numerical oracle;
+//! - [`remote::RemoteSession`] / [`remote::spawn_server`] — real remote
+//!   execution over `genie-transport` TCP: pinned uploads, handle+epoch
+//!   references ([`handle::RemoteHandle`]), per-step graph shipping, and
+//!   crash injection for lineage tests;
+//! - [`sim::SimBackend`] — discrete-event simulation at paper scale:
+//!   kernels take roofline time on their placed device, transfers occupy
+//!   FIFO links, pinned uploads register resident objects so follow-up
+//!   plans run handle-only.
+//!
+//! The three backends consume the *same* SRG and plans — the portability
+//! claim at the heart of the paper's architecture.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod handle;
+pub mod local;
+pub mod remote;
+pub mod sim;
+
+pub use handle::{HandleTable, RemoteHandle};
+pub use local::LocalBackend;
+pub use remote::{spawn_server, GenieExecutor, RemoteSession};
+pub use sim::{simulate_once, SimBackend, SimReport};

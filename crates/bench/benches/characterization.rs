@@ -1,0 +1,30 @@
+//! Criterion bench over the Table-1 regeneration: capture + recognizers +
+//! statistics per workload family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_bench::characterize::table1;
+use genie_models::Workload;
+use genie_srg::stats::GraphStats;
+
+fn bench_characterization(c: &mut Criterion) {
+    println!("\n=== Table 1 (regenerated) ===");
+    for row in table1() {
+        println!(
+            "{:<16} {:<38} {:<26} {}",
+            row.workload, row.computation_pattern, row.memory_access, row.key_optimization
+        );
+    }
+
+    let mut group = c.benchmark_group("table1");
+    for w in Workload::ALL {
+        group.bench_function(format!("capture_{}", w.name().replace(' ', "_")), |b| {
+            b.iter(|| w.spec_graph().node_count())
+        });
+    }
+    let llm = Workload::LlmServing.spec_graph();
+    group.bench_function("stats_llm", |b| b.iter(|| GraphStats::of(&llm).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the platform's own hot paths: capture overhead,
+//! graph algorithms, scheduling time, serialization. These quantify the
+//! cost of *having* semantics — the tax Genie pays for its awareness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_cluster::{ClusterState, Topology};
+use genie_frontend::capture::CaptureCtx;
+use genie_models::{KvState, TransformerConfig, TransformerLm};
+use genie_scheduler::{schedule, CostModel, SemanticsAware};
+use genie_srg::ElemType;
+
+fn decode_srg() -> genie_srg::Srg {
+    let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
+    let ctx = CaptureCtx::new("decode");
+    let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+    cap.logits.sample().mark_output();
+    ctx.finish().srg
+}
+
+fn bench_micro(c: &mut Criterion) {
+    // Capture overhead: full GPT-J decode-step graph (~500 nodes).
+    c.bench_function("capture/gptj_decode_step", |b| {
+        b.iter(|| decode_srg().node_count())
+    });
+
+    let srg = decode_srg();
+    println!(
+        "\nGPT-J decode-step SRG: {} nodes, {} edges",
+        srg.node_count(),
+        srg.edge_count()
+    );
+
+    c.bench_function("graph/topo_order", |b| {
+        b.iter(|| genie_srg::traverse::topo_order(&srg).unwrap().len())
+    });
+    c.bench_function("graph/validate", |b| {
+        b.iter(|| genie_srg::validate::validate(&srg).len())
+    });
+    c.bench_function("graph/json_roundtrip", |b| {
+        b.iter(|| {
+            let json = genie_srg::serialize::to_json(&srg).unwrap();
+            genie_srg::serialize::from_json(&json).unwrap().node_count()
+        })
+    });
+
+    // Scheduling latency: the per-request planning cost.
+    let topo = Topology::rack(4, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    c.bench_function("scheduler/semantics_aware_plan", |b| {
+        b.iter(|| schedule(&srg, &topo, &state, &cost, &SemanticsAware::new()).transfers.len())
+    });
+
+    // Functional-plane arithmetic.
+    let a = genie_tensor::init::randn([64, 64], 1);
+    let bm = genie_tensor::init::randn([64, 64], 2);
+    c.bench_function("tensor/matmul_64", |b| {
+        b.iter(|| genie_tensor::ops::matmul(&a, &bm).len())
+    });
+
+    // Capture-vs-execute overhead at small scale.
+    c.bench_function("capture/small_mlp", |b| {
+        b.iter(|| {
+            let ctx = CaptureCtx::new("mlp");
+            let x = ctx.input("x", [1, 64], ElemType::F32, None);
+            let w = ctx.parameter("w", [64, 64], ElemType::F32, None);
+            x.matmul(&w).gelu().mark_output();
+            ctx.finish().srg.node_count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

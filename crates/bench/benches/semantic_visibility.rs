@@ -1,0 +1,22 @@
+//! Criterion bench over the Figure-1 analog: semantic-visibility
+//! accounting across stack levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_bench::stack_levels::semantic_visibility;
+
+fn bench_visibility(c: &mut Criterion) {
+    println!("\n=== Figure 1 analog (regenerated) ===");
+    for row in semantic_visibility() {
+        println!(
+            "{:<16} {:<10} total semantic facts: {:>4}",
+            row.workload, row.level, row.total
+        );
+    }
+
+    c.bench_function("figure1/semantic_visibility", |b| {
+        b.iter(semantic_visibility)
+    });
+}
+
+criterion_group!(benches, bench_visibility);
+criterion_main!(benches);

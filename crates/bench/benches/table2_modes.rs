@@ -1,0 +1,39 @@
+//! Criterion bench over the Table-2 regeneration: times each execution
+//! mode's simulated phase run and prints the regenerated table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_bench::modes::{run_phase, Mode, PhaseRun};
+use genie_bench::{table2, Calibration, LlmWorkload};
+
+fn bench_modes(c: &mut Criterion) {
+    let w = LlmWorkload::paper();
+    let cal = Calibration::paper();
+
+    // Print the regenerated table once so `cargo bench` output contains
+    // the evaluation artifact.
+    println!("\n=== Table 2 (regenerated) ===");
+    for row in table2(&w, &cal) {
+        println!(
+            "{:<24} prefill: {:>8.2}s {:>12.2}MB {:>6.2}% | decode: {:>8.2}s {:>12.2}MB {:>6.2}%",
+            row.mode.label(),
+            row.prefill.latency_s,
+            row.prefill.net_mb,
+            row.prefill.gpu_util_pct,
+            row.decode.latency_s,
+            row.decode.net_mb,
+            row.decode.gpu_util_pct,
+        );
+    }
+
+    let mut group = c.benchmark_group("table2");
+    for mode in Mode::ALL {
+        group.bench_function(format!("{mode:?}_decode50"), |b| {
+            b.iter(|| run_phase(mode, PhaseRun::Decode(50), &w, &cal))
+        });
+    }
+    group.bench_function("full_table", |b| b.iter(|| table2(&w, &cal)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench over the Table-3 regeneration: decode-latency scaling
+//! sweeps for ΔKV vs Semantics-Aware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genie_bench::modes::{run_phase, Mode, PhaseRun};
+use genie_bench::{table3, Calibration, LlmWorkload};
+
+fn bench_scaling(c: &mut Criterion) {
+    let w = LlmWorkload::paper();
+    let cal = Calibration::paper();
+
+    println!("\n=== Table 3 (regenerated) ===");
+    for (n, dkv, sa) in table3(&w, &cal, &[50, 100, 150, 200]) {
+        println!("N={n:<4} dKV {dkv:>7.1}s   SA {sa:>7.1}s   ratio {:.2}x", dkv / sa);
+    }
+
+    let mut group = c.benchmark_group("table3");
+    for n in [50usize, 100, 150, 200] {
+        group.bench_with_input(BenchmarkId::new("delta_kv", n), &n, |b, &n| {
+            b.iter(|| run_phase(Mode::DeltaKv, PhaseRun::Decode(n), &w, &cal))
+        });
+        group.bench_with_input(BenchmarkId::new("semantics_aware", n), &n, |b, &n| {
+            b.iter(|| run_phase(Mode::SemanticsAware, PhaseRun::Decode(n), &w, &cal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: stateful co-location on/off (§3.3).
+//!
+//! Plans the GPT-J decode step with and without the co-location rule (the
+//! blind policies stand in for "off") and reports the recurring per-step
+//! network traffic each placement would ship.
+//!
+//! Run with: `cargo run -p genie-bench --bin ablation_colocation`
+
+use genie_bench::report::render_table;
+use genie_cluster::{ClusterState, Topology};
+use genie_frontend::capture::CaptureCtx;
+use genie_models::{KvState, TransformerConfig, TransformerLm};
+use genie_scheduler::{schedule, CostModel, DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware};
+
+fn main() {
+    let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
+    let ctx = CaptureCtx::new("gptj.decode");
+    let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+    cap.logits.sample().mark_output();
+    for (k, v) in cap.k_caches.iter().zip(&cap.v_caches) {
+        k.mark_output();
+        v.mark_output();
+    }
+    let srg = ctx.finish().srg;
+
+    let topo = Topology::rack(4, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+
+    println!("Ablation — stateful co-location (GPT-J decode step, 4×A100 rack)\n");
+    let mut rows = Vec::new();
+    for policy in [
+        &RoundRobin as &dyn Policy,
+        &LeastLoaded,
+        &DataAware,
+        &SemanticsAware::new(),
+    ] {
+        let plan = schedule(&srg, &topo, &state, &cost, policy);
+        let recurring: u64 = plan
+            .transfers
+            .iter()
+            .filter(|t| !t.via_handle)
+            .map(|t| t.bytes)
+            .sum();
+        rows.push(vec![
+            plan.policy.clone(),
+            plan.devices_used().to_string(),
+            format!("{recurring}"),
+            format!("{:.3}", plan.estimate.total_s()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Policy", "Devices", "Recurring B/step", "Est latency [s]"],
+            &rows
+        )
+    );
+    println!("co-location pins decode beside its KV cache: the per-step traffic");
+    println!("collapses to the token + logits, as §3.3 claims.");
+}

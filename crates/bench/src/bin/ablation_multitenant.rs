@@ -1,0 +1,48 @@
+//! Ablation: cross-tenant decode batching (§3.6 "How").
+//!
+//! Sweeps the number of tenants sharing one public LLM and compares fleet
+//! throughput with and without semantic batching. Only a scheduler that
+//! sees model identity in the request (the SRG's weight fingerprint) can
+//! apply it.
+//!
+//! Run with: `cargo run -p genie-bench --bin ablation_multitenant`
+
+use genie_bench::report::render_table;
+use genie_scheduler::global::batching;
+
+fn main() {
+    let step_s = 0.0306; // calibrated single-request decode step
+    let weight_fraction = 0.9; // share of the step spent reading weights
+
+    println!("Ablation — cross-tenant decode batching (30.6 ms step, 90% weight reads)\n");
+    let mut rows = Vec::new();
+    for b in [1usize, 2, 4, 8, 16, 32] {
+        let batched = batching::batched_step_time(step_s, weight_fraction, b);
+        let speedup = batching::batching_speedup(step_s, weight_fraction, b);
+        let tok_s_unbatched = b as f64 / (step_s * b as f64);
+        let tok_s_batched = b as f64 / batched;
+        rows.push(vec![
+            b.to_string(),
+            format!("{:.1}", batched * 1e3),
+            format!("{tok_s_unbatched:.1}"),
+            format!("{tok_s_batched:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Tenants",
+                "Batched step [ms]",
+                "tok/s serial",
+                "tok/s batched",
+                "Speedup"
+            ],
+            &rows
+        )
+    );
+    println!("memory-bound decode reads the 12 GB of weights once per step no matter");
+    println!("the batch — identifying \"two requests to the same public LLM\" (§3.6)");
+    println!("is worth up to {:.1}x in fleet decode throughput.", 1.0 / (1.0 - weight_fraction));
+}

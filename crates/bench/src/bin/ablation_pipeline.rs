@@ -1,0 +1,56 @@
+//! Ablation: pipelined CNN inference vs single-device, swept over
+//! interconnect bandwidth (§3.3).
+//!
+//! Run with: `cargo run -p genie-bench --bin ablation_pipeline`
+
+use genie_bench::report::render_table;
+use genie_cluster::Topology;
+use genie_frontend::capture::CaptureCtx;
+use genie_models::{CnnConfig, SimpleCnn};
+use genie_scheduler::pipeline;
+use genie_scheduler::CostModel;
+
+fn main() {
+    let model = SimpleCnn::new_spec(CnnConfig::resnet_like());
+    let ctx = CaptureCtx::new("resnet");
+    model.capture_inference(&ctx, 1, None).mark_output();
+    let mut srg = ctx.finish().srg;
+    genie_frontend::patterns::run_all(&mut srg);
+
+    let topo = Topology::rack(4, 25e9);
+    let cost = CostModel::paper_stack();
+    let stages = pipeline::stage_profiles(&srg, &topo, &cost);
+    let batch = 256;
+    let serial = pipeline::serial_makespan(&stages, batch);
+
+    println!("Ablation — pipelined CNN inference ({} stages, batch {batch})\n", stages.len());
+    let mut rows = vec![vec![
+        "single device (serial)".to_string(),
+        format!("{serial:.3}"),
+        "1.00".to_string(),
+        "-".to_string(),
+    ]];
+    for (name, bw) in [
+        ("4-way, 10 GbE", 10e9 / 8.0),
+        ("4-way, 25 GbE", 25e9 / 8.0),
+        ("4-way, 100 GbE", 100e9 / 8.0),
+        ("4-way, 200 GbE", 200e9 / 8.0),
+        ("4-way, NVLink 300 GB/s", 300e9),
+    ] {
+        let piped = pipeline::pipelined_makespan(&stages, batch, 4, bw);
+        rows.push(vec![
+            name.to_string(),
+            format!("{piped:.3}"),
+            format!("{:.2}", serial / piped),
+            if piped < serial { "wins" } else { "loses" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Configuration", "Makespan [s]", "Speedup", "Verdict"], &rows)
+    );
+    println!(
+        "break-even interconnect ≈ {:.1} GB/s: pipelining \"overlaps communication\nand computation\" (§3.3) only above it — a decision the SRG's stage\nannotations let the scheduler make without profiling.",
+        pipeline::pipeline_breakeven_bandwidth(&stages, 4) / 1e9
+    );
+}

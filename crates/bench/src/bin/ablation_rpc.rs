@@ -1,0 +1,59 @@
+//! Ablation: RPC-stack sweep (§4 "latency becomes RPC-bound").
+//!
+//! Holds the semantics-aware strategy fixed and swaps the transport:
+//! the paper's TensorPipe-from-Python stack, a tuned C++ TCP stack, and
+//! the §3.4 zero-copy RDMA datapath. Shows that once semantics eliminate
+//! the data-motion bottleneck, the transport is what remains.
+//!
+//! Run with: `cargo run -p genie-bench --bin ablation_rpc`
+
+use genie_bench::modes::{run_phase, Mode, PhaseRun};
+use genie_bench::report::{fmt_secs, render_table};
+use genie_bench::{Calibration, LlmWorkload};
+
+fn main() {
+    let w = LlmWorkload::paper();
+    let stacks: [(&str, Calibration); 3] = [
+        ("TensorPipe (Python, paper)", Calibration::paper()),
+        (
+            "tuned TCP (C++)",
+            Calibration {
+                session_init_s: 5.0,
+                rpc_per_call_s: 200e-6,
+                rpc_bandwidth: 2.8e9,
+                ..Calibration::paper()
+            },
+        ),
+        ("zero-copy RDMA (§3.4)", Calibration::rdma()),
+    ];
+
+    println!("Ablation — transport sweep, semantics-aware mode, decode of 50 tokens\n");
+    let mut rows = Vec::new();
+    for (name, cal) in &stacks {
+        let decode = run_phase(Mode::SemanticsAware, PhaseRun::Decode(50), &w, cal);
+        let dkv = run_phase(Mode::DeltaKv, PhaseRun::Decode(50), &w, cal);
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(decode.latency_s),
+            fmt_secs(decode.latency_s - cal.session_init_s),
+            format!("{:.1}", decode.gpu_util_pct),
+            fmt_secs(dkv.latency_s - cal.session_init_s),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Transport",
+                "SA latency [s]",
+                "SA work [s]",
+                "SA util [%]",
+                "dKV work [s]"
+            ],
+            &rows
+        )
+    );
+    println!("with RDMA the semantics-aware decode approaches the 1.53 s local bound:");
+    println!("\"replacing [TensorPipe] with a zero-copy RDMA path ... would tighten the");
+    println!("gap but not change the relative ordering of the designs\" (§4).");
+}

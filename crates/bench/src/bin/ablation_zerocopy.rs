@@ -1,0 +1,72 @@
+//! Ablation: proactive pinned allocation vs reactive pinning (§3.4).
+//!
+//! Counts the staging copies each datapath performs while sending a
+//! decode session's tensors through the pinned-buffer pool — the
+//! observable form of "allocating tensors in network-ready buffers at
+//! creation time completely eliminates the initial copy overhead".
+//!
+//! Run with: `cargo run -p genie-bench --bin ablation_zerocopy`
+
+use genie_bench::report::render_table;
+use genie_transport::PinnedPool;
+use std::sync::atomic::Ordering;
+
+fn main() {
+    let steps = 1000;
+    let payload = 917_504usize; // one GPT-J KV delta (f32)
+
+    // Reactive path: tensors are born in ordinary memory; every send
+    // stages a copy into registered buffers (pin_memory() after the
+    // fact).
+    let reactive = PinnedPool::new();
+    let tensor = vec![0u8; payload];
+    for _ in 0..steps {
+        let _wire = reactive.send_reactive(&tensor);
+    }
+
+    // Proactive path: tensors are created inside pool buffers, so the
+    // wire sees them with no staging.
+    let proactive = PinnedPool::new();
+    for _ in 0..steps {
+        let mut buf = proactive.alloc(payload);
+        // The "kernel" writes its output directly into pinned memory.
+        buf.bytes_mut().resize(payload, 0);
+        let _wire = proactive.send_proactive(buf);
+    }
+
+    println!("Ablation — zero-copy datapath ({steps} sends of one {payload}-byte KV delta)\n");
+    let stats = |p: &PinnedPool| {
+        (
+            p.stats().staging_copies.load(Ordering::Relaxed),
+            p.stats().staged_bytes.load(Ordering::Relaxed),
+            p.stats().zero_copy_sends.load(Ordering::Relaxed),
+        )
+    };
+    let (rc, rb, rz) = stats(&reactive);
+    let (pc, pb, pz) = stats(&proactive);
+    println!(
+        "{}",
+        render_table(
+            &["Datapath", "Staging copies", "Bytes copied", "Zero-copy sends"],
+            &[
+                vec![
+                    "reactive (pin_memory post-hoc)".into(),
+                    rc.to_string(),
+                    rb.to_string(),
+                    rz.to_string()
+                ],
+                vec![
+                    "proactive (born pinned, §3.4)".into(),
+                    pc.to_string(),
+                    pb.to_string(),
+                    pz.to_string()
+                ],
+            ]
+        )
+    );
+    println!(
+        "the proactive path eliminates {} copies ({:.1} MB of memcpy) per 1000 steps.",
+        rc,
+        rb as f64 / 1e6
+    );
+}

@@ -1,0 +1,123 @@
+//! Calibration of the simulator to the paper's measured stack.
+//!
+//! The paper's absolute numbers come from a specific testbed: GPT-J on an
+//! A100-80GB, a CPU-only Python client, TensorPipe RPC over 25 GbE,
+//! latency measured with `/usr/bin/time` (i.e. *process* wall clock,
+//! including interpreter start, model load, CUDA context, and RPC mesh
+//! setup). Refitting every latency cell of Tables 2–3 yields a
+//! three-parameter transport model that reproduces the table within a few
+//! percent:
+//!
+//! | constant | value | evidence |
+//! |---|---|---|
+//! | `session_init_s` | 109 s | ΔKV/SA prefill rows are 110/111 s with ≈1 s of work; every remote row shares the same ~109 s floor |
+//! | `rpc_per_call_s` | 0.45 s | Table 3 ΔKV slope: (204.3 − 132.0)/150 tokens ≈ 0.48 s/token ≈ per-call overhead + ~1 MB transfer + 0.03 s kernel |
+//! | `rpc_bandwidth_Bps` | 1.4 GB/s | Naïve prefill: 12 weight re-uploads ≈ 147 GB in (216 − 109) s ≈ 1.4 GB/s effective goodput (≈45% of the 25 GbE line rate — serialization-bound) |
+//! | `kernel_prefill_s` | 0.21 s | the Local prefill row |
+//! | `kernel_token_s` | 0.0306 s | Local decode: 1.53 s / 50 tokens |
+//!
+//! Cross-checks: the implied decode kernel time matches an A100 roofline
+//! at ≈20% memory-bandwidth efficiency (12.1 GB of fp16 weights / (2 TB/s
+//! × 0.2) ≈ 30 ms), and the ΔKV per-token payload matches GPT-J's f32 KV
+//! slice (2·28·4096·4 ≈ 0.92 MB — the paper says "~1.0 MB").
+
+use serde::{Deserialize, Serialize};
+
+/// The calibrated constants.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// One-time session establishment (process + CUDA + RPC mesh).
+    pub session_init_s: f64,
+    /// Fixed cost per synchronous RPC round trip.
+    pub rpc_per_call_s: f64,
+    /// Effective TensorPipe goodput in bytes/s.
+    pub rpc_bandwidth: f64,
+    /// One-way network latency.
+    pub net_latency_s: f64,
+    /// Measured A100 kernel time for the 72-token GPT-J prefill.
+    pub kernel_prefill_s: f64,
+    /// Measured A100 kernel time per decoded token.
+    pub kernel_token_s: f64,
+    /// Number of module-level remote invocations the prototype issues
+    /// during prefill (each re-uploads weights in Naïve mode): fitted
+    /// from 149,258 MB ÷ 12,288 MB ≈ 12.
+    pub prefill_stages: usize,
+}
+
+impl Calibration {
+    /// The paper's measured stack.
+    pub fn paper() -> Self {
+        Calibration {
+            session_init_s: 109.0,
+            rpc_per_call_s: 0.45,
+            rpc_bandwidth: 1.4e9,
+            net_latency_s: 250e-6,
+            kernel_prefill_s: 0.21,
+            kernel_token_s: 0.0306,
+            prefill_stages: 12,
+        }
+    }
+
+    /// The §3.4 target datapath: zero-copy RDMA, no Python.
+    pub fn rdma() -> Self {
+        Calibration {
+            session_init_s: 1.0,
+            rpc_per_call_s: 8e-6,
+            rpc_bandwidth: 25e9 / 8.0,
+            net_latency_s: 250e-6,
+            kernel_prefill_s: 0.21,
+            kernel_token_s: 0.0306,
+            prefill_stages: 12,
+        }
+    }
+
+    /// `genie-netsim` transport parameters for this calibration.
+    pub fn rpc_params(&self) -> genie_netsim::RpcParams {
+        genie_netsim::RpcParams {
+            session_init: genie_netsim::Nanos::from_secs_f64(self.session_init_s),
+            per_call_overhead: genie_netsim::Nanos::from_secs_f64(self.rpc_per_call_s),
+            effective_bandwidth: self.rpc_bandwidth,
+            zero_copy: self.rpc_per_call_s < 1e-3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_fit_the_delta_kv_slope() {
+        let c = Calibration::paper();
+        // Per-token ΔKV cost: overhead + ~0.92 MB + kernel.
+        let kv_delta = 2.0 * 28.0 * 4096.0 * 4.0;
+        let per_token = c.rpc_per_call_s + kv_delta / c.rpc_bandwidth + c.kernel_token_s;
+        let paper_slope = (204.3 - 132.0) / 150.0;
+        assert!(
+            (per_token - paper_slope).abs() < 0.1,
+            "slope {per_token} vs paper {paper_slope}"
+        );
+    }
+
+    #[test]
+    fn paper_constants_fit_naive_prefill() {
+        let c = Calibration::paper();
+        let weights = 12.1e9;
+        let latency = c.session_init_s
+            + c.prefill_stages as f64 * (c.rpc_per_call_s + weights / c.rpc_bandwidth)
+            + c.kernel_prefill_s;
+        assert!(
+            (latency - 216.0).abs() / 216.0 < 0.05,
+            "naive prefill {latency} vs paper 216"
+        );
+    }
+
+    #[test]
+    fn rdma_is_orders_faster_per_call() {
+        let p = Calibration::paper();
+        let r = Calibration::rdma();
+        assert!(p.rpc_per_call_s / r.rpc_per_call_s > 10_000.0);
+        assert!(r.rpc_params().zero_copy);
+        assert!(!p.rpc_params().zero_copy);
+    }
+}

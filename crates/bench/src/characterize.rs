@@ -1,0 +1,78 @@
+//! Table-1 regeneration: derive each workload family's semantic
+//! characteristics *from its captured SRG*.
+//!
+//! The paper's Table 1 is hand-written; here it is recovered mechanically
+//! from graph statistics — the demonstration that the framework layer
+//! actually observes these semantics rather than asserting them.
+
+use genie_models::Workload;
+use genie_srg::stats::GraphStats;
+use serde::{Deserialize, Serialize};
+
+/// One derived Table-1 row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Workload family name.
+    pub workload: String,
+    /// Computation pattern derived from the SRG.
+    pub computation_pattern: String,
+    /// Memory-access profile derived from the SRG.
+    pub memory_access: String,
+    /// The key optimization this family unlocks (from the zoo's catalog;
+    /// the optimization itself is exercised by the ablations).
+    pub key_optimization: String,
+    /// Supporting evidence: captured graph size.
+    pub nodes: usize,
+    /// Supporting evidence: phases observed in the graph.
+    pub phases: Vec<String>,
+}
+
+/// Regenerate Table 1 from the model zoo.
+pub fn table1() -> Vec<Table1Row> {
+    Workload::ALL
+        .iter()
+        .map(|w| {
+            let srg = w.spec_graph();
+            let stats = GraphStats::of(&srg).expect("zoo graphs are acyclic");
+            Table1Row {
+                workload: w.name().to_string(),
+                computation_pattern: stats.computation_pattern().to_string(),
+                memory_access: stats.memory_access_profile().to_string(),
+                key_optimization: w.key_optimization().to_string(),
+                nodes: stats.nodes,
+                phases: stats.phases.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_in_paper_order() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].workload, "LLM Serving");
+        assert_eq!(rows[3].workload, "Multi-modal");
+    }
+
+    #[test]
+    fn derived_columns_match_paper_vocabulary() {
+        let rows = table1();
+        assert!(rows[0].computation_pattern.contains("prefill/decode"));
+        assert_eq!(rows[0].memory_access, "streaming KV cache");
+        assert_eq!(rows[1].key_optimization, "Pipeline parallelism");
+        assert_eq!(rows[2].memory_access, "hot/cold embeddings");
+        assert_eq!(rows[3].computation_pattern, "cross-modal fusion");
+    }
+
+    #[test]
+    fn evidence_is_nontrivial() {
+        for row in table1() {
+            assert!(row.nodes > 10, "{} graph too small", row.workload);
+            assert!(!row.phases.is_empty(), "{} has no phases", row.workload);
+        }
+    }
+}

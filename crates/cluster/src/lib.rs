@@ -1,0 +1,37 @@
+//! # genie-cluster — hardware substrate description
+//!
+//! Static and dynamic descriptions of a disaggregated accelerator pool:
+//!
+//! - [`GpuSpec`]: per-accelerator roofline parameters (peak FLOP/s, memory
+//!   bandwidth, capacity) with presets matching the paper's A100-80GB
+//!   testbed and a heterogeneous fleet for §3.6 experiments;
+//! - [`NicSpec`]: NIC capabilities (RDMA, GPUDirect) determining whether a
+//!   path can be zero-copy (§3.4);
+//! - [`Topology`]: hosts, devices, and links — the `cluster_state` input to
+//!   `schedule(srg, cluster_state, policy)`;
+//! - [`ClusterState`]: live memory accounting, per-device work queues, the
+//!   resident-object directory (weights, KV caches pinned remotely), and
+//!   background congestion used by dynamic-recomputation policies.
+//!
+//! ```
+//! use genie_cluster::{Topology, ClusterState};
+//!
+//! let topo = Topology::paper_testbed();
+//! let mut state = ClusterState::new();
+//! let dev = topo.devices()[0].id;
+//! state.alloc(&topo, dev, 12 << 30).unwrap(); // pin 12 GB of weights
+//! assert!(state.mem_free(&topo, dev) > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gpu;
+pub mod nic;
+pub mod state;
+pub mod topology;
+
+pub use gpu::{GpuClass, GpuSpec, GIB};
+pub use nic::NicSpec;
+pub use state::{ClusterState, ResidentObject, StateError};
+pub use topology::{DevId, Device, Host, HostId, Link, Topology};

@@ -1,0 +1,81 @@
+//! Network interface specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a NIC. Genie's architecture supports commodity
+/// clients (no RNIC) talking to RNIC-equipped disaggregated servers; when
+/// both ends support RDMA and the server supports GPUDirect, the datapath
+/// is NIC-to-GPU zero-copy (§3.4).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Marketing name, e.g. `"CX-6 25GbE"`.
+    pub name: String,
+    /// Line rate in bits/s.
+    pub bandwidth_bps: f64,
+    /// Whether the NIC supports RDMA (RoCE/InfiniBand).
+    pub rdma: bool,
+    /// Whether the NIC+host support GPUDirect DMA into device memory.
+    pub gpudirect: bool,
+}
+
+impl NicSpec {
+    /// Commodity 25 GbE NIC without RDMA — the paper's client NIC.
+    pub fn commodity_25g() -> Self {
+        NicSpec {
+            name: "25GbE".into(),
+            bandwidth_bps: 25e9,
+            rdma: false,
+            gpudirect: false,
+        }
+    }
+
+    /// RDMA-capable 25 GbE NIC.
+    pub fn rnic_25g() -> Self {
+        NicSpec {
+            name: "CX-6 25GbE".into(),
+            bandwidth_bps: 25e9,
+            rdma: true,
+            gpudirect: true,
+        }
+    }
+
+    /// RDMA-capable 100 GbE NIC with GPUDirect — the disaggregated-server
+    /// NIC.
+    pub fn rnic_100g() -> Self {
+        NicSpec {
+            name: "CX-7 100GbE".into(),
+            bandwidth_bps: 100e9,
+            rdma: true,
+            gpudirect: true,
+        }
+    }
+
+    /// Line rate in bytes/s.
+    pub fn bandwidth_bytes(&self) -> f64 {
+        self.bandwidth_bps / 8.0
+    }
+
+    /// Whether a flow between `self` and `peer` can use a zero-copy RDMA
+    /// path end to end.
+    pub fn zero_copy_with(&self, peer: &NicSpec) -> bool {
+        self.rdma && peer.rdma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversion() {
+        assert_eq!(NicSpec::commodity_25g().bandwidth_bytes(), 25e9 / 8.0);
+    }
+
+    #[test]
+    fn zero_copy_requires_both_ends() {
+        let client = NicSpec::commodity_25g();
+        let server = NicSpec::rnic_100g();
+        assert!(!client.zero_copy_with(&server));
+        assert!(NicSpec::rnic_25g().zero_copy_with(&server));
+    }
+}

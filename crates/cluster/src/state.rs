@@ -1,0 +1,318 @@
+//! Live cluster state — the mutable view the scheduler consumes alongside
+//! the static [`Topology`](crate::topology::Topology).
+
+use crate::topology::{DevId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Errors from state mutations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateError {
+    /// Allocation would exceed the device's memory capacity.
+    OutOfMemory {
+        /// The device that ran out.
+        device: DevId,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes free before the request.
+        free: u64,
+    },
+    /// Attempted to free or look up an object that is not resident.
+    UnknownObject {
+        /// The missing object's key.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::OutOfMemory {
+                device,
+                requested,
+                free,
+            } => write!(
+                f,
+                "device {device} out of memory: requested {requested} B, free {free} B"
+            ),
+            StateError::UnknownObject { key } => write!(f, "unknown resident object {key}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// A remotely-resident object (weight blob, KV cache, …) tracked by key.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResidentObject {
+    /// Caller-chosen key (Genie uses handle ids).
+    pub key: u64,
+    /// Device holding the bytes.
+    pub device: DevId,
+    /// Current size in bytes (KV caches grow).
+    pub bytes: u64,
+    /// Epoch for lineage-based invalidation (§3.5).
+    pub epoch: u64,
+}
+
+/// Mutable, schedulable cluster state: per-device memory accounting,
+/// queued-work estimates, and the resident-object directory.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ClusterState {
+    mem_used: BTreeMap<DevId, u64>,
+    /// Seconds of queued work per device — the scheduler's queuing-delay
+    /// input.
+    queue_s: BTreeMap<DevId, f64>,
+    residents: BTreeMap<u64, ResidentObject>,
+    /// Background congestion per host-pair in [0, 1): fraction of link
+    /// bandwidth consumed by other tenants. Keyed by unordered host ids.
+    congestion: BTreeMap<(u32, u32), f64>,
+}
+
+impl ClusterState {
+    /// Fresh state with nothing allocated.
+    pub fn new() -> Self {
+        ClusterState::default()
+    }
+
+    /// Bytes used on a device.
+    pub fn mem_used(&self, dev: DevId) -> u64 {
+        self.mem_used.get(&dev).copied().unwrap_or(0)
+    }
+
+    /// Bytes free on a device given its spec in `topo`.
+    pub fn mem_free(&self, topo: &Topology, dev: DevId) -> u64 {
+        topo.device(dev).spec.mem_capacity.saturating_sub(self.mem_used(dev))
+    }
+
+    /// Reserve device memory; fails if it would exceed capacity.
+    pub fn alloc(&mut self, topo: &Topology, dev: DevId, bytes: u64) -> Result<(), StateError> {
+        let free = self.mem_free(topo, dev);
+        if bytes > free {
+            return Err(StateError::OutOfMemory {
+                device: dev,
+                requested: bytes,
+                free,
+            });
+        }
+        *self.mem_used.entry(dev).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Release device memory (saturating).
+    pub fn release(&mut self, dev: DevId, bytes: u64) {
+        let used = self.mem_used.entry(dev).or_insert(0);
+        *used = used.saturating_sub(bytes);
+    }
+
+    /// Seconds of work queued on a device.
+    pub fn queue_seconds(&self, dev: DevId) -> f64 {
+        self.queue_s.get(&dev).copied().unwrap_or(0.0)
+    }
+
+    /// Add queued work to a device.
+    pub fn enqueue_work(&mut self, dev: DevId, seconds: f64) {
+        *self.queue_s.entry(dev).or_insert(0.0) += seconds;
+    }
+
+    /// Drain queued work from a device (saturating at zero).
+    pub fn drain_work(&mut self, dev: DevId, seconds: f64) {
+        let q = self.queue_s.entry(dev).or_insert(0.0);
+        *q = (*q - seconds).max(0.0);
+    }
+
+    /// Register a resident object, charging its memory.
+    pub fn register_resident(
+        &mut self,
+        topo: &Topology,
+        obj: ResidentObject,
+    ) -> Result<(), StateError> {
+        self.alloc(topo, obj.device, obj.bytes)?;
+        self.residents.insert(obj.key, obj);
+        Ok(())
+    }
+
+    /// Look up a resident object by key.
+    pub fn resident(&self, key: u64) -> Option<&ResidentObject> {
+        self.residents.get(&key)
+    }
+
+    /// Grow a resident object (KV-cache append), charging the delta.
+    pub fn grow_resident(
+        &mut self,
+        topo: &Topology,
+        key: u64,
+        delta: u64,
+    ) -> Result<(), StateError> {
+        let dev = self
+            .residents
+            .get(&key)
+            .ok_or(StateError::UnknownObject { key })?
+            .device;
+        self.alloc(topo, dev, delta)?;
+        self.residents
+            .get_mut(&key)
+            .expect("checked above")
+            .bytes += delta;
+        Ok(())
+    }
+
+    /// Evict a resident object, releasing its memory. Returns the object.
+    pub fn evict_resident(&mut self, key: u64) -> Result<ResidentObject, StateError> {
+        let obj = self
+            .residents
+            .remove(&key)
+            .ok_or(StateError::UnknownObject { key })?;
+        self.release(obj.device, obj.bytes);
+        Ok(obj)
+    }
+
+    /// Evict every object resident on a failed device, bumping nothing —
+    /// lineage recovery decides replays. Returns the evicted objects.
+    pub fn evict_device(&mut self, dev: DevId) -> Vec<ResidentObject> {
+        let keys: Vec<u64> = self
+            .residents
+            .values()
+            .filter(|o| o.device == dev)
+            .map(|o| o.key)
+            .collect();
+        keys.into_iter()
+            .filter_map(|k| self.evict_resident(k).ok())
+            .collect()
+    }
+
+    /// All resident objects on a device.
+    pub fn residents_on(&self, dev: DevId) -> Vec<&ResidentObject> {
+        self.residents.values().filter(|o| o.device == dev).collect()
+    }
+
+    /// Set background congestion on the path between two hosts (fraction of
+    /// bandwidth consumed by other traffic, in `[0, 1)`).
+    pub fn set_congestion(&mut self, a: u32, b: u32, fraction: f64) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.congestion.insert(key, fraction.clamp(0.0, 0.99));
+    }
+
+    /// Background congestion between two hosts.
+    pub fn congestion(&self, a: u32, b: u32) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.congestion.get(&key).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuSpec;
+    use crate::nic::NicSpec;
+
+    fn topo() -> (Topology, DevId) {
+        let mut t = Topology::new();
+        let h = t.add_host("s", NicSpec::rnic_100g());
+        let d = t.add_device(h, GpuSpec::a100_80gb());
+        (t, d)
+    }
+
+    #[test]
+    fn alloc_and_release() {
+        let (t, d) = topo();
+        let mut s = ClusterState::new();
+        s.alloc(&t, d, 1000).unwrap();
+        assert_eq!(s.mem_used(d), 1000);
+        s.release(d, 400);
+        assert_eq!(s.mem_used(d), 600);
+        s.release(d, 10_000); // saturates
+        assert_eq!(s.mem_used(d), 0);
+    }
+
+    #[test]
+    fn oom_rejected() {
+        let (t, d) = topo();
+        let mut s = ClusterState::new();
+        let cap = t.device(d).spec.mem_capacity;
+        let err = s.alloc(&t, d, cap + 1).unwrap_err();
+        assert!(matches!(err, StateError::OutOfMemory { .. }));
+        assert!(err.to_string().contains("out of memory"));
+        // State unchanged after failure.
+        assert_eq!(s.mem_used(d), 0);
+    }
+
+    #[test]
+    fn resident_lifecycle() {
+        let (t, d) = topo();
+        let mut s = ClusterState::new();
+        s.register_resident(
+            &t,
+            ResidentObject {
+                key: 7,
+                device: d,
+                bytes: 500,
+                epoch: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.resident(7).unwrap().bytes, 500);
+        s.grow_resident(&t, 7, 100).unwrap();
+        assert_eq!(s.resident(7).unwrap().bytes, 600);
+        assert_eq!(s.mem_used(d), 600);
+        let evicted = s.evict_resident(7).unwrap();
+        assert_eq!(evicted.bytes, 600);
+        assert_eq!(s.mem_used(d), 0);
+        assert!(s.resident(7).is_none());
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let (t, _) = topo();
+        let mut s = ClusterState::new();
+        assert!(matches!(
+            s.grow_resident(&t, 99, 1),
+            Err(StateError::UnknownObject { key: 99 })
+        ));
+        assert!(s.evict_resident(99).is_err());
+    }
+
+    #[test]
+    fn device_eviction_clears_all() {
+        let (t, d) = topo();
+        let mut s = ClusterState::new();
+        for key in 0..3 {
+            s.register_resident(
+                &t,
+                ResidentObject {
+                    key,
+                    device: d,
+                    bytes: 100,
+                    epoch: 1,
+                },
+            )
+            .unwrap();
+        }
+        let evicted = s.evict_device(d);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(s.mem_used(d), 0);
+        assert!(s.residents_on(d).is_empty());
+    }
+
+    #[test]
+    fn queue_accounting() {
+        let (_, d) = topo();
+        let mut s = ClusterState::new();
+        s.enqueue_work(d, 1.5);
+        s.enqueue_work(d, 0.5);
+        assert_eq!(s.queue_seconds(d), 2.0);
+        s.drain_work(d, 3.0);
+        assert_eq!(s.queue_seconds(d), 0.0);
+    }
+
+    #[test]
+    fn congestion_is_symmetric_and_clamped() {
+        let mut s = ClusterState::new();
+        s.set_congestion(3, 1, 0.5);
+        assert_eq!(s.congestion(1, 3), 0.5);
+        assert_eq!(s.congestion(3, 1), 0.5);
+        s.set_congestion(0, 1, 2.0);
+        assert_eq!(s.congestion(0, 1), 0.99);
+        assert_eq!(s.congestion(5, 6), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Cluster topology: hosts, devices, and the links between them.
+
+use crate::gpu::GpuSpec;
+use crate::nic::NicSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies a host (server or client machine) in the topology.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Identifies a device (GPU) in the topology. Matches
+/// `genie_srg::DeviceId` numbering: the scheduler copies these values into
+/// node bindings.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct DevId(pub u32);
+
+impl std::fmt::Display for DevId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A host machine with a NIC and zero or more accelerators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Host {
+    /// Id within the topology.
+    pub id: HostId,
+    /// Human-readable name.
+    pub name: String,
+    /// This host's NIC.
+    pub nic: NicSpec,
+    /// Devices installed in this host (ids index into
+    /// [`Topology::devices`]).
+    pub devices: Vec<DevId>,
+}
+
+/// A device entry: the spec plus its owning host.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Id within the topology.
+    pub id: DevId,
+    /// Hardware specification.
+    pub spec: GpuSpec,
+    /// Owning host.
+    pub host: HostId,
+}
+
+/// A bidirectional network link between two hosts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: HostId,
+    /// Other endpoint.
+    pub b: HostId,
+    /// Usable bandwidth in bits/s.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Link {
+    /// Usable bandwidth in bytes/s.
+    pub fn bandwidth_bytes(&self) -> f64 {
+        self.bandwidth_bps / 8.0
+    }
+}
+
+/// The static cluster description handed to the scheduler as part of
+/// `cluster_state` (§3.3).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    hosts: Vec<Host>,
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    /// Direct-link index for fast path lookup.
+    #[serde(skip)]
+    link_index: BTreeMap<(HostId, HostId), usize>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a host with the given NIC; returns its id.
+    pub fn add_host(&mut self, name: impl Into<String>, nic: NicSpec) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host {
+            id,
+            name: name.into(),
+            nic,
+            devices: Vec::new(),
+        });
+        id
+    }
+
+    /// Install a device into `host`; returns its id.
+    pub fn add_device(&mut self, host: HostId, spec: GpuSpec) -> DevId {
+        let id = DevId(self.devices.len() as u32);
+        self.devices.push(Device { id, spec, host });
+        self.hosts[host.0 as usize].devices.push(id);
+        id
+    }
+
+    /// Connect two hosts with a link.
+    pub fn add_link(&mut self, a: HostId, b: HostId, bandwidth_bps: f64, latency_s: f64) {
+        let idx = self.links.len();
+        self.links.push(Link {
+            a,
+            b,
+            bandwidth_bps,
+            latency_s,
+        });
+        self.link_index.insert(key(a, b), idx);
+    }
+
+    /// Host accessor.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// Device accessor.
+    pub fn device(&self, id: DevId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The direct link between two hosts, if any. (Rebuilds the index after
+    /// deserialization, where the skip field is empty.)
+    pub fn link_between(&self, a: HostId, b: HostId) -> Option<&Link> {
+        if self.link_index.is_empty() && !self.links.is_empty() {
+            return self.links.iter().find(|l| key(l.a, l.b) == key(a, b));
+        }
+        self.link_index.get(&key(a, b)).map(|&i| &self.links[i])
+    }
+
+    /// Whether two devices are in the same host (transfers stay on PCIe /
+    /// NVLink and are modeled as free relative to network costs).
+    pub fn same_host(&self, a: DevId, b: DevId) -> bool {
+        self.device(a).host == self.device(b).host
+    }
+
+    /// The host where application (client) code runs is conventionally the
+    /// first host added.
+    pub fn client_host(&self) -> HostId {
+        HostId(0)
+    }
+
+    /// The paper's evaluation setup (§4): a CPU-only client connected to an
+    /// A100-80GB server through a 25 Gbps link, ~250 µs one-way latency.
+    pub fn paper_testbed() -> Topology {
+        let mut t = Topology::new();
+        let client = t.add_host("client", NicSpec::commodity_25g());
+        let server = t.add_host("gpu-server", NicSpec::rnic_100g());
+        t.add_device(server, GpuSpec::a100_80gb());
+        t.add_link(client, server, 25e9, 250e-6);
+        t
+    }
+
+    /// A single-rack pool: one client plus `n` A100 servers behind one
+    /// switch (modeled as pairwise links of equal bandwidth).
+    pub fn rack(n: usize, bandwidth_bps: f64) -> Topology {
+        let mut t = Topology::new();
+        let client = t.add_host("client", NicSpec::commodity_25g());
+        let mut servers = Vec::new();
+        for i in 0..n {
+            let s = t.add_host(format!("gpu-server-{i}"), NicSpec::rnic_100g());
+            t.add_device(s, GpuSpec::a100_80gb());
+            t.add_link(client, s, bandwidth_bps, 250e-6);
+            servers.push(s);
+        }
+        for i in 0..servers.len() {
+            for j in i + 1..servers.len() {
+                t.add_link(servers[i], servers[j], bandwidth_bps * 4.0, 100e-6);
+            }
+        }
+        t
+    }
+
+    /// A heterogeneous fleet for §3.6 experiments: flagship, bandwidth-
+    /// optimized, and inference-class devices across `n` hosts each.
+    pub fn heterogeneous_fleet(n: usize, bandwidth_bps: f64) -> Topology {
+        let mut t = Topology::new();
+        let client = t.add_host("client", NicSpec::commodity_25g());
+        for (class, spec) in [
+            ("flagship", GpuSpec::h100()),
+            ("bwopt", GpuSpec::bandwidth_optimized()),
+            ("infer", GpuSpec::l4()),
+        ] {
+            for i in 0..n {
+                let s = t.add_host(format!("{class}-{i}"), NicSpec::rnic_100g());
+                t.add_device(s, spec.clone());
+                t.add_link(client, s, bandwidth_bps, 250e-6);
+            }
+        }
+        t
+    }
+}
+
+fn key(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.hosts().len(), 2);
+        assert_eq!(t.devices().len(), 1);
+        let link = t.link_between(HostId(0), HostId(1)).unwrap();
+        assert_eq!(link.bandwidth_bps, 25e9);
+        assert_eq!(link.bandwidth_bytes(), 25e9 / 8.0);
+        assert!(!t.host(t.client_host()).nic.rdma);
+    }
+
+    #[test]
+    fn link_lookup_is_symmetric() {
+        let t = Topology::paper_testbed();
+        assert!(t.link_between(HostId(1), HostId(0)).is_some());
+        assert!(t.link_between(HostId(0), HostId(0)).is_none());
+    }
+
+    #[test]
+    fn rack_connectivity() {
+        let t = Topology::rack(3, 25e9);
+        assert_eq!(t.devices().len(), 3);
+        // Client to each server.
+        for i in 1..=3 {
+            assert!(t.link_between(HostId(0), HostId(i)).is_some());
+        }
+        // Server-to-server links are fatter.
+        let ss = t.link_between(HostId(1), HostId(2)).unwrap();
+        assert_eq!(ss.bandwidth_bps, 100e9);
+    }
+
+    #[test]
+    fn same_host_detection() {
+        let mut t = Topology::new();
+        let h = t.add_host("dual-gpu", NicSpec::rnic_100g());
+        let a = t.add_device(h, GpuSpec::a100_80gb());
+        let b = t.add_device(h, GpuSpec::a100_80gb());
+        let h2 = t.add_host("other", NicSpec::rnic_100g());
+        let c = t.add_device(h2, GpuSpec::a100_80gb());
+        assert!(t.same_host(a, b));
+        assert!(!t.same_host(a, c));
+    }
+
+    #[test]
+    fn heterogeneous_fleet_has_three_classes() {
+        let t = Topology::heterogeneous_fleet(2, 25e9);
+        assert_eq!(t.devices().len(), 6);
+        let classes: std::collections::BTreeSet<_> =
+            t.devices().iter().map(|d| d.spec.class).collect();
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_lookup() {
+        let t = Topology::paper_testbed();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert!(back.link_between(HostId(0), HostId(1)).is_some());
+    }
+}

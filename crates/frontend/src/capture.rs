@@ -1,0 +1,857 @@
+//! Deferred-execution capture: the Rust analogue of PyTorch's
+//! `__torch_dispatch__` + LazyTensor mechanism (§3.2).
+//!
+//! Application code computes with [`LazyTensor`] handles. No arithmetic
+//! happens at call time; every operation appends an annotated node to an
+//! SRG under construction inside a shared [`CaptureCtx`]. Shapes are
+//! checked eagerly (so user errors surface at the call site, as in eager
+//! PyTorch), cost hints are derived from operator type and shapes, and the
+//! module / phase / modality scopes active at call time become the node's
+//! structural annotations.
+
+use crate::value::Value;
+use genie_srg::{
+    CostHints, ElemType, Modality, Node, NodeId, OpKind, Phase, Residency, Srg, TensorMeta,
+};
+use genie_tensor::{IndexTensor, Tensor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of a finished capture: a validated SRG plus the payloads of
+/// its source nodes (parameters and inputs) when running functionally.
+#[derive(Clone, Debug)]
+pub struct CapturedGraph {
+    /// The captured, annotated graph.
+    pub srg: Srg,
+    /// Payloads for `Parameter` / `Input` nodes (functional plane only;
+    /// simulation-scale captures carry no data).
+    pub values: HashMap<NodeId, Value>,
+    /// Nodes marked as model outputs, in marking order.
+    pub outputs: Vec<NodeId>,
+}
+
+#[derive(Default)]
+struct CaptureState {
+    srg: Option<Srg>,
+    values: HashMap<NodeId, Value>,
+    outputs: Vec<NodeId>,
+    module_stack: Vec<String>,
+    phase_stack: Vec<Phase>,
+    modality_stack: Vec<Modality>,
+}
+
+/// A capture context: the graph under construction plus the annotation
+/// scopes. Clone freely — clones share the same underlying state.
+#[derive(Clone)]
+pub struct CaptureCtx {
+    state: Arc<Mutex<CaptureState>>,
+}
+
+impl CaptureCtx {
+    /// Start capturing a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let state = CaptureState {
+            srg: Some(Srg::new(name)),
+            ..Default::default()
+        };
+        CaptureCtx {
+            state: Arc::new(Mutex::new(state)),
+        }
+    }
+
+    // ---- scopes -----------------------------------------------------
+
+    /// Run `f` with `name` pushed onto the module-path stack. Mirrors
+    /// entering an `nn.Module`'s `forward`.
+    pub fn scope<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.state.lock().module_stack.push(name.to_string());
+        let out = f();
+        self.state.lock().module_stack.pop();
+        out
+    }
+
+    /// Run `f` with an explicit phase annotation active — the
+    /// `genie.annotate_phase` developer hook of §3.2.
+    pub fn phase_scope<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        self.state.lock().phase_stack.push(phase);
+        let out = f();
+        self.state.lock().phase_stack.pop();
+        out
+    }
+
+    /// Run `f` with a modality annotation active.
+    pub fn modality_scope<R>(&self, modality: Modality, f: impl FnOnce() -> R) -> R {
+        self.state.lock().modality_stack.push(modality);
+        let out = f();
+        self.state.lock().modality_stack.pop();
+        out
+    }
+
+    /// Current dotted module path.
+    pub fn module_path(&self) -> String {
+        self.state.lock().module_stack.join(".")
+    }
+
+    // ---- sources ----------------------------------------------------
+
+    /// Declare a model parameter. `payload` is `Some` on the functional
+    /// plane and `None` for simulation-scale captures.
+    pub fn parameter(
+        &self,
+        name: &str,
+        shape: impl Into<Vec<usize>>,
+        elem: ElemType,
+        payload: Option<Tensor>,
+    ) -> LazyTensor {
+        let meta = TensorMeta::new(shape, elem);
+        if let Some(t) = &payload {
+            assert_eq!(
+                t.dims(),
+                &meta.shape[..],
+                "parameter {name} payload shape mismatch"
+            );
+        }
+        let id = self.push_source(OpKind::Parameter, name, Residency::PersistentWeight);
+        if let Some(t) = payload {
+            self.state.lock().values.insert(id, Value::F(t));
+        }
+        self.lazy(id, meta)
+    }
+
+    /// Declare a dense float input.
+    pub fn input(
+        &self,
+        name: &str,
+        shape: impl Into<Vec<usize>>,
+        elem: ElemType,
+        payload: Option<Tensor>,
+    ) -> LazyTensor {
+        let meta = TensorMeta::new(shape, elem);
+        if let Some(t) = &payload {
+            assert_eq!(t.dims(), &meta.shape[..], "input {name} payload shape mismatch");
+        }
+        let id = self.push_source(OpKind::Input, name, Residency::ModelInput);
+        if let Some(t) = payload {
+            self.state.lock().values.insert(id, Value::F(t));
+        }
+        self.lazy(id, meta)
+    }
+
+    /// Declare an integer-index input (token ids, embedding rows).
+    pub fn input_ids(&self, name: &str, ids: &[i64]) -> LazyTensor {
+        let meta = TensorMeta::new([ids.len()], ElemType::I64);
+        let id = self.push_source(OpKind::Input, name, Residency::ModelInput);
+        self.state
+            .lock()
+            .values
+            .insert(id, Value::I(IndexTensor::from_slice(ids)));
+        self.lazy(id, meta)
+    }
+
+    /// Declare an index input with no payload (simulation plane).
+    pub fn input_ids_spec(&self, name: &str, len: usize) -> LazyTensor {
+        let meta = TensorMeta::new([len], ElemType::I64);
+        let id = self.push_source(OpKind::Input, name, Residency::ModelInput);
+        self.lazy(id, meta)
+    }
+
+    /// An empty KV-cache seed of shape `[0, dim]` — the starting state of
+    /// a decode loop.
+    pub fn empty_cache(&self, name: &str, dim: usize, elem: ElemType) -> LazyTensor {
+        let meta = TensorMeta::new([0, dim], ElemType::I64);
+        let _ = meta;
+        let meta = TensorMeta::new([0, dim], elem);
+        let id = self.push_source(OpKind::Input, name, Residency::StatefulKvCache);
+        self.state
+            .lock()
+            .values
+            .insert(id, Value::F(Tensor::zeros(vec![0, dim])));
+        self.lazy(id, meta)
+    }
+
+    // ---- finish -----------------------------------------------------
+
+    /// Finish the capture, returning the SRG and captured payloads. The
+    /// context can no longer record operations afterwards.
+    pub fn finish(&self) -> CapturedGraph {
+        let mut st = self.state.lock();
+        let srg = st.srg.take().expect("capture already finished");
+        CapturedGraph {
+            srg,
+            values: std::mem::take(&mut st.values),
+            outputs: std::mem::take(&mut st.outputs),
+        }
+    }
+
+    // ---- internals --------------------------------------------------
+
+    fn push_source(&self, op: OpKind, name: &str, residency: Residency) -> NodeId {
+        let mut st = self.state.lock();
+        let module_path = st.module_stack.join(".");
+        let phase = st.phase_stack.last().cloned().unwrap_or_default();
+        let modality = st.modality_stack.last().copied().unwrap_or_default();
+        st.srg
+            .as_mut()
+            .expect("capture already finished")
+            .add_node(
+                Node::new(NodeId::new(0), op, name)
+                    .with_module_path(module_path)
+                    .with_phase(phase)
+                    .with_modality(modality)
+                    .with_residency(residency),
+            )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &self,
+        op: OpKind,
+        name: &str,
+        inputs: &[&LazyTensor],
+        out_meta: TensorMeta,
+        cost: CostHints,
+        attrs: &[(&str, String)],
+        residency: Residency,
+    ) -> LazyTensor {
+        let mut st = self.state.lock();
+        let module_path = st.module_stack.join(".");
+        let phase = st.phase_stack.last().cloned().unwrap_or_default();
+        let modality = st.modality_stack.last().copied().unwrap_or_default();
+        let mut node = Node::new(NodeId::new(0), op, name)
+            .with_module_path(module_path)
+            .with_phase(phase)
+            .with_modality(modality)
+            .with_residency(residency)
+            .with_cost(cost);
+        for (k, v) in attrs {
+            node = node.with_attr(*k, v.clone());
+        }
+        let srg = st.srg.as_mut().expect("capture already finished");
+        let id = srg.add_node(node);
+        for input in inputs {
+            srg.connect_tensor(input.node, id, input.tensor, input.meta.clone());
+        }
+        let tensor = srg.fresh_tensor();
+        drop(st);
+        LazyTensor {
+            ctx: self.clone(),
+            node: id,
+            tensor,
+            meta: out_meta,
+        }
+    }
+
+    fn lazy(&self, node: NodeId, meta: TensorMeta) -> LazyTensor {
+        let tensor = {
+            let mut st = self.state.lock();
+            st.srg
+                .as_mut()
+                .expect("capture already finished")
+                .fresh_tensor()
+        };
+        LazyTensor {
+            ctx: self.clone(),
+            node,
+            tensor,
+            meta,
+        }
+    }
+}
+
+/// A deferred tensor: a handle to a node in the capture context. All
+/// arithmetic on `LazyTensor`s records SRG nodes instead of executing.
+#[derive(Clone)]
+pub struct LazyTensor {
+    ctx: CaptureCtx,
+    /// The producing node.
+    pub node: NodeId,
+    /// The logical tensor this handle denotes. Every consumer edge carries
+    /// the same id, so schedulers can deduplicate fan-out transfers.
+    pub tensor: genie_srg::TensorId,
+    /// Shape / element-type metadata of this value.
+    pub meta: TensorMeta,
+}
+
+impl LazyTensor {
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.meta.shape
+    }
+
+    /// Bytes of this value at its declared precision.
+    pub fn size_bytes(&self) -> usize {
+        self.meta.size_bytes()
+    }
+
+    fn es(&self) -> f64 {
+        self.meta.elem.size_bytes() as f64
+    }
+
+    /// Mark this value as a model output. Stateful residencies survive:
+    /// a KV cache returned to the caller is still a KV cache, and the
+    /// scheduler must keep treating it as pinnable state.
+    pub fn mark_output(&self) {
+        let mut st = self.ctx.state.lock();
+        if let Some(srg) = st.srg.as_mut() {
+            let node = srg.node_mut(self.node);
+            if !node.residency.prefers_remote_pinning() {
+                node.residency = Residency::ModelOutput;
+            }
+        }
+        st.outputs.push(self.node);
+    }
+
+    // ---- binary dense ops -------------------------------------------
+
+    /// Matrix multiply `[m,k] · [k,n] → [m,n]`.
+    pub fn matmul(&self, rhs: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "matmul lhs rank");
+        assert_eq!(rhs.dims().len(), 2, "matmul rhs rank");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let out = TensorMeta::new([m, n], self.meta.elem);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let read = (m * k + k * n) as f64 * self.es();
+        let write = (m * n) as f64 * self.es();
+        self.ctx.record(
+            OpKind::MatMul,
+            "matmul",
+            &[self, rhs],
+            out,
+            CostHints::new(flops, read, write),
+            &[],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Elementwise add (same shapes).
+    pub fn add(&self, rhs: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims(), rhs.dims(), "add shape mismatch");
+        self.elementwise(OpKind::Add, "add", Some(rhs))
+    }
+
+    /// Elementwise multiply (same shapes).
+    pub fn mul(&self, rhs: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims(), rhs.dims(), "mul shape mismatch");
+        self.elementwise(OpKind::Mul, "mul", Some(rhs))
+    }
+
+    /// Add a rank-1 bias over the innermost dim.
+    pub fn add_bias(&self, bias: &LazyTensor) -> LazyTensor {
+        assert_eq!(
+            bias.dims(),
+            &[*self.dims().last().expect("rank >= 1")],
+            "bias must match innermost dim"
+        );
+        let n: f64 = self.meta.num_elements() as f64;
+        self.ctx.record(
+            OpKind::Add,
+            "add_bias",
+            &[self, bias],
+            self.meta.clone(),
+            CostHints::new(n, 2.0 * n * self.es(), n * self.es()),
+            &[("bias", "1".into())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    // ---- unary dense ops --------------------------------------------
+
+    /// ReLU.
+    pub fn relu(&self) -> LazyTensor {
+        self.elementwise(OpKind::Relu, "relu", None)
+    }
+
+    /// GELU.
+    pub fn gelu(&self) -> LazyTensor {
+        self.elementwise(OpKind::Gelu, "gelu", None)
+    }
+
+    /// SiLU.
+    pub fn silu(&self) -> LazyTensor {
+        self.elementwise(OpKind::Silu, "silu", None)
+    }
+
+    /// Softmax over the innermost dimension.
+    pub fn softmax(&self) -> LazyTensor {
+        self.elementwise(OpKind::Softmax, "softmax", None)
+    }
+
+    /// Layer norm over the innermost dimension.
+    pub fn layer_norm(&self, gamma: &LazyTensor, beta: &LazyTensor, eps: f32) -> LazyTensor {
+        let inner = *self.dims().last().expect("rank >= 1");
+        assert_eq!(gamma.dims(), &[inner], "gamma shape");
+        assert_eq!(beta.dims(), &[inner], "beta shape");
+        let n = self.meta.num_elements() as f64;
+        self.ctx.record(
+            OpKind::LayerNorm,
+            "layer_norm",
+            &[self, gamma, beta],
+            self.meta.clone(),
+            CostHints::new(8.0 * n, 2.0 * n * self.es(), n * self.es()),
+            &[("eps", eps.to_string())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// RMS norm over the innermost dimension.
+    pub fn rms_norm(&self, gamma: &LazyTensor, eps: f32) -> LazyTensor {
+        let inner = *self.dims().last().expect("rank >= 1");
+        assert_eq!(gamma.dims(), &[inner], "gamma shape");
+        let n = self.meta.num_elements() as f64;
+        self.ctx.record(
+            OpKind::RmsNorm,
+            "rms_norm",
+            &[self, gamma],
+            self.meta.clone(),
+            CostHints::new(5.0 * n, 2.0 * n * self.es(), n * self.es()),
+            &[("eps", eps.to_string())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    // ---- attention / KV ---------------------------------------------
+
+    /// Fused multi-head scaled-dot-product attention. `self` is the query
+    /// `[tq, dm]`; `k`/`v` are `[tk, dm]`.
+    pub fn attention(&self, k: &LazyTensor, v: &LazyTensor, heads: usize, causal: bool) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "attention q rank");
+        let (tq, dm) = (self.dims()[0], self.dims()[1]);
+        let tk = k.dims()[0];
+        assert_eq!(k.dims(), &[tk, dm], "k shape");
+        assert_eq!(v.dims(), &[tk, dm], "v shape");
+        assert_eq!(dm % heads, 0, "heads must divide model dim");
+        let flops = 4.0 * tq as f64 * tk as f64 * dm as f64;
+        let read = ((tq + 2 * tk) * dm) as f64 * self.es();
+        let write = (tq * dm) as f64 * self.es();
+        self.ctx.record(
+            OpKind::Attention,
+            "attention",
+            &[self, k, v],
+            TensorMeta::new([tq, dm], self.meta.elem),
+            CostHints::new(flops, read, write),
+            &[("heads", heads.to_string()), ("causal", causal.to_string())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Append rows to a KV cache along dim 0: `[t, d] ⊕ [n, d] → [t+n, d]`.
+    /// The output carries `StatefulKvCache` residency — the signature cue
+    /// the paper's scheduler keys on.
+    pub fn kv_append(&self, new: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "cache rank");
+        assert_eq!(new.dims().len(), 2, "new rows rank");
+        assert_eq!(self.dims()[1], new.dims()[1], "kv dim mismatch");
+        let out = TensorMeta::new(
+            [self.dims()[0] + new.dims()[0], self.dims()[1]],
+            self.meta.elem,
+        );
+        let delta = new.meta.size_bytes() as f64;
+        self.ctx.record(
+            OpKind::KvAppend,
+            "kv_append",
+            &[self, new],
+            out,
+            CostHints::new(0.0, delta, delta),
+            &[],
+            Residency::StatefulKvCache,
+        )
+    }
+
+    // ---- conv / vision ----------------------------------------------
+
+    /// 2-D convolution over NCHW input with `[Cout, Cin, Kh, Kw]` weight.
+    pub fn conv2d(
+        &self,
+        w: &LazyTensor,
+        bias: &LazyTensor,
+        stride: usize,
+        padding: usize,
+    ) -> LazyTensor {
+        assert_eq!(self.dims().len(), 4, "conv2d input must be NCHW");
+        assert_eq!(w.dims().len(), 4, "conv2d weight rank");
+        let (n, cin, h, wd) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
+        let (cout, cin2, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+        assert_eq!(cin, cin2, "conv2d channel mismatch");
+        assert_eq!(bias.dims(), &[cout], "conv2d bias shape");
+        let oh = (h + 2 * padding - kh) / stride + 1;
+        let ow = (wd + 2 * padding - kw) / stride + 1;
+        let out = TensorMeta::new([n, cout, oh, ow], self.meta.elem);
+        let flops = 2.0 * (n * cout * oh * ow * cin * kh * kw) as f64;
+        let read = (self.meta.num_elements() + w.meta.num_elements()) as f64 * self.es();
+        let write = out.num_elements() as f64 * self.es();
+        self.ctx.record(
+            OpKind::Conv2d,
+            "conv2d",
+            &[self, w, bias],
+            out,
+            CostHints::new(flops, read, write),
+            &[
+                ("stride", stride.to_string()),
+                ("padding", padding.to_string()),
+            ],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Square max/avg pooling over NCHW input.
+    pub fn pool2d(&self, k: usize, stride: usize, avg: bool) -> LazyTensor {
+        assert_eq!(self.dims().len(), 4, "pool2d input must be NCHW");
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
+        let oh = (h - k) / stride + 1;
+        let ow = (w - k) / stride + 1;
+        let out = TensorMeta::new([n, c, oh, ow], self.meta.elem);
+        let nelem = self.meta.num_elements() as f64;
+        let out_elems = out.num_elements() as f64;
+        self.ctx.record(
+            OpKind::Pool2d,
+            "pool2d",
+            &[self],
+            out,
+            CostHints::new(nelem, nelem * self.es(), out_elems * self.es()),
+            &[
+                ("k", k.to_string()),
+                ("stride", stride.to_string()),
+                ("avg", avg.to_string()),
+            ],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Global average pooling `[N,C,H,W] → [N,C]`.
+    pub fn global_avg_pool(&self) -> LazyTensor {
+        assert_eq!(self.dims().len(), 4, "gap input must be NCHW");
+        let (n, c) = (self.dims()[0], self.dims()[1]);
+        let out = TensorMeta::new([n, c], self.meta.elem);
+        let nelem = self.meta.num_elements() as f64;
+        self.ctx.record(
+            OpKind::Pool2d,
+            "global_avg_pool",
+            &[self],
+            out,
+            CostHints::new(nelem, nelem * self.es(), (n * c) as f64 * self.es()),
+            &[("gap", "true".into())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    // ---- sparse -----------------------------------------------------
+
+    /// Gather rows of a `[vocab, d]` table by an index tensor: `→ [n, d]`.
+    /// `self` is the table.
+    pub fn gather(&self, indices: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "gather table rank");
+        assert_eq!(indices.meta.elem, ElemType::I64, "indices must be I64");
+        let n = indices.meta.num_elements();
+        let d = self.dims()[1];
+        let out = TensorMeta::new([n, d], self.meta.elem);
+        let bytes = (n * d) as f64 * self.es();
+        self.ctx.record(
+            OpKind::EmbeddingGather,
+            "gather",
+            &[self, indices],
+            out,
+            CostHints::new(0.0, bytes, bytes),
+            &[],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Sum-pooled multi-hot gather (EmbeddingBag): `→ [d]`.
+    pub fn gather_sum(&self, indices: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "gather table rank");
+        let n = indices.meta.num_elements();
+        let d = self.dims()[1];
+        let out = TensorMeta::new([d], self.meta.elem);
+        let bytes = (n * d) as f64 * self.es();
+        self.ctx.record(
+            OpKind::EmbeddingGather,
+            "gather_sum",
+            &[self, indices],
+            out,
+            CostHints::new((n * d) as f64, bytes, d as f64 * self.es()),
+            &[("pooled", "true".into())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    // ---- shape ------------------------------------------------------
+
+    /// Concatenate along `dim`.
+    pub fn concat(&self, rhs: &LazyTensor, dim: usize) -> LazyTensor {
+        assert_eq!(self.dims().len(), rhs.dims().len(), "concat rank");
+        let mut shape = self.dims().to_vec();
+        shape[dim] += rhs.dims()[dim];
+        let out = TensorMeta::new(shape, self.meta.elem);
+        let bytes = out.size_bytes() as f64;
+        self.ctx.record(
+            OpKind::Concat,
+            "concat",
+            &[self, rhs],
+            out,
+            CostHints::new(0.0, bytes, bytes),
+            &[("dim", dim.to_string())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Narrow `dim` to `[start, start+len)`.
+    pub fn narrow(&self, dim: usize, start: usize, len: usize) -> LazyTensor {
+        assert!(start + len <= self.dims()[dim], "narrow out of range");
+        let mut shape = self.dims().to_vec();
+        shape[dim] = len;
+        let out = TensorMeta::new(shape, self.meta.elem);
+        let bytes = out.size_bytes() as f64;
+        self.ctx.record(
+            OpKind::Slice,
+            "narrow",
+            &[self],
+            out,
+            CostHints::new(0.0, bytes, bytes),
+            &[
+                ("dim", dim.to_string()),
+                ("start", start.to_string()),
+                ("len", len.to_string()),
+            ],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Reshape (metadata only).
+    pub fn reshape(&self, shape: impl Into<Vec<usize>>) -> LazyTensor {
+        let shape = shape.into();
+        let out = TensorMeta::new(shape.clone(), self.meta.elem);
+        assert_eq!(
+            out.num_elements(),
+            self.meta.num_elements(),
+            "reshape element count"
+        );
+        self.ctx.record(
+            OpKind::Reshape,
+            "reshape",
+            &[self],
+            out,
+            CostHints::ZERO,
+            &[("shape", format_dims(&shape))],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Transpose a rank-2 value.
+    pub fn transpose(&self) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "transpose rank");
+        let out = TensorMeta::new([self.dims()[1], self.dims()[0]], self.meta.elem);
+        let bytes = out.size_bytes() as f64;
+        self.ctx.record(
+            OpKind::Transpose,
+            "transpose",
+            &[self],
+            out,
+            CostHints::new(0.0, bytes, bytes),
+            &[],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    // ---- output ops -------------------------------------------------
+
+    /// Greedy-sample the next token from `[t, vocab]` logits: argmax of
+    /// the last row. Output is a single I64 token id — the vocab-sized
+    /// tensor collapses to 8 bytes, the paper's example of a
+    /// producer/consumer rate the network layer can exploit.
+    pub fn sample(&self) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "sample expects [t, vocab] logits");
+        let out = TensorMeta::new([1], ElemType::I64);
+        let n = self.meta.num_elements() as f64;
+        self.ctx.record(
+            OpKind::Sample,
+            "sample",
+            &[self],
+            out,
+            CostHints::new(n, n * self.es(), 8.0),
+            &[],
+            Residency::ModelOutput,
+        )
+    }
+
+    /// Mean over the innermost dimension.
+    pub fn mean_lastdim(&self) -> LazyTensor {
+        let mut shape = self.dims().to_vec();
+        shape.pop();
+        if shape.is_empty() {
+            shape.push(1);
+        }
+        let out = TensorMeta::new(shape, self.meta.elem);
+        let n = self.meta.num_elements() as f64;
+        let out_elems = out.num_elements() as f64;
+        self.ctx.record(
+            OpKind::Reduce,
+            "mean",
+            &[self],
+            out,
+            CostHints::new(n, n * self.es(), out_elems * self.es()),
+            &[("kind", "mean".into())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    fn elementwise(&self, op: OpKind, name: &str, rhs: Option<&LazyTensor>) -> LazyTensor {
+        let n = self.meta.num_elements() as f64;
+        let reads = if rhs.is_some() { 2.0 } else { 1.0 };
+        let cost = CostHints::new(n, reads * n * self.es(), n * self.es());
+        let inputs: Vec<&LazyTensor> = match rhs {
+            Some(r) => vec![self, r],
+            None => vec![self],
+        };
+        self.ctx.record(
+            op,
+            name,
+            &inputs,
+            self.meta.clone(),
+            cost,
+            &[],
+            Residency::EphemeralActivation,
+        )
+    }
+}
+
+fn format_dims(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_builds_graph_without_executing() {
+        let ctx = CaptureCtx::new("g");
+        let w = ctx.parameter("w", [4, 4], ElemType::F32, None);
+        let x = ctx.input("x", [2, 4], ElemType::F32, None);
+        let y = x.matmul(&w.transpose());
+        y.mark_output();
+        let cap = ctx.finish();
+        assert_eq!(cap.srg.node_count(), 4); // w, x, transpose, matmul
+        assert_eq!(cap.outputs.len(), 1);
+        assert!(genie_srg::validate::validate(&cap.srg).is_empty());
+        assert!(cap.values.is_empty(), "spec-only capture holds no data");
+    }
+
+    #[test]
+    fn shapes_checked_eagerly() {
+        let ctx = CaptureCtx::new("g");
+        let a = ctx.input("a", [2, 3], ElemType::F32, None);
+        let b = ctx.input("b", [4, 5], ElemType::F32, None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.matmul(&b)));
+        assert!(result.is_err(), "shape mismatch must panic at capture time");
+    }
+
+    #[test]
+    fn scopes_annotate_nodes() {
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [1, 8], ElemType::F32, None);
+        let y = ctx.scope("decoder", || {
+            ctx.phase_scope(Phase::LlmDecode, || {
+                ctx.scope("mlp", || x.relu())
+            })
+        });
+        let cap = ctx.finish();
+        let node = cap.srg.node(y.node);
+        assert_eq!(node.module_path, "decoder.mlp");
+        assert_eq!(node.phase, Phase::LlmDecode);
+    }
+
+    #[test]
+    fn cost_hints_scale_with_shapes() {
+        let ctx = CaptureCtx::new("g");
+        let a = ctx.input("a", [8, 16], ElemType::F32, None);
+        let b = ctx.input("b", [16, 32], ElemType::F32, None);
+        let c = a.matmul(&b);
+        let cap = ctx.finish();
+        let cost = cap.srg.node(c.node).cost;
+        assert_eq!(cost.flops, 2.0 * 8.0 * 16.0 * 32.0);
+        assert!(cost.bytes_read > 0.0 && cost.bytes_written > 0.0);
+    }
+
+    #[test]
+    fn kv_append_grows_and_tags_residency() {
+        let ctx = CaptureCtx::new("g");
+        let cache = ctx.empty_cache("kv", 8, ElemType::F32);
+        let new = ctx.input("new", [1, 8], ElemType::F32, None);
+        let grown = cache.kv_append(&new);
+        assert_eq!(grown.dims(), &[1, 8]);
+        let grown2 = grown.kv_append(&new);
+        assert_eq!(grown2.dims(), &[2, 8]);
+        let cap = ctx.finish();
+        assert_eq!(
+            cap.srg.node(grown2.node).residency,
+            Residency::StatefulKvCache
+        );
+    }
+
+    #[test]
+    fn sample_collapses_to_one_token() {
+        let ctx = CaptureCtx::new("g");
+        let logits = ctx.input("logits", [1, 50400], ElemType::F32, None);
+        let tok = logits.sample();
+        assert_eq!(tok.meta.size_bytes(), 8);
+        let cap = ctx.finish();
+        assert_eq!(cap.srg.node(tok.node).residency, Residency::ModelOutput);
+    }
+
+    #[test]
+    fn parameters_carry_payloads_functionally() {
+        let ctx = CaptureCtx::new("g");
+        let w = ctx.parameter("w", [2, 2], ElemType::F32, Some(Tensor::ones([2, 2])));
+        let cap = ctx.finish();
+        assert!(matches!(cap.values.get(&w.node), Some(Value::F(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload shape mismatch")]
+    fn payload_shape_mismatch_panics() {
+        let ctx = CaptureCtx::new("g");
+        ctx.parameter("w", [2, 2], ElemType::F32, Some(Tensor::ones([3])));
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [1, 3, 32, 32], ElemType::F32, None);
+        let w = ctx.parameter("w", [16, 3, 3, 3], ElemType::F32, None);
+        let b = ctx.parameter("b", [16], ElemType::F32, None);
+        let y = x.conv2d(&w, &b, 1, 1);
+        assert_eq!(y.dims(), &[1, 16, 32, 32]);
+        let p = y.pool2d(2, 2, false);
+        assert_eq!(p.dims(), &[1, 16, 16, 16]);
+    }
+
+    #[test]
+    fn attention_requires_divisible_heads() {
+        let ctx = CaptureCtx::new("g");
+        let q = ctx.input("q", [2, 8], ElemType::F32, None);
+        let k = ctx.input("k", [4, 8], ElemType::F32, None);
+        let v = ctx.input("v", [4, 8], ElemType::F32, None);
+        let o = q.attention(&k, &v, 2, true);
+        assert_eq!(o.dims(), &[2, 8]);
+        let cap = ctx.finish();
+        let n = cap.srg.node(o.node);
+        assert_eq!(n.attrs["heads"], "2");
+        assert_eq!(n.attrs["causal"], "true");
+    }
+}

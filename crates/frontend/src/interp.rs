@@ -1,0 +1,438 @@
+//! Reference interpreter: executes a captured SRG with real arithmetic.
+//!
+//! This is the ground truth for every functional test in the platform —
+//! lazy capture must produce the same numbers as eager evaluation, remote
+//! execution must produce the same numbers as local, and lineage replay
+//! must reproduce lost values exactly. Backends delegate to this
+//! interpreter for the compute they "run".
+
+use crate::value::Value;
+use genie_srg::{NodeId, OpKind, Srg};
+use genie_tensor::ops;
+use genie_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Interpretation failure.
+#[derive(Debug)]
+pub enum InterpError {
+    /// A source node has no payload bound.
+    MissingValue {
+        /// The unbound node.
+        node: NodeId,
+        /// Its name.
+        name: String,
+    },
+    /// The graph contains a cycle.
+    Cycle,
+    /// An operator is not supported by the functional plane.
+    Unsupported {
+        /// The offending node.
+        node: NodeId,
+        /// Operator mnemonic.
+        op: String,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::MissingValue { node, name } => {
+                write!(f, "no payload bound for source {node} ({name})")
+            }
+            InterpError::Cycle => write!(f, "graph contains a cycle"),
+            InterpError::Unsupported { node, op } => {
+                write!(f, "operator {op} at {node} unsupported in functional plane")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Execute every node of `srg`, reading source payloads from `bindings`.
+/// Returns the value of every node.
+pub fn execute(
+    srg: &Srg,
+    bindings: &HashMap<NodeId, Value>,
+) -> Result<HashMap<NodeId, Value>, InterpError> {
+    let order = genie_srg::traverse::topo_order(srg).map_err(|_| InterpError::Cycle)?;
+    let mut values: HashMap<NodeId, Value> = HashMap::new();
+
+    for id in order {
+        let node = srg.node(id);
+        let inputs: Vec<&Value> = srg
+            .in_edges(id)
+            .map(|e| values.get(&e.src).expect("topo order guarantees inputs"))
+            .collect();
+        let out = eval_node(srg, id, &node.op, &inputs, bindings)?;
+        values.insert(id, out);
+    }
+    Ok(values)
+}
+
+/// Execute and return only the requested outputs, in order.
+pub fn execute_outputs(
+    srg: &Srg,
+    bindings: &HashMap<NodeId, Value>,
+    outputs: &[NodeId],
+) -> Result<Vec<Value>, InterpError> {
+    let all = execute(srg, bindings)?;
+    Ok(outputs
+        .iter()
+        .map(|id| all.get(id).expect("outputs exist in graph").clone())
+        .collect())
+}
+
+fn eval_node(
+    srg: &Srg,
+    id: NodeId,
+    op: &OpKind,
+    inputs: &[&Value],
+    bindings: &HashMap<NodeId, Value>,
+) -> Result<Value, InterpError> {
+    let node = srg.node(id);
+    let attr = |key: &str| node.attrs.get(key).cloned().unwrap_or_default();
+    let attr_usize = |key: &str| attr(key).parse::<usize>().unwrap_or(0);
+
+    Ok(match op {
+        OpKind::Parameter | OpKind::Input => bindings
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| InterpError::MissingValue {
+                node: id,
+                name: node.name.clone(),
+            })?,
+        OpKind::MatMul => {
+            Value::F(ops::matmul(inputs[0].as_f("matmul"), inputs[1].as_f("matmul")))
+        }
+        OpKind::Add => {
+            if attr("bias") == "1" {
+                Value::F(ops::add_bias(inputs[0].as_f("add"), inputs[1].as_f("bias")))
+            } else {
+                Value::F(ops::add(inputs[0].as_f("add"), inputs[1].as_f("add")))
+            }
+        }
+        OpKind::Mul => Value::F(ops::mul(inputs[0].as_f("mul"), inputs[1].as_f("mul"))),
+        OpKind::Relu => Value::F(ops::relu(inputs[0].as_f("relu"))),
+        OpKind::Gelu => Value::F(ops::gelu(inputs[0].as_f("gelu"))),
+        OpKind::Silu => Value::F(ops::silu(inputs[0].as_f("silu"))),
+        OpKind::Softmax => Value::F(ops::softmax_lastdim(inputs[0].as_f("softmax"))),
+        OpKind::LayerNorm => {
+            let eps: f32 = attr("eps").parse().unwrap_or(1e-5);
+            Value::F(ops::layer_norm(
+                inputs[0].as_f("layer_norm"),
+                inputs[1].as_f("gamma"),
+                inputs[2].as_f("beta"),
+                eps,
+            ))
+        }
+        OpKind::RmsNorm => {
+            let eps: f32 = attr("eps").parse().unwrap_or(1e-6);
+            Value::F(ops::rms_norm(
+                inputs[0].as_f("rms_norm"),
+                inputs[1].as_f("gamma"),
+                eps,
+            ))
+        }
+        OpKind::Attention => {
+            let heads = attr_usize("heads").max(1);
+            let causal = attr("causal") == "true";
+            Value::F(ops::multi_head_attention(
+                inputs[0].as_f("q"),
+                inputs[1].as_f("k"),
+                inputs[2].as_f("v"),
+                heads,
+                causal,
+            ))
+        }
+        OpKind::KvAppend => Value::F(ops::concat(
+            inputs[0].as_f("cache"),
+            inputs[1].as_f("new"),
+            0,
+        )),
+        OpKind::Conv2d => Value::F(ops::conv2d(
+            inputs[0].as_f("x"),
+            inputs[1].as_f("w"),
+            inputs[2].as_f("bias"),
+            attr_usize("stride").max(1),
+            attr_usize("padding"),
+        )),
+        OpKind::Pool2d => {
+            let x = inputs[0].as_f("pool");
+            if attr("gap") == "true" {
+                Value::F(ops::global_avg_pool(x))
+            } else {
+                let mode = if attr("avg") == "true" {
+                    ops::PoolMode::Avg
+                } else {
+                    ops::PoolMode::Max
+                };
+                Value::F(ops::pool2d(x, attr_usize("k").max(1), attr_usize("stride").max(1), mode))
+            }
+        }
+        OpKind::EmbeddingGather => {
+            let table = inputs[0].as_f("table");
+            let idx = inputs[1].as_i("indices");
+            if attr("pooled") == "true" {
+                Value::F(ops::gather_sum(table, idx))
+            } else {
+                Value::F(ops::gather_rows(table, idx))
+            }
+        }
+        OpKind::Concat => Value::F(ops::concat(
+            inputs[0].as_f("concat"),
+            inputs[1].as_f("concat"),
+            attr_usize("dim"),
+        )),
+        OpKind::Slice => Value::F(ops::narrow(
+            inputs[0].as_f("narrow"),
+            attr_usize("dim"),
+            attr_usize("start"),
+            attr_usize("len"),
+        )),
+        OpKind::Reshape => {
+            let shape: Vec<usize> = attr("shape")
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().expect("valid reshape attr"))
+                .collect();
+            Value::F(inputs[0].as_f("reshape").clone().reshape(shape))
+        }
+        OpKind::Transpose => Value::F(ops::transpose2d(inputs[0].as_f("transpose"))),
+        OpKind::Reduce => {
+            let x = inputs[0].as_f("reduce");
+            match attr("kind").as_str() {
+                "sum" => Value::F(ops::sum_lastdim(x)),
+                "max" => Value::F(ops::max_lastdim(x)),
+                _ => Value::F(ops::mean_lastdim(x)),
+            }
+        }
+        OpKind::Sample => {
+            let logits = inputs[0].as_f("sample");
+            let t = logits.dims()[0];
+            let last = ops::narrow(logits, 0, t - 1, 1);
+            Value::I(ops::argmax_lastdim(&last))
+        }
+        OpKind::Output => inputs[0].clone(),
+        other => {
+            return Err(InterpError::Unsupported {
+                node: id,
+                op: other.mnemonic().to_string(),
+            })
+        }
+    })
+}
+
+/// Convenience: bind nothing extra, run, and return a single float output.
+pub fn run_single_output(
+    cap: &crate::capture::CapturedGraph,
+) -> Result<Tensor, InterpError> {
+    let out = cap.outputs.last().expect("capture has an output");
+    let vals = execute_outputs(&cap.srg, &cap.values, &[*out])?;
+    Ok(vals[0].as_f("output").clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::CaptureCtx;
+    use genie_srg::ElemType;
+    use genie_tensor::init::randn;
+
+    #[test]
+    fn lazy_matches_eager_matmul_chain() {
+        let a = randn([4, 8], 1);
+        let b = randn([8, 8], 2);
+        // Eager reference.
+        let eager = ops::relu(&ops::matmul(&a, &b));
+
+        // Lazy capture + interpret.
+        let ctx = CaptureCtx::new("g");
+        let la = ctx.input("a", [4, 8], ElemType::F32, Some(a));
+        let lb = ctx.parameter("b", [8, 8], ElemType::F32, Some(b));
+        let ly = la.matmul(&lb).relu();
+        ly.mark_output();
+        let cap = ctx.finish();
+        let out = run_single_output(&cap).unwrap();
+        assert!(out.approx_eq(&eager, 1e-6));
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [2, 2], ElemType::F32, None); // no payload
+        let y = x.relu();
+        y.mark_output();
+        let cap = ctx.finish();
+        let err = execute(&cap.srg, &cap.values).unwrap_err();
+        assert!(matches!(err, InterpError::MissingValue { .. }));
+        assert!(err.to_string().contains("x"));
+    }
+
+    #[test]
+    fn kv_append_interp_grows_cache() {
+        let ctx = CaptureCtx::new("g");
+        let cache = ctx.empty_cache("kv", 4, ElemType::F32);
+        let row = ctx.input(
+            "row",
+            [1, 4],
+            ElemType::F32,
+            Some(genie_tensor::Tensor::ones([1, 4])),
+        );
+        let grown = cache.kv_append(&row).kv_append(&row);
+        grown.mark_output();
+        let cap = ctx.finish();
+        let out = run_single_output(&cap).unwrap();
+        assert_eq!(out.dims(), &[2, 4]);
+        assert_eq!(out.data(), &[1.0; 8]);
+    }
+
+    #[test]
+    fn sample_returns_argmax_of_last_row() {
+        let ctx = CaptureCtx::new("g");
+        let logits = ctx.input(
+            "logits",
+            [2, 4],
+            ElemType::F32,
+            Some(Tensor::from_vec(
+                [2, 4],
+                vec![9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 7.0, 0.0],
+            )),
+        );
+        let tok = logits.sample();
+        tok.mark_output();
+        let cap = ctx.finish();
+        let vals = execute_outputs(&cap.srg, &cap.values, &[tok.node]).unwrap();
+        assert_eq!(vals[0].as_i("tok").data(), &[2]);
+    }
+
+    #[test]
+    fn embedding_then_mlp_pipeline() {
+        let table = randn([10, 4], 3);
+        let w = randn([4, 2], 4);
+        let ctx = CaptureCtx::new("g");
+        let lt = ctx.parameter("table", [10, 4], ElemType::F32, Some(table.clone()));
+        let ids = ctx.input_ids("ids", &[1, 3]);
+        let lw = ctx.parameter("w", [4, 2], ElemType::F32, Some(w.clone()));
+        let y = lt.gather(&ids).matmul(&lw);
+        y.mark_output();
+        let cap = ctx.finish();
+        let got = run_single_output(&cap).unwrap();
+
+        let rows = ops::gather_rows(&table, &genie_tensor::IndexTensor::from_slice(&[1, 3]));
+        let expect = ops::matmul(&rows, &w);
+        assert!(got.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn conv_pipeline_matches_eager() {
+        let x = randn([1, 2, 8, 8], 7);
+        let w = randn([4, 2, 3, 3], 8);
+        let b = randn([4], 9);
+        let eager = ops::global_avg_pool(&ops::pool2d(
+            &ops::relu(&ops::conv2d(&x, &w, &b, 1, 1)),
+            2,
+            2,
+            ops::PoolMode::Max,
+        ));
+
+        let ctx = CaptureCtx::new("g");
+        let lx = ctx.input("x", [1, 2, 8, 8], ElemType::F32, Some(x));
+        let lw = ctx.parameter("w", [4, 2, 3, 3], ElemType::F32, Some(w));
+        let lb = ctx.parameter("b", [4], ElemType::F32, Some(b));
+        let y = lx
+            .conv2d(&lw, &lb, 1, 1)
+            .relu()
+            .pool2d(2, 2, false)
+            .global_avg_pool();
+        y.mark_output();
+        let cap = ctx.finish();
+        let got = run_single_output(&cap).unwrap();
+        assert!(got.approx_eq(&eager, 1e-5));
+    }
+
+    #[test]
+    fn reduce_reshape_transpose_roundtrip() {
+        let x = randn([3, 4], 30);
+        let ctx = CaptureCtx::new("g");
+        let lx = ctx.input("x", [3, 4], ElemType::F32, Some(x.clone()));
+        let mean = lx.mean_lastdim();
+        let reshaped = lx.reshape([4, 3]);
+        let transposed = lx.transpose();
+        mean.mark_output();
+        reshaped.mark_output();
+        transposed.mark_output();
+        let cap = ctx.finish();
+        let outs =
+            execute_outputs(&cap.srg, &cap.values, &[mean.node, reshaped.node, transposed.node])
+                .unwrap();
+        assert!(outs[0]
+            .as_f("mean")
+            .approx_eq(&ops::mean_lastdim(&x), 1e-6));
+        assert_eq!(outs[1].as_f("reshape").dims(), &[4, 3]);
+        assert_eq!(outs[1].as_f("reshape").data(), x.data());
+        assert!(outs[2]
+            .as_f("transpose")
+            .approx_eq(&ops::transpose2d(&x), 1e-6));
+    }
+
+    #[test]
+    fn norm_variants_match_eager() {
+        let x = randn([2, 16], 31);
+        let gamma = genie_tensor::Tensor::ones([16]);
+        let ctx = CaptureCtx::new("g");
+        let lx = ctx.input("x", [2, 16], ElemType::F32, Some(x.clone()));
+        let lg = ctx.parameter("g", [16], ElemType::F32, Some(gamma.clone()));
+        let rms = lx.rms_norm(&lg, 1e-6);
+        let silu = lx.silu();
+        let soft = lx.softmax();
+        rms.mark_output();
+        silu.mark_output();
+        soft.mark_output();
+        let cap = ctx.finish();
+        let outs =
+            execute_outputs(&cap.srg, &cap.values, &[rms.node, silu.node, soft.node]).unwrap();
+        assert!(outs[0].as_f("rms").approx_eq(&ops::rms_norm(&x, &gamma, 1e-6), 1e-5));
+        assert!(outs[1].as_f("silu").approx_eq(&ops::silu(&x), 1e-6));
+        assert!(outs[2]
+            .as_f("softmax")
+            .approx_eq(&ops::softmax_lastdim(&x), 1e-6));
+    }
+
+    #[test]
+    fn concat_narrow_bias_match_eager() {
+        let a = randn([2, 3], 32);
+        let b = randn([2, 3], 33);
+        let bias = randn([6], 34);
+        let ctx = CaptureCtx::new("g");
+        let la = ctx.input("a", [2, 3], ElemType::F32, Some(a.clone()));
+        let lb = ctx.input("b", [2, 3], ElemType::F32, Some(b.clone()));
+        let lbias = ctx.parameter("bias", [6], ElemType::F32, Some(bias.clone()));
+        let cat = la.concat(&lb, 1);
+        let biased = cat.add_bias(&lbias);
+        let sliced = biased.narrow(1, 2, 3);
+        sliced.mark_output();
+        let cap = ctx.finish();
+        let out = run_single_output(&cap).unwrap();
+        let expect = ops::narrow(&ops::add_bias(&ops::concat(&a, &b, 1), &bias), 1, 2, 3);
+        assert!(out.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn attention_block_matches_eager() {
+        let q = randn([3, 8], 20);
+        let k = randn([5, 8], 21);
+        let v = randn([5, 8], 22);
+        let eager = ops::multi_head_attention(&q, &k, &v, 2, true);
+
+        let ctx = CaptureCtx::new("g");
+        let lq = ctx.input("q", [3, 8], ElemType::F32, Some(q));
+        let lk = ctx.input("k", [5, 8], ElemType::F32, Some(k));
+        let lv = ctx.input("v", [5, 8], ElemType::F32, Some(v));
+        let o = lq.attention(&lk, &lv, 2, true);
+        o.mark_output();
+        let cap = ctx.finish();
+        let got = run_single_output(&cap).unwrap();
+        assert!(got.approx_eq(&eager, 1e-6));
+    }
+}

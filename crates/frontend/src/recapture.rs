@@ -1,0 +1,116 @@
+//! Re-capture points for dynamic control flow (§3.7).
+//!
+//! Graph capture excels when the computation is static, but real inference
+//! loops branch on data — a decode loop stops when the model emits EOS. A
+//! [`RecaptureSession`] handles this by capturing one SRG *per dynamic
+//! region* and carrying named state (the KV cache, the token history)
+//! across captures. Control flow runs in ordinary Rust between captures;
+//! each captured region is still a full SRG the scheduler can optimize.
+
+use crate::capture::{CaptureCtx, CapturedGraph};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A session of repeated captures with carried state.
+pub struct RecaptureSession {
+    name: String,
+    steps: usize,
+    carried: HashMap<String, Value>,
+}
+
+impl RecaptureSession {
+    /// Start a session.
+    pub fn new(name: impl Into<String>) -> Self {
+        RecaptureSession {
+            name: name.into(),
+            steps: 0,
+            carried: HashMap::new(),
+        }
+    }
+
+    /// Number of captures performed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Read carried state.
+    pub fn carried(&self, key: &str) -> Option<&Value> {
+        self.carried.get(key)
+    }
+
+    /// Write carried state (typically from the previous step's outputs).
+    pub fn carry(&mut self, key: impl Into<String>, value: Value) {
+        self.carried.insert(key.into(), value);
+    }
+
+    /// Capture one dynamic region. `f` receives a fresh [`CaptureCtx`]
+    /// (named `"{session}.step{N}"`) and the carried state, builds the
+    /// region's graph, and the session returns the finished capture.
+    pub fn capture_step<F>(&mut self, f: F) -> CapturedGraph
+    where
+        F: FnOnce(&CaptureCtx, &HashMap<String, Value>),
+    {
+        let ctx = CaptureCtx::new(format!("{}.step{}", self.name, self.steps));
+        f(&ctx, &self.carried);
+        self.steps += 1;
+        ctx.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use genie_srg::ElemType;
+    use genie_tensor::Tensor;
+
+    /// A data-dependent loop: keep doubling until the value exceeds a
+    /// threshold. Each iteration is its own capture; the loop condition
+    /// runs in plain Rust on materialized results — exactly the paper's
+    /// "insert re-capture points" strategy.
+    #[test]
+    fn data_dependent_loop_via_recapture() {
+        let mut session = RecaptureSession::new("doubling");
+        session.carry("x", Value::F(Tensor::from_vec([1], vec![1.0])));
+
+        let mut iterations = 0;
+        loop {
+            let cap = session.capture_step(|ctx, carried| {
+                let x0 = carried.get("x").unwrap().as_f("x").clone();
+                let x = ctx.input("x", [1], ElemType::F32, Some(x0));
+                let doubled = x.add(&x);
+                doubled.mark_output();
+            });
+            let out = interp::run_single_output(&cap).unwrap();
+            let v = out.data()[0];
+            session.carry("x", Value::F(out));
+            iterations += 1;
+            if v > 10.0 {
+                break;
+            }
+        }
+        // 1 → 2 → 4 → 8 → 16: four captures.
+        assert_eq!(iterations, 4);
+        assert_eq!(session.steps(), 4);
+        assert_eq!(session.carried("x").unwrap().as_f("x").data(), &[16.0]);
+    }
+
+    #[test]
+    fn captures_are_independent_graphs() {
+        let mut session = RecaptureSession::new("s");
+        let a = session.capture_step(|ctx, _| {
+            ctx.input("i", [1], ElemType::F32, Some(Tensor::ones([1])))
+                .relu()
+                .mark_output();
+        });
+        let b = session.capture_step(|ctx, _| {
+            ctx.input("i", [1], ElemType::F32, Some(Tensor::ones([1])))
+                .gelu()
+                .mark_output();
+        });
+        assert_eq!(a.srg.name, "s.step0");
+        assert_eq!(b.srg.name, "s.step1");
+        assert_eq!(a.srg.node_count(), 2);
+        assert_eq!(b.srg.node_count(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Runtime values flowing through the functional plane.
+
+use genie_tensor::{IndexTensor, Tensor};
+
+/// A materialized value: dense float data or integer indices (token ids,
+/// embedding rows, sampled outputs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Dense f32 tensor.
+    F(Tensor),
+    /// Integer index tensor.
+    I(IndexTensor),
+}
+
+impl Value {
+    /// Unwrap as a float tensor; panics with the operator name on mismatch.
+    pub fn as_f(&self, what: &str) -> &Tensor {
+        match self {
+            Value::F(t) => t,
+            Value::I(_) => panic!("{what}: expected float tensor, got indices"),
+        }
+    }
+
+    /// Unwrap as an index tensor; panics with the operator name on
+    /// mismatch.
+    pub fn as_i(&self, what: &str) -> &IndexTensor {
+        match self {
+            Value::I(t) => t,
+            Value::F(_) => panic!("{what}: expected index tensor, got floats"),
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::F(t) => t.size_bytes(),
+            Value::I(t) => t.len() * std::mem::size_of::<i64>(),
+        }
+    }
+}
+
+impl From<Tensor> for Value {
+    fn from(t: Tensor) -> Self {
+        Value::F(t)
+    }
+}
+
+impl From<IndexTensor> for Value {
+    fn from(t: IndexTensor) -> Self {
+        Value::I(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_matching_kind() {
+        let v: Value = Tensor::zeros([2]).into();
+        assert_eq!(v.as_f("test").len(), 2);
+        let i: Value = IndexTensor::from_slice(&[1, 2]).into();
+        assert_eq!(i.as_i("test").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected float tensor")]
+    fn unwrap_mismatch_panics() {
+        let i: Value = IndexTensor::from_slice(&[1]).into();
+        i.as_f("matmul");
+    }
+
+    #[test]
+    fn sizes() {
+        let v: Value = Tensor::zeros([3]).into();
+        assert_eq!(v.size_bytes(), 12);
+        let i: Value = IndexTensor::from_slice(&[1, 2]).into();
+        assert_eq!(i.size_bytes(), 16);
+    }
+}

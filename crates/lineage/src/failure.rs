@@ -1,0 +1,89 @@
+//! Failure detection and injection.
+//!
+//! The runtime learns about failures from two signals: stale-handle
+//! errors surfaced by the transport (the server's epoch moved on), and
+//! device evictions in the simulated cluster. This module normalizes both
+//! into a [`FailureEvent`] recovery can act on.
+
+use genie_cluster::{ClusterState, DevId};
+
+/// A detected failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Device that failed (simulation plane) if known.
+    pub device: Option<DevId>,
+    /// Names/keys of objects lost with it.
+    pub lost_keys: Vec<u64>,
+    /// Epoch after which stale references fail.
+    pub new_epoch: u64,
+}
+
+/// Whether a remote error message indicates lost state (stale or
+/// dangling handle) rather than a programming error.
+pub fn is_state_loss(error: &genie_transport::TransportError) -> bool {
+    match error {
+        genie_transport::TransportError::Remote(msg) => {
+            msg.contains("stale handle") || msg.contains("dangling handle")
+        }
+        genie_transport::TransportError::ConnectionClosed => true,
+        _ => false,
+    }
+}
+
+/// Simulation-plane injection: fail a device, evicting all resident
+/// objects from the cluster state and reporting them.
+pub fn inject_device_failure(
+    state: &mut ClusterState,
+    device: DevId,
+    epoch: u64,
+) -> FailureEvent {
+    let evicted = state.evict_device(device);
+    FailureEvent {
+        device: Some(device),
+        lost_keys: evicted.iter().map(|o| o.key).collect(),
+        new_epoch: epoch + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_cluster::{GpuSpec, NicSpec, ResidentObject, Topology};
+
+    #[test]
+    fn stale_handle_is_state_loss() {
+        let err = genie_transport::TransportError::Remote("stale handle 3: epoch 0 != 1".into());
+        assert!(is_state_loss(&err));
+        let err = genie_transport::TransportError::Remote("execution failed: shape".into());
+        assert!(!is_state_loss(&err));
+        assert!(is_state_loss(
+            &genie_transport::TransportError::ConnectionClosed
+        ));
+    }
+
+    #[test]
+    fn device_failure_evicts_and_reports() {
+        let mut topo = Topology::new();
+        let h = topo.add_host("s", NicSpec::rnic_100g());
+        let d = topo.add_device(h, GpuSpec::a100_80gb());
+        let mut state = ClusterState::new();
+        for key in [10, 11] {
+            state
+                .register_resident(
+                    &topo,
+                    ResidentObject {
+                        key,
+                        device: d,
+                        bytes: 100,
+                        epoch: 1,
+                    },
+                )
+                .unwrap();
+        }
+        let event = inject_device_failure(&mut state, d, 1);
+        assert_eq!(event.device, Some(d));
+        assert_eq!(event.lost_keys.len(), 2);
+        assert_eq!(event.new_epoch, 2);
+        assert_eq!(state.mem_used(d), 0);
+    }
+}

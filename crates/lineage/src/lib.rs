@@ -1,0 +1,31 @@
+//! # genie-lineage — lineage-based fault tolerance
+//!
+//! The SRG is a complete, replayable lineage of the computation (§3.5):
+//! nodes are deterministic operator invocations, edges explicit
+//! dependencies, remote state is referenced by handle+epoch. This crate
+//! turns that property into a recovery mechanism:
+//!
+//! - [`replay::LineageLog`] records a [`replay::Recipe`] per remote
+//!   object and computes minimal ordered replay sets after a loss —
+//!   lineage spans phases, so a long decode loop recovers without
+//!   redoing prefill;
+//! - [`recovery::recover`] drives a [`recovery::Replayer`] (in-memory
+//!   oracle or the real socket-backed session) through the replay set and
+//!   reports the savings versus restart;
+//! - [`failure`] normalizes stale-handle errors and simulated device
+//!   losses into events;
+//! - [`commit::CommitLog`] makes external outputs idempotent by scoping
+//!   them to `(handle, epoch, seq)` and emitting only at commit points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod commit;
+pub mod failure;
+pub mod recovery;
+pub mod replay;
+
+pub use commit::{CommitLog, PendingOutput};
+pub use failure::{inject_device_failure, is_state_loss, FailureEvent};
+pub use recovery::{recover, LocalReplayer, RecoveryReport, RemoteReplayer, Replayer};
+pub use replay::{LineageLog, Recipe};

@@ -1,0 +1,155 @@
+//! The workload zoo: one fully-annotated spec SRG per Table-1 family.
+
+use crate::cnn::SimpleCnn;
+use crate::config::{CnnConfig, DlrmConfig, TransformerConfig};
+use crate::dlrm::Dlrm;
+use crate::multimodal::{Multimodal, MultimodalConfig};
+use crate::transformer::{KvState, TransformerLm};
+use genie_frontend::capture::CaptureCtx;
+use genie_frontend::{annotate, patterns};
+use genie_srg::Srg;
+
+/// The four representative workload families of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// LLM serving (GPT-J decode step).
+    LlmServing,
+    /// Computer vision (ResNet-style inference).
+    ComputerVision,
+    /// Recommendation (DLRM inference).
+    Recommendation,
+    /// Multi-modal (VQA inference).
+    Multimodal,
+}
+
+impl Workload {
+    /// All families, in Table-1 order.
+    pub const ALL: [Workload; 4] = [
+        Workload::LlmServing,
+        Workload::ComputerVision,
+        Workload::Recommendation,
+        Workload::Multimodal,
+    ];
+
+    /// Display name matching the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::LlmServing => "LLM Serving",
+            Workload::ComputerVision => "Computer Vision",
+            Workload::Recommendation => "Recommendation",
+            Workload::Multimodal => "Multi-modal",
+        }
+    }
+
+    /// The paper's "Key Optimization" column for this family.
+    pub fn key_optimization(&self) -> &'static str {
+        match self {
+            Workload::LlmServing => "Phase-aware allocation",
+            Workload::ComputerVision => "Pipeline parallelism",
+            Workload::Recommendation => "Intelligent data tiering",
+            Workload::Multimodal => "Modality-aware placement",
+        }
+    }
+
+    /// Build the paper-scale spec SRG for this family, run the full
+    /// annotation pipeline (recognizers + finalization), and return it.
+    pub fn spec_graph(&self) -> Srg {
+        let mut srg = match self {
+            Workload::LlmServing => {
+                let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
+                let ctx = CaptureCtx::new("llm.decode_step");
+                let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+                cap.logits.sample().mark_output();
+                for (k, v) in cap.k_caches.iter().zip(&cap.v_caches) {
+                    k.mark_output();
+                    v.mark_output();
+                }
+                ctx.finish().srg
+            }
+            Workload::ComputerVision => {
+                let m = SimpleCnn::new_spec(CnnConfig::resnet_like());
+                let ctx = CaptureCtx::new("cnn.inference");
+                m.capture_inference(&ctx, 8, None).mark_output();
+                ctx.finish().srg
+            }
+            Workload::Recommendation => {
+                let cfg = DlrmConfig::production_like();
+                let m = Dlrm::new_spec(cfg.clone());
+                let ctx = CaptureCtx::new("dlrm.inference");
+                let ids: Vec<Vec<i64>> = (0..cfg.tables)
+                    .map(|_| vec![0; cfg.lookups_per_table])
+                    .collect();
+                m.capture_inference(&ctx, &ids, None).mark_output();
+                ctx.finish().srg
+            }
+            Workload::Multimodal => {
+                let m = Multimodal::new_spec(MultimodalConfig::vqa_like());
+                let ctx = CaptureCtx::new("vqa.inference");
+                m.capture_inference(&ctx, &[0; 16], None).mark_output();
+                ctx.finish().srg
+            }
+        };
+        patterns::run_all(&mut srg);
+        annotate::finalize(&mut srg, 1e-3);
+        srg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_srg::stats::GraphStats;
+
+    #[test]
+    fn all_spec_graphs_validate() {
+        for w in Workload::ALL {
+            let srg = w.spec_graph();
+            let errors = genie_srg::validate::validate(&srg);
+            assert!(errors.is_empty(), "{}: {errors:?}", w.name());
+            assert!(srg.node_count() > 10, "{} too small", w.name());
+        }
+    }
+
+    #[test]
+    fn table1_characterization_is_recovered_from_graphs() {
+        // The Table-1 "Computation Pattern" and "Memory Access" columns
+        // must be derivable purely from the captured SRGs.
+        let expectations = [
+            (
+                Workload::LlmServing,
+                "sequential, phased (prefill/decode)",
+                "streaming KV cache",
+            ),
+            (
+                Workload::ComputerVision,
+                "layer-parallel, regular",
+                "predictable feature maps",
+            ),
+            (
+                Workload::Recommendation,
+                "sparse + dense mix",
+                "hot/cold embeddings",
+            ),
+            (
+                Workload::Multimodal,
+                "cross-modal fusion",
+                "heterogeneous patterns",
+            ),
+        ];
+        for (w, pattern, memory) in expectations {
+            let srg = w.spec_graph();
+            let stats = GraphStats::of(&srg).unwrap();
+            assert_eq!(stats.computation_pattern(), pattern, "{}", w.name());
+            assert_eq!(stats.memory_access_profile(), memory, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn llm_graph_exposes_kv_and_weights() {
+        let srg = Workload::LlmServing.spec_graph();
+        let stats = GraphStats::of(&srg).unwrap();
+        assert!(stats.kv_appends >= 56, "2 per layer: {}", stats.kv_appends);
+        // ~12 GB of weights visible in the graph.
+        assert!(stats.weight_bytes > 11e9 && stats.weight_bytes < 13e9);
+    }
+}

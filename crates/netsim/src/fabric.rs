@@ -1,0 +1,121 @@
+//! A simulated network fabric over a cluster topology.
+//!
+//! [`Fabric`] instantiates one [`RpcChannel`] per host pair from a
+//! [`Topology`](genie_cluster::Topology), applying each pair's link
+//! parameters and any background congestion from
+//! [`ClusterState`](genie_cluster::ClusterState). It is the network half of
+//! Genie's simulation backend; the compute half lives in
+//! `genie-backend::sim`.
+
+use crate::link::LinkSim;
+use crate::rpc::{RpcChannel, RpcParams};
+use crate::time::Nanos;
+use genie_cluster::{ClusterState, HostId, Topology};
+use std::collections::BTreeMap;
+
+/// Simulated fabric: per-host-pair RPC channels with shared parameters.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    params: RpcParams,
+    channels: BTreeMap<(HostId, HostId), RpcChannel>,
+}
+
+impl Fabric {
+    /// Build a fabric over `topo` using `params` for every channel, seeding
+    /// per-pair congestion from `state`.
+    pub fn new(topo: &Topology, state: &ClusterState, params: RpcParams) -> Self {
+        let mut channels = BTreeMap::new();
+        for link in topo.links() {
+            let key = ordered(link.a, link.b);
+            let mut sim = LinkSim::new(
+                link.bandwidth_bytes(),
+                Nanos::from_secs_f64(link.latency_s),
+            );
+            sim.congestion = state.congestion(link.a.0, link.b.0);
+            channels.insert(key, RpcChannel::new(params.clone(), sim));
+        }
+        Fabric { params, channels }
+    }
+
+    /// The channel between two hosts. Panics if the topology has no link
+    /// between them (schedulers must only bind reachable placements).
+    pub fn channel(&mut self, a: HostId, b: HostId) -> &mut RpcChannel {
+        self.channels
+            .get_mut(&ordered(a, b))
+            .unwrap_or_else(|| panic!("no link between {a} and {b}"))
+    }
+
+    /// Immutable channel access.
+    pub fn channel_ref(&self, a: HostId, b: HostId) -> Option<&RpcChannel> {
+        self.channels.get(&ordered(a, b))
+    }
+
+    /// Transport parameters in use.
+    pub fn params(&self) -> &RpcParams {
+        &self.params
+    }
+
+    /// Total payload bytes moved across all channels.
+    pub fn total_bytes(&self) -> u64 {
+        self.channels.values().map(|c| c.total_bytes()).sum()
+    }
+
+    /// Total completed calls across all channels.
+    pub fn total_calls(&self) -> u64 {
+        self.channels.values().map(|c| c.calls).sum()
+    }
+}
+
+fn ordered(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_from_paper_testbed() {
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let mut f = Fabric::new(&topo, &state, RpcParams::rdma_zero_copy());
+        let c = f.channel(HostId(0), HostId(1));
+        let t0 = c.ensure_session(Nanos::ZERO);
+        c.call_sync(t0, 1_000, 1_000, Nanos::ZERO);
+        assert_eq!(f.total_bytes(), 2_000);
+        assert_eq!(f.total_calls(), 1);
+    }
+
+    #[test]
+    fn channel_lookup_symmetric() {
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let f = Fabric::new(&topo, &state, RpcParams::tuned_tcp());
+        assert!(f.channel_ref(HostId(1), HostId(0)).is_some());
+        assert!(f.channel_ref(HostId(0), HostId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn missing_link_panics() {
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let mut f = Fabric::new(&topo, &state, RpcParams::tuned_tcp());
+        f.channel(HostId(0), HostId(5));
+    }
+
+    #[test]
+    fn congestion_carried_from_state() {
+        let topo = Topology::paper_testbed();
+        let mut state = ClusterState::new();
+        state.set_congestion(0, 1, 0.5);
+        let f = Fabric::new(&topo, &state, RpcParams::rdma_zero_copy());
+        let c = f.channel_ref(HostId(0), HostId(1)).unwrap();
+        assert_eq!(c.link.congestion, 0.5);
+        assert_eq!(c.link.effective_bandwidth(), 25e9 / 8.0 * 0.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Point-to-point link model.
+//!
+//! Each link is a FIFO serializer: transmissions queue behind one another
+//! at the link's effective bandwidth, then experience propagation latency.
+//! Background congestion (other tenants) scales the effective bandwidth —
+//! the signal the scheduler's dynamic-recomputation policy reacts to
+//! (§3.3).
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Mutable state of one simulated link direction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkSim {
+    /// Line bandwidth in bytes/s.
+    pub bandwidth_bytes: f64,
+    /// One-way propagation latency.
+    pub latency: Nanos,
+    /// Fraction of bandwidth consumed by background traffic, `[0, 1)`.
+    pub congestion: f64,
+    /// When the serializer becomes free.
+    busy_until: Nanos,
+    /// Total payload bytes accepted.
+    pub bytes_sent: u64,
+    /// Number of transmissions accepted.
+    pub transmissions: u64,
+}
+
+/// Timing of one accepted transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxTiming {
+    /// When serialization onto the wire began.
+    pub start: Nanos,
+    /// When the last byte left the sender.
+    pub sent: Nanos,
+    /// When the last byte arrived at the receiver (sent + latency).
+    pub delivered: Nanos,
+}
+
+impl LinkSim {
+    /// New idle link.
+    pub fn new(bandwidth_bytes: f64, latency: Nanos) -> Self {
+        assert!(bandwidth_bytes > 0.0, "bandwidth must be positive");
+        LinkSim {
+            bandwidth_bytes,
+            latency,
+            congestion: 0.0,
+            busy_until: Nanos::ZERO,
+            bytes_sent: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// Effective bandwidth after background congestion.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.bandwidth_bytes * (1.0 - self.congestion)
+    }
+
+    /// Accept a transmission of `bytes` at `now`; returns its timing. The
+    /// link serializes FIFO: the transfer starts when both `now` has
+    /// arrived and the previous transfer has left the wire.
+    pub fn transmit(&mut self, now: Nanos, bytes: u64) -> TxTiming {
+        let start = now.max(self.busy_until);
+        let tx_time = Nanos::from_secs_f64(bytes as f64 / self.effective_bandwidth());
+        let sent = start + tx_time;
+        self.busy_until = sent;
+        self.bytes_sent += bytes;
+        self.transmissions += 1;
+        TxTiming {
+            start,
+            sent,
+            delivered: sent + self.latency,
+        }
+    }
+
+    /// Occupy the serializer for an externally-computed duration (used by
+    /// transports whose goodput is below the line rate: the wire is held
+    /// for the slower serialization window). Returns the start time.
+    pub fn occupy(&mut self, now: Nanos, duration: Nanos, bytes: u64) -> Nanos {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + duration;
+        self.bytes_sent += bytes;
+        self.transmissions += 1;
+        start
+    }
+
+    /// When the serializer frees up.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Reset counters and availability (new simulation run).
+    pub fn reset(&mut self) {
+        self.busy_until = Nanos::ZERO;
+        self.bytes_sent = 0;
+        self.transmissions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps25() -> LinkSim {
+        LinkSim::new(25e9 / 8.0, Nanos::from_micros(250))
+    }
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut l = gbps25();
+        // 3.125 GB at 3.125 GB/s = 1 s.
+        let t = l.transmit(Nanos::ZERO, 3_125_000_000);
+        assert_eq!(t.start, Nanos::ZERO);
+        assert!((t.sent.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((t.delivered.as_secs_f64() - 1.00025).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fifo_serialization() {
+        let mut l = gbps25();
+        let a = l.transmit(Nanos::ZERO, 3_125_000_000);
+        let b = l.transmit(Nanos::ZERO, 3_125_000_000);
+        assert_eq!(b.start, a.sent);
+        assert!((b.delivered.as_secs_f64() - 2.00025).abs() < 1e-5);
+        assert_eq!(l.transmissions, 2);
+        assert_eq!(l.bytes_sent, 6_250_000_000);
+    }
+
+    #[test]
+    fn idle_gap_respected() {
+        let mut l = gbps25();
+        l.transmit(Nanos::ZERO, 1_000);
+        let later = Nanos::from_secs_f64(5.0);
+        let t = l.transmit(later, 1_000);
+        assert_eq!(t.start, later);
+    }
+
+    #[test]
+    fn congestion_halves_bandwidth() {
+        let mut l = gbps25();
+        l.congestion = 0.5;
+        let t = l.transmit(Nanos::ZERO, 3_125_000_000);
+        assert!((t.sent.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let mut l = gbps25();
+        let t = l.transmit(Nanos::ZERO, 0);
+        assert_eq!(t.sent, Nanos::ZERO);
+        assert_eq!(t.delivered, Nanos::from_micros(250));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut l = gbps25();
+        l.transmit(Nanos::ZERO, 1_000_000);
+        l.reset();
+        assert_eq!(l.busy_until(), Nanos::ZERO);
+        assert_eq!(l.bytes_sent, 0);
+    }
+}

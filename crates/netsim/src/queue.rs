@@ -1,0 +1,112 @@
+//! Deterministic discrete-event queue.
+
+use crate::time::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of timestamped events. Ties at the same timestamp pop in
+/// insertion order (a monotone sequence number breaks them), making every
+/// simulation replayable bit-for-bit.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Nanos, u64)>>,
+    payloads: std::collections::HashMap<u64, T>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    pub fn schedule(&mut self, at: Nanos, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.payloads.insert(seq, payload);
+    }
+
+    /// Pop the earliest event, returning its firing time and payload.
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        let Reverse((at, seq)) = self.heap.pop()?;
+        let payload = self
+            .payloads
+            .remove(&seq)
+            .expect("payload exists for scheduled seq");
+        Some((at, payload))
+    }
+
+    /// Firing time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), "c");
+        q.schedule(Nanos(10), "a");
+        q.schedule(Nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(7), ());
+        assert_eq!(q.peek_time(), Some(Nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), 1);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!((t, v), (Nanos(10), 1));
+        q.schedule(Nanos(5), 2); // earlier than a previously-popped event is fine
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulation traces: a flat record of what happened and when, for
+//! reports, debugging, and the bench harness's table generators.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulation event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A kernel executed on a device.
+    Kernel {
+        /// Device index.
+        device: u32,
+        /// Node name or label.
+        label: String,
+        /// Start time.
+        start: Nanos,
+        /// End time.
+        end: Nanos,
+    },
+    /// A network transfer completed.
+    Transfer {
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+        /// Payload size.
+        bytes: u64,
+        /// Start time.
+        start: Nanos,
+        /// Delivery time.
+        end: Nanos,
+    },
+    /// An RPC round-trip completed.
+    Rpc {
+        /// Label for the call.
+        label: String,
+        /// Issue time.
+        start: Nanos,
+        /// Response-delivered time.
+        end: Nanos,
+    },
+    /// A free-form annotation (phase boundaries, failures, …).
+    Mark {
+        /// Annotation text.
+        label: String,
+        /// Time of the mark.
+        at: Nanos,
+    },
+}
+
+impl TraceEvent {
+    /// Event end time (or mark time).
+    pub fn end_time(&self) -> Nanos {
+        match self {
+            TraceEvent::Kernel { end, .. }
+            | TraceEvent::Transfer { end, .. }
+            | TraceEvent::Rpc { end, .. } => *end,
+            TraceEvent::Mark { at, .. } => *at,
+        }
+    }
+}
+
+/// An append-only trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Latest end time across all events (the makespan).
+    pub fn makespan(&self) -> Nanos {
+        self.events
+            .iter()
+            .map(TraceEvent::end_time)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Total busy seconds per device, summed over kernel events.
+    pub fn device_busy_seconds(&self, device: u32) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Kernel {
+                    device: d,
+                    start,
+                    end,
+                    ..
+                } if *d == device => Some(end.as_secs_f64() - start.as_secs_f64()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total transferred bytes.
+    pub fn transferred_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Transfer { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// GPU utilization = busy / makespan for the given device (the paper's
+    /// "effective GPU utilization": total kernel time over wall clock).
+    pub fn utilization(&self, device: u32) -> f64 {
+        let span = self.makespan().as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.device_busy_seconds(device) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_and_utilization() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Kernel {
+            device: 0,
+            label: "mm".into(),
+            start: Nanos::ZERO,
+            end: Nanos::from_secs_f64(1.0),
+        });
+        t.push(TraceEvent::Transfer {
+            from: 0,
+            to: 1,
+            bytes: 1000,
+            start: Nanos::from_secs_f64(1.0),
+            end: Nanos::from_secs_f64(3.0),
+        });
+        assert_eq!(t.makespan(), Nanos::from_secs_f64(3.0));
+        assert!((t.device_busy_seconds(0) - 1.0).abs() < 1e-9);
+        assert!((t.utilization(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.transferred_bytes(), 1000);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new();
+        assert_eq!(t.makespan(), Nanos::ZERO);
+        assert_eq!(t.utilization(0), 0.0);
+        assert_eq!(t.transferred_bytes(), 0);
+    }
+
+    #[test]
+    fn marks_extend_makespan() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Mark {
+            label: "failure injected".into(),
+            at: Nanos::from_secs_f64(9.0),
+        });
+        assert_eq!(t.makespan(), Nanos::from_secs_f64(9.0));
+    }
+
+    #[test]
+    fn busy_seconds_filters_by_device() {
+        let mut t = Trace::new();
+        for d in 0..2 {
+            t.push(TraceEvent::Kernel {
+                device: d,
+                label: "k".into(),
+                start: Nanos::ZERO,
+                end: Nanos::from_secs_f64(1.0 + d as f64),
+            });
+        }
+        assert!((t.device_busy_seconds(1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Elastic scaling (§3.6 "When").
+//!
+//! Phase annotations let the fleet provision for what the workload is
+//! *about to do*: scale out for a parallelizable prefill burst, scale back
+//! to one device for the sequential decode that follows. A phase-blind
+//! scheduler must provision for the peak at all times.
+
+use genie_srg::Phase;
+
+/// Recommended device count for `pending_work_s` seconds of single-device
+/// work in the given phase, targeting `target_latency_s`.
+///
+/// Parallelizable phases split across devices (up to `max_devices`);
+/// sequential phases cannot use more than one device productively, no
+/// matter the backlog.
+pub fn recommend_devices(
+    phase: &Phase,
+    pending_work_s: f64,
+    target_latency_s: f64,
+    max_devices: usize,
+) -> usize {
+    if pending_work_s <= 0.0 || max_devices == 0 {
+        return 0;
+    }
+    if !phase.is_parallelizable() {
+        return 1;
+    }
+    let needed = (pending_work_s / target_latency_s.max(1e-9)).ceil() as usize;
+    needed.clamp(1, max_devices)
+}
+
+/// Fleet savings of phase-aware elasticity over static peak provisioning,
+/// for a workload alternating `prefill_s` of parallelizable work and
+/// `decode_s` of sequential work: returns (device-seconds used by
+/// elastic, device-seconds used by static-peak).
+pub fn elasticity_savings(
+    prefill_s: f64,
+    decode_s: f64,
+    target_latency_s: f64,
+    max_devices: usize,
+) -> (f64, f64) {
+    let prefill_devs = recommend_devices(
+        &Phase::LlmPrefill,
+        prefill_s,
+        target_latency_s,
+        max_devices,
+    );
+    let decode_devs = recommend_devices(&Phase::LlmDecode, decode_s, target_latency_s, max_devices);
+    // Elastic: devices held only for each phase's (shortened) duration.
+    let elastic = prefill_devs as f64 * (prefill_s / prefill_devs.max(1) as f64)
+        + decode_devs as f64 * decode_s;
+    // Static: hold the peak allocation for the whole job.
+    let peak = prefill_devs.max(decode_devs) as f64;
+    let static_peak = peak * (prefill_s / prefill_devs.max(1) as f64 + decode_s);
+    (elastic, static_peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_scales_out() {
+        // 8 s of prefill backlog at a 1 s target → 8 devices.
+        assert_eq!(recommend_devices(&Phase::LlmPrefill, 8.0, 1.0, 16), 8);
+        // Capped by the pool.
+        assert_eq!(recommend_devices(&Phase::LlmPrefill, 100.0, 1.0, 4), 4);
+    }
+
+    #[test]
+    fn decode_never_scales_out() {
+        assert_eq!(recommend_devices(&Phase::LlmDecode, 100.0, 1.0, 16), 1);
+    }
+
+    #[test]
+    fn zero_work_needs_nothing() {
+        assert_eq!(recommend_devices(&Phase::LlmPrefill, 0.0, 1.0, 8), 0);
+    }
+
+    #[test]
+    fn elasticity_saves_device_seconds() {
+        // 8 s prefill + 100 s decode, 1 s target, up to 8 devices.
+        let (elastic, static_peak) = elasticity_savings(8.0, 100.0, 1.0, 8);
+        assert!(
+            elastic < static_peak,
+            "elastic {elastic} vs static {static_peak}"
+        );
+        // Static holds 8 devices for ~101 s ≈ 808; elastic ≈ 8 + 100.
+        assert!(static_peak / elastic > 5.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Heterogeneous placement (§3.6 "Where").
+//!
+//! With semantic graphs as the request language, the global scheduler
+//! knows each workload's roofline profile and can match it to hardware:
+//! memory-bandwidth-bound work to bandwidth-optimized parts, dense
+//! compute to flagships, light interactive serving to the inference tier.
+
+use crate::global::tenant::WorkloadClass;
+use genie_cluster::{DevId, GpuClass, Topology};
+
+/// The device class a workload class prefers.
+pub fn preferred_class(class: WorkloadClass) -> GpuClass {
+    match class {
+        // LLM decode and attention-heavy fusion are memory-bandwidth-bound.
+        WorkloadClass::Llm | WorkloadClass::Multimodal => GpuClass::BandwidthOptimized,
+        // Dense conv stacks ride peak FLOPs.
+        WorkloadClass::Vision => GpuClass::Flagship,
+        // Recommendation inference is light per request: cheap tier.
+        WorkloadClass::Recommendation => GpuClass::Inference,
+        WorkloadClass::Generic => GpuClass::Flagship,
+    }
+}
+
+/// Devices of the preferred class, falling back to the whole pool when
+/// the fleet has none of that class.
+pub fn affinity_devices(topo: &Topology, class: WorkloadClass) -> Vec<DevId> {
+    let wanted = preferred_class(class);
+    let matching: Vec<DevId> = topo
+        .devices()
+        .iter()
+        .filter(|d| d.spec.class == wanted)
+        .map(|d| d.id)
+        .collect();
+    if matching.is_empty() {
+        topo.devices().iter().map(|d| d.id).collect()
+    } else {
+        matching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_map_to_hardware() {
+        assert_eq!(
+            preferred_class(WorkloadClass::Llm),
+            GpuClass::BandwidthOptimized
+        );
+        assert_eq!(preferred_class(WorkloadClass::Vision), GpuClass::Flagship);
+        assert_eq!(
+            preferred_class(WorkloadClass::Recommendation),
+            GpuClass::Inference
+        );
+    }
+
+    #[test]
+    fn affinity_filters_fleet() {
+        let topo = Topology::heterogeneous_fleet(2, 25e9);
+        let llm = affinity_devices(&topo, WorkloadClass::Llm);
+        assert_eq!(llm.len(), 2);
+        for d in &llm {
+            assert_eq!(topo.device(*d).spec.class, GpuClass::BandwidthOptimized);
+        }
+    }
+
+    #[test]
+    fn homogeneous_pool_falls_back() {
+        let topo = Topology::rack(3, 25e9); // all A100 flagships
+        let rec = affinity_devices(&topo, WorkloadClass::Recommendation);
+        assert_eq!(rec.len(), 3, "no inference tier → whole pool");
+    }
+}

@@ -1,0 +1,118 @@
+//! Tenant requests: the unit of fleet-wide scheduling (§3.6).
+//!
+//! In the Genie vision, every client instance submits its semantic graph
+//! to the global scheduler as a first-class description of its workload —
+//! not an opaque "give me 2 GPUs".
+
+use genie_srg::stats::GraphStats;
+use genie_srg::{Phase, Srg};
+use serde::{Deserialize, Serialize};
+
+/// Service-level objective class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Slo {
+    /// Latency-sensitive, user-facing (VQA queries, chat decode).
+    Interactive,
+    /// Throughput-oriented, deadline in minutes+ (batch scoring,
+    /// training).
+    Batch,
+}
+
+/// Workload class derived from the semantic graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// LLM serving (phased, stateful).
+    Llm,
+    /// Vision inference (regular, pipelinable).
+    Vision,
+    /// Recommendation (sparse + dense).
+    Recommendation,
+    /// Multimodal fusion.
+    Multimodal,
+    /// Anything else.
+    Generic,
+}
+
+/// One tenant's scheduling request.
+#[derive(Clone, Debug)]
+pub struct TenantRequest {
+    /// Unique tenant id.
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// The annotated semantic graph (the request's *description*).
+    pub srg: Srg,
+    /// SLO class.
+    pub slo: Slo,
+    /// A fingerprint of the model weights: tenants sharing it run the
+    /// same public model and are batchable (§3.6 "How").
+    pub model_fingerprint: u64,
+}
+
+impl TenantRequest {
+    /// Classify the workload from the graph alone.
+    pub fn classify(&self) -> WorkloadClass {
+        classify_graph(&self.srg)
+    }
+
+    /// The dominant phase of the request (most nodes).
+    pub fn dominant_phase(&self) -> Phase {
+        let mut counts: std::collections::HashMap<Phase, usize> = std::collections::HashMap::new();
+        for node in self.srg.nodes() {
+            *counts.entry(node.phase.clone()).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|(p, _)| *p != Phase::Unknown)
+            .max_by_key(|(_, c)| *c)
+            .map(|(p, _)| p)
+            .unwrap_or(Phase::Unknown)
+    }
+}
+
+/// Classify any SRG into a workload class using its statistics.
+pub fn classify_graph(srg: &Srg) -> WorkloadClass {
+    let Ok(stats) = GraphStats::of(srg) else {
+        return WorkloadClass::Generic;
+    };
+    match stats.computation_pattern() {
+        "sequential, phased (prefill/decode)" => WorkloadClass::Llm,
+        "cross-modal fusion" => WorkloadClass::Multimodal,
+        "sparse + dense mix" => WorkloadClass::Recommendation,
+        _ if stats.modalities.iter().any(|m| m == "vision") => WorkloadClass::Vision,
+        _ => WorkloadClass::Generic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_models::Workload;
+
+    #[test]
+    fn zoo_graphs_classify_correctly() {
+        let cases = [
+            (Workload::LlmServing, WorkloadClass::Llm),
+            (Workload::ComputerVision, WorkloadClass::Vision),
+            (Workload::Recommendation, WorkloadClass::Recommendation),
+            (Workload::Multimodal, WorkloadClass::Multimodal),
+        ];
+        for (w, expect) in cases {
+            let srg = w.spec_graph();
+            assert_eq!(classify_graph(&srg), expect, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn dominant_phase_of_llm_decode() {
+        let req = TenantRequest {
+            id: 1,
+            name: "chat".into(),
+            srg: Workload::LlmServing.spec_graph(),
+            slo: Slo::Interactive,
+            model_fingerprint: 42,
+        };
+        assert_eq!(req.dominant_phase(), Phase::LlmDecode);
+        assert_eq!(req.classify(), WorkloadClass::Llm);
+    }
+}

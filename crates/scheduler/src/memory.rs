@@ -1,0 +1,153 @@
+//! Memory feasibility of execution plans.
+//!
+//! A placement is only executable if each device can hold its share of
+//! pinned state (weights, caches, embedding shards) plus peak transient
+//! activations. The §3.3 cost model prices time; this module prices
+//! space — and gives the semantics-aware policy the spill information it
+//! needs when a workload (e.g. a 66 GB DLRM table set) cannot fit beside
+//! an existing tenant.
+
+use crate::plan::ExecutionPlan;
+use genie_cluster::{ClusterState, DevId, Topology};
+use std::collections::BTreeMap;
+
+/// Per-device memory demand of a plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemoryDemand {
+    /// Bytes of pinned state the plan uploads to each device.
+    pub pinned: BTreeMap<DevId, u64>,
+    /// Peak transient bytes (the largest single activation the device
+    /// produces — a lower bound on scratch needs).
+    pub transient: BTreeMap<DevId, u64>,
+}
+
+/// A device that cannot satisfy a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryViolation {
+    /// The overloaded device.
+    pub device: DevId,
+    /// Bytes the plan needs there.
+    pub required: u64,
+    /// Bytes actually free.
+    pub free: u64,
+}
+
+/// Compute a plan's per-device memory demand.
+pub fn demand(plan: &ExecutionPlan) -> MemoryDemand {
+    let mut d = MemoryDemand::default();
+    for (_, dev, bytes) in &plan.pinned_uploads {
+        *d.pinned.entry(*dev).or_insert(0) += bytes;
+    }
+    for node in plan.srg.nodes() {
+        if let Some(dev) = plan.location(node.id).device() {
+            // Terminal outputs have no out-edges; fall back to the cost
+            // hints' write volume.
+            let out_bytes = plan
+                .srg
+                .out_edges(node.id)
+                .map(|e| e.meta.size_bytes() as u64)
+                .max()
+                .unwrap_or(0)
+                .max(node.cost.bytes_written as u64);
+            let e = d.transient.entry(dev).or_insert(0);
+            *e = (*e).max(out_bytes);
+        }
+    }
+    d
+}
+
+/// Check a plan against current free memory. Empty result = feasible.
+pub fn check(
+    plan: &ExecutionPlan,
+    topo: &Topology,
+    state: &ClusterState,
+) -> Vec<MemoryViolation> {
+    let d = demand(plan);
+    let mut devices: Vec<DevId> = d
+        .pinned
+        .keys()
+        .chain(d.transient.keys())
+        .copied()
+        .collect();
+    devices.sort_unstable();
+    devices.dedup();
+    devices
+        .into_iter()
+        .filter_map(|dev| {
+            let required = d.pinned.get(&dev).copied().unwrap_or(0)
+                + d.transient.get(&dev).copied().unwrap_or(0);
+            let free = state.mem_free(topo, dev);
+            (required > free).then_some(MemoryViolation {
+                device: dev,
+                required,
+                free,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::policy::SemanticsAware;
+    use crate::schedule::schedule;
+    use genie_frontend::capture::CaptureCtx;
+    use genie_models::{KvState, TransformerConfig, TransformerLm};
+    use genie_srg::ElemType;
+
+    fn gptj_plan(topo: &Topology, state: &ClusterState) -> ExecutionPlan {
+        let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
+        let ctx = CaptureCtx::new("decode");
+        let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+        cap.logits.sample().mark_output();
+        let srg = ctx.finish().srg;
+        schedule(&srg, topo, state, &CostModel::paper_stack(), &SemanticsAware::new())
+    }
+
+    #[test]
+    fn gptj_fits_an_a100() {
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let plan = gptj_plan(&topo, &state);
+        assert!(check(&plan, &topo, &state).is_empty());
+        let d = demand(&plan);
+        let dev = *d.pinned.keys().next().unwrap();
+        assert!(d.pinned[&dev] > 11_000_000_000, "weights pinned");
+    }
+
+    #[test]
+    fn occupied_device_violates() {
+        let topo = Topology::paper_testbed();
+        let mut state = ClusterState::new();
+        let dev = topo.devices()[0].id;
+        // Another tenant already pinned 75 of the 80 GB.
+        state.alloc(&topo, dev, 75 << 30).unwrap();
+        let plan = gptj_plan(&topo, &state);
+        let violations = check(&plan, &topo, &state);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].device, dev);
+        assert!(violations[0].required > violations[0].free);
+    }
+
+    #[test]
+    fn transient_peak_counts_largest_activation() {
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [1024, 1024], ElemType::F32, None); // 4 MB
+        let y = x.relu();
+        y.mark_output();
+        let srg = ctx.finish().srg;
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let plan = schedule(
+            &srg,
+            &topo,
+            &state,
+            &CostModel::ideal_25g(),
+            &SemanticsAware::new(),
+        );
+        let d = demand(&plan);
+        let dev = topo.devices()[0].id;
+        assert!(d.transient[&dev] >= 4 << 20);
+    }
+}

@@ -1,0 +1,60 @@
+//! Execution plans are part of the portable SRG story: a scheduler can
+//! run in a different process from the backend, so plans must serialize
+//! losslessly.
+
+use genie_cluster::{ClusterState, Topology};
+use genie_frontend::capture::CaptureCtx;
+use genie_models::{KvState, TransformerConfig, TransformerLm};
+use genie_scheduler::{schedule, CostModel, ExecutionPlan, SemanticsAware};
+
+fn decode_plan() -> ExecutionPlan {
+    let m = TransformerLm::new_spec(TransformerConfig::tiny());
+    let ctx = CaptureCtx::new("decode");
+    let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+    cap.logits.sample().mark_output();
+    let srg = ctx.finish().srg;
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    schedule(&srg, &topo, &state, &CostModel::paper_stack(), &SemanticsAware::new())
+}
+
+#[test]
+fn plans_roundtrip_through_json() {
+    let plan = decode_plan();
+    let json = serde_json::to_string(&plan).expect("serialize");
+    let back: ExecutionPlan = serde_json::from_str(&json).expect("deserialize");
+
+    assert_eq!(back.policy, plan.policy);
+    assert_eq!(back.placements, plan.placements);
+    assert_eq!(back.transfers, plan.transfers);
+    assert_eq!(back.pinned_uploads, plan.pinned_uploads);
+    assert_eq!(back.network_bytes(), plan.network_bytes());
+    assert_eq!(back.srg.node_count(), plan.srg.node_count());
+    // Stable encoding: a second pass is byte-identical.
+    let json2 = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(json, json2);
+}
+
+#[test]
+fn deserialized_plans_are_executable_in_simulation() {
+    let plan = decode_plan();
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+
+    let topo = Topology::paper_testbed();
+    let cost = CostModel::paper_stack();
+    let a = genie_backend::simulate_once(
+        &plan,
+        &topo,
+        &cost,
+        genie_netsim::RpcParams::rdma_zero_copy(),
+    );
+    let b = genie_backend::simulate_once(
+        &back,
+        &topo,
+        &cost,
+        genie_netsim::RpcParams::rdma_zero_copy(),
+    );
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_eq!(a.network_bytes, b.network_bytes);
+}

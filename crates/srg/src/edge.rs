@@ -1,0 +1,123 @@
+//! SRG edges: data dependencies annotated with movement costs.
+
+use crate::annotations::{Criticality, Rate, TensorMeta};
+use crate::ids::{EdgeId, NodeId, TensorId};
+use serde::{Deserialize, Serialize};
+
+/// A directed data dependency between two nodes. Edges carry everything the
+/// scheduler needs to price a potential network transfer: payload metadata,
+/// producer/consumer rates, and criticality (§3.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Id within the owning graph.
+    pub id: EdgeId,
+    /// Producing node.
+    pub src: NodeId,
+    /// Consuming node.
+    pub dst: NodeId,
+    /// Logical tensor flowing along this edge. Multiple edges share a
+    /// `TensorId` when one value fans out to several consumers — the
+    /// scheduler must ship it only once per destination device.
+    pub tensor: TensorId,
+    /// Shape / precision / layout of the payload.
+    pub meta: TensorMeta,
+    /// Data-volume change between producer and consumer.
+    pub rate: Rate,
+    /// Critical-path tag.
+    pub criticality: Criticality,
+    /// Which input slot of `dst` this edge feeds (operands are ordered).
+    pub dst_slot: u8,
+}
+
+impl Edge {
+    /// Construct a pass-through edge for the given payload.
+    pub fn new(id: EdgeId, src: NodeId, dst: NodeId, tensor: TensorId, meta: TensorMeta) -> Self {
+        let bytes = meta.size_bytes() as f64;
+        Edge {
+            id,
+            src,
+            dst,
+            tensor,
+            meta,
+            rate: Rate::passthrough(bytes),
+            criticality: Criticality::Normal,
+            dst_slot: 0,
+        }
+    }
+
+    /// Builder-style criticality annotation.
+    pub fn with_criticality(mut self, criticality: Criticality) -> Self {
+        self.criticality = criticality;
+        self
+    }
+
+    /// Builder-style destination-slot annotation.
+    pub fn with_slot(mut self, slot: u8) -> Self {
+        self.dst_slot = slot;
+        self
+    }
+
+    /// Builder-style rate annotation.
+    pub fn with_rate(mut self, rate: Rate) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Bytes that must cross the network if `src` and `dst` land on
+    /// different devices.
+    pub fn transfer_bytes(&self) -> f64 {
+        // The consumer-side volume is what must arrive; a reducing edge
+        // (e.g. sampling) can apply the reduction producer-side.
+        self.rate.consumed_bytes.min(self.rate.produced_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::ElemType;
+
+    fn edge() -> Edge {
+        Edge::new(
+            EdgeId::new(0),
+            NodeId::new(0),
+            NodeId::new(1),
+            TensorId::new(9),
+            TensorMeta::new([4, 8], ElemType::F32),
+        )
+    }
+
+    #[test]
+    fn passthrough_rate_matches_meta() {
+        let e = edge();
+        assert_eq!(e.meta.size_bytes(), 128);
+        assert_eq!(e.rate.produced_bytes, 128.0);
+        assert_eq!(e.transfer_bytes(), 128.0);
+    }
+
+    #[test]
+    fn reducing_edge_transfers_consumer_volume() {
+        let e = edge().with_rate(Rate {
+            produced_bytes: 201_600.0,
+            consumed_bytes: 4.0,
+        });
+        assert_eq!(e.transfer_bytes(), 4.0);
+    }
+
+    #[test]
+    fn builder_annotations() {
+        let e = edge()
+            .with_criticality(Criticality::Critical)
+            .with_slot(1);
+        assert_eq!(e.criticality, Criticality::Critical);
+        assert_eq!(e.dst_slot, 1);
+    }
+
+    #[test]
+    fn edge_serde_roundtrip() {
+        let e = edge().with_criticality(Criticality::Background);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Edge = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

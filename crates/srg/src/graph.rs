@@ -1,0 +1,423 @@
+//! The Semantically-Rich Graph container.
+
+use crate::annotations::{Phase, TensorMeta};
+use crate::edge::Edge;
+use crate::ids::{EdgeId, NodeId, TensorId};
+use crate::node::{Node, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// A Semantically-Rich Graph: a DAG of operations (nodes) connected by data
+/// dependencies (edges), each carrying the §3.1 annotation schema.
+///
+/// The SRG is *declarative*: it specifies what the application intends to
+/// compute, not how or where. Schedulers consume it and return an annotated
+/// copy with device bindings and transfer schedules; backends execute that
+/// plan. Nodes and edges are stored in flat vectors indexed by their ids so
+/// the whole structure serializes cheaply and deterministically.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Srg {
+    /// Human-readable graph name (e.g. `"gptj.decode.step17"`).
+    pub name: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node, parallel to `nodes`.
+    out_adj: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node, parallel to `nodes`.
+    in_adj: Vec<Vec<EdgeId>>,
+    next_tensor: u64,
+}
+
+impl Srg {
+    /// Create an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Srg {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Append a node built by `f`, which receives the id the node will get.
+    pub fn add_node_with(&mut self, f: impl FnOnce(NodeId) -> Node) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        let node = f(id);
+        debug_assert_eq!(node.id, id, "node id must match its slot");
+        self.nodes.push(node);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Append a pre-built node, renumbering its id to the next slot.
+    pub fn add_node(&mut self, mut node: Node) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        node.id = id;
+        self.nodes.push(node);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Allocate a fresh logical tensor id.
+    pub fn fresh_tensor(&mut self) -> TensorId {
+        let id = TensorId::new(self.next_tensor);
+        self.next_tensor += 1;
+        id
+    }
+
+    /// Connect `src → dst` with the given payload metadata, allocating a
+    /// fresh tensor id for the value.
+    pub fn connect(&mut self, src: NodeId, dst: NodeId, meta: TensorMeta) -> EdgeId {
+        let tensor = self.fresh_tensor();
+        self.connect_tensor(src, dst, tensor, meta)
+    }
+
+    /// Connect `src → dst` carrying an existing logical tensor (fan-out).
+    pub fn connect_tensor(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        tensor: TensorId,
+        meta: TensorMeta,
+    ) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "src {src} out of bounds");
+        assert!(dst.index() < self.nodes.len(), "dst {dst} out of bounds");
+        let id = EdgeId::new(self.edges.len() as u32);
+        let slot = self.in_adj[dst.index()].len() as u8;
+        let edge = Edge::new(id, src, dst, tensor, meta).with_slot(slot);
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        self.edges.push(edge);
+        id
+    }
+
+    /// Add a fully-specified edge (used when splicing graphs). The edge id
+    /// is renumbered; adjacency is updated.
+    pub fn add_edge(&mut self, mut edge: Edge) -> EdgeId {
+        assert!(edge.src.index() < self.nodes.len());
+        assert!(edge.dst.index() < self.nodes.len());
+        let id = EdgeId::new(self.edges.len() as u32);
+        edge.id = id;
+        self.out_adj[edge.src.index()].push(id);
+        self.in_adj[edge.dst.index()].push(id);
+        self.next_tensor = self.next_tensor.max(edge.tensor.0 + 1);
+        self.edges.push(edge);
+        id
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Immutable edge access.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Mutable edge access.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        &mut self.edges[id.index()]
+    }
+
+    /// Fallible node access.
+    pub fn try_node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// All node ids in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId::new)
+    }
+
+    /// All edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter()
+    }
+
+    /// All edges, mutably (used by annotation passes).
+    pub fn edges_mut(&mut self) -> impl Iterator<Item = &mut Edge> {
+        self.edges.iter_mut()
+    }
+
+    /// All nodes, mutably (used by annotation passes).
+    pub fn nodes_mut(&mut self) -> impl Iterator<Item = &mut Node> {
+        self.nodes.iter_mut()
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out_adj[id.index()].iter().map(|e| &self.edges[e.index()])
+    }
+
+    /// Incoming edges of a node, ordered by destination slot.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.in_adj[id.index()].iter().map(|e| &self.edges[e.index()])
+    }
+
+    /// Direct predecessors (deduplicated, in slot order).
+    pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut seen = BTreeSet::new();
+        self.in_edges(id)
+            .map(|e| e.src)
+            .filter(|s| seen.insert(*s))
+            .collect()
+    }
+
+    /// Direct successors (deduplicated).
+    pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut seen = BTreeSet::new();
+        self.out_edges(id)
+            .map(|e| e.dst)
+            .filter(|d| seen.insert(*d))
+            .collect()
+    }
+
+    /// In-degree counted in edges.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.in_adj[id.index()].len()
+    }
+
+    /// Out-degree counted in edges.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out_adj[id.index()].len()
+    }
+
+    /// Nodes with no incoming edges (graph inputs / parameters).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Nodes with no outgoing edges (graph outputs).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+    }
+
+    /// The distinct phases present, in first-appearance order.
+    pub fn phases(&self) -> Vec<Phase> {
+        let mut out: Vec<Phase> = Vec::new();
+        for node in &self.nodes {
+            if !out.contains(&node.phase) {
+                out.push(node.phase.clone());
+            }
+        }
+        out
+    }
+
+    /// Ids of nodes belonging to the given phase.
+    pub fn nodes_in_phase(&self, phase: &Phase) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| &n.phase == phase)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Histogram of operator mnemonics, deterministic ordering.
+    pub fn op_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for node in &self.nodes {
+            *counts.entry(node.op.mnemonic().to_string()).or_default() += 1;
+        }
+        let mut out: Vec<_> = counts.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Total bytes of all `Parameter` node outputs — the model's weight
+    /// footprint as observable from the graph.
+    pub fn parameter_bytes(&self) -> f64 {
+        let mut total = 0.0;
+        let mut counted: BTreeSet<TensorId> = BTreeSet::new();
+        for node in &self.nodes {
+            if node.op == OpKind::Parameter {
+                for edge in self.out_edges(node.id) {
+                    if counted.insert(edge.tensor) {
+                        total += edge.meta.size_bytes() as f64;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Total flops across all nodes.
+    pub fn total_flops(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cost.flops).sum()
+    }
+
+    /// Extract the subgraph induced by `keep`, remapping ids densely.
+    /// Returns the new graph and the old→new node id mapping. Edges whose
+    /// endpoints are not both kept are dropped.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<NodeId>) -> (Srg, HashMap<NodeId, NodeId>) {
+        let mut sub = Srg::new(format!("{}.sub", self.name));
+        let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+        for &old in keep {
+            let mut node = self.node(old).clone();
+            let new_id = NodeId::new(sub.nodes.len() as u32);
+            node.id = new_id;
+            sub.nodes.push(node);
+            sub.out_adj.push(Vec::new());
+            sub.in_adj.push(Vec::new());
+            remap.insert(old, new_id);
+        }
+        for edge in &self.edges {
+            if let (Some(&s), Some(&d)) = (remap.get(&edge.src), remap.get(&edge.dst)) {
+                let mut e = edge.clone();
+                e.src = s;
+                e.dst = d;
+                sub.add_edge(e);
+            }
+        }
+        sub.next_tensor = self.next_tensor;
+        (sub, remap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::ElemType;
+
+    fn diamond() -> Srg {
+        // a → b, a → c, b → d, c → d
+        let mut g = Srg::new("diamond");
+        let meta = TensorMeta::new([2, 2], ElemType::F32);
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "b"));
+        let c = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "c"));
+        let d = g.add_node(Node::new(NodeId::new(0), OpKind::Add, "d"));
+        g.connect(a, b, meta.clone());
+        g.connect(a, c, meta.clone());
+        g.connect(b, d, meta.clone());
+        g.connect(c, d, meta);
+        g
+    }
+
+    #[test]
+    fn adjacency_bookkeeping() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        let a = NodeId::new(0);
+        let d = NodeId::new(3);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.successors(a), vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(g.predecessors(d), vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn slots_assigned_in_connection_order() {
+        let g = diamond();
+        let d = NodeId::new(3);
+        let slots: Vec<u8> = g.in_edges(d).map(|e| e.dst_slot).collect();
+        assert_eq!(slots, vec![0, 1]);
+    }
+
+    #[test]
+    fn fan_out_shares_tensor_id() {
+        let mut g = Srg::new("fanout");
+        let meta = TensorMeta::new([4], ElemType::F32);
+        let p = g.add_node(Node::new(NodeId::new(0), OpKind::Parameter, "w"));
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "x"));
+        let y = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "y"));
+        let t = g.fresh_tensor();
+        g.connect_tensor(p, x, t, meta.clone());
+        g.connect_tensor(p, y, t, meta);
+        let tensors: BTreeSet<TensorId> = g.edges().map(|e| e.tensor).collect();
+        assert_eq!(tensors.len(), 1);
+    }
+
+    #[test]
+    fn parameter_bytes_deduplicates_fanout() {
+        let mut g = Srg::new("params");
+        let meta = TensorMeta::new([1024], ElemType::F32); // 4096 bytes
+        let p = g.add_node(Node::new(NodeId::new(0), OpKind::Parameter, "w"));
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "x"));
+        let y = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "y"));
+        let t = g.fresh_tensor();
+        g.connect_tensor(p, x, t, meta.clone());
+        g.connect_tensor(p, y, t, meta);
+        assert_eq!(g.parameter_bytes(), 4096.0);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_densely() {
+        let g = diamond();
+        let keep: BTreeSet<NodeId> =
+            [NodeId::new(0), NodeId::new(1), NodeId::new(3)].into_iter().collect();
+        let (sub, remap) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        // a→b survives, b→d survives; a→c and c→d dropped.
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(remap[&NodeId::new(0)], NodeId::new(0));
+        assert_eq!(remap[&NodeId::new(3)], NodeId::new(2));
+        assert_eq!(sub.node(NodeId::new(2)).name, "d");
+    }
+
+    #[test]
+    fn phases_in_first_appearance_order() {
+        let mut g = diamond();
+        g.node_mut(NodeId::new(1)).phase = Phase::LlmPrefill;
+        g.node_mut(NodeId::new(2)).phase = Phase::LlmDecode;
+        let phases = g.phases();
+        assert_eq!(
+            phases,
+            vec![Phase::Unknown, Phase::LlmPrefill, Phase::LlmDecode]
+        );
+        assert_eq!(g.nodes_in_phase(&Phase::LlmDecode), vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn op_histogram_sorted() {
+        let g = diamond();
+        let hist = g.op_histogram();
+        assert_eq!(
+            hist,
+            vec![
+                ("add".to_string(), 1),
+                ("input".to_string(), 1),
+                ("matmul".to_string(), 1),
+                ("relu".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn graph_serde_roundtrip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Srg = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.successors(NodeId::new(0)), g.successors(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,172 @@
+//! Privacy-preserving graph sharing (§5, "Trust and verifiability").
+//!
+//! Semantic graphs submitted to a fleet scheduler describe proprietary
+//! model architectures. Redaction strips everything identifying — names,
+//! module paths, free-form attributes — while keeping exactly the §3.1
+//! schema a scheduler needs (phases, residency, modality, costs, shapes).
+//! A content fingerprint survives redaction so the scheduler can still
+//! batch tenants running the same public model (§3.6 "How") without ever
+//! seeing what the model is.
+
+use crate::annotations::Phase;
+use crate::graph::Srg;
+use crate::node::OpKind;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Attribute keys that carry scheduling semantics and survive redaction.
+const SEMANTIC_ATTRS: [&str; 2] = ["pipeline_stage", "recompute_on"];
+
+/// Produce a redacted copy of `g`: node names become `"op{i}"`, module
+/// paths and non-semantic attributes are dropped, custom phase/kernel
+/// names are hashed. Structure, shapes, costs, and the schema annotations
+/// are untouched.
+pub fn redact(g: &Srg) -> Srg {
+    let mut out = g.clone();
+    out.name = format!("redacted-{:016x}", fingerprint(g));
+    for node in out.nodes_mut() {
+        node.name = format!("op{}", node.id.index());
+        node.module_path.clear();
+        node.attrs.retain(|k, _| SEMANTIC_ATTRS.contains(&k.as_str()));
+        if let Phase::Custom(name) = &node.phase {
+            node.phase = Phase::Custom(format!("{:016x}", hash_str(name)));
+        }
+        if let OpKind::CustomKernel(name) = &node.op {
+            node.op = OpKind::CustomKernel(format!("{:016x}", hash_str(name)));
+        }
+    }
+    out
+}
+
+/// A structural fingerprint: hashes the graph's shape — operator kinds,
+/// annotations, edges, and tensor metadata — but none of the identifying
+/// strings. Two captures of the same architecture fingerprint equal; the
+/// fingerprint is stable across redaction, so a scheduler can group
+/// same-model tenants from redacted graphs alone.
+pub fn fingerprint(g: &Srg) -> u64 {
+    let mut h = DefaultHasher::new();
+    for node in g.nodes() {
+        // Custom names are identifying; hash their *kind* only so the
+        // fingerprint is invariant under redaction.
+        match &node.op {
+            OpKind::CustomKernel(_) => "custom_kernel".hash(&mut h),
+            other => other.mnemonic().hash(&mut h),
+        }
+        match &node.phase {
+            Phase::Custom(_) => "custom_phase".hash(&mut h),
+            other => other.label().hash(&mut h),
+        }
+        node.residency.label().hash(&mut h);
+        node.modality.label().hash(&mut h);
+        node.cost.flops.to_bits().hash(&mut h);
+    }
+    for edge in g.edges() {
+        edge.src.hash(&mut h);
+        edge.dst.hash(&mut h);
+        edge.dst_slot.hash(&mut h);
+        edge.meta.shape.hash(&mut h);
+        edge.meta.elem.label().hash(&mut h);
+    }
+    h.finish()
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// How much identifying text redaction removed, in bytes — a simple
+/// leakage measure for reports.
+pub fn identifying_bytes(g: &Srg) -> usize {
+    g.nodes()
+        .map(|n| {
+            n.name.len()
+                + n.module_path.len()
+                + n.attrs
+                    .iter()
+                    .filter(|(k, _)| !SEMANTIC_ATTRS.contains(&k.as_str()))
+                    .map(|(k, v)| k.len() + v.len())
+                    .sum::<usize>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::{ElemType, Residency, TensorMeta};
+    use crate::ids::NodeId;
+    use crate::node::Node;
+
+    fn secret_graph(secret: &str) -> Srg {
+        let mut g = Srg::new(format!("{secret}-model"));
+        let w = g.add_node(
+            Node::new(NodeId::new(0), OpKind::Parameter, format!("{secret}_weights"))
+                .with_module_path(format!("{secret}.attn"))
+                .with_residency(Residency::PersistentWeight)
+                .with_attr("trade_secret", "sauce"),
+        );
+        let k = g.add_node(
+            Node::new(
+                NodeId::new(0),
+                OpKind::CustomKernel(format!("{secret}_flash")),
+                "custom",
+            )
+            .with_phase(Phase::Custom(format!("{secret}_phase")))
+            .with_attr("pipeline_stage", "3"),
+        );
+        g.connect(w, k, TensorMeta::new([8, 8], ElemType::F16));
+        g
+    }
+
+    #[test]
+    fn redaction_strips_all_identifying_text() {
+        let g = secret_graph("acme");
+        let r = redact(&g);
+        let json = crate::serialize::to_json(&r).unwrap();
+        assert!(!json.contains("acme"), "secret leaked: {json}");
+        assert!(!json.contains("trade_secret"));
+        assert_eq!(identifying_bytes(&r), r.nodes().map(|n| n.name.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn redaction_keeps_scheduling_semantics() {
+        let g = secret_graph("acme");
+        let r = redact(&g);
+        assert_eq!(r.node_count(), g.node_count());
+        assert_eq!(r.edge_count(), g.edge_count());
+        let w = r.nodes().find(|n| n.op == OpKind::Parameter).unwrap();
+        assert_eq!(w.residency, Residency::PersistentWeight);
+        let k = r
+            .nodes()
+            .find(|n| matches!(n.op, OpKind::CustomKernel(_)))
+            .unwrap();
+        assert_eq!(k.attrs.get("pipeline_stage").map(String::as_str), Some("3"));
+        assert!(matches!(&k.phase, Phase::Custom(h) if h.len() == 16));
+    }
+
+    #[test]
+    fn fingerprint_survives_redaction_and_separates_models() {
+        let a = secret_graph("acme");
+        let b = secret_graph("globex"); // same architecture, different names
+        // Same structure ⇒ same fingerprint even with different secrets.
+        assert_eq!(fingerprint(&a), fingerprint(&redact(&a)));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // A structural change separates.
+        let mut c = secret_graph("acme");
+        let extra = c.add_node(Node::new(NodeId::new(0), OpKind::Relu, "r"));
+        c.connect(
+            NodeId::new(1),
+            extra,
+            TensorMeta::new([8, 8], ElemType::F16),
+        );
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn redacted_graph_still_validates() {
+        let g = secret_graph("acme");
+        assert!(crate::validate::validate(&redact(&g)).is_empty());
+    }
+}

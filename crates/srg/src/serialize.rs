@@ -1,0 +1,86 @@
+//! Portable serialization of SRGs.
+//!
+//! The SRG is Genie's interchange format between frontends, schedulers, and
+//! backends — possibly across processes and languages (§3.1 "portable
+//! abstraction"). JSON is the reference encoding; it is self-describing and
+//! diffable, which matters for a format meant to outlive any one framework.
+
+use crate::graph::Srg;
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct SerError(serde_json::Error);
+
+impl std::fmt::Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SRG serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+/// Encode a graph as compact JSON.
+pub fn to_json(g: &Srg) -> Result<String, SerError> {
+    serde_json::to_string(g).map_err(SerError)
+}
+
+/// Encode a graph as pretty-printed JSON (for artifacts and debugging).
+pub fn to_json_pretty(g: &Srg) -> Result<String, SerError> {
+    serde_json::to_string_pretty(g).map_err(SerError)
+}
+
+/// Decode a graph from JSON produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<Srg, SerError> {
+    serde_json::from_str(json).map_err(SerError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::{ElemType, Phase, TensorMeta};
+    use crate::ids::NodeId;
+    use crate::node::{Node, OpKind};
+
+    fn sample() -> Srg {
+        let mut g = Srg::new("sample");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(
+            Node::new(NodeId::new(0), OpKind::MatMul, "b").with_phase(Phase::LlmPrefill),
+        );
+        g.connect(a, b, TensorMeta::new([3, 3], ElemType::F32));
+        g
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let g = sample();
+        let json = to_json(&g).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.name, "sample");
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 1);
+        assert_eq!(back.node(NodeId::new(1)).phase, Phase::LlmPrefill);
+        assert_eq!(back.in_degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn pretty_json_is_multiline() {
+        let g = sample();
+        assert!(to_json_pretty(&g).unwrap().contains('\n'));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(err.to_string().contains("serialization error"));
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        // Serializing twice must yield identical bytes (deterministic).
+        let g = sample();
+        let j1 = to_json(&g).unwrap();
+        let j2 = to_json(&from_json(&j1).unwrap()).unwrap();
+        assert_eq!(j1, j2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Structural validation of SRGs.
+//!
+//! A frontend must emit a *well-formed* SRG before handing it to a
+//! scheduler; `validate` is the gate. It checks the invariants the rest of
+//! the platform relies on so downstream code can index freely.
+
+use crate::graph::Srg;
+use crate::ids::NodeId;
+use crate::traverse::topo_order;
+use std::fmt;
+
+/// A violated SRG invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The graph contains a cycle.
+    Cycle {
+        /// A node participating in the cycle.
+        witness: NodeId,
+    },
+    /// A source-kind node (`Input`/`Parameter`) has incoming edges.
+    SourceWithInputs {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A non-source node has no incoming edges (it could never produce a
+    /// value).
+    OrphanCompute {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Two edges deliver to the same (node, slot) pair.
+    DuplicateSlot {
+        /// The consuming node.
+        node: NodeId,
+        /// The contested operand slot.
+        slot: u8,
+    },
+    /// An edge payload has zero bytes but its producer is not
+    /// metadata-only; data must actually flow.
+    EmptyPayload {
+        /// The offending edge's producer.
+        src: NodeId,
+        /// The offending edge's consumer.
+        dst: NodeId,
+    },
+    /// The same logical tensor is produced by two different nodes.
+    TensorMultiplyProduced {
+        /// First producer observed.
+        first: NodeId,
+        /// Conflicting second producer.
+        second: NodeId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Cycle { witness } => {
+                write!(f, "cycle through {witness}")
+            }
+            ValidationError::SourceWithInputs { node } => {
+                write!(f, "source node {node} has incoming edges")
+            }
+            ValidationError::OrphanCompute { node } => {
+                write!(f, "compute node {node} has no inputs")
+            }
+            ValidationError::DuplicateSlot { node, slot } => {
+                write!(f, "node {node} receives two edges on slot {slot}")
+            }
+            ValidationError::EmptyPayload { src, dst } => {
+                write!(f, "edge {src}->{dst} carries an empty payload")
+            }
+            ValidationError::TensorMultiplyProduced { first, second } => {
+                write!(f, "tensor produced by both {first} and {second}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate all SRG invariants, returning every violation found (empty =
+/// valid). Deterministic ordering.
+pub fn validate(g: &Srg) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    if let Err(e) = topo_order(g) {
+        errors.push(ValidationError::Cycle { witness: e.witness });
+    }
+
+    for node in g.nodes() {
+        let in_deg = g.in_degree(node.id);
+        if node.op.is_source() && in_deg > 0 {
+            errors.push(ValidationError::SourceWithInputs { node: node.id });
+        }
+        if !node.op.is_source() && in_deg == 0 {
+            errors.push(ValidationError::OrphanCompute { node: node.id });
+        }
+        // Slot uniqueness among incoming edges.
+        let mut slots_seen = std::collections::BTreeSet::new();
+        for edge in g.in_edges(node.id) {
+            if !slots_seen.insert(edge.dst_slot) {
+                errors.push(ValidationError::DuplicateSlot {
+                    node: node.id,
+                    slot: edge.dst_slot,
+                });
+            }
+        }
+    }
+
+    for edge in g.edges() {
+        // Empty payloads are ill-formed except for stateful-cache seeds: a
+        // KV cache legitimately starts at shape [0, d] before the first
+        // append.
+        let src_node = g.node(edge.src);
+        let is_cache_seed =
+            src_node.residency == crate::annotations::Residency::StatefulKvCache;
+        if edge.meta.size_bytes() == 0 && !src_node.op.is_metadata_only() && !is_cache_seed {
+            errors.push(ValidationError::EmptyPayload {
+                src: edge.src,
+                dst: edge.dst,
+            });
+        }
+    }
+
+    // Single-producer property for logical tensors.
+    let mut producer: std::collections::BTreeMap<crate::ids::TensorId, NodeId> =
+        std::collections::BTreeMap::new();
+    for edge in g.edges() {
+        match producer.get(&edge.tensor) {
+            Some(&p) if p != edge.src => {
+                errors.push(ValidationError::TensorMultiplyProduced {
+                    first: p,
+                    second: edge.src,
+                });
+            }
+            _ => {
+                producer.insert(edge.tensor, edge.src);
+            }
+        }
+    }
+
+    errors
+}
+
+/// Convenience wrapper: `Ok(())` if valid, else the first error.
+pub fn validate_ok(g: &Srg) -> Result<(), ValidationError> {
+    match validate(g).into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::{ElemType, TensorMeta};
+    use crate::node::{Node, OpKind};
+
+    fn meta() -> TensorMeta {
+        TensorMeta::new([2], ElemType::F32)
+    }
+
+    fn valid_graph() -> Srg {
+        let mut g = Srg::new("ok");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b"));
+        g.connect(a, b, meta());
+        g
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        assert!(validate(&valid_graph()).is_empty());
+        assert!(validate_ok(&valid_graph()).is_ok());
+    }
+
+    #[test]
+    fn orphan_compute_detected() {
+        let mut g = valid_graph();
+        g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "floating"));
+        let errs = validate(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::OrphanCompute { node } if node.index() == 2)));
+    }
+
+    #[test]
+    fn source_with_inputs_detected() {
+        let mut g = valid_graph();
+        let p = g.add_node(Node::new(NodeId::new(0), OpKind::Parameter, "w"));
+        g.connect(NodeId::new(1), p, meta());
+        let errs = validate(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::SourceWithInputs { .. })));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = valid_graph();
+        g.connect(NodeId::new(1), NodeId::new(1), meta());
+        let errs = validate(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::Cycle { .. })));
+    }
+
+    #[test]
+    fn empty_payload_detected() {
+        let mut g = Srg::new("empty-payload");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b"));
+        g.connect(a, b, TensorMeta::new([0], ElemType::F32));
+        let errs = validate(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::EmptyPayload { .. })));
+    }
+
+    #[test]
+    fn empty_cache_seed_is_legal() {
+        use crate::annotations::Residency;
+        let mut g = Srg::new("kv-seed");
+        let seed = g.add_node(
+            Node::new(NodeId::new(0), OpKind::Input, "kv")
+                .with_residency(Residency::StatefulKvCache),
+        );
+        let app = g.add_node(Node::new(NodeId::new(0), OpKind::KvAppend, "append"));
+        let row = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "row"));
+        g.connect(seed, app, TensorMeta::new([0, 4], ElemType::F32));
+        g.connect(row, app, TensorMeta::new([1, 4], ElemType::F32));
+        assert!(validate(&g).is_empty());
+    }
+
+    #[test]
+    fn multiply_produced_tensor_detected() {
+        let mut g = Srg::new("multi-prod");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "b"));
+        let c = g.add_node(Node::new(NodeId::new(0), OpKind::Add, "c"));
+        let t = g.fresh_tensor();
+        g.connect_tensor(a, c, t, meta());
+        g.connect_tensor(b, c, t, meta());
+        let errs = validate(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::TensorMultiplyProduced { .. })));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ValidationError::OrphanCompute { node: NodeId::new(7) };
+        assert_eq!(e.to_string(), "compute node n7 has no inputs");
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic tensor initialization.
+//!
+//! Every random tensor in Genie flows through a seeded RNG so that lazy
+//! capture, remote execution, and lineage replay can be checked for
+//! bit-identical results.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..shape.num_elements())
+        .map(|_| rng.gen_range(lo..hi))
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Approximately standard-normal values (sum of uniforms; exactness is
+/// irrelevant — determinism and scale are what tests rely on).
+pub fn randn(shape: impl Into<Shape>, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..shape.num_elements())
+        .map(|_| {
+            // Irwin–Hall approximation to N(0, 1): 12 uniforms.
+            let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum();
+            s - 6.0
+        })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier/Glorot-scaled initialization for a weight of shape
+/// `[fan_in, fan_out]` (or any shape, scaled by its first two dims).
+pub fn xavier(shape: impl Into<Shape>, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let (fan_in, fan_out) = match shape.dims() {
+        [] => (1, 1),
+        [n] => (*n, *n),
+        dims => (dims[0], dims[1]),
+    };
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -limit, limit, seed)
+}
+
+/// `0, 1, 2, …` reshaped — handy for exactness tests.
+pub fn arange(shape: impl Into<Shape>) -> Tensor {
+    let shape = shape.into();
+    let data = (0..shape.num_elements()).map(|x| x as f32).collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = randn([4, 4], 42);
+        let b = randn([4, 4], 42);
+        assert_eq!(a, b);
+        let c = randn([4, 4], 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform([1000], -0.5, 0.5, 7);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn randn_is_roughly_centered() {
+        let t = randn([10_000], 1);
+        let mean: f32 = t.data().iter().sum::<f32>() / t.len() as f32;
+        let var: f32 = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_limit_scales_with_fan() {
+        let small = xavier([2, 2], 3);
+        let big = xavier([1000, 1000], 3);
+        let max_small = small.data().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let max_big = big.data().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        assert!(max_small > max_big);
+    }
+
+    #[test]
+    fn arange_values() {
+        let t = arange([2, 3]);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

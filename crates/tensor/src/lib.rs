@@ -1,0 +1,33 @@
+//! # genie-tensor — CPU tensor substrate
+//!
+//! Dense f32 tensors with real kernels (matmul, attention, layer norm,
+//! convolution, embedding gathers, …) executed on the CPU. This is Genie's
+//! *functional* execution plane: it lets the test suite prove that lazy
+//! capture, semantics-aware remote execution, and lineage replay produce
+//! numerically identical results to plain eager evaluation — the property
+//! the paper's architecture depends on but cannot demonstrate without a
+//! concrete executor.
+//!
+//! Paper-scale models (GPT-J at 12 GB of weights) never materialize data
+//! through this crate; they run on the cost-model-driven simulation plane
+//! (`genie-netsim` + `genie-backend::sim`). Both planes consume the same
+//! SRG.
+//!
+//! ```
+//! use genie_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+//! let b = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+//! assert_eq!(ops::matmul(&a, &b), a);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::{IndexTensor, Tensor};

@@ -1,0 +1,106 @@
+//! Pointwise activations and softmax.
+
+use crate::tensor::Tensor;
+
+/// Elementwise ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    map(x, |v| v.max(0.0))
+}
+
+/// Elementwise GELU (tanh approximation, as used by GPT-style models).
+pub fn gelu(x: &Tensor) -> Tensor {
+    map(x, |v| {
+        0.5 * v * (1.0 + (0.797_884_6 * (v + 0.044_715 * v * v * v)).tanh())
+    })
+}
+
+/// Elementwise SiLU / swish.
+pub fn silu(x: &Tensor) -> Tensor {
+    map(x, |v| v / (1.0 + (-v).exp()))
+}
+
+/// Elementwise sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    map(x, |v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Numerically-stable softmax over the innermost dimension.
+pub fn softmax_lastdim(x: &Tensor) -> Tensor {
+    let dims = x.dims().to_vec();
+    assert!(!dims.is_empty(), "softmax requires rank >= 1");
+    let inner = *dims.last().expect("non-empty dims");
+    let rows = x.len() / inner;
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..rows {
+        let row = &x.data()[r * inner..(r + 1) * inner];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in out[r * inner..(r + 1) * inner].iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        for o in &mut out[r * inner..(r + 1) * inner] {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec(dims, out)
+}
+
+fn map(x: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    Tensor::from_vec(
+        x.dims().to_vec(),
+        x.data().iter().map(|&v| f(v)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec([4], vec![-2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        let x = Tensor::from_vec([3], vec![0.0, 1.0, -1.0]);
+        let y = gelu(&x);
+        assert!((y.data()[0] - 0.0).abs() < 1e-6);
+        assert!((y.data()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.data()[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_and_sigmoid_relation() {
+        let x = Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]);
+        let s = silu(&x);
+        let sig = sigmoid(&x);
+        for i in 0..3 {
+            assert!((s.data()[i] - x.data()[i] * sig.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let y = softmax_lastdim(&x);
+        for r in 0..2 {
+            let sum: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        // Large inputs must not overflow (stability check).
+        assert!(y.data()[3].is_finite());
+        // Monotonicity within a row.
+        assert!(y.data()[0] < y.data()[1] && y.data()[1] < y.data()[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec([1, 4], vec![0.1, 0.2, 0.3, 0.4]);
+        let shifted = Tensor::from_vec([1, 4], vec![100.1, 100.2, 100.3, 100.4]);
+        assert!(softmax_lastdim(&x).approx_eq(&softmax_lastdim(&shifted), 1e-5));
+    }
+}

@@ -1,0 +1,169 @@
+//! Scaled dot-product attention — the core kernel of transformer models.
+
+use crate::ops::activation::softmax_lastdim;
+use crate::ops::linalg::{matmul, transpose2d};
+use crate::tensor::Tensor;
+
+/// Single-head scaled dot-product attention with optional causal masking.
+///
+/// `q: [tq, d]`, `k: [tk, d]`, `v: [tk, dv]` → `[tq, dv]`.
+///
+/// With `causal = true`, query position `i` may attend only to key
+/// positions `j <= i + (tk - tq)` — the offset form supports incremental
+/// decode where `tq = 1` attends over the whole cache.
+pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, causal: bool) -> Tensor {
+    assert_eq!(q.rank(), 2, "q must be [tq, d]");
+    assert_eq!(k.rank(), 2, "k must be [tk, d]");
+    assert_eq!(v.rank(), 2, "v must be [tk, dv]");
+    let (tq, d) = (q.dims()[0], q.dims()[1]);
+    let (tk, d2) = (k.dims()[0], k.dims()[1]);
+    assert_eq!(d, d2, "q/k depth mismatch");
+    assert_eq!(v.dims()[0], tk, "k/v length mismatch");
+
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut scores = matmul(q, &transpose2d(k));
+    for s in scores.data_mut() {
+        *s *= scale;
+    }
+    if causal {
+        let offset = tk.saturating_sub(tq);
+        for i in 0..tq {
+            for j in 0..tk {
+                if j > i + offset {
+                    *scores.at_mut(&[i, j]) = f32::NEG_INFINITY;
+                }
+            }
+        }
+    }
+    let weights = softmax_lastdim(&scores);
+    matmul(&weights, v)
+}
+
+/// Multi-head attention over packed `[t, heads*dh]` projections. Splits
+/// heads, runs [`attention`] per head, and re-packs.
+pub fn multi_head_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    causal: bool,
+) -> Tensor {
+    assert_eq!(q.rank(), 2);
+    let (tq, dm) = (q.dims()[0], q.dims()[1]);
+    let tk = k.dims()[0];
+    assert_eq!(dm % heads, 0, "model dim {dm} not divisible by {heads} heads");
+    let dh = dm / heads;
+
+    let mut out = vec![0.0f32; tq * dm];
+    for h in 0..heads {
+        let qh = slice_head(q, h, dh);
+        let kh = slice_head(k, h, dh);
+        let vh = slice_head(v, h, dh);
+        let oh = attention(&qh, &kh, &vh, causal);
+        for t in 0..tq {
+            for c in 0..dh {
+                out[t * dm + h * dh + c] = oh.data()[t * dh + c];
+            }
+        }
+        debug_assert_eq!(kh.dims()[0], tk);
+    }
+    Tensor::from_vec([tq, dm], out)
+}
+
+fn slice_head(x: &Tensor, head: usize, dh: usize) -> Tensor {
+    let (t, dm) = (x.dims()[0], x.dims()[1]);
+    let mut out = Vec::with_capacity(t * dh);
+    for row in 0..t {
+        let base = row * dm + head * dh;
+        out.extend_from_slice(&x.data()[base..base + dh]);
+    }
+    Tensor::from_vec([t, dh], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn;
+
+    #[test]
+    fn attention_output_shape() {
+        let q = randn([3, 8], 1);
+        let k = randn([5, 8], 2);
+        let v = randn([5, 4], 3);
+        let o = attention(&q, &k, &v, false);
+        assert_eq!(o.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn uniform_keys_average_values() {
+        // Identical keys ⇒ uniform weights ⇒ output = mean of values.
+        let q = randn([1, 4], 1);
+        let k = Tensor::ones([3, 4]);
+        let v = Tensor::from_vec([3, 1], vec![1.0, 2.0, 3.0]);
+        let o = attention(&q, &k, &v, false);
+        assert!((o.data()[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // v rows are one-hot so output reveals the attended positions.
+        let q = Tensor::zeros([2, 2]);
+        let k = Tensor::zeros([2, 2]);
+        let v = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let o = attention(&q, &k, &v, true);
+        // Row 0 can only see position 0.
+        assert!((o.at(&[0, 0]) - 1.0).abs() < 1e-6);
+        assert!(o.at(&[0, 1]).abs() < 1e-6);
+        // Row 1 sees both equally.
+        assert!((o.at(&[1, 0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_offset_attends_full_cache() {
+        // tq=1 against tk=4 with causal=true must not mask anything.
+        let q = Tensor::zeros([1, 2]);
+        let k = Tensor::zeros([4, 2]);
+        let v = Tensor::from_vec([4, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let o = attention(&q, &k, &v, true);
+        assert!((o.data()[0] - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn incremental_decode_matches_full_prefill() {
+        // Attention over a cache built incrementally equals attention over
+        // the full sequence — the correctness basis for KV caching.
+        let t = 6;
+        let d = 4;
+        let q_all = randn([t, d], 10);
+        let k_all = randn([t, d], 11);
+        let v_all = randn([t, d], 12);
+        let full = attention(&q_all, &k_all, &v_all, true);
+
+        // Last row via incremental decode path: q = last row, cache = all.
+        let q_last = crate::ops::shape_ops::narrow(&q_all, 0, t - 1, 1);
+        let inc = attention(&q_last, &k_all, &v_all, true);
+        let full_last = crate::ops::shape_ops::narrow(&full, 0, t - 1, 1);
+        assert!(inc.approx_eq(&full_last, 1e-5));
+    }
+
+    #[test]
+    fn multi_head_shape_and_determinism() {
+        let q = randn([3, 8], 1);
+        let k = randn([3, 8], 2);
+        let v = randn([3, 8], 3);
+        let a = multi_head_attention(&q, &k, &v, 2, true);
+        let b = multi_head_attention(&q, &k, &v, 2, true);
+        assert_eq!(a.dims(), &[3, 8]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_head_mha_equals_attention() {
+        let q = randn([4, 6], 4);
+        let k = randn([4, 6], 5);
+        let v = randn([4, 6], 6);
+        let mha = multi_head_attention(&q, &k, &v, 1, false);
+        let att = attention(&q, &k, &v, false);
+        assert!(mha.approx_eq(&att, 1e-6));
+    }
+}

@@ -1,0 +1,189 @@
+//! Convolution and pooling kernels (NCHW layout).
+
+use crate::tensor::Tensor;
+
+/// 2-D convolution: input `[N, Cin, H, W]`, weight `[Cout, Cin, Kh, Kw]`,
+/// bias `[Cout]`, with the given stride and symmetric zero padding.
+pub fn conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv2d input must be NCHW");
+    assert_eq!(w.rank(), 4, "conv2d weight must be [Cout,Cin,Kh,Kw]");
+    assert!(stride >= 1, "stride must be >= 1");
+    let (n, cin, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (cout, cin2, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    assert_eq!(cin, cin2, "channel mismatch: {cin} vs {cin2}");
+    assert_eq!(bias.dims(), &[cout]);
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (wd + 2 * padding - kw) / stride + 1;
+
+    let xd = x.data();
+    let wdta = w.data();
+    let mut out = vec![0.0f32; n * cout * oh * ow];
+    for ni in 0..n {
+        for co in 0..cout {
+            let b = bias.data()[co];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ci in 0..cin {
+                        for ky in 0..kh {
+                            let iy = oy * stride + ky;
+                            if iy < padding || iy - padding >= h {
+                                continue;
+                            }
+                            let iy = iy - padding;
+                            for kx in 0..kw {
+                                let ix = ox * stride + kx;
+                                if ix < padding || ix - padding >= wd {
+                                    continue;
+                                }
+                                let ix = ix - padding;
+                                let xv = xd[((ni * cin + ci) * h + iy) * wd + ix];
+                                let wv = wdta[((co * cin + ci) * kh + ky) * kw + kx];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out[((ni * cout + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, cout, oh, ow], out)
+}
+
+/// Pooling mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// 2-D pooling over `[N, C, H, W]` with a square `k×k` window and the given
+/// stride.
+pub fn pool2d(x: &Tensor, k: usize, stride: usize, mode: PoolMode) -> Tensor {
+    assert_eq!(x.rank(), 4, "pool2d input must be NCHW");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert!(k >= 1 && stride >= 1 && h >= k && w >= k);
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let xd = x.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = match mode {
+                        PoolMode::Max => f32::NEG_INFINITY,
+                        PoolMode::Avg => 0.0,
+                    };
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = xd[((ni * c + ci) * h + oy * stride + ky) * w
+                                + ox * stride
+                                + kx];
+                            match mode {
+                                PoolMode::Max => acc = acc.max(v),
+                                PoolMode::Avg => acc += v,
+                            }
+                        }
+                    }
+                    if mode == PoolMode::Avg {
+                        acc /= (k * k) as f32;
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, c, oh, ow], out)
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 4);
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let plane = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            out[ni * c + ci] = x.data()[base..base + h * w].iter().sum::<f32>() / plane;
+        }
+    }
+    Tensor::from_vec([n, c], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::arange;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let x = arange([1, 1, 3, 3]);
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![1.0]);
+        let y = conv2d(&x, &w, &Tensor::zeros([1]), 1, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_sum_kernel_known_values() {
+        // 2x2 all-ones kernel over arange 3x3 = sums of 2x2 windows.
+        let x = arange([1, 1, 3, 3]);
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let y = conv2d(&x, &w, &Tensor::zeros([1]), 1, 0);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_preserves_size() {
+        let x = arange([1, 1, 4, 4]);
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let y = conv2d(&x, &w, &Tensor::zeros([1]), 1, 1);
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_stride_downsamples() {
+        let x = arange([1, 1, 4, 4]);
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let y = conv2d(&x, &w, &Tensor::zeros([1]), 2, 0);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn conv2d_bias_added() {
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let w = Tensor::ones([2, 1, 1, 1]);
+        let bias = Tensor::from_vec([2], vec![3.0, -1.0]);
+        let y = conv2d(&x, &w, &bias, 1, 0);
+        assert_eq!(&y.data()[..4], &[3.0; 4]);
+        assert_eq!(&y.data()[4..], &[-1.0; 4]);
+    }
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let x = arange([1, 1, 4, 4]);
+        let y = pool2d(&x, 2, 2, PoolMode::Max);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = arange([1, 1, 2, 2]);
+        let y = pool2d(&x, 2, 2, PoolMode::Avg);
+        assert_eq!(y.data(), &[1.5]);
+    }
+
+    #[test]
+    fn global_avg_pool_shapes() {
+        let x = arange([2, 3, 4, 4]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.dims(), &[2, 3]);
+        // channel 0 of batch 0 is mean of 0..16 = 7.5
+        assert!((y.data()[0] - 7.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Embedding-table gathers — the sparse access pattern of LLM token
+//! embeddings and recommendation models.
+
+use crate::tensor::{IndexTensor, Tensor};
+
+/// Gather rows from a `[vocab, dim]` table: returns `[n, dim]` for `n`
+/// indices. Panics on out-of-range indices.
+pub fn gather_rows(table: &Tensor, indices: &IndexTensor) -> Tensor {
+    assert_eq!(table.rank(), 2, "embedding table must be [vocab, dim]");
+    let (vocab, dim) = (table.dims()[0], table.dims()[1]);
+    let n = indices.len();
+    let mut out = Vec::with_capacity(n * dim);
+    for &idx in indices.data() {
+        assert!(
+            idx >= 0 && (idx as usize) < vocab,
+            "index {idx} out of range for vocab {vocab}"
+        );
+        let base = idx as usize * dim;
+        out.extend_from_slice(&table.data()[base..base + dim]);
+    }
+    Tensor::from_vec([n, dim], out)
+}
+
+/// Sum-pool a multi-hot bag of indices into one `[dim]` vector — the
+/// EmbeddingBag operation used by DLRM-style models.
+pub fn gather_sum(table: &Tensor, indices: &IndexTensor) -> Tensor {
+    assert_eq!(table.rank(), 2);
+    let dim = table.dims()[1];
+    let rows = gather_rows(table, indices);
+    let mut out = vec![0.0f32; dim];
+    for r in 0..indices.len() {
+        for (d, o) in out.iter_mut().enumerate() {
+            *o += rows.data()[r * dim + d];
+        }
+    }
+    Tensor::from_vec([dim], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::arange;
+
+    #[test]
+    fn gather_selects_rows() {
+        let table = arange([4, 3]); // rows [0,1,2],[3,4,5],[6,7,8],[9,10,11]
+        let idx = IndexTensor::from_slice(&[2, 0]);
+        let out = gather_rows(&table, &idx);
+        assert_eq!(out.dims(), &[2, 3]);
+        assert_eq!(out.data(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_repeats_allowed() {
+        let table = arange([2, 2]);
+        let idx = IndexTensor::from_slice(&[1, 1, 1]);
+        let out = gather_rows(&table, &idx);
+        assert_eq!(out.data(), &[2.0, 3.0, 2.0, 3.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_out_of_range_panics() {
+        gather_rows(&arange([2, 2]), &IndexTensor::from_slice(&[5]));
+    }
+
+    #[test]
+    fn gather_sum_pools() {
+        let table = arange([3, 2]); // [0,1],[2,3],[4,5]
+        let idx = IndexTensor::from_slice(&[0, 2]);
+        let out = gather_sum(&table, &idx);
+        assert_eq!(out.data(), &[4.0, 6.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dense linear algebra kernels.
+
+use crate::tensor::Tensor;
+
+/// `C[m,n] = A[m,k] · B[k,n]`. Naive triple loop with k-inner blocking via
+/// iterator sums — adequate for the tiny functional-plane models.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank-2, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank-2, got {}", b.shape());
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims: {} vs {}", a.shape(), b.shape());
+
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// Batched matmul over matching leading batch dims:
+/// `C[b,m,n] = A[b,m,k] · B[b,k,n]`.
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3, "batched_matmul lhs must be rank-3");
+    assert_eq!(b.rank(), 3, "batched_matmul rhs must be rank-3");
+    let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+    assert_eq!(ba, bb, "batch dims differ");
+    assert_eq!(k, k2, "inner dims differ");
+    let mut out = vec![0.0f32; ba * m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for batch in 0..ba {
+        let abase = batch * m * k;
+        let bbase = batch * k * n;
+        let obase = batch * m * n;
+        for i in 0..m {
+            for p in 0..k {
+                let av = ad[abase + i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[obase + i * n + j] += av * bd[bbase + p * n + j];
+                }
+            }
+        }
+    }
+    Tensor::from_vec([ba, m, n], out)
+}
+
+/// Transpose a rank-2 tensor.
+pub fn transpose2d(a: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "transpose2d requires rank-2");
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec([n, m], out)
+}
+
+/// `y[m] = A[m,k] · x[k]` as a rank-1 result.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2);
+    assert_eq!(x.rank(), 1);
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    assert_eq!(k, x.dims()[0]);
+    let ad = a.data();
+    let xd = x.data();
+    let out: Vec<f32> = (0..m)
+        .map(|i| ad[i * k..(i + 1) * k].iter().zip(xd).map(|(a, b)| a * b).sum())
+        .collect();
+    Tensor::from_vec([m], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::arange;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = arange([3, 3]);
+        let mut eye = Tensor::zeros([3, 3]);
+        for i in 0..3 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn batched_matches_loop_of_matmuls() {
+        let a = arange([2, 3, 4]);
+        let b = arange([2, 4, 5]);
+        let c = batched_matmul(&a, &b);
+        for batch in 0..2 {
+            let a2 = Tensor::from_vec([3, 4], a.data()[batch * 12..(batch + 1) * 12].to_vec());
+            let b2 = Tensor::from_vec([4, 5], b.data()[batch * 20..(batch + 1) * 20].to_vec());
+            let expect = matmul(&a2, &b2);
+            let got = &c.data()[batch * 15..(batch + 1) * 15];
+            assert_eq!(got, expect.data());
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = arange([3, 5]);
+        assert_eq!(transpose2d(&transpose2d(&a)), a);
+        assert_eq!(transpose2d(&a).at(&[4, 2]), a.at(&[2, 4]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = arange([4, 3]);
+        let x = Tensor::from_vec([3], vec![1., 2., 3.]);
+        let y = matvec(&a, &x);
+        let x_col = x.clone().reshape([3, 1]);
+        let y2 = matmul(&a, &x_col).reshape([4]);
+        assert_eq!(y, y2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Real CPU kernels for the functional execution plane.
+
+pub mod activation;
+pub mod attention;
+pub mod conv;
+pub mod elementwise;
+pub mod embedding;
+pub mod linalg;
+pub mod norm;
+pub mod reduce;
+pub mod shape_ops;
+
+pub use activation::{gelu, relu, sigmoid, silu, softmax_lastdim};
+pub use attention::{attention, multi_head_attention};
+pub use conv::{conv2d, global_avg_pool, pool2d, PoolMode};
+pub use elementwise::{add, add_bias, mul, scale, sub};
+pub use embedding::{gather_rows, gather_sum};
+pub use linalg::{batched_matmul, matmul, matvec, transpose2d};
+pub use norm::{batch_norm_2d, layer_norm, rms_norm};
+pub use reduce::{argmax_lastdim, max_lastdim, mean_lastdim, sum_lastdim};
+pub use shape_ops::{concat, narrow, select};

@@ -1,0 +1,145 @@
+//! Normalization kernels.
+
+use crate::tensor::Tensor;
+
+/// Layer normalization over the innermost dimension with learned scale and
+/// bias: `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let dims = x.dims().to_vec();
+    let inner = *dims.last().expect("layer_norm requires rank >= 1");
+    assert_eq!(gamma.dims(), &[inner], "gamma must be [{inner}]");
+    assert_eq!(beta.dims(), &[inner], "beta must be [{inner}]");
+    let rows = x.len() / inner;
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..rows {
+        let row = &x.data()[r * inner..(r + 1) * inner];
+        let mean: f32 = row.iter().sum::<f32>() / inner as f32;
+        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / inner as f32;
+        let denom = (var + eps).sqrt();
+        for (i, (o, &v)) in out[r * inner..(r + 1) * inner]
+            .iter_mut()
+            .zip(row)
+            .enumerate()
+        {
+            *o = (v - mean) / denom * gamma.data()[i] + beta.data()[i];
+        }
+    }
+    Tensor::from_vec(dims, out)
+}
+
+/// RMS normalization over the innermost dimension: `y = x / rms(x) * gamma`.
+pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Tensor {
+    let dims = x.dims().to_vec();
+    let inner = *dims.last().expect("rms_norm requires rank >= 1");
+    assert_eq!(gamma.dims(), &[inner]);
+    let rows = x.len() / inner;
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..rows {
+        let row = &x.data()[r * inner..(r + 1) * inner];
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / inner as f32;
+        let denom = (ms + eps).sqrt();
+        for (i, (o, &v)) in out[r * inner..(r + 1) * inner]
+            .iter_mut()
+            .zip(row)
+            .enumerate()
+        {
+            *o = v / denom * gamma.data()[i];
+        }
+    }
+    Tensor::from_vec(dims, out)
+}
+
+/// Inference-mode batch normalization for NCHW images with per-channel
+/// statistics.
+pub fn batch_norm_2d(
+    x: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Tensor {
+    assert_eq!(x.rank(), 4, "batch_norm_2d expects NCHW");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    for t in [mean, var, gamma, beta] {
+        assert_eq!(t.dims(), &[c], "per-channel stats must be [{c}]");
+    }
+    let mut out = vec![0.0f32; x.len()];
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let denom = (var.data()[ci] + eps).sqrt();
+            let g = gamma.data()[ci];
+            let b = beta.data()[ci];
+            let m = mean.data()[ci];
+            let base = (ni * c + ci) * plane;
+            for i in 0..plane {
+                out[base + i] = (x.data()[base + i] - m) / denom * g + b;
+            }
+        }
+    }
+    Tensor::from_vec([n, c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn;
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = randn([4, 64], 11);
+        let gamma = Tensor::ones([64]);
+        let beta = Tensor::zeros([64]);
+        let y = layer_norm(&x, &gamma, &beta, 1e-5);
+        for r in 0..4 {
+            let row = &y.data()[r * 64..(r + 1) * 64];
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_applies_affine() {
+        let x = randn([1, 8], 3);
+        let gamma = Tensor::full([8], 2.0);
+        let beta = Tensor::full([8], 1.0);
+        let base = layer_norm(&x, &Tensor::ones([8]), &Tensor::zeros([8]), 1e-5);
+        let affine = layer_norm(&x, &gamma, &beta, 1e-5);
+        for i in 0..8 {
+            assert!((affine.data()[i] - (base.data()[i] * 2.0 + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rms_norm_unit_rms() {
+        let x = randn([2, 32], 5);
+        let y = rms_norm(&x, &Tensor::ones([32]), 1e-6);
+        for r in 0..2 {
+            let row = &y.data()[r * 32..(r + 1) * 32];
+            let rms: f32 = (row.iter().map(|v| v * v).sum::<f32>() / 32.0).sqrt();
+            assert!((rms - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batch_norm_normalizes_channels() {
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![2.0, 4.0, 10.0, 20.0]);
+        let mean = Tensor::from_vec([2], vec![3.0, 15.0]);
+        let var = Tensor::from_vec([2], vec![1.0, 25.0]);
+        let y = batch_norm_2d(
+            &x,
+            &mean,
+            &var,
+            &Tensor::ones([2]),
+            &Tensor::zeros([2]),
+            0.0,
+        );
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+        assert!((y.data()[2] + 1.0).abs() < 1e-6);
+        assert!((y.data()[3] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape: dimension sizes, outermost first. The empty shape is a
+/// scalar. All Genie CPU tensors are contiguous row-major; strides are
+//  derived, never stored.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Construct from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Scalar shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count.
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (innermost stride = 1).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flatten a multi-index into a linear offset. Panics (debug) on
+    /// out-of-range indices.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank());
+        debug_assert!(index.iter().zip(&self.0).all(|(&i, &d)| i < d));
+        let strides = self.strides();
+        index.iter().zip(&strides).map(|(&i, &s)| i * s).sum()
+    }
+
+    /// Whether `other` has the same element count (valid reshape target).
+    pub fn can_reshape_to(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+
+    /// Shape with dimension `dim` replaced by `size`.
+    pub fn with_dim(&self, dim: usize, size: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[dim] = size;
+        Shape(dims)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.0.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.num_elements(), 24);
+    }
+
+    #[test]
+    fn offset_arithmetic() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn reshape_compatibility() {
+        let a = Shape::new([6, 4]);
+        assert!(a.can_reshape_to(&Shape::new([24])));
+        assert!(a.can_reshape_to(&Shape::new([2, 3, 4])));
+        assert!(!a.can_reshape_to(&Shape::new([5, 5])));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Shape::new([2, 3])), "[2x3]");
+        assert_eq!(format!("{}", Shape::scalar()), "[]");
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let s = Shape::new([2, 3]).with_dim(1, 7);
+        assert_eq!(s.dims(), &[2, 7]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Transport errors.
+
+use std::fmt;
+
+/// Errors surfaced by the transport layer.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer closed the connection.
+    ConnectionClosed,
+    /// A frame exceeded the configured maximum.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// Allowed maximum.
+        max: usize,
+    },
+    /// Malformed bytes on the wire.
+    Codec(String),
+    /// A response arrived for an unknown request id.
+    UnexpectedResponse {
+        /// The id we got.
+        got: u64,
+        /// The id we expected.
+        expected: u64,
+    },
+    /// The remote handler reported an application error.
+    Remote(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::ConnectionClosed => write!(f, "connection closed by peer"),
+            TransportError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+            TransportError::Codec(msg) => write!(f, "codec error: {msg}"),
+            TransportError::UnexpectedResponse { got, expected } => {
+                write!(f, "response id {got} does not match request {expected}")
+            }
+            TransportError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::ConnectionClosed
+        } else {
+            TransportError::Io(e)
+        }
+    }
+}
+
+/// Transport result alias.
+pub type Result<T> = std::result::Result<T, TransportError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TransportError::FrameTooLarge { len: 10, max: 5 };
+        assert_eq!(e.to_string(), "frame of 10 bytes exceeds maximum 5");
+        assert!(TransportError::ConnectionClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn eof_maps_to_closed() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(
+            TransportError::from(io),
+            TransportError::ConnectionClosed
+        ));
+    }
+}

@@ -1,0 +1,94 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Wire format: `u32` big-endian payload length, then the payload. The
+//! maximum frame size bounds memory per connection; oversized frames are
+//! rejected *before* allocation, so a malicious or corrupt length prefix
+//! cannot OOM the process.
+
+use crate::error::{Result, TransportError};
+use bytes::Bytes;
+use std::io::{Read, Write};
+
+/// Default maximum frame payload: 256 MiB (a full GPT-J layer group fits;
+/// a corrupt length prefix does not).
+pub const MAX_FRAME: usize = 256 << 20;
+
+/// Write one frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge {
+            len: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(&read_frame(&mut cur).unwrap()[..], b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 0);
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn truncated_stream_reports_closed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(TransportError::ConnectionClosed) | Err(TransportError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(TransportError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_closed() {
+        let mut cur = Cursor::new(Vec::new());
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(TransportError::ConnectionClosed)
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! # genie-transport — real user-space networking
+//!
+//! The functional counterpart of §3.4's datapath: a dependency-light TCP
+//! transport that actually moves Genie's protocol over sockets.
+//!
+//! - [`frame`] — length-prefixed framing with pre-allocation bounds;
+//! - [`wire`] / [`message`] — a hand-rolled binary codec; tensor payloads
+//!   are [`bytes::Bytes`] slices referenced zero-copy out of the receive
+//!   buffer, graphs travel as the SRG's portable JSON;
+//! - [`client`] / [`server`] — blocking RPC with correlation ids, per-
+//!   connection handler state, traffic counters (the paper's "network
+//!   volume via RPC counters"), and graceful shutdown;
+//! - [`buffer`] — the pinned-buffer pool realizing §3.4's *proactive*
+//!   allocation: tensors born in registered memory ship with zero staging
+//!   copies, and the pool's counters prove it.
+//!
+//! The transport knows nothing about graphs or scheduling: the remote
+//! executor that interprets [`message::RequestBody::Execute`] lives in
+//! `genie-backend`, plugged in through the [`server::Handler`] trait.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod message;
+pub mod server;
+pub mod wire;
+
+pub use buffer::{PinnedBuf, PinnedPool};
+pub use client::Client;
+pub use error::{Result, TransportError};
+pub use message::{PayloadKind, Request, RequestBody, Response, ResponseBody, TensorPayload};
+pub use server::{Handler, Server};

@@ -1,0 +1,428 @@
+//! The Genie remote-execution protocol.
+//!
+//! Requests and responses are framed, hand-encoded messages. Graphs
+//! travel as JSON (the SRG's portable interchange encoding); tensor
+//! payloads travel as raw little-endian bytes referenced zero-copy from
+//! the receive buffer.
+
+use crate::error::{Result, TransportError};
+use crate::wire;
+use bytes::{Bytes, BytesMut};
+
+/// Element kind of a tensor payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// 32-bit floats.
+    F32,
+    /// 64-bit indices.
+    I64,
+}
+
+/// A tensor on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorPayload {
+    /// Dimension sizes.
+    pub dims: Vec<usize>,
+    /// Element kind.
+    pub kind: PayloadKind,
+    /// Raw little-endian element bytes.
+    pub data: Bytes,
+}
+
+impl TensorPayload {
+    /// Wrap an f32 tensor.
+    pub fn from_f32(dims: Vec<usize>, data: &[f32]) -> Self {
+        TensorPayload {
+            dims,
+            kind: PayloadKind::F32,
+            data: wire::f32s_to_bytes(data),
+        }
+    }
+
+    /// Wrap an i64 tensor.
+    pub fn from_i64(dims: Vec<usize>, data: &[i64]) -> Self {
+        TensorPayload {
+            dims,
+            kind: PayloadKind::I64,
+            data: wire::i64s_to_bytes(data),
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        wire::put_u8(
+            buf,
+            match self.kind {
+                PayloadKind::F32 => 0,
+                PayloadKind::I64 => 1,
+            },
+        );
+        wire::put_dims(buf, &self.dims);
+        wire::put_bytes(buf, &self.data);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self> {
+        let kind = match wire::get_u8(buf)? {
+            0 => PayloadKind::F32,
+            1 => PayloadKind::I64,
+            other => return Err(TransportError::Codec(format!("bad payload kind {other}"))),
+        };
+        let dims = wire::get_dims(buf)?;
+        let data = wire::get_bytes(buf)?;
+        Ok(TensorPayload { dims, kind, data })
+    }
+}
+
+/// A request body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe.
+    Ping,
+    /// Upload a tensor and pin it as a resident object under `key`.
+    /// Returns `Handle { key, epoch }`.
+    Upload {
+        /// Caller-chosen object key.
+        key: u64,
+        /// The tensor.
+        tensor: TensorPayload,
+    },
+    /// Execute a serialized SRG. `bindings` map node ids to inline
+    /// payloads; `handle_bindings` map node ids to resident objects;
+    /// `fetch` lists node ids whose values return inline;
+    /// `pin` maps node ids to keys under which their values pin remotely.
+    Execute {
+        /// JSON-encoded SRG (`genie_srg::serialize`).
+        srg_json: String,
+        /// Inline input payloads.
+        bindings: Vec<(u32, TensorPayload)>,
+        /// Handle-resolved input bindings `(node, key, expected_epoch)`.
+        handle_bindings: Vec<(u32, u64, u64)>,
+        /// Node ids whose outputs to return inline.
+        fetch: Vec<u32>,
+        /// Node ids whose outputs to pin remotely `(node, key)`.
+        pin: Vec<(u32, u64)>,
+    },
+    /// Fetch a resident object's bytes.
+    Fetch {
+        /// Object key.
+        key: u64,
+    },
+    /// Drop a resident object.
+    Release {
+        /// Object key.
+        key: u64,
+    },
+    /// Invalidate every resident object (fault-injection hook for lineage
+    /// tests: simulates losing the device).
+    Crash,
+}
+
+/// A response body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// Ping reply.
+    Pong,
+    /// Generic success.
+    Ok,
+    /// A resident-object handle.
+    Handle {
+        /// Object key.
+        key: u64,
+        /// Epoch for lineage invalidation.
+        epoch: u64,
+    },
+    /// Inline tensors, ordered as requested.
+    Tensors(Vec<TensorPayload>),
+    /// Result of an `Execute`: fetched tensors plus handles for pinned
+    /// outputs, each in request order.
+    ExecuteResult {
+        /// Values of the `fetch` nodes.
+        tensors: Vec<TensorPayload>,
+        /// `(key, epoch)` per `pin` entry.
+        handles: Vec<(u64, u64)>,
+    },
+    /// Application-level failure.
+    Error(String),
+}
+
+/// A full request envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Correlation id.
+    pub id: u64,
+    /// Body.
+    pub body: RequestBody,
+}
+
+/// A full response envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Correlation id (matches the request).
+    pub id: u64,
+    /// Body.
+    pub body: ResponseBody,
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        wire::put_u64(&mut buf, self.id);
+        match &self.body {
+            RequestBody::Ping => wire::put_u8(&mut buf, 0),
+            RequestBody::Upload { key, tensor } => {
+                wire::put_u8(&mut buf, 1);
+                wire::put_u64(&mut buf, *key);
+                tensor.encode(&mut buf);
+            }
+            RequestBody::Execute {
+                srg_json,
+                bindings,
+                handle_bindings,
+                fetch,
+                pin,
+            } => {
+                wire::put_u8(&mut buf, 2);
+                wire::put_str(&mut buf, srg_json);
+                wire::put_u32(&mut buf, bindings.len() as u32);
+                for (node, t) in bindings {
+                    wire::put_u32(&mut buf, *node);
+                    t.encode(&mut buf);
+                }
+                wire::put_u32(&mut buf, handle_bindings.len() as u32);
+                for (node, key, epoch) in handle_bindings {
+                    wire::put_u32(&mut buf, *node);
+                    wire::put_u64(&mut buf, *key);
+                    wire::put_u64(&mut buf, *epoch);
+                }
+                wire::put_u32(&mut buf, fetch.len() as u32);
+                for n in fetch {
+                    wire::put_u32(&mut buf, *n);
+                }
+                wire::put_u32(&mut buf, pin.len() as u32);
+                for (n, k) in pin {
+                    wire::put_u32(&mut buf, *n);
+                    wire::put_u64(&mut buf, *k);
+                }
+            }
+            RequestBody::Fetch { key } => {
+                wire::put_u8(&mut buf, 3);
+                wire::put_u64(&mut buf, *key);
+            }
+            RequestBody::Release { key } => {
+                wire::put_u8(&mut buf, 4);
+                wire::put_u64(&mut buf, *key);
+            }
+            RequestBody::Crash => wire::put_u8(&mut buf, 5),
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(mut raw: Bytes) -> Result<Self> {
+        let id = wire::get_u64(&mut raw)?;
+        let tag = wire::get_u8(&mut raw)?;
+        let body = match tag {
+            0 => RequestBody::Ping,
+            1 => RequestBody::Upload {
+                key: wire::get_u64(&mut raw)?,
+                tensor: TensorPayload::decode(&mut raw)?,
+            },
+            2 => {
+                let srg_json = wire::get_str(&mut raw)?;
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut bindings = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let node = wire::get_u32(&mut raw)?;
+                    bindings.push((node, TensorPayload::decode(&mut raw)?));
+                }
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut handle_bindings = Vec::with_capacity(n);
+                for _ in 0..n {
+                    handle_bindings.push((
+                        wire::get_u32(&mut raw)?,
+                        wire::get_u64(&mut raw)?,
+                        wire::get_u64(&mut raw)?,
+                    ));
+                }
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut fetch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fetch.push(wire::get_u32(&mut raw)?);
+                }
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut pin = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pin.push((wire::get_u32(&mut raw)?, wire::get_u64(&mut raw)?));
+                }
+                RequestBody::Execute {
+                    srg_json,
+                    bindings,
+                    handle_bindings,
+                    fetch,
+                    pin,
+                }
+            }
+            3 => RequestBody::Fetch {
+                key: wire::get_u64(&mut raw)?,
+            },
+            4 => RequestBody::Release {
+                key: wire::get_u64(&mut raw)?,
+            },
+            5 => RequestBody::Crash,
+            other => return Err(TransportError::Codec(format!("bad request tag {other}"))),
+        };
+        Ok(Request { id, body })
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        wire::put_u64(&mut buf, self.id);
+        match &self.body {
+            ResponseBody::Pong => wire::put_u8(&mut buf, 0),
+            ResponseBody::Ok => wire::put_u8(&mut buf, 1),
+            ResponseBody::Handle { key, epoch } => {
+                wire::put_u8(&mut buf, 2);
+                wire::put_u64(&mut buf, *key);
+                wire::put_u64(&mut buf, *epoch);
+            }
+            ResponseBody::Tensors(ts) => {
+                wire::put_u8(&mut buf, 3);
+                wire::put_u32(&mut buf, ts.len() as u32);
+                for t in ts {
+                    t.encode(&mut buf);
+                }
+            }
+            ResponseBody::Error(msg) => {
+                wire::put_u8(&mut buf, 4);
+                wire::put_str(&mut buf, msg);
+            }
+            ResponseBody::ExecuteResult { tensors, handles } => {
+                wire::put_u8(&mut buf, 5);
+                wire::put_u32(&mut buf, tensors.len() as u32);
+                for t in tensors {
+                    t.encode(&mut buf);
+                }
+                wire::put_u32(&mut buf, handles.len() as u32);
+                for (k, e) in handles {
+                    wire::put_u64(&mut buf, *k);
+                    wire::put_u64(&mut buf, *e);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(mut raw: Bytes) -> Result<Self> {
+        let id = wire::get_u64(&mut raw)?;
+        let tag = wire::get_u8(&mut raw)?;
+        let body = match tag {
+            0 => ResponseBody::Pong,
+            1 => ResponseBody::Ok,
+            2 => ResponseBody::Handle {
+                key: wire::get_u64(&mut raw)?,
+                epoch: wire::get_u64(&mut raw)?,
+            },
+            3 => {
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut ts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ts.push(TensorPayload::decode(&mut raw)?);
+                }
+                ResponseBody::Tensors(ts)
+            }
+            4 => ResponseBody::Error(wire::get_str(&mut raw)?),
+            5 => {
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut tensors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tensors.push(TensorPayload::decode(&mut raw)?);
+                }
+                let n = wire::get_u32(&mut raw)? as usize;
+                let mut handles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    handles.push((wire::get_u64(&mut raw)?, wire::get_u64(&mut raw)?));
+                }
+                ResponseBody::ExecuteResult { tensors, handles }
+            }
+            other => return Err(TransportError::Codec(format!("bad response tag {other}"))),
+        };
+        Ok(Response { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(body: RequestBody) {
+        let req = Request { id: 42, body };
+        let decoded = Request::decode(req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(RequestBody::Ping);
+        roundtrip_req(RequestBody::Upload {
+            key: 7,
+            tensor: TensorPayload::from_f32(vec![2, 2], &[1.0, 2.0, 3.0, 4.0]),
+        });
+        roundtrip_req(RequestBody::Execute {
+            srg_json: "{\"name\":\"g\"}".into(),
+            bindings: vec![(0, TensorPayload::from_i64(vec![3], &[1, 2, 3]))],
+            handle_bindings: vec![(1, 99, 2)],
+            fetch: vec![5, 6],
+            pin: vec![(7, 1000)],
+        });
+        roundtrip_req(RequestBody::Fetch { key: 1 });
+        roundtrip_req(RequestBody::Release { key: u64::MAX });
+        roundtrip_req(RequestBody::Crash);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for body in [
+            ResponseBody::Pong,
+            ResponseBody::Ok,
+            ResponseBody::Handle { key: 3, epoch: 9 },
+            ResponseBody::Tensors(vec![
+                TensorPayload::from_f32(vec![1], &[5.0]),
+                TensorPayload::from_i64(vec![2], &[-1, 1]),
+            ]),
+            ResponseBody::ExecuteResult {
+                tensors: vec![TensorPayload::from_f32(vec![1], &[2.5])],
+                handles: vec![(9, 1), (10, 1)],
+            },
+            ResponseBody::Error("boom".into()),
+        ] {
+            let resp = Response { id: 8, body };
+            assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Request::decode(Bytes::from_static(&[1, 2, 3])).is_err());
+        let mut buf = BytesMut::new();
+        wire::put_u64(&mut buf, 1);
+        wire::put_u8(&mut buf, 250); // bad tag
+        assert!(Request::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let t = TensorPayload::from_f32(vec![10], &[0.0; 10]);
+        assert_eq!(t.size_bytes(), 40);
+        let t = TensorPayload::from_i64(vec![4], &[0; 4]);
+        assert_eq!(t.size_bytes(), 32);
+    }
+}

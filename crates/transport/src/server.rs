@@ -1,0 +1,199 @@
+//! A threaded RPC server with graceful shutdown.
+//!
+//! The transport stays policy-free: a [`Handler`] implements the
+//! application (Genie's remote executor lives in `genie-backend`). One
+//! thread per connection with blocking sockets keeps the state machine
+//! obvious — the event-driven complexity budget of this project is spent
+//! in the simulator, not in socket plumbing.
+
+use crate::error::Result;
+use crate::frame::{read_frame, write_frame};
+use crate::message::{Request, RequestBody, Response, ResponseBody};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Application logic plugged into the server. One handler instance exists
+/// per connection; shared state goes behind the factory's captures.
+pub trait Handler: Send + 'static {
+    /// Handle one request body, returning the response body.
+    fn handle(&mut self, body: RequestBody) -> ResponseBody;
+}
+
+impl<F> Handler for F
+where
+    F: FnMut(RequestBody) -> ResponseBody + Send + 'static,
+{
+    fn handle(&mut self, body: RequestBody) -> ResponseBody {
+        self(body)
+    }
+}
+
+/// A running server. Dropping it shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Server {
+    /// Bind to `127.0.0.1:0` and serve connections, building one handler
+    /// per connection via `factory`.
+    pub fn spawn<H, F>(factory: F) -> Result<Server>
+    where
+        H: Handler,
+        F: Fn() -> H + Send + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let conns: Arc<Mutex<Vec<TcpStream>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let conns2 = conns.clone();
+
+        let accept_thread = std::thread::Builder::new()
+            .name("genie-accept".into())
+            .spawn(move || {
+                let mut conn_threads = Vec::new();
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Keep a handle so shutdown can unblock the reader.
+                    if let Ok(clone) = stream.try_clone() {
+                        conns2.lock().push(clone);
+                    }
+                    let mut handler = factory();
+                    let t = std::thread::Builder::new()
+                        .name("genie-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &mut handler);
+                        })
+                        .expect("spawn connection thread");
+                    conn_threads.push(t);
+                }
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address to connect clients to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and wait for the accept loop to exit. Open
+    /// connections are closed (clients observe `ConnectionClosed`); new
+    /// connections are refused.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock per-connection readers parked on live client sockets.
+        for stream in self.conns.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, handler: &mut dyn Handler) -> Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(crate::error::TransportError::ConnectionClosed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let request = Request::decode(frame)?;
+        let body = handler.handle(request.body);
+        let response = Response {
+            id: request.id,
+            body,
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn ping_pong_over_real_sockets() {
+        let mut server = Server::spawn(|| {
+            |body: RequestBody| match body {
+                RequestBody::Ping => ResponseBody::Pong,
+                _ => ResponseBody::Error("unsupported".into()),
+            }
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_connection_handler_state() {
+        // Each connection gets its own counter.
+        let mut server = Server::spawn(|| {
+            let mut count = 0u64;
+            move |_body: RequestBody| {
+                count += 1;
+                ResponseBody::Handle {
+                    key: count,
+                    epoch: 0,
+                }
+            }
+        })
+        .unwrap();
+        let mut c1 = Client::connect(server.addr()).unwrap();
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert_eq!(
+            c1.call(RequestBody::Ping).unwrap(),
+            ResponseBody::Handle { key: 1, epoch: 0 }
+        );
+        assert_eq!(
+            c1.call(RequestBody::Ping).unwrap(),
+            ResponseBody::Handle { key: 2, epoch: 0 }
+        );
+        // Fresh connection, fresh counter.
+        assert_eq!(
+            c2.call(RequestBody::Ping).unwrap(),
+            ResponseBody::Handle { key: 1, epoch: 0 }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = Server::spawn(|| |_b: RequestBody| ResponseBody::Ok).unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,196 @@
+//! Hand-rolled binary codec primitives.
+//!
+//! The payload path avoids generic serialization: tensor bytes travel as
+//! [`Bytes`] slices that are never re-encoded, so a payload copied into a
+//! pinned buffer at creation time reaches the socket without intermediate
+//! copies (the software half of §3.4's zero-copy story).
+
+use crate::error::{Result, TransportError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append a u8.
+pub fn put_u8(buf: &mut BytesMut, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Append a u32 (big-endian).
+pub fn put_u32(buf: &mut BytesMut, v: u32) {
+    buf.put_u32(v);
+}
+
+/// Append a u64 (big-endian).
+pub fn put_u64(buf: &mut BytesMut, v: u64) {
+    buf.put_u64(v);
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(buf: &mut BytesMut, v: &[u8]) {
+    buf.put_u32(v.len() as u32);
+    buf.put_slice(v);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// Append a list of u32 dims.
+pub fn put_dims(buf: &mut BytesMut, dims: &[usize]) {
+    buf.put_u8(dims.len() as u8);
+    for &d in dims {
+        buf.put_u32(d as u32);
+    }
+}
+
+/// Read a u8.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    ensure(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+/// Read a u32.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    ensure(buf, 4)?;
+    Ok(buf.get_u32())
+}
+
+/// Read a u64.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    ensure(buf, 8)?;
+    Ok(buf.get_u64())
+}
+
+/// Read a length-prefixed byte string (zero-copy slice of the input).
+pub fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
+    let len = get_u32(buf)? as usize;
+    ensure(buf, len)?;
+    Ok(buf.split_to(len))
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut Bytes) -> Result<String> {
+    let raw = get_bytes(buf)?;
+    String::from_utf8(raw.to_vec()).map_err(|e| TransportError::Codec(e.to_string()))
+}
+
+/// Read dims.
+pub fn get_dims(buf: &mut Bytes) -> Result<Vec<usize>> {
+    let rank = get_u8(buf)? as usize;
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(get_u32(buf)? as usize);
+    }
+    Ok(dims)
+}
+
+fn ensure(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(TransportError::Codec(format!(
+            "need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Encode an f32 slice as little-endian bytes.
+pub fn f32s_to_bytes(data: &[f32]) -> Bytes {
+    let mut out = BytesMut::with_capacity(data.len() * 4);
+    for &v in data {
+        out.put_f32_le(v);
+    }
+    out.freeze()
+}
+
+/// Decode little-endian f32 bytes.
+pub fn bytes_to_f32s(mut raw: Bytes) -> Result<Vec<f32>> {
+    if !raw.len().is_multiple_of(4) {
+        return Err(TransportError::Codec("f32 payload not 4-aligned".into()));
+    }
+    let mut out = Vec::with_capacity(raw.len() / 4);
+    while raw.has_remaining() {
+        out.push(raw.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Encode an i64 slice as little-endian bytes.
+pub fn i64s_to_bytes(data: &[i64]) -> Bytes {
+    let mut out = BytesMut::with_capacity(data.len() * 8);
+    for &v in data {
+        out.put_i64_le(v);
+    }
+    out.freeze()
+}
+
+/// Decode little-endian i64 bytes.
+pub fn bytes_to_i64s(mut raw: Bytes) -> Result<Vec<i64>> {
+    if !raw.len().is_multiple_of(8) {
+        return Err(TransportError::Codec("i64 payload not 8-aligned".into()));
+    }
+    let mut out = Vec::with_capacity(raw.len() / 8);
+    while raw.has_remaining() {
+        out.push(raw.get_i64_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut buf = BytesMut::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX);
+        put_str(&mut buf, "genie");
+        put_dims(&mut buf, &[2, 3, 4]);
+        let mut raw = buf.freeze();
+        assert_eq!(get_u8(&mut raw).unwrap(), 7);
+        assert_eq!(get_u32(&mut raw).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&mut raw).unwrap(), u64::MAX);
+        assert_eq!(get_str(&mut raw).unwrap(), "genie");
+        assert_eq!(get_dims(&mut raw).unwrap(), vec![2, 3, 4]);
+        assert!(raw.is_empty());
+    }
+
+    #[test]
+    fn short_buffer_errors() {
+        let mut raw = Bytes::from_static(&[0, 0]);
+        assert!(get_u32(&mut raw).is_err());
+    }
+
+    #[test]
+    fn bytes_are_zero_copy_slices() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let frozen = buf.freeze();
+        let mut view = frozen.clone();
+        let payload = get_bytes(&mut view).unwrap();
+        // Same backing allocation: slice_ref succeeds.
+        assert_eq!(&payload[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn f32_payload_roundtrip() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MAX];
+        let raw = f32s_to_bytes(&data);
+        assert_eq!(bytes_to_f32s(raw).unwrap(), data);
+    }
+
+    #[test]
+    fn i64_payload_roundtrip() {
+        let data = vec![i64::MIN, -1, 0, 42, i64::MAX];
+        let raw = i64s_to_bytes(&data);
+        assert_eq!(bytes_to_i64s(raw).unwrap(), data);
+    }
+
+    #[test]
+    fn misaligned_payloads_rejected() {
+        assert!(bytes_to_f32s(Bytes::from_static(&[0u8; 3])).is_err());
+        assert!(bytes_to_i64s(Bytes::from_static(&[0u8; 7])).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Stress and concurrency tests for the TCP transport.
+
+use genie_transport::{Client, RequestBody, ResponseBody, Server, TensorPayload};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn echo_server(counter: Arc<AtomicU64>) -> Server {
+    Server::spawn(move || {
+        let counter = counter.clone();
+        move |body: RequestBody| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            match body {
+                RequestBody::Upload { tensor, .. } => ResponseBody::Tensors(vec![tensor]),
+                _ => ResponseBody::Pong,
+            }
+        }
+    })
+    .expect("server spawns")
+}
+
+#[test]
+fn many_concurrent_clients_are_isolated() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let server = echo_server(counter.clone());
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..50u64 {
+                    // Distinct payload per (thread, iteration): the echo
+                    // must come back exactly, proving no cross-talk.
+                    let data = vec![t as f32 * 1000.0 + i as f32; 16];
+                    let reply = client
+                        .call(RequestBody::Upload {
+                            key: i,
+                            tensor: TensorPayload::from_f32(vec![16], &data),
+                        })
+                        .expect("call");
+                    match reply {
+                        ResponseBody::Tensors(ts) => {
+                            assert_eq!(ts[0], TensorPayload::from_f32(vec![16], &data));
+                        }
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+                client.calls
+            })
+        })
+        .collect();
+
+    let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(total, 8 * 50);
+    assert_eq!(counter.load(Ordering::Relaxed), 8 * 50);
+}
+
+#[test]
+fn large_payload_roundtrip() {
+    let server = echo_server(Arc::new(AtomicU64::new(0)));
+    let mut client = Client::connect(server.addr()).unwrap();
+    // 8 MB tensor — tests multi-read framing paths.
+    let data = vec![0.5f32; 2 << 20];
+    let reply = client
+        .call(RequestBody::Upload {
+            key: 1,
+            tensor: TensorPayload::from_f32(vec![2 << 20], &data),
+        })
+        .unwrap();
+    match reply {
+        ResponseBody::Tensors(ts) => assert_eq!(ts[0].size_bytes(), (2 << 20) * 4),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn sequential_reconnects() {
+    let server = echo_server(Arc::new(AtomicU64::new(0)));
+    for _ in 0..20 {
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
+        // Client drops, closing the connection; server must keep serving.
+    }
+}
+
+#[test]
+fn server_survives_abrupt_disconnects() {
+    let server = echo_server(Arc::new(AtomicU64::new(0)));
+    for _ in 0..5 {
+        // Connect and slam the socket shut without a clean request.
+        let s = std::net::TcpStream::connect(server.addr()).unwrap();
+        drop(s);
+    }
+    // A well-behaved client still works.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
+}
+
+#[test]
+fn garbage_frames_kill_only_that_connection() {
+    use std::io::Write;
+    let server = echo_server(Arc::new(AtomicU64::new(0)));
+    // Send a valid frame header with garbage body.
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.write_all(&8u32.to_be_bytes()).unwrap();
+    s.write_all(&[0xFF; 8]).unwrap();
+    // The server drops this connection; others are unaffected.
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
+}

@@ -1,0 +1,77 @@
+//! Confidential AI disaggregation (§5, "Trust and verifiability" +
+//! "The evolving semantic lexicon").
+//!
+//! A tenant redacts its proprietary model graph before submitting it to
+//! the fleet scheduler. The scheduler never sees a name, module path, or
+//! custom-kernel identity — yet it can still (a) classify the workload
+//! with a *learned* lexicon trained on public exemplars, (b) place it by
+//! hardware affinity, and (c) batch it with other tenants running the
+//! same public model via the structural fingerprint.
+//!
+//! Run with: `cargo run --example confidential_scheduling`
+
+use genie::frontend::patterns::learned::LearnedLexicon;
+use genie::models::{CnnConfig, KvState, SimpleCnn, TransformerConfig, TransformerLm};
+use genie::prelude::*;
+use genie::srg::redact::{fingerprint, identifying_bytes, redact};
+
+fn capture_llm(cfg: TransformerConfig, secret: &str) -> Srg {
+    let m = TransformerLm::new_spec(cfg);
+    let ctx = CaptureCtx::new(format!("{secret}-proprietary-model"));
+    let cap = ctx.scope(secret, || m.capture_decode_step(&ctx, 0, &KvState::default()));
+    cap.logits.sample().mark_output();
+    ctx.finish().srg
+}
+
+fn main() {
+    // The fleet operator trains a lexicon on public exemplar graphs.
+    let mut lexicon = LearnedLexicon::new();
+    lexicon.learn("llm", &capture_llm(TransformerConfig::tiny(), "public"));
+    {
+        let m = SimpleCnn::new_spec(CnnConfig::tiny());
+        let ctx = CaptureCtx::new("public-cnn");
+        m.capture_inference(&ctx, 1, None).mark_output();
+        lexicon.learn("vision", &ctx.finish().srg);
+    }
+    println!("fleet lexicon trained on {} public classes", lexicon.classes());
+
+    // Tenant A captures its proprietary GPT-J variant and redacts.
+    let secret_graph = capture_llm(TransformerConfig::gptj_6b(), "acme_secret_sauce");
+    let leak_before = identifying_bytes(&secret_graph);
+    let submitted = redact(&secret_graph);
+    let json = genie::srg::serialize::to_json(&submitted).unwrap();
+    println!("\ntenant A submits a redacted graph:");
+    println!("  identifying bytes before redaction: {leak_before}");
+    println!(
+        "  'acme' appears in submitted JSON: {}",
+        json.contains("acme")
+    );
+    println!("  graph name on the wire: {}", submitted.name);
+
+    // The scheduler classifies the redacted graph and places it.
+    let (class, dist) = lexicon.classify(&submitted).expect("lexicon non-empty");
+    println!("\nscheduler classifies redacted graph as `{class}` (distance {dist:.3})");
+    let topo = Topology::heterogeneous_fleet(1, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    let plan = genie::scheduler::schedule(&submitted, &topo, &state, &cost, &SemanticsAware::new());
+    println!("placed: {}", plan.summary());
+
+    // Tenant B runs the same public architecture: fingerprints match, so
+    // the fleet can batch their decode steps without seeing either model.
+    let tenant_b = redact(&capture_llm(TransformerConfig::gptj_6b(), "globex_private"));
+    let fa = fingerprint(&submitted);
+    let fb = fingerprint(&tenant_b);
+    println!("\nfingerprints: tenant A {fa:016x}, tenant B {fb:016x}");
+    println!(
+        "batchable: {} (same architecture, zero knowledge of whose)",
+        fa == fb
+    );
+
+    // A structurally different model does not collide.
+    let other = redact(&capture_llm(TransformerConfig::tiny(), "small"));
+    println!(
+        "different architecture collides: {}",
+        fingerprint(&other) == fa
+    );
+}

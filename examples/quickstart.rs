@@ -1,0 +1,55 @@
+//! Quickstart: capture → annotate → schedule → execute.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use genie::prelude::*;
+use genie::tensor::init::randn;
+
+fn main() {
+    // 1. Write ordinary model code against lazy tensors. Nothing executes;
+    //    Genie records an SRG.
+    let ctx = CaptureCtx::new("quickstart");
+    let x = ctx.input("x", [4, 16], ElemType::F32, Some(randn([4, 16], 1)));
+    let (y, w2) = ctx.scope("mlp", || {
+        let w1 = ctx.parameter("w1", [16, 32], ElemType::F32, Some(randn([16, 32], 2)));
+        let w2 = ctx.parameter("w2", [32, 8], ElemType::F32, Some(randn([32, 8], 3)));
+        (x.matmul(&w1).gelu().matmul(&w2), w2)
+    });
+    y.mark_output();
+    let cap = ctx.finish();
+
+    println!("captured SRG `{}`:", cap.srg.name);
+    println!("  {} nodes, {} edges", cap.srg.node_count(), cap.srg.edge_count());
+    println!(
+        "  validation: {}",
+        if genie::srg::validate::validate(&cap.srg).is_empty() {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    );
+    println!("  w2 module path: {:?}", cap.srg.node(w2.node).module_path);
+
+    // 2. Schedule onto the paper's testbed (client + A100 over 25 GbE).
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    let cost = CostModel::ideal_25g();
+    let plan = genie::scheduler::schedule(&cap.srg, &topo, &state, &cost, &SemanticsAware::new());
+    println!("\n{}", plan.summary());
+    println!(
+        "  pinned uploads: {} (weights ship once, then handles)",
+        plan.pinned_uploads.len()
+    );
+
+    // 3. Execute functionally on the local backend and inspect the output.
+    let outputs = LocalBackend.execute_outputs(&cap).expect("executes");
+    let out = outputs[0].as_f("y");
+    println!("\noutput shape: {:?}", out.dims());
+    println!("output[0][..4] = {:?}", &out.data()[..4]);
+
+    // 4. Export the graph for inspection.
+    println!("\nDOT preview (first 3 lines):");
+    for line in genie::srg::dot::to_dot(&cap.srg).lines().take(3) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,57 @@
+//! SRG inspector: dump any zoo workload's captured graph as statistics,
+//! DOT, JSON, and a placement-colored plan — the debugging workflow a
+//! Genie developer lives in.
+//!
+//! Run with: `cargo run --example srg_inspect [llm|vision|rec|multimodal]`
+
+use genie::models::Workload;
+use genie::prelude::*;
+use genie::srg::stats::GraphStats;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "llm".into());
+    let workload = match which.as_str() {
+        "vision" => Workload::ComputerVision,
+        "rec" => Workload::Recommendation,
+        "multimodal" => Workload::Multimodal,
+        _ => Workload::LlmServing,
+    };
+    let srg = workload.spec_graph();
+
+    println!("=== {} ===", workload.name());
+    let stats = GraphStats::of(&srg).expect("acyclic");
+    println!("nodes: {}  edges: {}  depth: {}  max width: {}", stats.nodes, stats.edges, stats.depth, stats.max_width);
+    println!("pattern: {}", stats.computation_pattern());
+    println!("memory:  {}", stats.memory_access_profile());
+    println!(
+        "weights: {:.2} GB   stateful: {:.2} MB   flops: {:.2} GF",
+        stats.weight_bytes / 1e9,
+        stats.stateful_bytes / 1e6,
+        stats.total_flops / 1e9
+    );
+    println!("op histogram:");
+    for (op, count) in srg.op_histogram() {
+        println!("  {op:<16} {count}");
+    }
+
+    // Plan it and emit artifacts.
+    let topo = Topology::rack(4, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+    println!("\n{}", plan.summary());
+
+    let dir = std::path::Path::new("target/inspect");
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let dot = dir.join(format!("{which}.dot"));
+    std::fs::write(&dot, genie::srg::dot::to_dot(&srg)).expect("write dot");
+    let plan_dot = dir.join(format!("{which}.plan.dot"));
+    std::fs::write(&plan_dot, genie::scheduler::plan_dot::plan_to_dot(&plan)).expect("write plan dot");
+    let json = dir.join(format!("{which}.srg.json"));
+    std::fs::write(&json, genie::srg::serialize::to_json_pretty(&srg).expect("serialize"))
+        .expect("write json");
+    println!("\nartifacts:");
+    for p in [&dot, &plan_dot, &json] {
+        println!("  {}", p.display());
+    }
+}

@@ -1,0 +1,58 @@
+//! Pipelined CNN inference (§3.3): the recognizer finds conv stages, the
+//! scheduler spreads them across accelerators, and the pipeline analysis
+//! shows where pipelining pays — and where it honestly does not.
+//!
+//! Run with: `cargo run --example vision_pipeline`
+
+use genie::models::{CnnConfig, SimpleCnn};
+use genie::prelude::*;
+use genie::scheduler::pipeline;
+
+fn main() {
+    // Functional check first: the tiny CNN actually classifies.
+    let tiny = SimpleCnn::new_functional(CnnConfig::tiny(), 7);
+    let scores = tiny.infer(genie::tensor::init::randn([1, 3, 16, 16], 1));
+    println!("tiny CNN class scores: {:?}", &scores.data()[..5]);
+
+    // Paper-scale spec capture + recognizers.
+    let model = SimpleCnn::new_spec(CnnConfig::resnet_like());
+    let ctx = CaptureCtx::new("resnet.infer");
+    model.capture_inference(&ctx, 1, None).mark_output();
+    let mut srg = ctx.finish().srg;
+    let fired = genie::frontend::patterns::run_all(&mut srg);
+    println!("\nrecognizers fired: {fired:?}");
+
+    let topo = Topology::rack(4, 25e9);
+    let cost = CostModel::paper_stack();
+    let stages = pipeline::stage_profiles(&srg, &topo, &cost);
+    println!("{} pipeline stages found", stages.len());
+    for s in &stages {
+        println!(
+            "  stage {:>2}: compute {:>8.3} ms, boundary {:>10} B",
+            s.stage,
+            s.compute_s * 1e3,
+            s.boundary_bytes as u64
+        );
+    }
+
+    let batch = 256;
+    let serial = pipeline::serial_makespan(&stages, batch);
+    println!("\nbatch of {batch} images:");
+    println!("  single A100, serial:            {:>8.2} s", serial);
+    for (name, bw) in [
+        ("4-way pipeline over 25 GbE", 25e9 / 8.0),
+        ("4-way pipeline over 100 GbE", 100e9 / 8.0),
+        ("4-way pipeline over NVLink", 300e9),
+    ] {
+        let piped = pipeline::pipelined_makespan(&stages, batch, 4, bw);
+        println!(
+            "  {name:<31} {piped:>8.2} s ({})",
+            if piped < serial { "wins" } else { "loses" }
+        );
+    }
+    let breakeven = pipeline::pipeline_breakeven_bandwidth(&stages, 4);
+    println!(
+        "\npipelining breaks even at ≈{:.1} GB/s of interconnect — the\nscheduler can see this from the SRG and place accordingly.",
+        breakeven / 1e9
+    );
+}
