@@ -1,0 +1,477 @@
+//! The diagnostics framework: lint codes, severities, anchors, and the
+//! deterministic [`Report`] the passes accumulate into.
+
+use genie_cluster::DevId;
+use genie_srg::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every lint the engine knows, numbered like compiler diagnostics:
+/// `GA0xx` are SRG-level (checkable on a captured graph alone), `GA1xx`
+/// are plan-level (need placements, transfers, and cluster state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// GA001 — an op's input tensor shapes are mutually inconsistent
+    /// (matmul inner dims, concat axes, elementwise operands, KV dims).
+    ShapeMismatch,
+    /// GA002 — an op mixes element types across its data inputs.
+    DtypeMismatch,
+    /// GA003 — a phase-incoherent dependency: an earlier pipeline phase
+    /// consumes a later one (prefill depending on decode, forward on
+    /// backward).
+    PhaseIncoherence,
+    /// GA004 — a `StatefulKvCache` value flows into a consumer that is
+    /// neither a KV append nor an attention op, breaking the stateful
+    /// co-location contract.
+    KvResidencyViolation,
+    /// GA005 — a compute-heavy op (matmul / attention / conv) carries a
+    /// zero-FLOP cost hint, blinding every cost-model decision downstream.
+    ZeroFlopCompute,
+    /// GA006 — a cost hint disagrees with what the tensor shapes imply by
+    /// more than 4×.
+    CostHintInconsistent,
+    /// GA007 — an edge's rate annotation claims the consumer reads more
+    /// bytes than the producer emits.
+    RateInconsistent,
+    /// GA008 — a compute node reached the scheduler with no phase and no
+    /// module path: semantics were lost in translation.
+    AnnotationGap,
+    /// GA101 — a plan's pinned + transient bytes exceed a device's free
+    /// memory.
+    DeviceOvercommit,
+    /// GA102 — a transfer's endpoints disagree with the placements of the
+    /// edge it claims to realize.
+    TransferEndpointMismatch,
+    /// GA103 — a persistent weight or embedding shard ships by value to a
+    /// device instead of by resident-object handle.
+    WeightReshippedByValue,
+    /// GA104 — a stateful KV cache crosses a location boundary, forcing a
+    /// per-step re-ship of growing state.
+    KvCacheNotColocated,
+}
+
+impl LintCode {
+    /// Every code, in report order.
+    pub const ALL: [LintCode; 12] = [
+        LintCode::ShapeMismatch,
+        LintCode::DtypeMismatch,
+        LintCode::PhaseIncoherence,
+        LintCode::KvResidencyViolation,
+        LintCode::ZeroFlopCompute,
+        LintCode::CostHintInconsistent,
+        LintCode::RateInconsistent,
+        LintCode::AnnotationGap,
+        LintCode::DeviceOvercommit,
+        LintCode::TransferEndpointMismatch,
+        LintCode::WeightReshippedByValue,
+        LintCode::KvCacheNotColocated,
+    ];
+
+    /// The stable `GAnnn` identifier.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::ShapeMismatch => "GA001",
+            LintCode::DtypeMismatch => "GA002",
+            LintCode::PhaseIncoherence => "GA003",
+            LintCode::KvResidencyViolation => "GA004",
+            LintCode::ZeroFlopCompute => "GA005",
+            LintCode::CostHintInconsistent => "GA006",
+            LintCode::RateInconsistent => "GA007",
+            LintCode::AnnotationGap => "GA008",
+            LintCode::DeviceOvercommit => "GA101",
+            LintCode::TransferEndpointMismatch => "GA102",
+            LintCode::WeightReshippedByValue => "GA103",
+            LintCode::KvCacheNotColocated => "GA104",
+        }
+    }
+
+    /// Parse a `GAnnn` identifier back to a code.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|c| c.code() == s)
+    }
+
+    /// The severity a fresh [`LintConfig`] assigns this code.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::ShapeMismatch
+            | LintCode::DtypeMismatch
+            | LintCode::PhaseIncoherence
+            | LintCode::KvResidencyViolation
+            | LintCode::ZeroFlopCompute
+            | LintCode::DeviceOvercommit
+            | LintCode::TransferEndpointMismatch => Severity::Deny,
+            LintCode::CostHintInconsistent
+            | LintCode::RateInconsistent
+            | LintCode::WeightReshippedByValue
+            | LintCode::KvCacheNotColocated => Severity::Warn,
+            LintCode::AnnotationGap => Severity::Info,
+        }
+    }
+
+    /// Whether the code lints plans (GA1xx) rather than raw SRGs (GA0xx).
+    pub fn is_plan_level(self) -> bool {
+        matches!(
+            self,
+            LintCode::DeviceOvercommit
+                | LintCode::TransferEndpointMismatch
+                | LintCode::WeightReshippedByValue
+                | LintCode::KvCacheNotColocated
+        )
+    }
+
+    /// One-line statement of the invariant this code protects.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            LintCode::ShapeMismatch => "every op's input shapes must compose",
+            LintCode::DtypeMismatch => "arithmetic ops must not mix element types",
+            LintCode::PhaseIncoherence => "earlier phases never depend on later ones",
+            LintCode::KvResidencyViolation => {
+                "KV-cache state flows only through kv_append and attention"
+            }
+            LintCode::ZeroFlopCompute => "compute-heavy ops must carry FLOP estimates",
+            LintCode::CostHintInconsistent => "cost hints must agree with tensor shapes",
+            LintCode::RateInconsistent => "a consumer cannot read more bytes than produced",
+            LintCode::AnnotationGap => "compute nodes should carry phase or module context",
+            LintCode::DeviceOvercommit => "per-device demand must fit free device memory",
+            LintCode::TransferEndpointMismatch => "transfers must match node placements",
+            LintCode::WeightReshippedByValue => "persistent weights ship once, then by handle",
+            LintCode::KvCacheNotColocated => "decode-state KV caches stay with their consumer",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl Serialize for LintCode {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self.code())
+    }
+}
+
+impl<'de> Deserialize<'de> for LintCode {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        LintCode::parse(&s)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown lint code {s}")))
+    }
+}
+
+/// How a diagnostic is treated.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Informational; never blocks anything.
+    Info,
+    /// Suspicious but not necessarily wrong.
+    #[default]
+    Warn,
+    /// A semantic contract violation; gates fail on these.
+    Deny,
+}
+
+impl Severity {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Anchor {
+    /// The graph as a whole.
+    Graph,
+    /// A node.
+    Node(NodeId),
+    /// An edge.
+    Edge(EdgeId),
+    /// A device.
+    Device(DevId),
+}
+
+impl fmt::Display for Anchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anchor::Graph => write!(f, "graph"),
+            Anchor::Node(n) => write!(f, "{n}"),
+            Anchor::Edge(e) => write!(f, "{e}"),
+            Anchor::Device(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// One finding: a code, its effective severity, where, and why.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity after config overrides.
+    pub severity: Severity,
+    /// What it points at.
+    pub anchor: Anchor,
+    /// Human-readable explanation with concrete values.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.code, self.severity, self.anchor, self.message
+        )
+    }
+}
+
+/// Per-graph lint policy: severity overrides and outright suppression.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintConfig {
+    overrides: std::collections::BTreeMap<String, Severity>,
+    allowed: std::collections::BTreeSet<String>,
+}
+
+impl LintConfig {
+    /// The default policy: every code at its built-in severity.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Suppress a code entirely (diagnostics are dropped, like
+    /// `#[allow(...)]`).
+    pub fn allow(mut self, code: LintCode) -> Self {
+        self.allowed.insert(code.code().to_string());
+        self
+    }
+
+    /// Escalate a code to [`Severity::Deny`].
+    pub fn deny(mut self, code: LintCode) -> Self {
+        self.overrides.insert(code.code().to_string(), Severity::Deny);
+        self
+    }
+
+    /// Demote a code to [`Severity::Warn`].
+    pub fn warn(mut self, code: LintCode) -> Self {
+        self.overrides.insert(code.code().to_string(), Severity::Warn);
+        self
+    }
+
+    /// Whether a code is suppressed.
+    pub fn is_allowed(&self, code: LintCode) -> bool {
+        self.allowed.contains(code.code())
+    }
+
+    /// The effective severity of a code under this config.
+    pub fn severity(&self, code: LintCode) -> Severity {
+        self.overrides
+            .get(code.code())
+            .copied()
+            .unwrap_or_else(|| code.default_severity())
+    }
+}
+
+/// The outcome of a lint run over one graph or plan: diagnostics in a
+/// deterministic order plus enough context to render them.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Name of the graph or plan that was linted.
+    pub subject: String,
+    /// All findings, sorted by (severity desc, code, anchor, message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report {
+            subject: subject.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Record a finding unless the config suppresses its code; the
+    /// config's severity override is applied here.
+    pub fn push(&mut self, cfg: &LintConfig, code: LintCode, anchor: Anchor, message: String) {
+        if cfg.is_allowed(code) {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: cfg.severity(code),
+            anchor,
+            message,
+        });
+    }
+
+    /// Sort into the canonical order. Idempotent; passes call this once
+    /// after accumulating.
+    pub fn finish(mut self) -> Self {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.code.cmp(&b.code))
+                .then(a.anchor.cmp(&b.anchor))
+                .then(a.message.cmp(&b.message))
+        });
+        self
+    }
+
+    /// Append another report's diagnostics (re-sorting canonically).
+    pub fn merge(mut self, other: Report) -> Self {
+        self.diagnostics.extend(other.diagnostics);
+        self.finish()
+    }
+
+    /// No findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any deny-level finding is present (the gate condition).
+    pub fn has_deny(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Findings with a given code.
+    pub fn with_code(&self, code: LintCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Render the human-readable multi-line form.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "lint report for {}: {} deny, {} warn, {} info\n",
+            self.subject,
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        for d in &self.diagnostics {
+            out.push_str("  ");
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The machine-readable form written by `lint_report`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("report serializes")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in LintCode::ALL {
+            assert!(seen.insert(code.code()), "duplicate {code}");
+            assert_eq!(LintCode::parse(code.code()), Some(code));
+            assert!(!code.invariant().is_empty());
+        }
+        assert_eq!(LintCode::parse("GA999"), None);
+    }
+
+    #[test]
+    fn severity_ordering_gates_on_deny() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn config_overrides_and_allows() {
+        let cfg = LintConfig::new()
+            .warn(LintCode::DeviceOvercommit)
+            .deny(LintCode::KvCacheNotColocated)
+            .allow(LintCode::AnnotationGap);
+        assert_eq!(cfg.severity(LintCode::DeviceOvercommit), Severity::Warn);
+        assert_eq!(cfg.severity(LintCode::KvCacheNotColocated), Severity::Deny);
+        assert_eq!(cfg.severity(LintCode::ShapeMismatch), Severity::Deny);
+        assert!(cfg.is_allowed(LintCode::AnnotationGap));
+
+        let mut r = Report::new("g");
+        r.push(&cfg, LintCode::AnnotationGap, Anchor::Graph, "hidden".into());
+        assert!(r.is_empty(), "allowed codes are dropped");
+        r.push(
+            &cfg,
+            LintCode::DeviceOvercommit,
+            Anchor::Device(DevId(0)),
+            "x".into(),
+        );
+        assert_eq!(r.diagnostics[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn report_orders_deny_first_and_renders() {
+        let cfg = LintConfig::new();
+        let mut r = Report::new("g");
+        r.push(
+            &cfg,
+            LintCode::RateInconsistent,
+            Anchor::Edge(EdgeId::new(3)),
+            "rate".into(),
+        );
+        r.push(
+            &cfg,
+            LintCode::ShapeMismatch,
+            Anchor::Node(NodeId::new(1)),
+            "shape".into(),
+        );
+        let r = r.finish();
+        assert_eq!(r.diagnostics[0].code, LintCode::ShapeMismatch);
+        assert!(r.has_deny());
+        assert_eq!(r.count(Severity::Warn), 1);
+        let text = r.render();
+        assert!(text.contains("GA001[deny] n1: shape"), "{text}");
+        assert!(text.contains("1 deny, 1 warn"), "{text}");
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let cfg = LintConfig::new();
+        let mut r = Report::new("g");
+        r.push(
+            &cfg,
+            LintCode::DeviceOvercommit,
+            Anchor::Device(DevId(2)),
+            "needs 10 B, free 5 B".into(),
+        );
+        let json = r.to_json();
+        assert_eq!(json["diagnostics"][0]["code"], "GA101");
+        let back: Report = serde_json::from_value(json).unwrap();
+        assert_eq!(back, r);
+    }
+}

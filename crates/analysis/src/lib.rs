@@ -1,0 +1,49 @@
+//! # genie-analysis — the semantic lint engine
+//!
+//! The paper's thesis is that application semantics are *lost in
+//! translation* as computation descends the stack; this crate is the gate
+//! that keeps the semantics the platform still has **coherent**. Structural
+//! well-formedness lives in `genie_srg::validate`; everything semantic —
+//! shapes that must compose, phases that must not invert, KV caches that
+//! must not leak into arbitrary consumers, plans that must fit device
+//! memory — is checked here, as a multi-pass static analyzer with
+//! compiler-style diagnostics.
+//!
+//! Two pass families share one [`diag`] framework:
+//!
+//! - **SRG passes** ([`srg_passes`], codes `GA0xx`) run at capture time —
+//!   `genie-frontend` fails fast when a finished capture carries
+//!   deny-level findings.
+//! - **Plan passes** ([`plan_passes`], codes `GA1xx`) run inside
+//!   `genie-scheduler::schedule` as a post-gate over placements and
+//!   transfers, reported through the scheduler-neutral
+//!   [`plan_passes::PlanFacts`] trait.
+//!
+//! Severities are per-graph configurable via [`LintConfig`]; reports
+//! render both human-readable and as JSON (`cargo run -p genie-bench
+//! --bin lint_report` emits one per model-zoo workload).
+//!
+//! ```
+//! use genie_analysis::{run_srg_passes, LintConfig};
+//! use genie_srg::{ElemType, Node, NodeId, OpKind, Srg, TensorMeta};
+//!
+//! let mut g = Srg::new("bad");
+//! let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+//! let b = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "b"));
+//! let mm = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
+//! g.connect(a, mm, TensorMeta::new([2, 3], ElemType::F32));
+//! g.connect(b, mm, TensorMeta::new([5, 7], ElemType::F32)); // 3 != 5
+//! let report = run_srg_passes(&g, &LintConfig::new());
+//! assert!(report.has_deny());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod plan_passes;
+pub mod srg_passes;
+
+pub use diag::{Anchor, Diagnostic, LintCode, LintConfig, Report, Severity};
+pub use plan_passes::{run_plan_passes, PlanFacts, TransferFact};
+pub use srg_passes::run_srg_passes;

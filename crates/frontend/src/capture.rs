@@ -10,6 +10,7 @@
 //! structural annotations.
 
 use crate::value::Value;
+use genie_analysis::{run_srg_passes, LintConfig, Report};
 use genie_srg::{
     CostHints, ElemType, Modality, Node, NodeId, OpKind, Phase, Residency, Srg, TensorMeta,
 };
@@ -174,14 +175,42 @@ impl CaptureCtx {
 
     /// Finish the capture, returning the SRG and captured payloads. The
     /// context can no longer record operations afterwards.
+    ///
+    /// The graph is run through the `GA0xx` semantic lint passes under the
+    /// default [`LintConfig`]; deny-level findings (shape or dtype
+    /// inconsistencies, phase-order inversions, KV caches flowing into
+    /// non-KV consumers, heavy ops with no cost hints) abort the capture
+    /// with the rendered report. Use [`finish_checked`](Self::finish_checked)
+    /// to handle findings programmatically or to relax the policy.
     pub fn finish(&self) -> CapturedGraph {
-        let mut st = self.state.lock();
-        let srg = st.srg.take().expect("capture already finished");
-        CapturedGraph {
-            srg,
-            values: std::mem::take(&mut st.values),
-            outputs: std::mem::take(&mut st.outputs),
+        match self.finish_checked(&LintConfig::new()) {
+            Ok(cap) => cap,
+            Err(report) => panic!("semantic lint gate rejected capture:\n{report}"),
         }
+    }
+
+    /// [`finish`](Self::finish) with an explicit lint policy: returns the
+    /// full report instead of panicking when any `GA0xx` finding is deny
+    /// under `cfg`. The capture is consumed either way.
+    pub fn finish_checked(&self, cfg: &LintConfig) -> Result<CapturedGraph, Report> {
+        let (srg, values, outputs) = {
+            let mut st = self.state.lock();
+            let srg = st.srg.take().expect("capture already finished");
+            (
+                srg,
+                std::mem::take(&mut st.values),
+                std::mem::take(&mut st.outputs),
+            )
+        };
+        let report = run_srg_passes(&srg, cfg);
+        if report.has_deny() {
+            return Err(report);
+        }
+        Ok(CapturedGraph {
+            srg,
+            values,
+            outputs,
+        })
     }
 
     // ---- internals --------------------------------------------------
@@ -839,6 +868,49 @@ mod tests {
         assert_eq!(y.dims(), &[1, 16, 32, 32]);
         let p = y.pool2d(2, 2, false);
         assert_eq!(p.dims(), &[1, 16, 16, 16]);
+    }
+
+    #[test]
+    fn finish_rejects_phase_incoherent_capture() {
+        // A decode-phase value feeding a prefill-phase op inverts the
+        // LLM serving order; the lint gate must fail the capture fast.
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [1, 8], ElemType::F32, None);
+        let decoded = ctx.phase_scope(Phase::LlmDecode, || x.relu());
+        ctx.phase_scope(Phase::LlmPrefill, || decoded.relu().mark_output());
+        let report = ctx
+            .finish_checked(&genie_analysis::LintConfig::new())
+            .expect_err("phase inversion must be denied");
+        assert!(report.has_deny(), "{report}");
+        assert!(
+            !report
+                .with_code(genie_analysis::LintCode::PhaseIncoherence)
+                .is_empty(),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn finish_panics_with_rendered_report_on_deny() {
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [1, 8], ElemType::F32, None);
+        let decoded = ctx.phase_scope(Phase::LlmDecode, || x.relu());
+        ctx.phase_scope(Phase::LlmPrefill, || decoded.relu().mark_output());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.finish()));
+        let msg = *result.expect_err("deny finding must panic").downcast::<String>().unwrap();
+        assert!(msg.contains("GA003"), "{msg}");
+    }
+
+    #[test]
+    fn finish_checked_allow_suppresses_deny() {
+        let ctx = CaptureCtx::new("g");
+        let x = ctx.input("x", [1, 8], ElemType::F32, None);
+        let decoded = ctx.phase_scope(Phase::LlmDecode, || x.relu());
+        ctx.phase_scope(Phase::LlmPrefill, || decoded.relu().mark_output());
+        let cfg = genie_analysis::LintConfig::new()
+            .allow(genie_analysis::LintCode::PhaseIncoherence);
+        let cap = ctx.finish_checked(&cfg).expect("allowed code passes gate");
+        assert_eq!(cap.outputs.len(), 1);
     }
 
     #[test]

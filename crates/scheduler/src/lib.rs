@@ -28,6 +28,7 @@
 pub mod adapt;
 pub mod cost;
 pub mod global;
+pub mod lint;
 pub mod memory;
 pub mod pd;
 pub mod pipeline;
@@ -40,7 +41,8 @@ pub mod schedule;
 pub mod view;
 
 pub use cost::CostModel;
+pub use lint::lint_plan;
 pub use plan::{CostBreakdown, ExecutionPlan, Location, Transfer};
 pub use policy::{DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware};
-pub use schedule::schedule;
+pub use schedule::{schedule, schedule_checked, schedule_with_lints};
 pub use view::ClusterView;

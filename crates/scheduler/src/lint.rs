@@ -1,0 +1,195 @@
+//! The scheduler's side of the semantic lint gate (§3.3 meets GA1xx).
+//!
+//! `genie-analysis` defines the plan-level passes against its
+//! scheduler-neutral [`PlanFacts`] trait; this module implements that
+//! trait for [`ExecutionPlan`] and exposes [`lint_plan`], the entry point
+//! [`schedule`](crate::schedule::schedule) uses to record diagnostics on
+//! every plan it emits.
+
+use crate::plan::ExecutionPlan;
+use genie_analysis::{run_plan_passes, LintConfig, PlanFacts, Report, TransferFact};
+use genie_cluster::{ClusterState, DevId, Topology};
+use genie_srg::{NodeId, Srg, TensorId};
+
+impl PlanFacts for ExecutionPlan {
+    fn subject(&self) -> String {
+        format!("{}@{}", self.srg.name, self.policy)
+    }
+
+    fn srg(&self) -> &Srg {
+        &self.srg
+    }
+
+    fn node_device(&self, node: NodeId) -> Option<DevId> {
+        self.location(node).device()
+    }
+
+    fn transfers(&self) -> Vec<TransferFact> {
+        self.transfers
+            .iter()
+            .map(|t| TransferFact {
+                edge: t.edge,
+                tensor: t.tensor,
+                from: t.from.device(),
+                to: t.to.device(),
+                bytes: t.bytes,
+                via_handle: t.via_handle,
+            })
+            .collect()
+    }
+
+    fn pinned_uploads(&self) -> Vec<(TensorId, DevId, u64)> {
+        self.pinned_uploads.clone()
+    }
+}
+
+/// Run every `GA1xx` plan pass over `plan` against the cluster it was
+/// scheduled for, returning the canonical report.
+pub fn lint_plan(
+    plan: &ExecutionPlan,
+    topo: &Topology,
+    state: &ClusterState,
+    cfg: &LintConfig,
+) -> Report {
+    run_plan_passes(plan, topo, state, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::plan::{CostBreakdown, Location};
+    use crate::policy::{RoundRobin, SemanticsAware};
+    use crate::schedule::{schedule, schedule_checked};
+    use genie_analysis::LintCode;
+    use genie_cluster::{GpuSpec, NicSpec};
+    use genie_frontend::capture::CaptureCtx;
+    use genie_models::{KvState, TransformerConfig, TransformerLm};
+    use genie_srg::{Node, NodeId, OpKind, Residency, TensorMeta};
+    use std::collections::BTreeMap;
+
+    fn decode_graph() -> Srg {
+        let m = TransformerLm::new_spec(TransformerConfig::tiny());
+        let ctx = CaptureCtx::new("decode");
+        let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+        cap.logits.sample().mark_output();
+        for (k, v) in cap.k_caches.iter().zip(&cap.v_caches) {
+            k.mark_output();
+            v.mark_output();
+        }
+        ctx.finish().srg
+    }
+
+    fn tiny_device_topo(mem_capacity: u64) -> Topology {
+        let mut t = Topology::new();
+        let client = t.add_host("client", NicSpec::commodity_25g());
+        let server = t.add_host("server", NicSpec::rnic_100g());
+        let spec = GpuSpec {
+            mem_capacity,
+            ..GpuSpec::a100_80gb()
+        };
+        t.add_device(server, spec);
+        t.add_link(client, server, 25e9, 250e-6);
+        t
+    }
+
+    #[test]
+    fn scheduled_plans_carry_deny_clean_diagnostics() {
+        let srg = decode_graph();
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let plan = schedule(&srg, &topo, &state, &CostModel::ideal_25g(), &SemanticsAware::new());
+        let denies: Vec<_> = plan
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == genie_analysis::Severity::Deny)
+            .collect();
+        assert!(denies.is_empty(), "real plans lint deny-clean: {denies:?}");
+    }
+
+    #[test]
+    fn schedule_checked_rejects_overcommitted_device() {
+        let srg = decode_graph();
+        // A "GPU" with 4 KB of memory: even the tiny model's weights
+        // cannot be pinned, so GA101 fires at deny level.
+        let topo = tiny_device_topo(4096);
+        let state = ClusterState::new();
+        let err = schedule_checked(
+            &srg,
+            &topo,
+            &state,
+            &CostModel::ideal_25g(),
+            &SemanticsAware::new(),
+            &LintConfig::new(),
+        )
+        .expect_err("4 KB device must overcommit");
+        assert!(err.has_deny(), "{err}");
+        assert!(!err.with_code(LintCode::DeviceOvercommit).is_empty(), "{err}");
+    }
+
+    #[test]
+    fn schedule_checked_warn_override_lets_plan_through() {
+        let srg = decode_graph();
+        let topo = tiny_device_topo(4096);
+        let state = ClusterState::new();
+        let cfg = LintConfig::new().warn(LintCode::DeviceOvercommit);
+        let plan = schedule_checked(
+            &srg,
+            &topo,
+            &state,
+            &CostModel::ideal_25g(),
+            &SemanticsAware::new(),
+            &cfg,
+        )
+        .expect("demoted to warn, plan goes through");
+        assert!(plan
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::DeviceOvercommit));
+    }
+
+    #[test]
+    fn hand_built_overcommit_plan_is_flagged() {
+        let topo = tiny_device_topo(1_000_000);
+        let dev = topo.devices()[0].id;
+        let mut srg = Srg::new("hand");
+        let w = srg.add_node(
+            Node::new(NodeId::new(0), OpKind::Parameter, "w")
+                .with_residency(Residency::PersistentWeight),
+        );
+        let mm = srg.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
+        srg.connect(w, mm, TensorMeta::new([1024, 1024], genie_srg::ElemType::F32));
+        let tensor = srg.edge(genie_srg::EdgeId::new(0)).tensor;
+        let plan = ExecutionPlan {
+            policy: "hand".into(),
+            srg,
+            placements: [(w, Location::ClientCpu), (mm, Location::Device(dev))]
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+            transfers: Vec::new(),
+            pinned_uploads: vec![(tensor, dev, 8_000_000)], // 8 MB into 1 MB
+            estimate: CostBreakdown::default(),
+            diagnostics: Vec::new(),
+        };
+        let r = lint_plan(&plan, &topo, &ClusterState::new(), &LintConfig::new());
+        assert!(r.has_deny(), "{r}");
+        assert_eq!(r.with_code(LintCode::DeviceOvercommit).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn round_robin_kv_splits_surface_as_warnings() {
+        let srg = decode_graph();
+        let topo = Topology::rack(4, 25e9);
+        let state = ClusterState::new();
+        let plan = schedule(&srg, &topo, &state, &CostModel::ideal_25g(), &RoundRobin);
+        // Blind placement splits KV caches from their consumers; the lint
+        // records it without rejecting the (legal, just bad) plan.
+        assert!(
+            plan.diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::KvCacheNotColocated),
+            "{:?}",
+            plan.diagnostics
+        );
+    }
+}

@@ -99,6 +99,11 @@ pub struct ExecutionPlan {
     pub pinned_uploads: Vec<(TensorId, DevId, u64)>,
     /// Cost estimate.
     pub estimate: CostBreakdown,
+    /// Findings from the plan-level lint passes (`GA1xx`), recorded by
+    /// [`schedule`](crate::schedule::schedule) so callers can inspect why
+    /// a placement is suspect without re-running the analyzer.
+    #[serde(default)]
+    pub diagnostics: Vec<genie_analysis::Diagnostic>,
 }
 
 impl ExecutionPlan {
@@ -186,6 +191,7 @@ mod tests {
             ],
             pinned_uploads: vec![(TensorId::new(2), DevId(0), 50)],
             estimate: CostBreakdown::default(),
+            diagnostics: Vec::new(),
         };
         assert_eq!(plan.network_bytes(), 150);
     }

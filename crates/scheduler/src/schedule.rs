@@ -16,18 +16,37 @@ use crate::cost::CostModel;
 use crate::plan::{CostBreakdown, ExecutionPlan, Location, Transfer};
 use crate::policy::Policy;
 use crate::view::ClusterView;
+use genie_analysis::{LintConfig, Report, Severity};
 use genie_cluster::{ClusterState, Topology};
 use genie_srg::{Srg, TensorId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Produce an execution plan for `srg` on the given cluster using
 /// `policy`. Pure: neither the graph nor the cluster state is mutated.
+///
+/// Every plan is run through the `GA1xx` plan lints (under the default
+/// [`LintConfig`]) and carries the findings in
+/// [`ExecutionPlan::diagnostics`]; use [`schedule_checked`] to turn
+/// deny-level findings into a hard error.
 pub fn schedule(
     srg: &Srg,
     topo: &Topology,
     state: &ClusterState,
     cost: &CostModel,
     policy: &dyn Policy,
+) -> ExecutionPlan {
+    schedule_with_lints(srg, topo, state, cost, policy, &LintConfig::new())
+}
+
+/// [`schedule`] with a caller-supplied lint policy governing the `GA1xx`
+/// severities recorded on the plan.
+pub fn schedule_with_lints(
+    srg: &Srg,
+    topo: &Topology,
+    state: &ClusterState,
+    cost: &CostModel,
+    policy: &dyn Policy,
+    lints: &LintConfig,
 ) -> ExecutionPlan {
     let view = ClusterView::new(topo, state, cost);
     let placements = policy.place(srg, &view);
@@ -135,9 +154,34 @@ pub fn schedule(
             queue_s,
             bytes_moved: 0.0,
         },
+        diagnostics: Vec::new(),
     };
     plan.estimate.bytes_moved = plan.network_bytes() as f64;
+    plan.diagnostics = crate::lint::lint_plan(&plan, topo, state, lints).diagnostics;
     plan
+}
+
+/// [`schedule`], gated: returns `Err` with the full lint report when any
+/// plan-level finding is deny under `lints` (e.g. the plan overcommits a
+/// device's memory). Demote a code with [`LintConfig::warn`] to accept
+/// such plans anyway.
+pub fn schedule_checked(
+    srg: &Srg,
+    topo: &Topology,
+    state: &ClusterState,
+    cost: &CostModel,
+    policy: &dyn Policy,
+    lints: &LintConfig,
+) -> Result<ExecutionPlan, Report> {
+    let plan = schedule_with_lints(srg, topo, state, cost, policy, lints);
+    if plan.diagnostics.iter().any(|d| d.severity == Severity::Deny) {
+        let subject = format!("{}@{}", plan.srg.name, plan.policy);
+        return Err(Report {
+            subject,
+            diagnostics: plan.diagnostics,
+        });
+    }
+    Ok(plan)
 }
 
 #[cfg(test)]

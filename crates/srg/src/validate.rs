@@ -5,13 +5,24 @@
 //! the platform relies on so downstream code can index freely.
 
 use crate::graph::Srg;
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
 use crate::traverse::topo_order;
 use std::fmt;
 
 /// A violated SRG invariant.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ValidationError {
+    /// An edge references a node id outside the graph. Checked first:
+    /// every other invariant (and most of the platform) indexes endpoint
+    /// nodes freely and would panic on such an edge.
+    DanglingEdge {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Its (possibly out-of-range) producer.
+        src: NodeId,
+        /// Its (possibly out-of-range) consumer.
+        dst: NodeId,
+    },
     /// The graph contains a cycle.
     Cycle {
         /// A node participating in the cycle.
@@ -55,6 +66,9 @@ pub enum ValidationError {
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ValidationError::DanglingEdge { edge, src, dst } => {
+                write!(f, "edge {edge} ({src}->{dst}) references a missing node")
+            }
             ValidationError::Cycle { witness } => {
                 write!(f, "cycle through {witness}")
             }
@@ -83,6 +97,21 @@ impl std::error::Error for ValidationError {}
 /// valid). Deterministic ordering.
 pub fn validate(g: &Srg) -> Vec<ValidationError> {
     let mut errors = Vec::new();
+
+    // Dangling endpoints make every node-indexing check below (and
+    // `topo_order` itself) unsound, so detect them and stop early.
+    for edge in g.edges() {
+        if edge.src.index() >= g.node_count() || edge.dst.index() >= g.node_count() {
+            errors.push(ValidationError::DanglingEdge {
+                edge: edge.id,
+                src: edge.src,
+                dst: edge.dst,
+            });
+        }
+    }
+    if !errors.is_empty() {
+        return errors;
+    }
 
     if let Err(e) = topo_order(g) {
         errors.push(ValidationError::Cycle { witness: e.witness });
@@ -148,6 +177,33 @@ pub fn validate_ok(g: &Srg) -> Result<(), ValidationError> {
     match validate(g).into_iter().next() {
         None => Ok(()),
         Some(e) => Err(e),
+    }
+}
+
+/// Every violation found in one graph, displayable as a single
+/// `;`-joined message — the error type of [`Srg::validate_all`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationErrors(pub Vec<ValidationError>);
+
+impl fmt::Display for ValidationErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msgs: Vec<String> = self.0.iter().map(|e| e.to_string()).collect();
+        write!(f, "{}", msgs.join("; "))
+    }
+}
+
+impl std::error::Error for ValidationErrors {}
+
+impl Srg {
+    /// Validate every structural invariant, returning the complete list of
+    /// violations as one joinable error (`Ok(())` when well-formed).
+    pub fn validate_all(&self) -> Result<(), ValidationErrors> {
+        let errors = validate(self);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidationErrors(errors))
+        }
     }
 }
 
@@ -250,5 +306,46 @@ mod tests {
     fn error_display_messages() {
         let e = ValidationError::OrphanCompute { node: NodeId::new(7) };
         assert_eq!(e.to_string(), "compute node n7 has no inputs");
+        let e = ValidationError::DanglingEdge {
+            edge: EdgeId::new(0),
+            src: NodeId::new(1),
+            dst: NodeId::new(99),
+        };
+        assert_eq!(e.to_string(), "edge e0 (n1->n99) references a missing node");
+    }
+
+    /// `connect_tensor` asserts endpoint bounds, so a dangling edge can
+    /// only arrive from outside — e.g. a corrupted serialized graph.
+    fn tampered_graph() -> Srg {
+        let mut json = serde_json::to_value(valid_graph()).unwrap();
+        json["edges"][0]["dst"] = serde_json::Value::from(99u32);
+        serde_json::from_value(json).unwrap()
+    }
+
+    #[test]
+    fn dangling_edge_detected_without_panicking() {
+        let errs = validate(&tampered_graph());
+        assert_eq!(
+            errs,
+            vec![ValidationError::DanglingEdge {
+                edge: EdgeId::new(0),
+                src: NodeId::new(0),
+                dst: NodeId::new(99),
+            }]
+        );
+    }
+
+    #[test]
+    fn validate_all_joins_every_violation() {
+        let mut g = valid_graph();
+        g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "floating"));
+        g.connect(NodeId::new(1), NodeId::new(1), meta());
+        let err = g.validate_all().expect_err("two violations");
+        assert!(err.0.len() >= 2, "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("; "), "{msg}");
+        assert!(msg.contains("cycle"), "{msg}");
+        assert!(msg.contains("no inputs"), "{msg}");
+        assert!(valid_graph().validate_all().is_ok());
     }
 }

@@ -69,19 +69,23 @@ impl Server {
                         conns2.lock().push(clone);
                     }
                     let mut handler = factory();
-                    let t = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("genie-conn".into())
                         .spawn(move || {
                             let _ = serve_connection(stream, &mut handler);
-                        })
-                        .expect("spawn connection thread");
-                    conn_threads.push(t);
+                        });
+                    match spawned {
+                        Ok(t) => conn_threads.push(t),
+                        // Thread exhaustion: drop this connection (the
+                        // client observes ConnectionClosed) rather than
+                        // tearing the whole server down.
+                        Err(_) => continue,
+                    }
                 }
                 for t in conn_threads {
                     let _ = t.join();
                 }
-            })
-            .expect("spawn accept thread");
+            })?;
 
         Ok(Server {
             addr,

@@ -41,6 +41,13 @@ fn main() {
     let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
     println!("\n{}", plan.summary());
 
+    // Lint both the graph and the plan (GA0xx + GA1xx).
+    let cfg = genie::analysis::LintConfig::new();
+    let graph_report = genie::analysis::run_srg_passes(&srg, &cfg);
+    let plan_report = genie::scheduler::lint_plan(&plan, &topo, &state, &cfg);
+    println!("\n{}", graph_report.render());
+    println!("{}", plan_report.render());
+
     let dir = std::path::Path::new("target/inspect");
     std::fs::create_dir_all(dir).expect("mkdir");
     let dot = dir.join(format!("{which}.dot"));

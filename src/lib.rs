@@ -12,6 +12,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`srg`] | the SRG IR: annotations, validation, traversal, lineage cuts |
+//! | [`analysis`] | semantic lint engine: `GA0xx` graph + `GA1xx` plan passes |
 //! | [`tensor`] | CPU tensor kernels (the functional plane's arithmetic) |
 //! | [`frontend`] | lazy-tensor intent capture, recognizers, re-capture |
 //! | [`models`] | model zoo: transformer LM, CNN, DLRM, multimodal |
@@ -51,6 +52,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use genie_analysis as analysis;
 pub use genie_backend as backend;
 pub use genie_bench as bench;
 pub use genie_cluster as cluster;

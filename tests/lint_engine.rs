@@ -1,0 +1,94 @@
+//! Integration tests for the semantic lint engine: every graph the model
+//! zoo can produce must pass the deny-level gate, and the lint namespace
+//! itself must stay stable.
+
+use genie::analysis::{run_srg_passes, LintCode, LintConfig, Severity};
+use genie::models::{KvState, TransformerConfig, TransformerLm, Workload};
+use genie::prelude::*;
+use genie::tensor::Tensor;
+use proptest::prelude::*;
+
+fn deny_free(report: &genie::analysis::Report) -> bool {
+    report.count(Severity::Deny) == 0
+}
+
+#[test]
+fn lint_code_namespace_is_stable() {
+    let codes = LintCode::ALL;
+    assert!(codes.len() >= 8, "at least 8 distinct lint codes");
+    assert!(codes.iter().any(|c| c.is_plan_level()), "GA1xx present");
+    assert!(codes.iter().any(|c| !c.is_plan_level()), "GA0xx present");
+    for c in codes {
+        assert_eq!(LintCode::parse(c.code()), Some(c), "{} round-trips", c.code());
+        assert!(!c.invariant().is_empty());
+    }
+}
+
+#[test]
+fn every_zoo_family_is_deny_clean_end_to_end() {
+    let cfg = LintConfig::new();
+    let topo = Topology::rack(4, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::ideal_25g();
+    for w in Workload::ALL {
+        // spec_graph() itself passes the capture gate (finish panics on
+        // deny); re-lint explicitly and also lint the scheduled plan.
+        let srg = w.spec_graph();
+        let graph_report = run_srg_passes(&srg, &cfg);
+        assert!(deny_free(&graph_report), "{}: {graph_report}", w.name());
+
+        let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+        assert!(
+            !plan.diagnostics.iter().any(|d| d.severity == Severity::Deny),
+            "{}: {:?}",
+            w.name(),
+            plan.diagnostics
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Decode steps at any cached sequence length capture deny-clean:
+    /// the KV chain always flows through blessed consumers and the
+    /// builders' cost hints always satisfy the GA0xx invariants.
+    #[test]
+    fn decode_captures_are_deny_clean(cached in 0usize..64) {
+        let cfg = TransformerConfig::tiny();
+        let d = cfg.d_model;
+        let layers = cfg.layers;
+        let m = TransformerLm::new_spec(cfg);
+        let kv = KvState {
+            k: (0..layers).map(|_| Tensor::zeros(vec![cached, d])).collect(),
+            v: (0..layers).map(|_| Tensor::zeros(vec![cached, d])).collect(),
+        };
+        let ctx = CaptureCtx::new("prop.decode");
+        let cap = m.capture_decode_step(&ctx, 0, &kv);
+        cap.logits.sample().mark_output();
+        for (k, v) in cap.k_caches.iter().zip(&cap.v_caches) {
+            k.mark_output();
+            v.mark_output();
+        }
+        let cap = ctx
+            .finish_checked(&LintConfig::new())
+            .expect("decode capture passes the deny gate");
+        let report = run_srg_passes(&cap.srg, &LintConfig::new());
+        prop_assert!(deny_free(&report), "{}", report);
+    }
+
+    /// Prefill captures at any prompt length are deny-clean too.
+    #[test]
+    fn prefill_captures_are_deny_clean(prompt_len in 1usize..32) {
+        let m = TransformerLm::new_spec(TransformerConfig::tiny());
+        let ctx = CaptureCtx::new("prop.prefill");
+        let prompt = vec![0i64; prompt_len];
+        let cap = m.capture_prefill(&ctx, &prompt);
+        cap.logits.mark_output();
+        let cap = ctx
+            .finish_checked(&LintConfig::new())
+            .expect("prefill capture passes the deny gate");
+        let report = run_srg_passes(&cap.srg, &LintConfig::new());
+        prop_assert!(deny_free(&report), "{}", report);
+    }
+}
