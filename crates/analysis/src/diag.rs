@@ -192,9 +192,7 @@ impl fmt::Display for Severity {
 }
 
 /// What a diagnostic points at.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Anchor {
     /// The graph as a whole.
     Graph,
@@ -262,13 +260,15 @@ impl LintConfig {
 
     /// Escalate a code to [`Severity::Deny`].
     pub fn deny(mut self, code: LintCode) -> Self {
-        self.overrides.insert(code.code().to_string(), Severity::Deny);
+        self.overrides
+            .insert(code.code().to_string(), Severity::Deny);
         self
     }
 
     /// Demote a code to [`Severity::Warn`].
     pub fn warn(mut self, code: LintCode) -> Self {
-        self.overrides.insert(code.code().to_string(), Severity::Warn);
+        self.overrides
+            .insert(code.code().to_string(), Severity::Warn);
         self
     }
 
@@ -353,7 +353,9 @@ impl Report {
 
     /// Whether any deny-level finding is present (the gate condition).
     pub fn has_deny(&self) -> bool {
-        self.diagnostics.iter().any(|d| d.severity == Severity::Deny)
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
     }
 
     /// Findings with a given code.
@@ -423,7 +425,12 @@ mod tests {
         assert!(cfg.is_allowed(LintCode::AnnotationGap));
 
         let mut r = Report::new("g");
-        r.push(&cfg, LintCode::AnnotationGap, Anchor::Graph, "hidden".into());
+        r.push(
+            &cfg,
+            LintCode::AnnotationGap,
+            Anchor::Graph,
+            "hidden".into(),
+        );
         assert!(r.is_empty(), "allowed codes are dropped");
         r.push(
             &cfg,

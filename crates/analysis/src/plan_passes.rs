@@ -323,7 +323,11 @@ mod tests {
         };
         let state = ClusterState::new();
         let r = lint(&plan, &topo, &state);
-        assert_eq!(r.with_code(LintCode::TransferEndpointMismatch).len(), 1, "{r}");
+        assert_eq!(
+            r.with_code(LintCode::TransferEndpointMismatch).len(),
+            1,
+            "{r}"
+        );
     }
 
     #[test]
@@ -345,7 +349,11 @@ mod tests {
         };
         let state = ClusterState::new();
         let r = lint(&plan, &topo, &state);
-        assert_eq!(r.with_code(LintCode::WeightReshippedByValue).len(), 1, "{r}");
+        assert_eq!(
+            r.with_code(LintCode::WeightReshippedByValue).len(),
+            1,
+            "{r}"
+        );
         assert!(!r.has_deny(), "GA103 is warn-level by default");
     }
 
@@ -407,6 +415,10 @@ mod tests {
         };
         let state = ClusterState::new();
         let r = lint(&plan, &topo, &state);
-        assert_eq!(r.with_code(LintCode::TransferEndpointMismatch).len(), 1, "{r}");
+        assert_eq!(
+            r.with_code(LintCode::TransferEndpointMismatch).len(),
+            1,
+            "{r}"
+        );
     }
 }

@@ -49,9 +49,7 @@ pub fn check_shapes(srg: &Srg, cfg: &LintConfig, report: &mut Report) {
                     if k != v {
                         flag(format!("attention k {k:?} vs v {v:?}"));
                     } else if q.len() == 2 && k.len() == 2 && q[1] != k[1] {
-                        flag(format!(
-                            "attention model dims disagree: q {q:?} vs k {k:?}"
-                        ));
+                        flag(format!("attention model dims disagree: q {q:?} vs k {k:?}"));
                     }
                 }
             }
@@ -293,7 +291,10 @@ pub fn check_annotation_gaps(srg: &Srg, cfg: &LintConfig, report: &mut Report) {
                 cfg,
                 LintCode::AnnotationGap,
                 Anchor::Node(node.id),
-                format!("{} node {} has no phase and no module path", node.op, node.id),
+                format!(
+                    "{} node {} has no phase and no module path",
+                    node.op, node.id
+                ),
             );
         }
     }
@@ -333,9 +334,7 @@ mod tests {
         let mut g = Srg::new("bad-concat");
         let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
         let b = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "b"));
-        let c = g.add_node(
-            Node::new(NodeId::new(0), OpKind::Concat, "cat").with_attr("dim", "1"),
-        );
+        let c = g.add_node(Node::new(NodeId::new(0), OpKind::Concat, "cat").with_attr("dim", "1"));
         g.connect(a, c, meta(&[2, 4]));
         g.connect(b, c, meta(&[3, 4])); // dim-0 differs, concat is along 1
         let r = lint(&g);
@@ -357,24 +356,20 @@ mod tests {
     #[test]
     fn ga003_decode_feeding_prefill() {
         let mut g = Srg::new("bad-phase");
-        let a = g.add_node(
-            Node::new(NodeId::new(0), OpKind::Input, "a").with_phase(Phase::LlmDecode),
-        );
-        let b = g.add_node(
-            Node::new(NodeId::new(0), OpKind::Relu, "b").with_phase(Phase::LlmPrefill),
-        );
+        let a =
+            g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a").with_phase(Phase::LlmDecode));
+        let b =
+            g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b").with_phase(Phase::LlmPrefill));
         g.connect(a, b, meta(&[4]));
         let r = lint(&g);
         assert_eq!(r.with_code(LintCode::PhaseIncoherence).len(), 1, "{r}");
 
         // The legal direction is clean.
         let mut ok = Srg::new("ok-phase");
-        let a = ok.add_node(
-            Node::new(NodeId::new(0), OpKind::Input, "a").with_phase(Phase::LlmPrefill),
-        );
-        let b = ok.add_node(
-            Node::new(NodeId::new(0), OpKind::Relu, "b").with_phase(Phase::LlmDecode),
-        );
+        let a = ok
+            .add_node(Node::new(NodeId::new(0), OpKind::Input, "a").with_phase(Phase::LlmPrefill));
+        let b =
+            ok.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b").with_phase(Phase::LlmDecode));
         ok.connect(a, b, meta(&[4]));
         assert!(lint(&ok).with_code(LintCode::PhaseIncoherence).is_empty());
     }
@@ -414,7 +409,9 @@ mod tests {
         let app = ok.add_node(Node::new(NodeId::new(0), OpKind::KvAppend, "app"));
         ok.connect(kv, app, meta(&[2, 4]));
         ok.connect(row, app, meta(&[1, 4]));
-        assert!(lint(&ok).with_code(LintCode::KvResidencyViolation).is_empty());
+        assert!(lint(&ok)
+            .with_code(LintCode::KvResidencyViolation)
+            .is_empty());
     }
 
     #[test]
@@ -437,8 +434,11 @@ mod tests {
         let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
         let b = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "b"));
         let mm = g.add_node(
-            Node::new(NodeId::new(0), OpKind::MatMul, "mm")
-                .with_cost(CostHints::new(2.0 * 2.0 * 3.0 * 4.0 * 10.0, 1.0, 1.0)),
+            Node::new(NodeId::new(0), OpKind::MatMul, "mm").with_cost(CostHints::new(
+                2.0 * 2.0 * 3.0 * 4.0 * 10.0,
+                1.0,
+                1.0,
+            )),
         );
         g.connect(a, mm, meta(&[2, 3]));
         g.connect(b, mm, meta(&[3, 4]));
@@ -474,9 +474,7 @@ mod tests {
         // A module path (or phase) closes the gap.
         let mut ok = Srg::new("scoped");
         let a = ok.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
-        let b = ok.add_node(
-            Node::new(NodeId::new(0), OpKind::Relu, "b").with_module_path("mlp"),
-        );
+        let b = ok.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b").with_module_path("mlp"));
         ok.connect(a, b, meta(&[4]));
         assert!(lint(&ok).with_code(LintCode::AnnotationGap).is_empty());
     }

@@ -17,15 +17,22 @@ pub struct LocalBackend;
 
 impl LocalBackend {
     /// Execute a captured graph, returning every node's value.
-    pub fn execute(
-        &self,
-        cap: &CapturedGraph,
-    ) -> Result<HashMap<NodeId, Value>, InterpError> {
+    pub fn execute(&self, cap: &CapturedGraph) -> Result<HashMap<NodeId, Value>, InterpError> {
+        let _span = genie_telemetry::global().collector.span_with(
+            "local.execute",
+            "backend",
+            genie_telemetry::SemAttrs::new().with("graph", cap.srg.name.clone()),
+        );
         interp::execute(&cap.srg, &cap.values)
     }
 
     /// Execute and return the marked outputs in marking order.
     pub fn execute_outputs(&self, cap: &CapturedGraph) -> Result<Vec<Value>, InterpError> {
+        let _span = genie_telemetry::global().collector.span_with(
+            "local.execute",
+            "backend",
+            genie_telemetry::SemAttrs::new().with("graph", cap.srg.name.clone()),
+        );
         interp::execute_outputs(&cap.srg, &cap.values, &cap.outputs)
     }
 }

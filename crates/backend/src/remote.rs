@@ -123,9 +123,7 @@ impl GenieExecutor {
                             "stale handle {key}: epoch {expected_epoch} != {epoch}"
                         ))
                     }
-                    None => {
-                        return ResponseBody::Error(format!("dangling handle {key}"))
-                    }
+                    None => return ResponseBody::Error(format!("dangling handle {key}")),
                 }
             }
         }
@@ -225,6 +223,15 @@ impl RemoteSession {
         fetch: &[NodeId],
         pin: &[(NodeId, &str)],
     ) -> genie_transport::Result<Vec<Value>> {
+        let _span = genie_telemetry::global().collector.span_with(
+            "remote.execute",
+            "backend",
+            genie_telemetry::SemAttrs::new()
+                .with("graph", cap.srg.name.clone())
+                .with("handle_inputs", handle_inputs.len().to_string())
+                .with("fetch", fetch.len().to_string())
+                .with("pin", pin.len().to_string()),
+        );
         let srg_json = genie_srg::serialize::to_json(&cap.srg)
             .map_err(|e| TransportError::Codec(e.to_string()))?;
 
@@ -305,9 +312,7 @@ impl RemoteSession {
     /// Inject a device loss: the server drops all resident state and
     /// bumps its epoch; every local handle is invalidated. Returns the
     /// lost bindings for lineage recovery.
-    pub fn inject_crash(
-        &mut self,
-    ) -> genie_transport::Result<Vec<(String, RemoteHandle)>> {
+    pub fn inject_crash(&mut self) -> genie_transport::Result<Vec<(String, RemoteHandle)>> {
         self.client.call(RequestBody::Crash)?;
         Ok(self.handles.invalidate_all())
     }
@@ -347,16 +352,16 @@ pub fn value_to_payload(v: &Value) -> TensorPayload {
 pub fn payload_to_value(p: &TensorPayload) -> Result<Value, String> {
     match p.kind {
         PayloadKind::F32 => {
-            let data = genie_transport::wire::bytes_to_f32s(p.data.clone())
-                .map_err(|e| e.to_string())?;
+            let data =
+                genie_transport::wire::bytes_to_f32s(p.data.clone()).map_err(|e| e.to_string())?;
             if data.len() != p.dims.iter().product::<usize>() {
                 return Err("payload length does not match dims".into());
             }
             Ok(Value::F(Tensor::from_vec(p.dims.clone(), data)))
         }
         PayloadKind::I64 => {
-            let data = genie_transport::wire::bytes_to_i64s(p.data.clone())
-                .map_err(|e| e.to_string())?;
+            let data =
+                genie_transport::wire::bytes_to_i64s(p.data.clone()).map_err(|e| e.to_string())?;
             if data.len() != p.dims.iter().product::<usize>() {
                 return Err("payload length does not match dims".into());
             }
@@ -399,9 +404,7 @@ mod tests {
         let mut session = RemoteSession::connect(server.addr()).unwrap();
 
         let w = randn([64, 64], 3);
-        session
-            .upload_pinned("w", &Value::F(w.clone()))
-            .unwrap();
+        session.upload_pinned("w", &Value::F(w.clone())).unwrap();
         assert_eq!(exec.resident_count(), 1);
         let after_upload = session.traffic_bytes();
 

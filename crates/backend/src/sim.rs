@@ -56,6 +56,31 @@ impl<'a> SimBackend<'a> {
         let mut trace = Trace::new();
         let client = self.topo.client_host();
         let mut network_bytes: u64 = 0;
+        let plan_label = plan.label();
+
+        let telemetry = genie_telemetry::global();
+        let mut span = telemetry.collector.span_with(
+            "sim.execute",
+            "backend",
+            genie_telemetry::SemAttrs::new().plan(plan_label.clone()),
+        );
+        let kernel_hist = telemetry.metrics.histogram(
+            "genie_sim_kernel_seconds",
+            &[],
+            &genie_telemetry::DEFAULT_TIME_BOUNDS,
+        );
+        let queue_hist = telemetry.metrics.histogram(
+            "genie_sim_queue_delay_seconds",
+            &[],
+            &genie_telemetry::DEFAULT_TIME_BOUNDS,
+        );
+        let mut kernels_n: u64 = 0;
+        let mut transfers_n: u64 = 0;
+        // Scheduled (non-recompute) kernel seconds per device: the cost
+        // model's view of what each device should spend, against which the
+        // simulated busy time (which includes recompute replicas and
+        // serialization) is compared as a skew ratio.
+        let mut kernel_estimate: BTreeMap<DevId, f64> = BTreeMap::new();
 
         // Session establishment on every channel this plan touches.
         let mut session_ready = start;
@@ -77,19 +102,20 @@ impl<'a> SimBackend<'a> {
         let mut pin_ready: BTreeMap<DevId, Nanos> = BTreeMap::new();
         for (tensor, dev, bytes) in &plan.pinned_uploads {
             let host = self.topo.device(*dev).host;
-            let delivered = {
+            let timing = {
                 let ch = fabric.channel(client, host);
                 let issue = session_ready + ch.params.per_call_overhead;
-                ch.send_oneway(issue, *bytes)
+                ch.send_oneway_timed(issue, *bytes)
             };
+            let delivered = timing.delivered;
             network_bytes += *bytes;
-            trace.push(TraceEvent::Transfer {
-                from: client.0,
-                to: host.0,
-                bytes: *bytes,
-                start: session_ready,
-                end: delivered,
-            });
+            transfers_n += 1;
+            queue_hist.observe(timing.queue_delay.as_secs_f64());
+            trace.push(
+                TraceEvent::transfer(client.0, host.0, *bytes, session_ready, delivered)
+                    .with_plan(plan_label.clone())
+                    .with_queue_delay(timing.queue_delay),
+            );
             let _ = state.register_resident(
                 self.topo,
                 ResidentObject {
@@ -122,7 +148,9 @@ impl<'a> SimBackend<'a> {
             let mut ready = session_ready;
             for edge in plan.srg.in_edges(id) {
                 let p = finish.get(&edge.src).copied().unwrap_or(session_ready);
-                let arrival = match loc.device().and_then(|d| recompute_finish.get(&(edge.src, d)))
+                let arrival = match loc
+                    .device()
+                    .and_then(|d| recompute_finish.get(&(edge.src, d)))
                 {
                     Some(&replica) => replica,
                     None => delivered_at.get(&edge.id).copied().unwrap_or(p),
@@ -143,19 +171,20 @@ impl<'a> SimBackend<'a> {
                         ready
                     } else {
                         let gpu = &self.topo.device(dev).spec;
-                        let dur =
-                            Nanos::from_secs_f64(self.cost.kernel_time(node, gpu));
-                        let begin = ready.max(
-                            device_free.get(&dev).copied().unwrap_or(session_ready),
-                        );
+                        let dur = Nanos::from_secs_f64(self.cost.kernel_time(node, gpu));
+                        let begin =
+                            ready.max(device_free.get(&dev).copied().unwrap_or(session_ready));
                         let end = begin + dur;
                         device_free.insert(dev, end);
-                        trace.push(TraceEvent::Kernel {
-                            device: dev.0,
-                            label: node.name.clone(),
-                            start: begin,
-                            end,
-                        });
+                        kernels_n += 1;
+                        kernel_hist.observe(dur.as_secs_f64());
+                        *kernel_estimate.entry(dev).or_insert(0.0) +=
+                            self.cost.kernel_time(node, gpu);
+                        trace.push(
+                            TraceEvent::kernel(dev.0, node.name.clone(), begin, end)
+                                .with_node(id)
+                                .with_plan(plan_label.clone()),
+                        );
                         end
                     }
                 }
@@ -175,24 +204,26 @@ impl<'a> SimBackend<'a> {
                 {
                     let gpu = &self.topo.device(dev).spec;
                     let dur = Nanos::from_secs_f64(self.cost.kernel_time(node, gpu));
-                    let begin =
-                        ready.max(device_free.get(&dev).copied().unwrap_or(session_ready));
+                    let begin = ready.max(device_free.get(&dev).copied().unwrap_or(session_ready));
                     let rend = begin + dur;
                     device_free.insert(dev, rend);
-                    trace.push(TraceEvent::Kernel {
-                        device: dev.0,
-                        label: format!("recompute:{}", node.name),
-                        start: begin,
-                        end: rend,
-                    });
+                    kernels_n += 1;
+                    kernel_hist.observe(dur.as_secs_f64());
+                    trace.push(
+                        TraceEvent::kernel(dev.0, format!("recompute:{}", node.name), begin, rend)
+                            .with_node(id)
+                            .with_plan(plan_label.clone()),
+                    );
                     recompute_finish.insert((id, dev), rend);
                 }
             }
 
             // Issue this node's outbound scheduled transfers.
-            for t in plan.transfers.iter().filter(|t| {
-                plan.srg.edge(t.edge).src == id && !t.via_handle
-            }) {
+            for t in plan
+                .transfers
+                .iter()
+                .filter(|t| plan.srg.edge(t.edge).src == id && !t.via_handle)
+            {
                 let from_host = match t.from {
                     Location::ClientCpu => client,
                     Location::Device(d) => self.topo.device(d).host,
@@ -205,30 +236,27 @@ impl<'a> SimBackend<'a> {
                     delivered_at.insert(t.edge, end);
                     continue;
                 }
-                let delivered = {
+                let timing = {
                     let ch = fabric.channel(from_host, to_host);
                     let issue = end + ch.params.per_call_overhead;
-                    ch.send_oneway(issue, t.bytes)
+                    ch.send_oneway_timed(issue, t.bytes)
                 };
                 network_bytes += t.bytes;
-                trace.push(TraceEvent::Transfer {
-                    from: from_host.0,
-                    to: to_host.0,
-                    bytes: t.bytes,
-                    start: end,
-                    end: delivered,
-                });
-                delivered_at.insert(t.edge, delivered);
+                transfers_n += 1;
+                queue_hist.observe(timing.queue_delay.as_secs_f64());
+                trace.push(
+                    TraceEvent::transfer(from_host.0, to_host.0, t.bytes, end, timing.delivered)
+                        .with_node(id)
+                        .with_plan(plan_label.clone())
+                        .with_queue_delay(timing.queue_delay),
+                );
+                delivered_at.insert(t.edge, timing.delivered);
             }
         }
 
-        let makespan = trace.makespan().max(
-            finish
-                .values()
-                .copied()
-                .max()
-                .unwrap_or(start),
-        );
+        let makespan = trace
+            .makespan()
+            .max(finish.values().copied().max().unwrap_or(start));
         let span_s = (makespan - start).as_secs_f64();
         let mut busy_s = BTreeMap::new();
         for dev in self.topo.devices() {
@@ -242,6 +270,44 @@ impl<'a> SimBackend<'a> {
         } else {
             0.0
         };
+
+        telemetry
+            .metrics
+            .counter("genie_sim_kernels_total", &[])
+            .add(kernels_n);
+        telemetry
+            .metrics
+            .counter("genie_sim_transfers_total", &[])
+            .add(transfers_n);
+        for (dev, busy) in &busy_s {
+            let dev_label = dev.to_string();
+            let labels = [("device", dev_label.as_str())];
+            telemetry
+                .metrics
+                .gauge("genie_sim_device_busy_seconds", &labels)
+                .set(*busy);
+            let est = kernel_estimate.get(dev).copied().unwrap_or(0.0);
+            telemetry
+                .metrics
+                .gauge("genie_sim_device_estimate_seconds", &labels)
+                .set(est);
+            if est > 0.0 {
+                let skew = *busy / est;
+                telemetry
+                    .metrics
+                    .gauge("genie_sim_kernel_skew_ratio", &labels)
+                    .set(skew);
+                telemetry
+                    .metrics
+                    .histogram("genie_sim_kernel_skew", &[], &genie_telemetry::RATIO_BOUNDS)
+                    .observe(skew);
+            }
+        }
+        span.annotate(|a| {
+            a.extra.push(("makespan_s".into(), format!("{span_s:.6}")));
+            a.extra
+                .push(("network_bytes".into(), network_bytes.to_string()));
+        });
         SimReport {
             makespan_s: span_s,
             network_bytes,
@@ -308,13 +374,7 @@ mod tests {
         let r1 = backend.execute(&plan, &mut state, &mut fabric, Nanos::ZERO);
 
         // Re-plan with the updated state: weights now resident.
-        let plan2 = schedule(
-            &plan.srg,
-            &topo,
-            &state,
-            &cost,
-            &SemanticsAware::new(),
-        );
+        let plan2 = schedule(&plan.srg, &topo, &state, &cost, &SemanticsAware::new());
         let r2 = backend.execute(
             &plan2,
             &mut state,
@@ -341,6 +401,38 @@ mod tests {
         // bounces activations through the client.
         assert!(blind.network_bytes >= aware.network_bytes);
         assert!(blind.makespan_s >= aware.makespan_s);
+    }
+
+    #[test]
+    fn simulation_reports_skew_metrics() {
+        let (plan, topo) = decode_plan(&SemanticsAware::new());
+        let cost = CostModel::paper_stack();
+        let _ = simulate_once(&plan, &topo, &cost, RpcParams::rdma_zero_copy());
+        let snap = genie_telemetry::global().metrics.snapshot();
+        assert!(snap.counter("genie_sim_kernels_total", &[]).unwrap_or(0) > 0);
+        // Every busy device reports its cost-model estimate and the
+        // estimate-vs-actual skew ratio.
+        let busy = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "genie_sim_device_busy_seconds")
+            .expect("busy gauge");
+        let dev = busy
+            .labels
+            .iter()
+            .find(|(k, _)| k == "device")
+            .expect("device label")
+            .1
+            .clone();
+        let labels = [("device", dev.as_str())];
+        let est = snap
+            .gauge("genie_sim_device_estimate_seconds", &labels)
+            .expect("estimate gauge");
+        assert!(est > 0.0);
+        let skew = snap
+            .gauge("genie_sim_kernel_skew_ratio", &labels)
+            .expect("skew gauge");
+        assert!(skew > 0.0);
     }
 
     #[test]

@@ -15,7 +15,13 @@ fn vision_plan(topo: &Topology) -> genie_scheduler::ExecutionPlan {
     let mut srg = ctx.finish().srg;
     genie_frontend::patterns::run_all(&mut srg);
     let state = ClusterState::new();
-    schedule(&srg, topo, &state, &CostModel::paper_stack(), &SemanticsAware::new())
+    schedule(
+        &srg,
+        topo,
+        &state,
+        &CostModel::paper_stack(),
+        &SemanticsAware::new(),
+    )
 }
 
 #[test]

@@ -48,7 +48,11 @@ fn bench_micro(c: &mut Criterion) {
     let state = ClusterState::new();
     let cost = CostModel::paper_stack();
     c.bench_function("scheduler/semantics_aware_plan", |b| {
-        b.iter(|| schedule(&srg, &topo, &state, &cost, &SemanticsAware::new()).transfers.len())
+        b.iter(|| {
+            schedule(&srg, &topo, &state, &cost, &SemanticsAware::new())
+                .transfers
+                .len()
+        })
     });
 
     // Functional-plane arithmetic.

@@ -11,7 +11,10 @@ fn bench_scaling(c: &mut Criterion) {
 
     println!("\n=== Table 3 (regenerated) ===");
     for (n, dkv, sa) in table3(&w, &cal, &[50, 100, 150, 200]) {
-        println!("N={n:<4} dKV {dkv:>7.1}s   SA {sa:>7.1}s   ratio {:.2}x", dkv / sa);
+        println!(
+            "N={n:<4} dKV {dkv:>7.1}s   SA {sa:>7.1}s   ratio {:.2}x",
+            dkv / sa
+        );
     }
 
     let mut group = c.benchmark_group("table3");

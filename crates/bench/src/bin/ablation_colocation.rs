@@ -10,7 +10,9 @@ use genie_bench::report::render_table;
 use genie_cluster::{ClusterState, Topology};
 use genie_frontend::capture::CaptureCtx;
 use genie_models::{KvState, TransformerConfig, TransformerLm};
-use genie_scheduler::{schedule, CostModel, DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware};
+use genie_scheduler::{
+    schedule, CostModel, DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware,
+};
 
 fn main() {
     let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());

@@ -11,7 +11,9 @@ fn main() {
     let horizon = 3600.0;
     let seed = 2026;
 
-    println!("Ablation — fleet utilization: 8 bursty tenants (GPT-J requests, ~20% duty cycle each)\n");
+    println!(
+        "Ablation — fleet utilization: 8 bursty tenants (GPT-J requests, ~20% duty cycle each)\n"
+    );
 
     let stat = simulate_static(&tenants, horizon, seed);
     let mut rows = vec![vec![
@@ -34,7 +36,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Configuration", "GPUs", "Mean util", "Mean lat [s]", "p95 lat [s]"],
+            &[
+                "Configuration",
+                "GPUs",
+                "Mean util",
+                "Mean lat [s]",
+                "p95 lat [s]"
+            ],
             &rows
         )
     );

@@ -52,7 +52,9 @@ fn dlrm(tables: usize, dim: usize) -> Srg {
     };
     let m = Dlrm::new_spec(cfg.clone());
     let ctx = CaptureCtx::new("dlrm");
-    let ids: Vec<Vec<i64>> = (0..cfg.tables).map(|_| vec![0; cfg.lookups_per_table]).collect();
+    let ids: Vec<Vec<i64>> = (0..cfg.tables)
+        .map(|_| vec![0; cfg.lookups_per_table])
+        .collect();
     m.capture_inference(&ctx, &ids, None).mark_output();
     ctx.finish().srg
 }
@@ -107,7 +109,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Exemplars/family", "Held-out accuracy", "Test graphs"], &rows)
+        render_table(
+            &["Exemplars/family", "Held-out accuracy", "Test graphs"],
+            &rows
+        )
     );
     println!("a nearest-centroid lexicon over scale-normalized SRG features learns");
     println!("new workload families from a handful of exemplars and generalizes to");

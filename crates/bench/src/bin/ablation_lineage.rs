@@ -40,7 +40,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Fail at step", "Restart redo [s]", "Lineage replay [s]", "Saving"],
+            &[
+                "Fail at step",
+                "Restart redo [s]",
+                "Lineage replay [s]",
+                "Saving"
+            ],
             &rows
         )
     );

@@ -44,5 +44,8 @@ fn main() {
     );
     println!("memory-bound decode reads the 12 GB of weights once per step no matter");
     println!("the batch — identifying \"two requests to the same public LLM\" (§3.6)");
-    println!("is worth up to {:.1}x in fleet decode throughput.", 1.0 / (1.0 - weight_fraction));
+    println!(
+        "is worth up to {:.1}x in fleet decode throughput.",
+        1.0 / (1.0 - weight_fraction)
+    );
 }

@@ -31,10 +31,7 @@ fn main() {
             format!("{rate:.1}"),
             format!("{:.1}", colo.throughput_rps),
             format!("{:.1}", colo.decode_interference_s * 1e3),
-            format!(
-                "{}+{}",
-                split.prefill_devices, split.decode_devices
-            ),
+            format!("{}+{}", split.prefill_devices, split.decode_devices),
             format!("{:.1}", split.throughput_rps),
             "0.0".to_string(),
         ]);
@@ -76,7 +73,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Interconnect", "Handoff [ms]", "PD cap [req/s]", "vs colocated"],
+            &[
+                "Interconnect",
+                "Handoff [ms]",
+                "PD cap [req/s]",
+                "vs colocated"
+            ],
             &rows
         )
     );

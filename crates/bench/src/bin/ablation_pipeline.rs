@@ -23,7 +23,10 @@ fn main() {
     let batch = 256;
     let serial = pipeline::serial_makespan(&stages, batch);
 
-    println!("Ablation — pipelined CNN inference ({} stages, batch {batch})\n", stages.len());
+    println!(
+        "Ablation — pipelined CNN inference ({} stages, batch {batch})\n",
+        stages.len()
+    );
     let mut rows = vec![vec![
         "single device (serial)".to_string(),
         format!("{serial:.3}"),
@@ -47,7 +50,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Configuration", "Makespan [s]", "Speedup", "Verdict"], &rows)
+        render_table(
+            &["Configuration", "Makespan [s]", "Speedup", "Verdict"],
+            &rows
+        )
     );
     println!(
         "break-even interconnect ≈ {:.1} GB/s: pipelining \"overlaps communication\nand computation\" (§3.3) only above it — a decision the SRG's stage\nannotations let the scheduler make without profiling.",

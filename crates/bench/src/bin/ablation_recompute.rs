@@ -31,14 +31,25 @@ fn main() {
             format!("{:.0}%", congestion * 100.0),
             format!("{:.2}", fetch_s * 1e3),
             format!("{:.3}", recompute_s * 1e3),
-            if advantage > 0.0 { "recompute" } else { "fetch" }.to_string(),
+            if advantage > 0.0 {
+                "recompute"
+            } else {
+                "fetch"
+            }
+            .to_string(),
             format!("{:+.2}", advantage * 1e3),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["Congestion", "Fetch [ms]", "Recompute [ms]", "Decision", "Saved [ms]"],
+            &[
+                "Congestion",
+                "Fetch [ms]",
+                "Recompute [ms]",
+                "Decision",
+                "Saved [ms]"
+            ],
             &rows
         )
     );

@@ -47,7 +47,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Datapath", "Staging copies", "Bytes copied", "Zero-copy sends"],
+            &[
+                "Datapath",
+                "Staging copies",
+                "Bytes copied",
+                "Zero-copy sends"
+            ],
             &[
                 vec![
                     "reactive (pin_memory post-hoc)".into(),

@@ -28,7 +28,13 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Workload", "Level", "Ops", "Phases", "Residency", "Modality", "Structure",
+                "Workload",
+                "Level",
+                "Ops",
+                "Phases",
+                "Residency",
+                "Modality",
+                "Structure",
                 "Total"
             ],
             &rows

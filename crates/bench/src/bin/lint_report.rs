@@ -43,7 +43,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Workload", "Graph size", "SRG lints (GA0xx)", "Plan lints (GA1xx)"],
+            &[
+                "Workload",
+                "Graph size",
+                "SRG lints (GA0xx)",
+                "Plan lints (GA1xx)"
+            ],
             &rows
         )
     );

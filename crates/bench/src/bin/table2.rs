@@ -12,7 +12,10 @@ fn main() {
     let cal = Calibration::paper();
     let rows = table2(&w, &cal);
 
-    println!("Table 2 — GPT-J ({:.1} GB fp16) on A100-80GB over 25 GbE,", w.weight_bytes() / 1e9);
+    println!(
+        "Table 2 — GPT-J ({:.1} GB fp16) on A100-80GB over 25 GbE,",
+        w.weight_bytes() / 1e9
+    );
     println!(
         "{}-token prompt + {}-token decode; TensorPipe-calibrated transport\n",
         w.prompt_tokens, w.decode_tokens
@@ -48,6 +51,7 @@ fn main() {
                     fmt_secs(m.latency_s),
                     fmt_mb(m.net_mb),
                     fmt_pct(m.gpu_util_pct),
+                    m.rpc_calls.to_string(),
                     format!("{} / {} / {}", p[0], p[1], p[2]),
                 ]
             })
@@ -55,7 +59,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["Mode", "Latency [s]", "Net [MB]", "GPU Util [%]", "(paper: s / MB / %)"],
+                &[
+                    "Mode",
+                    "Latency [s]",
+                    "Net [MB]",
+                    "GPU Util [%]",
+                    "RPCs",
+                    "(paper: s / MB / %)",
+                ],
                 &table_rows,
             )
         );

@@ -151,8 +151,7 @@ fn simulate(
         .copied()
         .fold(horizon_s, f64::max)
         .max(horizon_s);
-    let mean_utilization =
-        busy_s.iter().sum::<f64>() / (devices as f64 * horizon);
+    let mean_utilization = busy_s.iter().sum::<f64>() / (devices as f64 * horizon);
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let mean_latency_s = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
     let p95 = if latencies.is_empty() {

@@ -66,6 +66,10 @@ pub struct PhaseMetrics {
     pub net_mb: f64,
     /// Effective GPU utilization percent: kernel seconds / wall clock.
     pub gpu_util_pct: f64,
+    /// Completed RPC round trips (the evaluation's "network volume via
+    /// RPC counters" companion figure; 0 for local execution).
+    #[serde(default)]
+    pub rpc_calls: u64,
 }
 
 fn fresh_channel(cal: &Calibration) -> RpcChannel {
@@ -76,12 +80,7 @@ fn fresh_channel(cal: &Calibration) -> RpcChannel {
 /// Run one mode through one phase, reproducing the paper's measurement
 /// protocol: each phase is a fresh process/session (`/usr/bin/time`), so
 /// remote modes pay session establishment each time.
-pub fn run_phase(
-    mode: Mode,
-    phase: PhaseRun,
-    w: &LlmWorkload,
-    cal: &Calibration,
-) -> PhaseMetrics {
+pub fn run_phase(mode: Mode, phase: PhaseRun, w: &LlmWorkload, cal: &Calibration) -> PhaseMetrics {
     let kernel_s = match phase {
         PhaseRun::Prefill => cal.kernel_prefill_s,
         PhaseRun::Decode(n) => n as f64 * cal.kernel_token_s,
@@ -92,6 +91,7 @@ pub fn run_phase(
             latency_s: kernel_s,
             net_mb: 0.0,
             gpu_util_pct: 100.0,
+            rpc_calls: 0,
         };
     }
 
@@ -102,7 +102,8 @@ pub fn run_phase(
             // One remote call per module stage; each re-uploads the whole
             // model plus the running activations; the last returns logits.
             let mut t = start;
-            let stage_kernel = Nanos::from_secs_f64(cal.kernel_prefill_s / cal.prefill_stages as f64);
+            let stage_kernel =
+                Nanos::from_secs_f64(cal.kernel_prefill_s / cal.prefill_stages as f64);
             for stage in 0..cal.prefill_stages {
                 let up = w.weight_bytes() as u64
                     + if stage == 0 {
@@ -137,7 +138,8 @@ pub fn run_phase(
             // Weights stay remote; per-module calls round-trip activations
             // through the client (the RPC caller owns every return value).
             let mut t = start;
-            let stage_kernel = Nanos::from_secs_f64(cal.kernel_prefill_s / cal.prefill_stages as f64);
+            let stage_kernel =
+                Nanos::from_secs_f64(cal.kernel_prefill_s / cal.prefill_stages as f64);
             for stage in 0..cal.prefill_stages {
                 let up = if stage == 0 {
                     w.prompt_bytes() as u64
@@ -190,10 +192,8 @@ pub fn run_phase(
             let mut last_delivery = install;
             let k = cal.kernel_token_s;
             for step in 0..n {
-                let step_done =
-                    install + Nanos::from_secs_f64((step + 1) as f64 * k);
-                let delivered =
-                    ch.send_oneway(step_done, w.logits_bytes() as u64 + 8);
+                let step_done = install + Nanos::from_secs_f64((step + 1) as f64 * k);
+                let delivered = ch.send_oneway(step_done, w.logits_bytes() as u64 + 8);
                 last_delivery = last_delivery.max(delivered);
             }
             last_delivery
@@ -206,6 +206,7 @@ pub fn run_phase(
         latency_s,
         net_mb: ch.total_bytes() as f64 / 1e6,
         gpu_util_pct: 100.0 * kernel_s / latency_s,
+        rpc_calls: ch.calls,
     }
 }
 
@@ -234,11 +235,7 @@ pub fn table2(w: &LlmWorkload, cal: &Calibration) -> Vec<Table2Row> {
 
 /// Regenerate Table 3: decode latency for N ∈ `lengths` under ΔKV and
 /// Semantics-Aware.
-pub fn table3(
-    w: &LlmWorkload,
-    cal: &Calibration,
-    lengths: &[usize],
-) -> Vec<(usize, f64, f64)> {
+pub fn table3(w: &LlmWorkload, cal: &Calibration, lengths: &[usize]) -> Vec<(usize, f64, f64)> {
     lengths
         .iter()
         .map(|&n| {

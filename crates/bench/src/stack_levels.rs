@@ -150,7 +150,10 @@ mod tests {
     fn driver_level_sees_only_op_kinds() {
         for row in semantic_visibility() {
             if row.level == "driver" {
-                assert_eq!(row.phases + row.residencies + row.modalities + row.structure, 0);
+                assert_eq!(
+                    row.phases + row.residencies + row.modalities + row.structure,
+                    0
+                );
                 assert!(row.op_kinds > 0);
             }
         }

@@ -148,9 +148,7 @@ mod tests {
     #[test]
     fn heterogeneous_fleet_differs() {
         assert!(GpuSpec::h100().peak_flops > GpuSpec::a100_80gb().peak_flops);
-        assert!(
-            GpuSpec::bandwidth_optimized().mem_bandwidth > GpuSpec::h100().mem_bandwidth
-        );
+        assert!(GpuSpec::bandwidth_optimized().mem_bandwidth > GpuSpec::h100().mem_bandwidth);
         assert_eq!(GpuSpec::l4().class, GpuClass::Inference);
     }
 }

@@ -82,7 +82,10 @@ impl ClusterState {
 
     /// Bytes free on a device given its spec in `topo`.
     pub fn mem_free(&self, topo: &Topology, dev: DevId) -> u64 {
-        topo.device(dev).spec.mem_capacity.saturating_sub(self.mem_used(dev))
+        topo.device(dev)
+            .spec
+            .mem_capacity
+            .saturating_sub(self.mem_used(dev))
     }
 
     /// Reserve device memory; fails if it would exceed capacity.
@@ -150,10 +153,7 @@ impl ClusterState {
             .ok_or(StateError::UnknownObject { key })?
             .device;
         self.alloc(topo, dev, delta)?;
-        self.residents
-            .get_mut(&key)
-            .expect("checked above")
-            .bytes += delta;
+        self.residents.get_mut(&key).expect("checked above").bytes += delta;
         Ok(())
     }
 
@@ -183,7 +183,10 @@ impl ClusterState {
 
     /// All resident objects on a device.
     pub fn residents_on(&self, dev: DevId) -> Vec<&ResidentObject> {
-        self.residents.values().filter(|o| o.device == dev).collect()
+        self.residents
+            .values()
+            .filter(|o| o.device == dev)
+            .collect()
     }
 
     /// Set background congestion on the path between two hosts (fraction of

@@ -40,6 +40,7 @@ struct CaptureState {
     module_stack: Vec<String>,
     phase_stack: Vec<Phase>,
     modality_stack: Vec<Modality>,
+    started: Option<std::time::Instant>,
 }
 
 /// A capture context: the graph under construction plus the annotation
@@ -54,6 +55,7 @@ impl CaptureCtx {
     pub fn new(name: impl Into<String>) -> Self {
         let state = CaptureState {
             srg: Some(Srg::new(name)),
+            started: Some(std::time::Instant::now()),
             ..Default::default()
         };
         CaptureCtx {
@@ -67,7 +69,7 @@ impl CaptureCtx {
     /// entering an `nn.Module`'s `forward`.
     pub fn scope<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         self.state.lock().module_stack.push(name.to_string());
-        let out = f();
+        let out = Self::timed_scope("module", f);
         self.state.lock().module_stack.pop();
         out
     }
@@ -76,7 +78,7 @@ impl CaptureCtx {
     /// `genie.annotate_phase` developer hook of §3.2.
     pub fn phase_scope<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
         self.state.lock().phase_stack.push(phase);
-        let out = f();
+        let out = Self::timed_scope("phase", f);
         self.state.lock().phase_stack.pop();
         out
     }
@@ -84,8 +86,28 @@ impl CaptureCtx {
     /// Run `f` with a modality annotation active.
     pub fn modality_scope<R>(&self, modality: Modality, f: impl FnOnce() -> R) -> R {
         self.state.lock().modality_stack.push(modality);
-        let out = f();
+        let out = Self::timed_scope("modality", f);
         self.state.lock().modality_stack.pop();
+        out
+    }
+
+    /// Count and time one annotation scope of the given tier.
+    fn timed_scope<R>(tier: &'static str, f: impl FnOnce() -> R) -> R {
+        let telemetry = genie_telemetry::global();
+        telemetry
+            .metrics
+            .counter("genie_capture_scopes_total", &[("tier", tier)])
+            .inc();
+        let begin = std::time::Instant::now();
+        let out = f();
+        telemetry
+            .metrics
+            .histogram(
+                "genie_capture_scope_seconds",
+                &[("tier", tier)],
+                &genie_telemetry::DEFAULT_TIME_BOUNDS,
+            )
+            .observe(begin.elapsed().as_secs_f64());
         out
     }
 
@@ -130,7 +152,11 @@ impl CaptureCtx {
     ) -> LazyTensor {
         let meta = TensorMeta::new(shape, elem);
         if let Some(t) = &payload {
-            assert_eq!(t.dims(), &meta.shape[..], "input {name} payload shape mismatch");
+            assert_eq!(
+                t.dims(),
+                &meta.shape[..],
+                "input {name} payload shape mismatch"
+            );
         }
         let id = self.push_source(OpKind::Input, name, Residency::ModelInput);
         if let Some(t) = payload {
@@ -193,17 +219,37 @@ impl CaptureCtx {
     /// full report instead of panicking when any `GA0xx` finding is deny
     /// under `cfg`. The capture is consumed either way.
     pub fn finish_checked(&self, cfg: &LintConfig) -> Result<CapturedGraph, Report> {
-        let (srg, values, outputs) = {
+        let telemetry = genie_telemetry::global();
+        let (srg, values, outputs, started) = {
             let mut st = self.state.lock();
             let srg = st.srg.take().expect("capture already finished");
             (
                 srg,
                 std::mem::take(&mut st.values),
                 std::mem::take(&mut st.outputs),
+                st.started.take(),
             )
         };
+        let mut span = telemetry.collector.span_with(
+            "capture.finish",
+            "frontend",
+            genie_telemetry::SemAttrs::new()
+                .with("graph", srg.name.clone())
+                .with("ops", srg.node_count().to_string()),
+        );
+        if let Some(started) = started {
+            telemetry
+                .metrics
+                .histogram(
+                    "genie_capture_seconds",
+                    &[],
+                    &genie_telemetry::DEFAULT_TIME_BOUNDS,
+                )
+                .observe(started.elapsed().as_secs_f64());
+        }
         let report = run_srg_passes(&srg, cfg);
         if report.has_deny() {
+            span.annotate(|a| a.extra.push(("lint".into(), "deny".into())));
             return Err(report);
         }
         Ok(CapturedGraph {
@@ -216,20 +262,21 @@ impl CaptureCtx {
     // ---- internals --------------------------------------------------
 
     fn push_source(&self, op: OpKind, name: &str, residency: Residency) -> NodeId {
+        genie_telemetry::global()
+            .metrics
+            .counter("genie_capture_ops_total", &[("kind", "source")])
+            .inc();
         let mut st = self.state.lock();
         let module_path = st.module_stack.join(".");
         let phase = st.phase_stack.last().cloned().unwrap_or_default();
         let modality = st.modality_stack.last().copied().unwrap_or_default();
-        st.srg
-            .as_mut()
-            .expect("capture already finished")
-            .add_node(
-                Node::new(NodeId::new(0), op, name)
-                    .with_module_path(module_path)
-                    .with_phase(phase)
-                    .with_modality(modality)
-                    .with_residency(residency),
-            )
+        st.srg.as_mut().expect("capture already finished").add_node(
+            Node::new(NodeId::new(0), op, name)
+                .with_module_path(module_path)
+                .with_phase(phase)
+                .with_modality(modality)
+                .with_residency(residency),
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -243,6 +290,10 @@ impl CaptureCtx {
         attrs: &[(&str, String)],
         residency: Residency,
     ) -> LazyTensor {
+        genie_telemetry::global()
+            .metrics
+            .counter("genie_capture_ops_total", &[("kind", "compute")])
+            .inc();
         let mut st = self.state.lock();
         let module_path = st.module_stack.join(".");
         let phase = st.phase_stack.last().cloned().unwrap_or_default();
@@ -445,7 +496,13 @@ impl LazyTensor {
 
     /// Fused multi-head scaled-dot-product attention. `self` is the query
     /// `[tq, dm]`; `k`/`v` are `[tk, dm]`.
-    pub fn attention(&self, k: &LazyTensor, v: &LazyTensor, heads: usize, causal: bool) -> LazyTensor {
+    pub fn attention(
+        &self,
+        k: &LazyTensor,
+        v: &LazyTensor,
+        heads: usize,
+        causal: bool,
+    ) -> LazyTensor {
         assert_eq!(self.dims().len(), 2, "attention q rank");
         let (tq, dm) = (self.dims()[0], self.dims()[1]);
         let tk = k.dims()[0];
@@ -795,9 +852,7 @@ mod tests {
         let ctx = CaptureCtx::new("g");
         let x = ctx.input("x", [1, 8], ElemType::F32, None);
         let y = ctx.scope("decoder", || {
-            ctx.phase_scope(Phase::LlmDecode, || {
-                ctx.scope("mlp", || x.relu())
-            })
+            ctx.phase_scope(Phase::LlmDecode, || ctx.scope("mlp", || x.relu()))
         });
         let cap = ctx.finish();
         let node = cap.srg.node(y.node);
@@ -897,7 +952,10 @@ mod tests {
         let decoded = ctx.phase_scope(Phase::LlmDecode, || x.relu());
         ctx.phase_scope(Phase::LlmPrefill, || decoded.relu().mark_output());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.finish()));
-        let msg = *result.expect_err("deny finding must panic").downcast::<String>().unwrap();
+        let msg = *result
+            .expect_err("deny finding must panic")
+            .downcast::<String>()
+            .unwrap();
         assert!(msg.contains("GA003"), "{msg}");
     }
 
@@ -907,10 +965,35 @@ mod tests {
         let x = ctx.input("x", [1, 8], ElemType::F32, None);
         let decoded = ctx.phase_scope(Phase::LlmDecode, || x.relu());
         ctx.phase_scope(Phase::LlmPrefill, || decoded.relu().mark_output());
-        let cfg = genie_analysis::LintConfig::new()
-            .allow(genie_analysis::LintCode::PhaseIncoherence);
+        let cfg =
+            genie_analysis::LintConfig::new().allow(genie_analysis::LintCode::PhaseIncoherence);
         let cap = ctx.finish_checked(&cfg).expect("allowed code passes gate");
         assert_eq!(cap.outputs.len(), 1);
+    }
+
+    #[test]
+    fn capture_feeds_telemetry_counters() {
+        // Global metrics are shared across tests, so assert growth only.
+        let count = |kind: &str| {
+            genie_telemetry::global()
+                .metrics
+                .snapshot()
+                .counter("genie_capture_ops_total", &[("kind", kind)])
+                .unwrap_or(0)
+        };
+        let (src_before, op_before) = (count("source"), count("compute"));
+        let ctx = CaptureCtx::new("telemetry");
+        let x = ctx.input("x", [1, 4], ElemType::F32, None);
+        ctx.scope("m", || x.relu()).mark_output();
+        let _ = ctx.finish();
+        assert!(count("source") > src_before);
+        assert!(count("compute") > op_before);
+        let scopes = genie_telemetry::global()
+            .metrics
+            .snapshot()
+            .counter("genie_capture_scopes_total", &[("tier", "module")])
+            .unwrap_or(0);
+        assert!(scopes >= 1);
     }
 
     #[test]

@@ -95,16 +95,19 @@ fn eval_node(
     let attr_usize = |key: &str| attr(key).parse::<usize>().unwrap_or(0);
 
     Ok(match op {
-        OpKind::Parameter | OpKind::Input => bindings
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| InterpError::MissingValue {
-                node: id,
-                name: node.name.clone(),
-            })?,
-        OpKind::MatMul => {
-            Value::F(ops::matmul(inputs[0].as_f("matmul"), inputs[1].as_f("matmul")))
+        OpKind::Parameter | OpKind::Input => {
+            bindings
+                .get(&id)
+                .cloned()
+                .ok_or_else(|| InterpError::MissingValue {
+                    node: id,
+                    name: node.name.clone(),
+                })?
         }
+        OpKind::MatMul => Value::F(ops::matmul(
+            inputs[0].as_f("matmul"),
+            inputs[1].as_f("matmul"),
+        )),
         OpKind::Add => {
             if attr("bias") == "1" {
                 Value::F(ops::add_bias(inputs[0].as_f("add"), inputs[1].as_f("bias")))
@@ -167,7 +170,12 @@ fn eval_node(
                 } else {
                     ops::PoolMode::Max
                 };
-                Value::F(ops::pool2d(x, attr_usize("k").max(1), attr_usize("stride").max(1), mode))
+                Value::F(ops::pool2d(
+                    x,
+                    attr_usize("k").max(1),
+                    attr_usize("stride").max(1),
+                    mode,
+                ))
             }
         }
         OpKind::EmbeddingGather => {
@@ -224,9 +232,7 @@ fn eval_node(
 }
 
 /// Convenience: bind nothing extra, run, and return a single float output.
-pub fn run_single_output(
-    cap: &crate::capture::CapturedGraph,
-) -> Result<Tensor, InterpError> {
+pub fn run_single_output(cap: &crate::capture::CapturedGraph) -> Result<Tensor, InterpError> {
     let out = cap.outputs.last().expect("capture has an output");
     let vals = execute_outputs(&cap.srg, &cap.values, &[*out])?;
     Ok(vals[0].as_f("output").clone())
@@ -363,12 +369,13 @@ mod tests {
         reshaped.mark_output();
         transposed.mark_output();
         let cap = ctx.finish();
-        let outs =
-            execute_outputs(&cap.srg, &cap.values, &[mean.node, reshaped.node, transposed.node])
-                .unwrap();
-        assert!(outs[0]
-            .as_f("mean")
-            .approx_eq(&ops::mean_lastdim(&x), 1e-6));
+        let outs = execute_outputs(
+            &cap.srg,
+            &cap.values,
+            &[mean.node, reshaped.node, transposed.node],
+        )
+        .unwrap();
+        assert!(outs[0].as_f("mean").approx_eq(&ops::mean_lastdim(&x), 1e-6));
         assert_eq!(outs[1].as_f("reshape").dims(), &[4, 3]);
         assert_eq!(outs[1].as_f("reshape").data(), x.data());
         assert!(outs[2]
@@ -392,7 +399,9 @@ mod tests {
         let cap = ctx.finish();
         let outs =
             execute_outputs(&cap.srg, &cap.values, &[rms.node, silu.node, soft.node]).unwrap();
-        assert!(outs[0].as_f("rms").approx_eq(&ops::rms_norm(&x, &gamma, 1e-6), 1e-5));
+        assert!(outs[0]
+            .as_f("rms")
+            .approx_eq(&ops::rms_norm(&x, &gamma, 1e-6), 1e-5));
         assert!(outs[1].as_f("silu").approx_eq(&ops::silu(&x), 1e-6));
         assert!(outs[2]
             .as_f("softmax")

@@ -40,9 +40,8 @@ pub fn features(srg: &Srg) -> [f64; FEATURES] {
         kv_appends: 0,
     });
     let n = srg.node_count().max(1) as f64;
-    let count = |f: &dyn Fn(&OpKind) -> bool| {
-        srg.nodes().filter(|node| f(&node.op)).count() as f64 / n
-    };
+    let count =
+        |f: &dyn Fn(&OpKind) -> bool| srg.nodes().filter(|node| f(&node.op)).count() as f64 / n;
     let total_state = (stats.weight_bytes + stats.stateful_bytes + stats.activation_bytes).max(1.0);
     [
         count(&|op| matches!(op, OpKind::MatMul | OpKind::Attention)),

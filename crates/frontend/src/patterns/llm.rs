@@ -78,9 +78,7 @@ mod tests {
         let mut srg = llm_step(1);
         let n = recognize(&mut srg);
         assert!(n > 0);
-        assert!(srg
-            .nodes()
-            .all(|node| node.phase == Phase::LlmDecode));
+        assert!(srg.nodes().all(|node| node.phase == Phase::LlmDecode));
         assert!(srg.nodes().all(|node| node.modality == Modality::Text));
     }
 

@@ -71,9 +71,7 @@ mod tests {
         let cache = ctx.empty_cache("kv", 4, ElemType::F32);
         let x = ctx.input("x", [1, 4], ElemType::F32, None);
         // Developer explicitly tags this as a custom phase.
-        let grown = ctx.phase_scope(Phase::Custom("speculative".into()), || {
-            cache.kv_append(&x)
-        });
+        let grown = ctx.phase_scope(Phase::Custom("speculative".into()), || cache.kv_append(&x));
         grown.mark_output();
         let mut srg = ctx.finish().srg;
         run_all(&mut srg);

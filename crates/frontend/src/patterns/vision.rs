@@ -107,11 +107,7 @@ mod tests {
         let mut srg = cnn(2);
         recognize(&mut srg);
         // The relu after the second conv must be stage 1.
-        let last_relu = srg
-            .nodes()
-            .filter(|n| n.op == OpKind::Relu)
-            .last()
-            .unwrap();
+        let last_relu = srg.nodes().filter(|n| n.op == OpKind::Relu).last().unwrap();
         assert_eq!(last_relu.attrs["pipeline_stage"], "1");
     }
 }

@@ -13,7 +13,10 @@ use std::collections::BTreeMap;
 pub fn module_groups(srg: &Srg) -> BTreeMap<String, Vec<NodeId>> {
     let mut groups: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
     for node in srg.nodes() {
-        groups.entry(node.module_path.clone()).or_default().push(node.id);
+        groups
+            .entry(node.module_path.clone())
+            .or_default()
+            .push(node.id);
     }
     groups
 }

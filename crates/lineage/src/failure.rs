@@ -32,11 +32,7 @@ pub fn is_state_loss(error: &genie_transport::TransportError) -> bool {
 
 /// Simulation-plane injection: fail a device, evicting all resident
 /// objects from the cluster state and reporting them.
-pub fn inject_device_failure(
-    state: &mut ClusterState,
-    device: DevId,
-    epoch: u64,
-) -> FailureEvent {
+pub fn inject_device_failure(state: &mut ClusterState, device: DevId, epoch: u64) -> FailureEvent {
     let evicted = state.evict_device(device);
     FailureEvent {
         device: Some(device),

@@ -63,9 +63,7 @@ impl LineageLog {
     /// Index of the defining recipe for `name` visible at position `at`
     /// (i.e. the latest definition strictly before `at`).
     fn definition_before(&self, name: &str, at: usize) -> Option<usize> {
-        self.recipes[..at]
-            .iter()
-            .rposition(|r| r.defines == name)
+        self.recipes[..at].iter().rposition(|r| r.defines == name)
     }
 
     /// The minimal, ordered set of recipe indices that must re-execute to
@@ -84,8 +82,7 @@ impl LineageLog {
     ///    intermediate.
     pub fn replay_set(&self, lost: &[String], surviving: &BTreeSet<String>) -> Vec<usize> {
         // Latest definition index per name.
-        let mut last_def: std::collections::HashMap<&str, usize> =
-            std::collections::HashMap::new();
+        let mut last_def: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
         for (i, r) in self.recipes.iter().enumerate() {
             last_def.insert(r.defines.as_str(), i);
         }
@@ -191,10 +188,7 @@ mod tests {
     #[test]
     fn losing_everything_replays_everything() {
         let log = chain_log();
-        let replay = log.replay_set(
-            &["weights".into(), "kv2".into()],
-            &BTreeSet::new(),
-        );
+        let replay = log.replay_set(&["weights".into(), "kv2".into()], &BTreeSet::new());
         assert_eq!(replay, vec![0, 1, 2, 3]);
     }
 
@@ -202,8 +196,9 @@ mod tests {
     fn surviving_inputs_cut_the_replay() {
         let log = chain_log();
         // Only kv2 lost; weights and kv1 survive (e.g. on another device).
-        let surviving: BTreeSet<String> =
-            ["weights".to_string(), "kv1".to_string()].into_iter().collect();
+        let surviving: BTreeSet<String> = ["weights".to_string(), "kv1".to_string()]
+            .into_iter()
+            .collect();
         let replay = log.replay_set(&["kv2".into()], &surviving);
         assert_eq!(replay, vec![3], "only the final append replays");
         assert!(log.replay_savings(&replay) > 0.5);

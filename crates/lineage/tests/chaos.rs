@@ -17,7 +17,9 @@ fn random_log(objects: usize, steps: usize, seed: u64) -> (LineageLog, LocalRepl
     let mut replayer = LocalReplayer::new();
     let mut rng = seed;
     let mut next = || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng >> 33) as usize
     };
     let mut defined: Vec<String> = Vec::new();

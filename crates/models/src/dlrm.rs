@@ -26,15 +26,27 @@ struct DenseWeights {
 impl Dlrm {
     /// Functional model (tiny configs only).
     pub fn new_functional(config: DlrmConfig, seed: u64) -> Self {
-        assert!(config.table_bytes() < 16 << 20, "functional tables must be small");
+        assert!(
+            config.table_bytes() < 16 << 20,
+            "functional tables must be small"
+        );
         assert_eq!(config.elem, ElemType::F32);
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         let tables = (0..config.tables)
-            .map(|_| init::uniform([config.rows_per_table, config.embedding_dim], -0.1, 0.1, next()))
+            .map(|_| {
+                init::uniform(
+                    [config.rows_per_table, config.embedding_dim],
+                    -0.1,
+                    0.1,
+                    next(),
+                )
+            })
             .collect();
         let concat_width = config.embedding_dim * (config.tables + 1);
         let dense = DenseWeights {
@@ -103,12 +115,7 @@ impl Dlrm {
 
             // Dense side: bottom MLP.
             let dense_vec = ctx.scope("dense_bottom", || {
-                let x = ctx.input(
-                    "dense",
-                    [1, cfg.dense_features],
-                    cfg.elem,
-                    dense_features,
-                );
+                let x = ctx.input("dense", [1, cfg.dense_features], cfg.elem, dense_features);
                 let w = ctx.parameter(
                     "bottom_w",
                     [cfg.dense_features, cfg.embedding_dim],
@@ -163,7 +170,9 @@ mod tests {
         (0..cfg.tables)
             .map(|t| {
                 (0..cfg.lookups_per_table)
-                    .map(|i| ((seed + t as i64 * 7 + i as i64 * 13) % cfg.rows_per_table as i64).abs())
+                    .map(|i| {
+                        ((seed + t as i64 * 7 + i as i64 * 13) % cfg.rows_per_table as i64).abs()
+                    })
                     .collect()
             })
             .collect()

@@ -187,7 +187,10 @@ impl Multimodal {
                     ctx.input_ids_spec("question", question.len())
                 };
                 let emb = table.gather(&ids);
-                let pooled = emb.transpose().mean_lastdim().reshape([1, cfg.text.d_model]);
+                let pooled = emb
+                    .transpose()
+                    .mean_lastdim()
+                    .reshape([1, cfg.text.d_model]);
                 let proj = ctx.parameter(
                     "txt_proj",
                     [cfg.text.d_model, cfg.fusion_dim],

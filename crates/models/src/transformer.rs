@@ -97,7 +97,9 @@ impl TransformerLm {
         let ffn = d * config.ffn_mult;
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         let scale = |t: Tensor, f: f32| {
@@ -121,7 +123,10 @@ impl TransformerLm {
             layers,
             lnf_g: Tensor::ones([d]),
             lnf_b: Tensor::zeros([d]),
-            lm_head: scale(init::randn([d, config.vocab], next()), 1.0 / (d as f32).sqrt()),
+            lm_head: scale(
+                init::randn([d, config.vocab], next()),
+                1.0 / (d as f32).sqrt(),
+            ),
         };
         TransformerLm {
             config,
@@ -179,12 +184,7 @@ impl TransformerLm {
         } else {
             ctx.input_ids_spec("tokens", t)
         };
-        let wte = ctx.parameter(
-            "wte",
-            [cfg.vocab, d],
-            elem,
-            w.map(|w| w.wte.clone()),
-        );
+        let wte = ctx.parameter("wte", [cfg.vocab, d], elem, w.map(|w| w.wte.clone()));
         let mut x = ctx.scope("embed", || wte.gather(&ids));
 
         let mut k_caches = Vec::with_capacity(cfg.layers);
@@ -451,8 +451,7 @@ mod tests {
         let h = blocks.iter().find(|b| b.prefix == "h").expect("h family");
         assert_eq!(h.instances.len(), 28);
         // Every instance carries the same member count (uniform layers).
-        let sizes: std::collections::BTreeSet<usize> =
-            h.members.iter().map(|m| m.len()).collect();
+        let sizes: std::collections::BTreeSet<usize> = h.members.iter().map(|m| m.len()).collect();
         assert_eq!(sizes.len(), 1);
     }
 

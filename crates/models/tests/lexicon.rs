@@ -25,7 +25,9 @@ fn cnn_graph(cfg: CnnConfig) -> genie_srg::Srg {
 fn dlrm_graph(cfg: DlrmConfig) -> genie_srg::Srg {
     let m = Dlrm::new_spec(cfg.clone());
     let ctx = CaptureCtx::new("dlrm");
-    let ids: Vec<Vec<i64>> = (0..cfg.tables).map(|_| vec![0; cfg.lookups_per_table]).collect();
+    let ids: Vec<Vec<i64>> = (0..cfg.tables)
+        .map(|_| vec![0; cfg.lookups_per_table])
+        .collect();
     m.capture_inference(&ctx, &ids, None).mark_output();
     ctx.finish().srg
 }

@@ -27,10 +27,8 @@ impl Fabric {
         let mut channels = BTreeMap::new();
         for link in topo.links() {
             let key = ordered(link.a, link.b);
-            let mut sim = LinkSim::new(
-                link.bandwidth_bytes(),
-                Nanos::from_secs_f64(link.latency_s),
-            );
+            let mut sim =
+                LinkSim::new(link.bandwidth_bytes(), Nanos::from_secs_f64(link.latency_s));
             sim.congestion = state.congestion(link.a.0, link.b.0);
             channels.insert(key, RpcChannel::new(params.clone(), sim));
         }

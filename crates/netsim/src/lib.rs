@@ -41,6 +41,6 @@ pub mod trace;
 pub use fabric::Fabric;
 pub use link::LinkSim;
 pub use queue::EventQueue;
-pub use rpc::{CallTiming, RpcChannel, RpcParams};
+pub use rpc::{CallTiming, OnewayTiming, RpcChannel, RpcParams};
 pub use time::Nanos;
 pub use trace::{Trace, TraceEvent};

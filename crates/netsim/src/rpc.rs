@@ -94,6 +94,19 @@ pub struct CallTiming {
     pub response_delivered: Nanos,
 }
 
+/// Outcome of one one-way send, with queueing visibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnewayTiming {
+    /// When the send was issued (after any session setup).
+    pub issued: Nanos,
+    /// When the first byte hit the wire (≥ `issued` under FIFO queueing).
+    pub wire_start: Nanos,
+    /// When the last byte arrived at the receiver.
+    pub delivered: Nanos,
+    /// `wire_start - issued`: time spent queued behind earlier traffic.
+    pub queue_delay: Nanos,
+}
+
 impl RpcChannel {
     /// New channel over the given link.
     pub fn new(params: RpcParams, link: LinkSim) -> Self {
@@ -140,11 +153,23 @@ impl RpcChannel {
 
     /// One-way transfer (async send / stream). Returns delivery time.
     pub fn send_oneway(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        self.send_oneway_timed(now, bytes).delivered
+    }
+
+    /// One-way transfer with full timing, including how long the payload
+    /// waited for the link serializer behind earlier traffic. This is the
+    /// queueing-delay signal the telemetry layer surfaces per transfer.
+    pub fn send_oneway_timed(&mut self, now: Nanos, bytes: u64) -> OnewayTiming {
         let now = self.ensure_session(now);
-        let t = self.transmit_payload(now, bytes);
+        let (start, delivered) = self.transmit_payload_timed(now, bytes);
         self.bytes_up += bytes;
         self.calls += 1;
-        t
+        OnewayTiming {
+            issued: now,
+            wire_start: start,
+            delivered,
+            queue_delay: start.saturating_sub(now),
+        }
     }
 
     /// Total bytes in both directions.
@@ -153,6 +178,11 @@ impl RpcChannel {
     }
 
     fn transmit_payload(&mut self, at: Nanos, bytes: u64) -> Nanos {
+        self.transmit_payload_timed(at, bytes).1
+    }
+
+    /// Returns `(wire_start, delivered)` for one payload.
+    fn transmit_payload_timed(&mut self, at: Nanos, bytes: u64) -> (Nanos, Nanos) {
         // The slower of the transport's serialization goodput and the
         // link's (possibly congested) rate governs; the wire is held for
         // that window (FIFO with other transfers), then propagation.
@@ -160,7 +190,7 @@ impl RpcChannel {
         let goodput = self.params.effective_bandwidth.min(line);
         let duration = Nanos::from_secs_f64(bytes as f64 / goodput);
         let start = self.link.occupy(at, duration, bytes);
-        start + duration + self.link.latency
+        (start, start + duration + self.link.latency)
     }
 }
 
@@ -232,5 +262,26 @@ mod tests {
         c.send_oneway(t0, 500);
         assert_eq!(c.total_bytes(), 1_000);
         assert_eq!(c.calls, 2);
+    }
+
+    #[test]
+    fn oneway_timed_reports_fifo_queue_delay() {
+        let mut c = channel(RpcParams::rdma_zero_copy());
+        let t0 = c.ensure_session(Nanos::ZERO);
+        // First send occupies the wire; the second, issued at the same
+        // instant, must queue for exactly the first's serialization time.
+        let a = c.send_oneway_timed(t0, 3_125_000_000);
+        let b = c.send_oneway_timed(t0, 1_000);
+        assert_eq!(a.queue_delay, Nanos::ZERO);
+        assert_eq!(
+            b.wire_start,
+            a.wire_start + (a.delivered - a.issued) - c.link.latency
+        );
+        assert!(
+            (b.queue_delay.as_secs_f64() - 1.0).abs() < 1e-6,
+            "{:?}",
+            b.queue_delay
+        );
+        assert!(b.delivered > a.delivered.saturating_sub(c.link.latency));
     }
 }

@@ -1,7 +1,14 @@
 //! Simulation traces: a flat record of what happened and when, for
 //! reports, debugging, and the bench harness's table generators.
+//!
+//! Events optionally carry *semantic attribution* — the SRG node and the
+//! execution plan that caused them, and (for transfers) the time spent
+//! queued behind other traffic. This is the raw material the telemetry
+//! layer's Perfetto exporter turns into per-device/per-link tracks where
+//! every kernel names its graph node and phase.
 
 use crate::time::Nanos;
+use genie_srg::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// One recorded simulation event.
@@ -17,6 +24,12 @@ pub enum TraceEvent {
         start: Nanos,
         /// End time.
         end: Nanos,
+        /// SRG node this kernel realizes, when known.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        node: Option<NodeId>,
+        /// Execution-plan label (`<graph>@<policy>`) this ran under.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        plan: Option<String>,
     },
     /// A network transfer completed.
     Transfer {
@@ -30,6 +43,16 @@ pub enum TraceEvent {
         start: Nanos,
         /// Delivery time.
         end: Nanos,
+        /// SRG node whose output (or input) moved, when known.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        node: Option<NodeId>,
+        /// Execution-plan label this ran under.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        plan: Option<String>,
+        /// Time spent waiting for the link serializer (FIFO queueing)
+        /// before the first byte hit the wire.
+        #[serde(default)]
+        queue_delay: Nanos,
     },
     /// An RPC round-trip completed.
     Rpc {
@@ -50,6 +73,79 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// An unattributed kernel event (attach attribution with
+    /// [`with_node`](Self::with_node) / [`with_plan`](Self::with_plan)).
+    pub fn kernel(device: u32, label: impl Into<String>, start: Nanos, end: Nanos) -> Self {
+        TraceEvent::Kernel {
+            device,
+            label: label.into(),
+            start,
+            end,
+            node: None,
+            plan: None,
+        }
+    }
+
+    /// An unattributed transfer event with zero queue delay.
+    pub fn transfer(from: u32, to: u32, bytes: u64, start: Nanos, end: Nanos) -> Self {
+        TraceEvent::Transfer {
+            from,
+            to,
+            bytes,
+            start,
+            end,
+            node: None,
+            plan: None,
+            queue_delay: Nanos::ZERO,
+        }
+    }
+
+    /// Attach the causing SRG node (no-op on `Rpc`/`Mark`).
+    pub fn with_node(mut self, id: NodeId) -> Self {
+        match &mut self {
+            TraceEvent::Kernel { node, .. } | TraceEvent::Transfer { node, .. } => {
+                *node = Some(id);
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Attach the execution-plan label (no-op on `Rpc`/`Mark`).
+    pub fn with_plan(mut self, label: impl Into<String>) -> Self {
+        match &mut self {
+            TraceEvent::Kernel { plan, .. } | TraceEvent::Transfer { plan, .. } => {
+                *plan = Some(label.into());
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Attach the FIFO queueing delay (no-op on non-`Transfer` events).
+    pub fn with_queue_delay(mut self, delay: Nanos) -> Self {
+        if let TraceEvent::Transfer { queue_delay, .. } = &mut self {
+            *queue_delay = delay;
+        }
+        self
+    }
+
+    /// The attributed SRG node, when present.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            TraceEvent::Kernel { node, .. } | TraceEvent::Transfer { node, .. } => *node,
+            _ => None,
+        }
+    }
+
+    /// The attributed plan label, when present.
+    pub fn plan(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Kernel { plan, .. } | TraceEvent::Transfer { plan, .. } => plan.as_deref(),
+            _ => None,
+        }
+    }
+
     /// Event end time (or mark time).
     pub fn end_time(&self) -> Nanos {
         match self {
@@ -119,6 +215,17 @@ impl Trace {
             .sum()
     }
 
+    /// Total seconds transfers spent queued behind other traffic.
+    pub fn total_queue_delay_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Transfer { queue_delay, .. } => Some(queue_delay.as_secs_f64()),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// GPU utilization = busy / makespan for the given device (the paper's
     /// "effective GPU utilization": total kernel time over wall clock).
     pub fn utilization(&self, device: u32) -> f64 {
@@ -137,19 +244,19 @@ mod tests {
     #[test]
     fn makespan_and_utilization() {
         let mut t = Trace::new();
-        t.push(TraceEvent::Kernel {
-            device: 0,
-            label: "mm".into(),
-            start: Nanos::ZERO,
-            end: Nanos::from_secs_f64(1.0),
-        });
-        t.push(TraceEvent::Transfer {
-            from: 0,
-            to: 1,
-            bytes: 1000,
-            start: Nanos::from_secs_f64(1.0),
-            end: Nanos::from_secs_f64(3.0),
-        });
+        t.push(TraceEvent::kernel(
+            0,
+            "mm",
+            Nanos::ZERO,
+            Nanos::from_secs_f64(1.0),
+        ));
+        t.push(TraceEvent::transfer(
+            0,
+            1,
+            1000,
+            Nanos::from_secs_f64(1.0),
+            Nanos::from_secs_f64(3.0),
+        ));
         assert_eq!(t.makespan(), Nanos::from_secs_f64(3.0));
         assert!((t.device_busy_seconds(0) - 1.0).abs() < 1e-9);
         assert!((t.utilization(0) - 1.0 / 3.0).abs() < 1e-9);
@@ -162,6 +269,7 @@ mod tests {
         assert_eq!(t.makespan(), Nanos::ZERO);
         assert_eq!(t.utilization(0), 0.0);
         assert_eq!(t.transferred_bytes(), 0);
+        assert_eq!(t.total_queue_delay_seconds(), 0.0);
     }
 
     #[test]
@@ -178,13 +286,79 @@ mod tests {
     fn busy_seconds_filters_by_device() {
         let mut t = Trace::new();
         for d in 0..2 {
-            t.push(TraceEvent::Kernel {
-                device: d,
-                label: "k".into(),
-                start: Nanos::ZERO,
-                end: Nanos::from_secs_f64(1.0 + d as f64),
-            });
+            t.push(TraceEvent::kernel(
+                d,
+                "k",
+                Nanos::ZERO,
+                Nanos::from_secs_f64(1.0 + d as f64),
+            ));
         }
         assert!((t.device_busy_seconds(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_builders_set_fields() {
+        let e = TraceEvent::kernel(1, "matmul", Nanos::ZERO, Nanos(10))
+            .with_node(NodeId::new(7))
+            .with_plan("llm@semantics_aware");
+        assert_eq!(e.node(), Some(NodeId::new(7)));
+        assert_eq!(e.plan(), Some("llm@semantics_aware"));
+
+        let t = TraceEvent::transfer(0, 1, 64, Nanos(5), Nanos(20))
+            .with_node(NodeId::new(3))
+            .with_queue_delay(Nanos(4));
+        match &t {
+            TraceEvent::Transfer { queue_delay, .. } => assert_eq!(*queue_delay, Nanos(4)),
+            _ => unreachable!(),
+        }
+        // No-op on events without those fields.
+        let m = TraceEvent::Mark {
+            label: "m".into(),
+            at: Nanos::ZERO,
+        }
+        .with_node(NodeId::new(1))
+        .with_plan("p")
+        .with_queue_delay(Nanos(1));
+        assert_eq!(m.node(), None);
+        assert_eq!(m.plan(), None);
+    }
+
+    #[test]
+    fn queue_delay_totals() {
+        let mut t = Trace::new();
+        t.push(
+            TraceEvent::transfer(0, 1, 10, Nanos::ZERO, Nanos(100))
+                .with_queue_delay(Nanos::from_secs_f64(0.25)),
+        );
+        t.push(
+            TraceEvent::transfer(1, 0, 10, Nanos::ZERO, Nanos(100))
+                .with_queue_delay(Nanos::from_secs_f64(0.5)),
+        );
+        assert!((t.total_queue_delay_seconds() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_json_without_attribution_still_parses() {
+        // Pre-attribution serialization: no node/plan/queue_delay keys.
+        let legacy = r#"{"Kernel":{"device":0,"label":"mm","start":0,"end":1000}}"#;
+        let e: TraceEvent = serde_json::from_str(legacy).unwrap();
+        assert_eq!(e.node(), None);
+        let legacy_t = r#"{"Transfer":{"from":0,"to":1,"bytes":8,"start":0,"end":1000}}"#;
+        let e: TraceEvent = serde_json::from_str(legacy_t).unwrap();
+        match e {
+            TraceEvent::Transfer { queue_delay, .. } => assert_eq!(queue_delay, Nanos::ZERO),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn attributed_event_roundtrips() {
+        let e = TraceEvent::transfer(0, 1, 64, Nanos(5), Nanos(20))
+            .with_node(NodeId::new(3))
+            .with_plan("vision@local")
+            .with_queue_delay(Nanos(4));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 }

@@ -32,10 +32,18 @@ fn separate_links_do_not_interfere() {
     let mut fabric = Fabric::new(&topo, &state, RpcParams::rdma_zero_copy());
     let client = HostId(0);
 
-    let t0a = fabric.channel(client, HostId(1)).ensure_session(Nanos::ZERO);
-    let t0b = fabric.channel(client, HostId(2)).ensure_session(Nanos::ZERO);
-    let a = fabric.channel(client, HostId(1)).send_oneway(t0a, 1_000_000_000);
-    let b = fabric.channel(client, HostId(2)).send_oneway(t0b, 1_000_000_000);
+    let t0a = fabric
+        .channel(client, HostId(1))
+        .ensure_session(Nanos::ZERO);
+    let t0b = fabric
+        .channel(client, HostId(2))
+        .ensure_session(Nanos::ZERO);
+    let a = fabric
+        .channel(client, HostId(1))
+        .send_oneway(t0a, 1_000_000_000);
+    let b = fabric
+        .channel(client, HostId(2))
+        .send_oneway(t0b, 1_000_000_000);
     // Distinct links: both complete in one transfer time, not two.
     let gb_time = 1_000_000_000.0 / (25e9 / 8.0);
     assert!((a.as_secs_f64() - t0a.as_secs_f64()) < gb_time * 1.05);

@@ -39,12 +39,8 @@ pub fn elasticity_savings(
     target_latency_s: f64,
     max_devices: usize,
 ) -> (f64, f64) {
-    let prefill_devs = recommend_devices(
-        &Phase::LlmPrefill,
-        prefill_s,
-        target_latency_s,
-        max_devices,
-    );
+    let prefill_devs =
+        recommend_devices(&Phase::LlmPrefill, prefill_s, target_latency_s, max_devices);
     let decode_devs = recommend_devices(&Phase::LlmDecode, decode_s, target_latency_s, max_devices);
     // Elastic: devices held only for each phase's (shortened) duration.
     let elastic = prefill_devs as f64 * (prefill_s / prefill_devs.max(1) as f64)

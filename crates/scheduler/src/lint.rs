@@ -98,7 +98,13 @@ mod tests {
         let srg = decode_graph();
         let topo = Topology::paper_testbed();
         let state = ClusterState::new();
-        let plan = schedule(&srg, &topo, &state, &CostModel::ideal_25g(), &SemanticsAware::new());
+        let plan = schedule(
+            &srg,
+            &topo,
+            &state,
+            &CostModel::ideal_25g(),
+            &SemanticsAware::new(),
+        );
         let denies: Vec<_> = plan
             .diagnostics
             .iter()
@@ -124,7 +130,10 @@ mod tests {
         )
         .expect_err("4 KB device must overcommit");
         assert!(err.has_deny(), "{err}");
-        assert!(!err.with_code(LintCode::DeviceOvercommit).is_empty(), "{err}");
+        assert!(
+            !err.with_code(LintCode::DeviceOvercommit).is_empty(),
+            "{err}"
+        );
     }
 
     #[test]
@@ -158,7 +167,11 @@ mod tests {
                 .with_residency(Residency::PersistentWeight),
         );
         let mm = srg.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
-        srg.connect(w, mm, TensorMeta::new([1024, 1024], genie_srg::ElemType::F32));
+        srg.connect(
+            w,
+            mm,
+            TensorMeta::new([1024, 1024], genie_srg::ElemType::F32),
+        );
         let tensor = srg.edge(genie_srg::EdgeId::new(0)).tensor;
         let plan = ExecutionPlan {
             policy: "hand".into(),

@@ -57,18 +57,9 @@ pub fn demand(plan: &ExecutionPlan) -> MemoryDemand {
 }
 
 /// Check a plan against current free memory. Empty result = feasible.
-pub fn check(
-    plan: &ExecutionPlan,
-    topo: &Topology,
-    state: &ClusterState,
-) -> Vec<MemoryViolation> {
+pub fn check(plan: &ExecutionPlan, topo: &Topology, state: &ClusterState) -> Vec<MemoryViolation> {
     let d = demand(plan);
-    let mut devices: Vec<DevId> = d
-        .pinned
-        .keys()
-        .chain(d.transient.keys())
-        .copied()
-        .collect();
+    let mut devices: Vec<DevId> = d.pinned.keys().chain(d.transient.keys()).copied().collect();
     devices.sort_unstable();
     devices.dedup();
     devices
@@ -102,7 +93,13 @@ mod tests {
         let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
         cap.logits.sample().mark_output();
         let srg = ctx.finish().srg;
-        schedule(&srg, topo, state, &CostModel::paper_stack(), &SemanticsAware::new())
+        schedule(
+            &srg,
+            topo,
+            state,
+            &CostModel::paper_stack(),
+            &SemanticsAware::new(),
+        )
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub fn colocated(profile: &PdProfile, devices: usize, rate_rps: f64) -> PdPlan {
     // average, half a prefill, weighted by how often prefill occupies the
     // device (M/D/1-flavored first-order model).
     let prefill_share = profile.prefill_s / per_request;
-    let interference = 0.5 * profile.prefill_s * prefill_share * utilization
-        / (1.0 - utilization).max(1e-6);
+    let interference =
+        0.5 * profile.prefill_s * prefill_share * utilization / (1.0 - utilization).max(1e-6);
     PdPlan {
         prefill_devices: 0,
         decode_devices: devices,

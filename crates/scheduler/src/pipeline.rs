@@ -101,9 +101,7 @@ pub fn pipelined_makespan(
         acc += s.compute_s;
         boundary = s.boundary_bytes;
         let stages_left = stages.len() - i - 1;
-        if (acc >= target && remaining > 1 && stages_left >= remaining - 1)
-            || stages_left == 0
-        {
+        if (acc >= target && remaining > 1 && stages_left >= remaining - 1) || stages_left == 0 {
             groups.push((acc, boundary));
             acc = 0.0;
             remaining = remaining.saturating_sub(1);
@@ -129,10 +127,7 @@ pub fn pipeline_breakeven_bandwidth(stages: &[StageProfile], devices: usize) -> 
         return 0.0;
     }
     let total: f64 = stages.iter().map(|s| s.compute_s).sum();
-    let max_boundary = stages
-        .iter()
-        .map(|s| s.boundary_bytes)
-        .fold(0.0, f64::max);
+    let max_boundary = stages.iter().map(|s| s.boundary_bytes).fold(0.0, f64::max);
     // Pipelined interval must drop below the serial per-item time:
     // max(total/D, boundary/bw) < total  ⇒  bw > boundary / total.
     let _ = devices;

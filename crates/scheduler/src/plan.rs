@@ -107,6 +107,13 @@ pub struct ExecutionPlan {
 }
 
 impl ExecutionPlan {
+    /// Stable attribution label for this plan: `<graph>@<policy>`. Carried
+    /// on trace events so a kernel or transfer can be traced back to the
+    /// scheduling decision that caused it.
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.srg.name, self.policy)
+    }
+
     /// Location of a node (defaults to client for unplaced nodes).
     pub fn location(&self, node: NodeId) -> Location {
         self.placements

@@ -69,12 +69,7 @@ mod tests {
         let cost = CostModel::ideal_25g();
         let view = ClusterView::new(&topo, &state, &cost);
         let p = DataAware.place(&srg, &view);
-        let used: std::collections::BTreeSet<_> =
-            p.values().filter_map(|l| l.device()).collect();
-        assert_eq!(
-            used.len(),
-            1,
-            "a pure chain has no reason to cross devices"
-        );
+        let used: std::collections::BTreeSet<_> = p.values().filter_map(|l| l.device()).collect();
+        assert_eq!(used.len(), 1, "a pure chain has no reason to cross devices");
     }
 }

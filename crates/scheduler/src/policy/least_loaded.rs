@@ -28,12 +28,15 @@ impl Policy for LeastLoaded {
             let node = srg.node(id);
             let dev = *assigned
                 .iter()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite load").then(a.0.cmp(b.0)))
+                .min_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .expect("finite load")
+                        .then(a.0.cmp(b.0))
+                })
                 .expect("devices non-empty")
                 .0;
             let gpu = &view.topo.device(dev).spec;
-            *assigned.get_mut(&dev).expect("known device") +=
-                view.cost.kernel_time(node, gpu);
+            *assigned.get_mut(&dev).expect("known device") += view.cost.kernel_time(node, gpu);
             Location::Device(dev)
         })
     }
@@ -56,9 +59,7 @@ mod tests {
         let view = ClusterView::new(&topo, &state, &cost);
         let p = LeastLoaded.place(&srg, &view);
         assert!(
-            p.values()
-                .filter_map(|l| l.device())
-                .all(|d| d == DevId(1)),
+            p.values().filter_map(|l| l.device()).all(|d| d == DevId(1)),
             "all work should land on the idle device"
         );
     }
@@ -71,8 +72,7 @@ mod tests {
         let cost = CostModel::ideal_25g();
         let view = ClusterView::new(&topo, &state, &cost);
         let p = LeastLoaded.place(&srg, &view);
-        let used: std::collections::BTreeSet<_> =
-            p.values().filter_map(|l| l.device()).collect();
+        let used: std::collections::BTreeSet<_> = p.values().filter_map(|l| l.device()).collect();
         assert_eq!(used.len(), 2, "work spreads when queues tie");
     }
 }

@@ -46,8 +46,7 @@ mod tests {
         let cost = CostModel::ideal_25g();
         let view = ClusterView::new(&topo, &state, &cost);
         let p = RoundRobin.place(&srg, &view);
-        let used: std::collections::BTreeSet<_> =
-            p.values().filter_map(|l| l.device()).collect();
+        let used: std::collections::BTreeSet<_> = p.values().filter_map(|l| l.device()).collect();
         assert_eq!(used.len(), 3, "all devices touched");
         // Inputs stay on the client.
         let input = srg.nodes().find(|n| n.name == "x").unwrap().id;

@@ -58,7 +58,11 @@ impl Policy for SemanticsAware {
             .copied()
             .filter(|&d| view.state.queue_seconds(d) <= min_q + 1e3)
             .collect();
-        let avail = if avail.is_empty() { devices.clone() } else { avail };
+        let avail = if avail.is_empty() {
+            devices.clone()
+        } else {
+            avail
+        };
 
         // Home device for stateful phases: where the session's resident
         // objects already live if any, else the least-loaded device.
@@ -193,8 +197,7 @@ mod tests {
         let cost = CostModel::ideal_25g();
         let view = view_fixture(&topo, &state, &cost);
         let p = SemanticsAware::new().place(&srg, &view);
-        let used: std::collections::BTreeSet<_> =
-            p.values().filter_map(|l| l.device()).collect();
+        let used: std::collections::BTreeSet<_> = p.values().filter_map(|l| l.device()).collect();
         assert_eq!(used.len(), 1, "decode must pin to the cache's device");
     }
 
@@ -231,8 +234,7 @@ mod tests {
         let cost = CostModel::ideal_25g();
         let view = view_fixture(&topo, &state, &cost);
         let p = SemanticsAware::new().place(&srg, &view);
-        let used: std::collections::BTreeSet<_> =
-            p.values().filter_map(|l| l.device()).collect();
+        let used: std::collections::BTreeSet<_> = p.values().filter_map(|l| l.device()).collect();
         assert_eq!(
             used,
             [DevId(2)].into_iter().collect(),
@@ -253,8 +255,7 @@ mod tests {
         let cost = CostModel::ideal_25g();
         let view = view_fixture(&topo, &state, &cost);
         let p = SemanticsAware::new().place(&srg, &view);
-        let used: std::collections::BTreeSet<_> =
-            p.values().filter_map(|l| l.device()).collect();
+        let used: std::collections::BTreeSet<_> = p.values().filter_map(|l| l.device()).collect();
         assert!(used.len() >= 3, "8 stages over 4 devices: {used:?}");
     }
 

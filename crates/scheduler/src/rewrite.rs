@@ -90,9 +90,9 @@ pub fn fuse_elementwise_chains(srg: &Srg) -> (Srg, usize) {
     };
     for edge in srg.edges() {
         // Internal chain edges vanish.
-        if absorbed_into.get(&edge.dst).copied() == Some(
-            absorbed_into.get(&edge.src).copied().unwrap_or(edge.src),
-        ) {
+        if absorbed_into.get(&edge.dst).copied()
+            == Some(absorbed_into.get(&edge.src).copied().unwrap_or(edge.src))
+        {
             continue;
         }
         let mut e: Edge = edge.clone();
@@ -170,10 +170,7 @@ mod tests {
         // input → fused → matmul, with w → matmul.
         let order = genie_srg::traverse::topo_order(&fused).unwrap();
         assert_eq!(order.len(), fused.node_count());
-        let mm = fused
-            .nodes()
-            .find(|n| n.op == OpKind::MatMul)
-            .unwrap();
+        let mm = fused.nodes().find(|n| n.op == OpKind::MatMul).unwrap();
         assert_eq!(fused.in_degree(mm.id), 2);
     }
 }

@@ -48,6 +48,15 @@ pub fn schedule_with_lints(
     policy: &dyn Policy,
     lints: &LintConfig,
 ) -> ExecutionPlan {
+    let telemetry = genie_telemetry::global();
+    let begin = std::time::Instant::now();
+    let mut span = telemetry.collector.span_with(
+        "schedule",
+        "scheduler",
+        genie_telemetry::SemAttrs::new()
+            .with("graph", srg.name.clone())
+            .with("policy", policy.name()),
+    );
     let view = ClusterView::new(topo, state, cost);
     let placements = policy.place(srg, &view);
 
@@ -58,10 +67,7 @@ pub fn schedule_with_lints(
 
     let order = genie_srg::traverse::topo_order(srg).expect("valid SRG");
     for &dst in &order {
-        let dst_loc = placements
-            .get(&dst)
-            .copied()
-            .unwrap_or(Location::ClientCpu);
+        let dst_loc = placements.get(&dst).copied().unwrap_or(Location::ClientCpu);
         let in_edges: Vec<_> = srg.in_edges(dst).map(|e| e.id).collect();
         for eid in in_edges {
             let edge = srg.edge(eid);
@@ -158,6 +164,54 @@ pub fn schedule_with_lints(
     };
     plan.estimate.bytes_moved = plan.network_bytes() as f64;
     plan.diagnostics = crate::lint::lint_plan(&plan, topo, state, lints).diagnostics;
+
+    let label = plan.label();
+    span.annotate(|a| a.plan = Some(label.clone()));
+    telemetry
+        .metrics
+        .counter("genie_schedule_plans_total", &[("policy", policy.name())])
+        .inc();
+    let wire = plan.transfers.iter().filter(|t| !t.via_handle).count() as u64;
+    let handle = plan.transfers.len() as u64 - wire;
+    telemetry
+        .metrics
+        .counter("genie_schedule_transfers_total", &[("kind", "wire")])
+        .add(wire);
+    telemetry
+        .metrics
+        .counter("genie_schedule_transfers_total", &[("kind", "handle")])
+        .add(handle);
+    telemetry
+        .metrics
+        .counter("genie_schedule_pinned_uploads_total", &[])
+        .add(plan.pinned_uploads.len() as u64);
+    for d in &plan.diagnostics {
+        telemetry
+            .metrics
+            .counter(
+                "genie_schedule_lint_findings_total",
+                &[("severity", d.severity.label())],
+            )
+            .inc();
+        let mut attrs = genie_telemetry::SemAttrs::new()
+            .plan(label.clone())
+            .with("severity", d.severity.label())
+            .with("message", d.message.clone());
+        if let genie_analysis::Anchor::Node(n) = d.anchor {
+            attrs.node = Some(n);
+        }
+        telemetry
+            .collector
+            .instant(format!("lint.{}", d.code), "scheduler", attrs);
+    }
+    telemetry
+        .metrics
+        .histogram(
+            "genie_schedule_seconds",
+            &[],
+            &genie_telemetry::DEFAULT_TIME_BOUNDS,
+        )
+        .observe(begin.elapsed().as_secs_f64());
     plan
 }
 
@@ -174,7 +228,11 @@ pub fn schedule_checked(
     lints: &LintConfig,
 ) -> Result<ExecutionPlan, Report> {
     let plan = schedule_with_lints(srg, topo, state, cost, policy, lints);
-    if plan.diagnostics.iter().any(|d| d.severity == Severity::Deny) {
+    if plan
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Deny)
+    {
         let subject = format!("{}@{}", plan.srg.name, plan.policy);
         return Err(Report {
             subject,
@@ -320,6 +378,33 @@ mod tests {
         // (w's first consumer is a pinned upload, not a transfer).
         assert_eq!(reused, 2);
         assert_eq!(plan.pinned_uploads.len(), 1);
+    }
+
+    #[test]
+    fn scheduling_feeds_telemetry() {
+        // Global metrics are shared across tests: assert growth only.
+        let plans = || {
+            genie_telemetry::global()
+                .metrics
+                .snapshot()
+                .counter("genie_schedule_plans_total", &[("policy", "round_robin")])
+                .unwrap_or(0)
+        };
+        let before = plans();
+        let srg = decode_graph();
+        let topo = Topology::rack(2, 25e9);
+        let state = ClusterState::new();
+        let cost = CostModel::ideal_25g();
+        let plan = schedule(&srg, &topo, &state, &cost, &RoundRobin);
+        assert!(plans() > before);
+        let label = plan.label();
+        let records = genie_telemetry::global().collector.snapshot();
+        assert!(
+            records
+                .iter()
+                .any(|r| r.name == "schedule" && r.attrs.plan.as_deref() == Some(label.as_str())),
+            "schedule span carries the plan label"
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ impl<'a> ClusterView<'a> {
         self.devices().into_iter().max_by(|&a, &b| {
             let ba = self.topo.device(a).spec.mem_bandwidth;
             let bb = self.topo.device(b).spec.mem_bandwidth;
-            ba.partial_cmp(&bb).expect("finite bandwidth").then(b.cmp(&a))
+            ba.partial_cmp(&bb)
+                .expect("finite bandwidth")
+                .then(b.cmp(&a))
         })
     }
 

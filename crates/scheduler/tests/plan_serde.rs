@@ -15,7 +15,13 @@ fn decode_plan() -> ExecutionPlan {
     let srg = ctx.finish().srg;
     let topo = Topology::paper_testbed();
     let state = ClusterState::new();
-    schedule(&srg, &topo, &state, &CostModel::paper_stack(), &SemanticsAware::new())
+    schedule(
+        &srg,
+        &topo,
+        &state,
+        &CostModel::paper_stack(),
+        &SemanticsAware::new(),
+    )
 }
 
 #[test]

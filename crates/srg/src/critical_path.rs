@@ -82,11 +82,7 @@ pub fn critical_path(
 /// `bytes_per_flop` to express the relative expense of moving versus
 /// computing.
 pub fn critical_path_by_hints(g: &Srg, bytes_per_flop: f64) -> Result<CriticalPath, CycleError> {
-    critical_path(
-        g,
-        |n| n.cost.flops,
-        |e| e.transfer_bytes() * bytes_per_flop,
-    )
+    critical_path(g, |n| n.cost.flops, |e| e.transfer_bytes() * bytes_per_flop)
 }
 
 /// Tag every edge along the critical path as
@@ -160,8 +156,7 @@ mod tests {
         // path cost via b = 1 + 4*4*w + 100 + 1; via c = 1 + 1 + 1.
         let heavy_edge = g.edges().find(|e| e.dst == NodeId::new(1)).unwrap().id;
         g.edge_mut(heavy_edge).meta = meta(1_000_000);
-        g.edge_mut(heavy_edge).rate =
-            crate::annotations::Rate::passthrough(4_000_000.0);
+        g.edge_mut(heavy_edge).rate = crate::annotations::Rate::passthrough(4_000_000.0);
         let cp = critical_path_by_hints(&g, 1.0).unwrap();
         assert!(cp.path.contains(&NodeId::new(1)));
         assert!(cp.length > 4_000_000.0);

@@ -91,7 +91,8 @@ mod tests {
         let mut g = Srg::new("p");
         let i = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "in"));
         let a = g.add_node(
-            Node::new(NodeId::new(0), OpKind::MatMul, "a").with_cost(CostHints::new(10.0, 0.0, 0.0)),
+            Node::new(NodeId::new(0), OpKind::MatMul, "a")
+                .with_cost(CostHints::new(10.0, 0.0, 0.0)),
         );
         let b = g.add_node(
             Node::new(NodeId::new(0), OpKind::Relu, "b").with_cost(CostHints::new(20.0, 0.0, 0.0)),

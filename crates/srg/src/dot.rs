@@ -56,7 +56,13 @@ pub fn to_dot(g: &Srg) -> String {
             Criticality::Background => " [style=dotted]",
             Criticality::Normal => "",
         };
-        let _ = writeln!(out, "  {} -> {}{};", edge.src.index(), edge.dst.index(), style);
+        let _ = writeln!(
+            out,
+            "  {} -> {}{};",
+            edge.src.index(),
+            edge.dst.index(),
+            style
+        );
     }
 
     let _ = writeln!(out, "}}");

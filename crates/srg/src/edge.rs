@@ -106,9 +106,7 @@ mod tests {
 
     #[test]
     fn builder_annotations() {
-        let e = edge()
-            .with_criticality(Criticality::Critical)
-            .with_slot(1);
+        let e = edge().with_criticality(Criticality::Critical).with_slot(1);
         assert_eq!(e.criticality, Criticality::Critical);
         assert_eq!(e.dst_slot, 1);
     }

@@ -172,12 +172,16 @@ impl Srg {
 
     /// Outgoing edges of a node.
     pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
-        self.out_adj[id.index()].iter().map(|e| &self.edges[e.index()])
+        self.out_adj[id.index()]
+            .iter()
+            .map(|e| &self.edges[e.index()])
     }
 
     /// Incoming edges of a node, ordered by destination slot.
     pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
-        self.in_adj[id.index()].iter().map(|e| &self.edges[e.index()])
+        self.in_adj[id.index()]
+            .iter()
+            .map(|e| &self.edges[e.index()])
     }
 
     /// Direct predecessors (deduplicated, in slot order).
@@ -210,12 +214,16 @@ impl Srg {
 
     /// Nodes with no incoming edges (graph inputs / parameters).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes with no outgoing edges (graph outputs).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// The distinct phases present, in first-appearance order.
@@ -372,8 +380,9 @@ mod tests {
     #[test]
     fn induced_subgraph_remaps_densely() {
         let g = diamond();
-        let keep: BTreeSet<NodeId> =
-            [NodeId::new(0), NodeId::new(1), NodeId::new(3)].into_iter().collect();
+        let keep: BTreeSet<NodeId> = [NodeId::new(0), NodeId::new(1), NodeId::new(3)]
+            .into_iter()
+            .collect();
         let (sub, remap) = g.induced_subgraph(&keep);
         assert_eq!(sub.node_count(), 3);
         // a→b survives, b→d survives; a→c and c→d dropped.
@@ -418,6 +427,9 @@ mod tests {
         let back: Srg = serde_json::from_str(&json).unwrap();
         assert_eq!(back.node_count(), g.node_count());
         assert_eq!(back.edge_count(), g.edge_count());
-        assert_eq!(back.successors(NodeId::new(0)), g.successors(NodeId::new(0)));
+        assert_eq!(
+            back.successors(NodeId::new(0)),
+            g.successors(NodeId::new(0))
+        );
     }
 }

@@ -27,7 +27,8 @@ pub fn redact(g: &Srg) -> Srg {
     for node in out.nodes_mut() {
         node.name = format!("op{}", node.id.index());
         node.module_path.clear();
-        node.attrs.retain(|k, _| SEMANTIC_ATTRS.contains(&k.as_str()));
+        node.attrs
+            .retain(|k, _| SEMANTIC_ATTRS.contains(&k.as_str()));
         if let Phase::Custom(name) = &node.phase {
             node.phase = Phase::Custom(format!("{:016x}", hash_str(name)));
         }
@@ -102,10 +103,14 @@ mod tests {
     fn secret_graph(secret: &str) -> Srg {
         let mut g = Srg::new(format!("{secret}-model"));
         let w = g.add_node(
-            Node::new(NodeId::new(0), OpKind::Parameter, format!("{secret}_weights"))
-                .with_module_path(format!("{secret}.attn"))
-                .with_residency(Residency::PersistentWeight)
-                .with_attr("trade_secret", "sauce"),
+            Node::new(
+                NodeId::new(0),
+                OpKind::Parameter,
+                format!("{secret}_weights"),
+            )
+            .with_module_path(format!("{secret}.attn"))
+            .with_residency(Residency::PersistentWeight)
+            .with_attr("trade_secret", "sauce"),
         );
         let k = g.add_node(
             Node::new(
@@ -127,7 +132,10 @@ mod tests {
         let json = crate::serialize::to_json(&r).unwrap();
         assert!(!json.contains("acme"), "secret leaked: {json}");
         assert!(!json.contains("trade_secret"));
-        assert_eq!(identifying_bytes(&r), r.nodes().map(|n| n.name.len()).sum::<usize>());
+        assert_eq!(
+            identifying_bytes(&r),
+            r.nodes().map(|n| n.name.len()).sum::<usize>()
+        );
     }
 
     #[test]
@@ -150,7 +158,7 @@ mod tests {
     fn fingerprint_survives_redaction_and_separates_models() {
         let a = secret_graph("acme");
         let b = secret_graph("globex"); // same architecture, different names
-        // Same structure ⇒ same fingerprint even with different secrets.
+                                        // Same structure ⇒ same fingerprint even with different secrets.
         assert_eq!(fingerprint(&a), fingerprint(&redact(&a)));
         assert_eq!(fingerprint(&a), fingerprint(&b));
         // A structural change separates.

@@ -44,9 +44,8 @@ mod tests {
     fn sample() -> Srg {
         let mut g = Srg::new("sample");
         let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
-        let b = g.add_node(
-            Node::new(NodeId::new(0), OpKind::MatMul, "b").with_phase(Phase::LlmPrefill),
-        );
+        let b = g
+            .add_node(Node::new(NodeId::new(0), OpKind::MatMul, "b").with_phase(Phase::LlmPrefill));
         g.connect(a, b, TensorMeta::new([3, 3], ElemType::F32));
         g
     }

@@ -68,12 +68,8 @@ impl GraphStats {
             let bytes = edge.meta.size_bytes() as f64;
             match g.node(edge.src).residency {
                 Residency::PersistentWeight => weight_bytes += bytes,
-                Residency::StatefulKvCache | Residency::EmbeddingTable => {
-                    stateful_bytes += bytes
-                }
-                Residency::EphemeralActivation | Residency::Unknown => {
-                    activation_bytes += bytes
-                }
+                Residency::StatefulKvCache | Residency::EmbeddingTable => stateful_bytes += bytes,
+                Residency::EphemeralActivation | Residency::Unknown => activation_bytes += bytes,
                 _ => {}
             }
         }
@@ -203,7 +199,10 @@ mod tests {
         assert_eq!(s.nodes, 4);
         assert_eq!(s.kv_appends, 1);
         assert_eq!(s.weight_bytes, 64.0 * 64.0 * 2.0);
-        assert_eq!(s.computation_pattern(), "sequential, phased (prefill/decode)");
+        assert_eq!(
+            s.computation_pattern(),
+            "sequential, phased (prefill/decode)"
+        );
         assert_eq!(s.memory_access_profile(), "predictable feature maps"); // stateful bytes counted on kv's *output* edges
         assert_eq!(s.phases, vec!["llm_decode"]);
     }

@@ -26,10 +26,7 @@ pub fn topo_order(g: &Srg) -> Result<Vec<NodeId>, CycleError> {
     let n = g.node_count();
     let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId::new(i as u32))).collect();
     // BTreeSet gives deterministic smallest-id-first ordering.
-    let mut ready: BTreeSet<NodeId> = g
-        .node_ids()
-        .filter(|&id| in_deg[id.index()] == 0)
-        .collect();
+    let mut ready: BTreeSet<NodeId> = g.node_ids().filter(|&id| in_deg[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(&next) = ready.iter().next() {
         ready.remove(&next);
@@ -171,12 +168,18 @@ mod tests {
         let desc = descendants(&g, &[NodeId::new(1)]);
         assert_eq!(
             desc,
-            [1, 2, 3].map(NodeId::new).into_iter().collect::<BTreeSet<_>>()
+            [1, 2, 3]
+                .map(NodeId::new)
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
         let anc = ancestors(&g, &[NodeId::new(2)]);
         assert_eq!(
             anc,
-            [0, 1, 2].map(NodeId::new).into_iter().collect::<BTreeSet<_>>()
+            [0, 1, 2]
+                .map(NodeId::new)
+                .into_iter()
+                .collect::<BTreeSet<_>>()
         );
     }
 

@@ -142,8 +142,7 @@ pub fn validate(g: &Srg) -> Vec<ValidationError> {
         // KV cache legitimately starts at shape [0, d] before the first
         // append.
         let src_node = g.node(edge.src);
-        let is_cache_seed =
-            src_node.residency == crate::annotations::Residency::StatefulKvCache;
+        let is_cache_seed = src_node.residency == crate::annotations::Residency::StatefulKvCache;
         if edge.meta.size_bytes() == 0 && !src_node.op.is_metadata_only() && !is_cache_seed {
             errors.push(ValidationError::EmptyPayload {
                 src: edge.src,
@@ -257,7 +256,9 @@ mod tests {
         let mut g = valid_graph();
         g.connect(NodeId::new(1), NodeId::new(1), meta());
         let errs = validate(&g);
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::Cycle { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::Cycle { .. })));
     }
 
     #[test]
@@ -304,7 +305,9 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = ValidationError::OrphanCompute { node: NodeId::new(7) };
+        let e = ValidationError::OrphanCompute {
+            node: NodeId::new(7),
+        };
         assert_eq!(e.to_string(), "compute node n7 has no inputs");
         let e = ValidationError::DanglingEdge {
             edge: EdgeId::new(0),

@@ -1,0 +1,170 @@
+//! `genie-top`: a human-readable summary of a telemetry capture.
+//!
+//! Renders the metrics snapshot plus the span stream as the kind of
+//! at-a-glance table an operator would watch — per-device busy/estimate/
+//! skew, link traffic and queueing, and the hottest span names by
+//! cumulative time.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{SpanKind, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render the `genie-top` table from a metrics snapshot and span stream.
+pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== genie-top ===");
+
+    // --- Devices: busy vs estimate, skew ---------------------------------
+    let mut devices: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new();
+    for g in &snapshot.gauges {
+        let Some(dev) = g
+            .labels
+            .iter()
+            .find(|(k, _)| k == "device")
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        let entry = devices.entry(dev).or_insert((0.0, 0.0, 0.0));
+        match g.name.as_str() {
+            "genie_sim_device_busy_seconds" => entry.0 = g.value,
+            "genie_sim_device_estimate_seconds" => entry.1 = g.value,
+            "genie_sim_kernel_skew_ratio" => entry.2 = g.value,
+            _ => {}
+        }
+    }
+    if !devices.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<8} {:>12} {:>12} {:>8}",
+            "DEVICE", "BUSY(s)", "EST(s)", "SKEW"
+        );
+        for (dev, (busy, est, skew)) in &devices {
+            let _ = writeln!(out, "{dev:<8} {busy:>12.4} {est:>12.4} {skew:>7.2}x");
+        }
+    }
+
+    // --- Counters worth a line -------------------------------------------
+    let interesting = [
+        "genie_capture_ops_total",
+        "genie_schedule_plans_total",
+        "genie_schedule_transfers_total",
+        "genie_schedule_pinned_uploads_total",
+        "genie_schedule_lint_findings_total",
+        "genie_sim_kernels_total",
+        "genie_sim_transfers_total",
+        "genie_transport_calls_total",
+        "genie_transport_bytes_total",
+        "genie_transport_errors_total",
+    ];
+    let mut any = false;
+    for c in &snapshot.counters {
+        if !interesting.contains(&c.name.as_str()) || c.value == 0 {
+            continue;
+        }
+        if !any {
+            let _ = writeln!(out, "\n{:<44} {:>14}", "COUNTER", "VALUE");
+            any = true;
+        }
+        let labels = if c.labels.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = c.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", inner.join(","))
+        };
+        let _ = writeln!(out, "{:<44} {:>14}", format!("{}{labels}", c.name), c.value);
+    }
+
+    // --- Latency histograms ----------------------------------------------
+    let mut any_hist = false;
+    for h in &snapshot.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        if !any_hist {
+            let _ = writeln!(
+                out,
+                "\n{:<36} {:>8} {:>12} {:>12}",
+                "HISTOGRAM", "COUNT", "MEAN", "SUM"
+            );
+            any_hist = true;
+        }
+        let _ = writeln!(
+            out,
+            "{:<36} {:>8} {:>12.6} {:>12.6}",
+            h.name,
+            h.count,
+            h.mean(),
+            h.sum
+        );
+    }
+
+    // --- Hot spans by cumulative time ------------------------------------
+    let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for r in records {
+        if r.kind == SpanKind::Instant {
+            continue;
+        }
+        let e = by_name.entry(&r.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.dur_ns;
+    }
+    if !by_name.is_empty() {
+        let mut hot: Vec<(&str, u64, u64)> =
+            by_name.into_iter().map(|(n, (c, d))| (n, c, d)).collect();
+        hot.sort_by(|a, b| b.2.cmp(&a.2));
+        let _ = writeln!(out, "\n{:<36} {:>8} {:>14}", "SPAN", "COUNT", "TOTAL(ms)");
+        for (name, count, dur_ns) in hot.into_iter().take(12) {
+            let _ = writeln!(out, "{name:<36} {count:>8} {:>14.3}", dur_ns as f64 / 1e6);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::{SemAttrs, Track};
+
+    #[test]
+    fn top_renders_devices_counters_and_spans() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("genie_sim_device_busy_seconds", &[("device", "d0")])
+            .set(1.5);
+        reg.gauge("genie_sim_device_estimate_seconds", &[("device", "d0")])
+            .set(1.0);
+        reg.gauge("genie_sim_kernel_skew_ratio", &[("device", "d0")])
+            .set(1.5);
+        reg.counter("genie_sim_kernels_total", &[]).add(12);
+        reg.histogram("genie_schedule_seconds", &[], &[0.1, 1.0])
+            .observe(0.05);
+        let records = vec![SpanRecord {
+            id: 1,
+            parent: None,
+            name: "schedule".into(),
+            category: "scheduler".into(),
+            kind: SpanKind::Span,
+            track: Track::Runtime,
+            start_ns: 0,
+            dur_ns: 2_000_000,
+            attrs: SemAttrs::new(),
+            thread: 1,
+            seq: 0,
+        }];
+        let top = render_top(&reg.snapshot(), &records);
+        assert!(top.contains("genie-top"), "{top}");
+        assert!(top.contains("d0"), "{top}");
+        assert!(top.contains("1.50x"), "{top}");
+        assert!(top.contains("genie_sim_kernels_total"), "{top}");
+        assert!(top.contains("genie_schedule_seconds"), "{top}");
+        assert!(top.contains("schedule"), "{top}");
+    }
+
+    #[test]
+    fn empty_capture_renders_header_only() {
+        let top = render_top(&MetricsSnapshot::default(), &[]);
+        assert!(top.starts_with("=== genie-top ==="));
+    }
+}

@@ -48,10 +48,7 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
 }
 
 fn map(x: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    Tensor::from_vec(
-        x.dims().to_vec(),
-        x.data().iter().map(|&v| f(v)).collect(),
-    )
+    Tensor::from_vec(x.dims().to_vec(), x.data().iter().map(|&v| f(v)).collect())
 }
 
 #[cfg(test)]

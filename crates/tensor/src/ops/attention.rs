@@ -51,7 +51,11 @@ pub fn multi_head_attention(
     assert_eq!(q.rank(), 2);
     let (tq, dm) = (q.dims()[0], q.dims()[1]);
     let tk = k.dims()[0];
-    assert_eq!(dm % heads, 0, "model dim {dm} not divisible by {heads} heads");
+    assert_eq!(
+        dm % heads,
+        0,
+        "model dim {dm} not divisible by {heads} heads"
+    );
     let dh = dm / heads;
 
     let mut out = vec![0.0f32; tq * dm];

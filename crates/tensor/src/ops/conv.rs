@@ -80,9 +80,8 @@ pub fn pool2d(x: &Tensor, k: usize, stride: usize, mode: PoolMode) -> Tensor {
                     };
                     for ky in 0..k {
                         for kx in 0..k {
-                            let v = xd[((ni * c + ci) * h + oy * stride + ky) * w
-                                + ox * stride
-                                + kx];
+                            let v =
+                                xd[((ni * c + ci) * h + oy * stride + ky) * w + ox * stride + kx];
                             match mode {
                                 PoolMode::Max => acc = acc.max(v),
                                 PoolMode::Avg => acc += v,

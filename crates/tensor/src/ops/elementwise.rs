@@ -37,7 +37,11 @@ fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
     Tensor::from_vec(
         a.dims().to_vec(),
-        a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect(),
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect(),
     )
 }
 

@@ -84,7 +84,13 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     let ad = a.data();
     let xd = x.data();
     let out: Vec<f32> = (0..m)
-        .map(|i| ad[i * k..(i + 1) * k].iter().zip(xd).map(|(a, b)| a * b).sum())
+        .map(|i| {
+            ad[i * k..(i + 1) * k]
+                .iter()
+                .zip(xd)
+                .map(|(a, b)| a * b)
+                .sum()
+        })
         .collect();
     Tensor::from_vec([m], out)
 }

@@ -73,7 +73,15 @@ impl Shape {
 
 impl fmt::Debug for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}]", self.0.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"))
+        write!(
+            f,
+            "[{}]",
+            self.0
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        )
     }
 }
 

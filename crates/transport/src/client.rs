@@ -35,14 +35,52 @@ impl Client {
 
     /// Issue a synchronous call.
     pub fn call(&mut self, body: RequestBody) -> Result<ResponseBody> {
+        let telemetry = genie_telemetry::global();
+        let mut span = telemetry.collector.span("transport.call", "transport");
+        let result = self.call_inner(body);
+        match &result {
+            Ok(_) => {
+                telemetry
+                    .metrics
+                    .counter("genie_transport_calls_total", &[("role", "client")])
+                    .inc();
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                span.annotate(|a| a.extra.push(("error".into(), msg)));
+                telemetry
+                    .metrics
+                    .counter("genie_transport_errors_total", &[("role", "client")])
+                    .inc();
+            }
+        }
+        result
+    }
+
+    fn call_inner(&mut self, body: RequestBody) -> Result<ResponseBody> {
+        let telemetry = genie_telemetry::global();
         let id = self.next_id;
         self.next_id += 1;
-        let payload = Request { id, body }.encode();
+        let payload = Request { id, body }.encode()?;
         self.bytes_sent += payload.len() as u64 + 4;
+        telemetry
+            .metrics
+            .counter(
+                "genie_transport_bytes_total",
+                &[("role", "client"), ("dir", "tx")],
+            )
+            .add(payload.len() as u64 + 4);
         write_frame(&mut self.stream, &payload)?;
 
         let frame = read_frame(&mut self.stream)?;
         self.bytes_received += frame.len() as u64 + 4;
+        telemetry
+            .metrics
+            .counter(
+                "genie_transport_bytes_total",
+                &[("role", "client"), ("dir", "rx")],
+            )
+            .add(frame.len() as u64 + 4);
         let response = Response::decode(frame)?;
         if response.id != id {
             return Err(TransportError::UnexpectedResponse {

@@ -16,6 +16,17 @@ pub enum TransportError {
         /// Allowed maximum.
         max: usize,
     },
+    /// A value exceeds a wire-format field limit (e.g. a payload longer
+    /// than a `u32` length prefix can carry, or a tensor rank above 255).
+    /// Encoding would silently truncate, so it is refused instead.
+    Oversize {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The largest encodable value.
+        max: u64,
+    },
     /// Malformed bytes on the wire.
     Codec(String),
     /// A response arrived for an unknown request id.
@@ -36,6 +47,9 @@ impl fmt::Display for TransportError {
             TransportError::ConnectionClosed => write!(f, "connection closed by peer"),
             TransportError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+            TransportError::Oversize { what, value, max } => {
+                write!(f, "{what} {value} exceeds wire-format maximum {max}")
             }
             TransportError::Codec(msg) => write!(f, "codec error: {msg}"),
             TransportError::UnexpectedResponse { got, expected } => {
@@ -76,7 +90,16 @@ mod tests {
     fn display_messages() {
         let e = TransportError::FrameTooLarge { len: 10, max: 5 };
         assert_eq!(e.to_string(), "frame of 10 bytes exceeds maximum 5");
-        assert!(TransportError::ConnectionClosed.to_string().contains("closed"));
+        assert!(TransportError::ConnectionClosed
+            .to_string()
+            .contains("closed"));
+        let e = TransportError::Oversize {
+            what: "payload length",
+            value: 5_000_000_000,
+            max: u32::MAX as u64,
+        };
+        assert!(e.to_string().contains("payload length"), "{e}");
+        assert!(e.to_string().contains("5000000000"), "{e}");
     }
 
     #[test]

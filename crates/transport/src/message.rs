@@ -53,7 +53,7 @@ impl TensorPayload {
         self.data.len()
     }
 
-    fn encode(&self, buf: &mut BytesMut) {
+    fn encode(&self, buf: &mut BytesMut) -> Result<()> {
         wire::put_u8(
             buf,
             match self.kind {
@@ -61,8 +61,8 @@ impl TensorPayload {
                 PayloadKind::I64 => 1,
             },
         );
-        wire::put_dims(buf, &self.dims);
-        wire::put_bytes(buf, &self.data);
+        wire::put_dims(buf, &self.dims)?;
+        wire::put_bytes(buf, &self.data)
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self> {
@@ -168,8 +168,10 @@ pub struct Response {
 }
 
 impl Request {
-    /// Encode to a frame payload.
-    pub fn encode(&self) -> Bytes {
+    /// Encode to a frame payload. Fails with
+    /// [`TransportError::Oversize`] on values the wire format cannot
+    /// carry (rather than silently truncating them).
+    pub fn encode(&self) -> Result<Bytes> {
         let mut buf = BytesMut::new();
         wire::put_u64(&mut buf, self.id);
         match &self.body {
@@ -177,7 +179,7 @@ impl Request {
             RequestBody::Upload { key, tensor } => {
                 wire::put_u8(&mut buf, 1);
                 wire::put_u64(&mut buf, *key);
-                tensor.encode(&mut buf);
+                tensor.encode(&mut buf)?;
             }
             RequestBody::Execute {
                 srg_json,
@@ -187,11 +189,11 @@ impl Request {
                 pin,
             } => {
                 wire::put_u8(&mut buf, 2);
-                wire::put_str(&mut buf, srg_json);
+                wire::put_str(&mut buf, srg_json)?;
                 wire::put_u32(&mut buf, bindings.len() as u32);
                 for (node, t) in bindings {
                     wire::put_u32(&mut buf, *node);
-                    t.encode(&mut buf);
+                    t.encode(&mut buf)?;
                 }
                 wire::put_u32(&mut buf, handle_bindings.len() as u32);
                 for (node, key, epoch) in handle_bindings {
@@ -219,7 +221,7 @@ impl Request {
             }
             RequestBody::Crash => wire::put_u8(&mut buf, 5),
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Decode from a frame payload.
@@ -281,8 +283,10 @@ impl Request {
 }
 
 impl Response {
-    /// Encode to a frame payload.
-    pub fn encode(&self) -> Bytes {
+    /// Encode to a frame payload. Fails with
+    /// [`TransportError::Oversize`] on values the wire format cannot
+    /// carry (rather than silently truncating them).
+    pub fn encode(&self) -> Result<Bytes> {
         let mut buf = BytesMut::new();
         wire::put_u64(&mut buf, self.id);
         match &self.body {
@@ -297,18 +301,18 @@ impl Response {
                 wire::put_u8(&mut buf, 3);
                 wire::put_u32(&mut buf, ts.len() as u32);
                 for t in ts {
-                    t.encode(&mut buf);
+                    t.encode(&mut buf)?;
                 }
             }
             ResponseBody::Error(msg) => {
                 wire::put_u8(&mut buf, 4);
-                wire::put_str(&mut buf, msg);
+                wire::put_str(&mut buf, msg)?;
             }
             ResponseBody::ExecuteResult { tensors, handles } => {
                 wire::put_u8(&mut buf, 5);
                 wire::put_u32(&mut buf, tensors.len() as u32);
                 for t in tensors {
-                    t.encode(&mut buf);
+                    t.encode(&mut buf)?;
                 }
                 wire::put_u32(&mut buf, handles.len() as u32);
                 for (k, e) in handles {
@@ -317,7 +321,7 @@ impl Response {
                 }
             }
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Decode from a frame payload.
@@ -365,7 +369,7 @@ mod tests {
 
     fn roundtrip_req(body: RequestBody) {
         let req = Request { id: 42, body };
-        let decoded = Request::decode(req.encode()).unwrap();
+        let decoded = Request::decode(req.encode().unwrap()).unwrap();
         assert_eq!(decoded, req);
     }
 
@@ -405,8 +409,34 @@ mod tests {
             ResponseBody::Error("boom".into()),
         ] {
             let resp = Response { id: 8, body };
-            assert_eq!(Response::decode(resp.encode()).unwrap(), resp);
+            assert_eq!(Response::decode(resp.encode().unwrap()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn oversize_tensor_rank_propagates_from_encode() {
+        let req = Request {
+            id: 1,
+            body: RequestBody::Upload {
+                key: 0,
+                tensor: TensorPayload {
+                    dims: vec![1; 300],
+                    kind: PayloadKind::F32,
+                    data: Bytes::new(),
+                },
+            },
+        };
+        let err = req.encode().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::Oversize {
+                    what: "tensor rank",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

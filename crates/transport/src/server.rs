@@ -51,8 +51,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
-        let conns: Arc<Mutex<Vec<TcpStream>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let conns2 = conns.clone();
 
         let accept_thread = std::thread::Builder::new()
@@ -69,11 +68,12 @@ impl Server {
                         conns2.lock().push(clone);
                     }
                     let mut handler = factory();
-                    let spawned = std::thread::Builder::new()
-                        .name("genie-conn".into())
-                        .spawn(move || {
-                            let _ = serve_connection(stream, &mut handler);
-                        });
+                    let spawned =
+                        std::thread::Builder::new()
+                            .name("genie-conn".into())
+                            .spawn(move || {
+                                let _ = serve_connection(stream, &mut handler);
+                            });
                     match spawned {
                         Ok(t) => conn_threads.push(t),
                         // Thread exhaustion: drop this connection (the
@@ -126,20 +126,49 @@ impl Drop for Server {
 }
 
 fn serve_connection(mut stream: TcpStream, handler: &mut dyn Handler) -> Result<()> {
+    let telemetry = genie_telemetry::global();
     stream.set_nodelay(true)?;
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
             Err(crate::error::TransportError::ConnectionClosed) => return Ok(()),
-            Err(e) => return Err(e),
+            Err(e) => {
+                telemetry
+                    .metrics
+                    .counter("genie_transport_errors_total", &[("role", "server")])
+                    .inc();
+                return Err(e);
+            }
         };
+        telemetry
+            .metrics
+            .counter(
+                "genie_transport_bytes_total",
+                &[("role", "server"), ("dir", "rx")],
+            )
+            .add(frame.len() as u64 + 4);
         let request = Request::decode(frame)?;
-        let body = handler.handle(request.body);
+        let body = {
+            let _span = telemetry.collector.span("transport.serve", "transport");
+            handler.handle(request.body)
+        };
         let response = Response {
             id: request.id,
             body,
         };
-        write_frame(&mut stream, &response.encode())?;
+        let payload = response.encode()?;
+        telemetry
+            .metrics
+            .counter(
+                "genie_transport_bytes_total",
+                &[("role", "server"), ("dir", "tx")],
+            )
+            .add(payload.len() as u64 + 4);
+        telemetry
+            .metrics
+            .counter("genie_transport_calls_total", &[("role", "server")])
+            .inc();
+        write_frame(&mut stream, &payload)?;
     }
 }
 

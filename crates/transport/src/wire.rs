@@ -23,23 +23,43 @@ pub fn put_u64(buf: &mut BytesMut, v: u64) {
     buf.put_u64(v);
 }
 
-/// Append a length-prefixed byte string.
-pub fn put_bytes(buf: &mut BytesMut, v: &[u8]) {
-    buf.put_u32(v.len() as u32);
+/// Append a length-prefixed byte string. Fails with
+/// [`TransportError::Oversize`] when the length exceeds the `u32` prefix
+/// (an `as u32` here would silently truncate payloads over 4 GiB and
+/// corrupt the stream).
+pub fn put_bytes(buf: &mut BytesMut, v: &[u8]) -> Result<()> {
+    let len = u32::try_from(v.len()).map_err(|_| TransportError::Oversize {
+        what: "payload length",
+        value: v.len() as u64,
+        max: u32::MAX as u64,
+    })?;
+    buf.put_u32(len);
     buf.put_slice(v);
+    Ok(())
 }
 
 /// Append a length-prefixed UTF-8 string.
-pub fn put_str(buf: &mut BytesMut, v: &str) {
-    put_bytes(buf, v.as_bytes());
+pub fn put_str(buf: &mut BytesMut, v: &str) -> Result<()> {
+    put_bytes(buf, v.as_bytes())
 }
 
-/// Append a list of u32 dims.
-pub fn put_dims(buf: &mut BytesMut, dims: &[usize]) {
-    buf.put_u8(dims.len() as u8);
+/// Append a list of u32 dims (rank ≤ 255, each dim ≤ `u32::MAX`).
+pub fn put_dims(buf: &mut BytesMut, dims: &[usize]) -> Result<()> {
+    let rank = u8::try_from(dims.len()).map_err(|_| TransportError::Oversize {
+        what: "tensor rank",
+        value: dims.len() as u64,
+        max: u8::MAX as u64,
+    })?;
+    buf.put_u8(rank);
     for &d in dims {
-        buf.put_u32(d as u32);
+        let dim = u32::try_from(d).map_err(|_| TransportError::Oversize {
+            what: "tensor dimension",
+            value: d as u64,
+            max: u32::MAX as u64,
+        })?;
+        buf.put_u32(dim);
     }
+    Ok(())
 }
 
 /// Read a u8.
@@ -146,8 +166,8 @@ mod tests {
         put_u8(&mut buf, 7);
         put_u32(&mut buf, 0xDEAD_BEEF);
         put_u64(&mut buf, u64::MAX);
-        put_str(&mut buf, "genie");
-        put_dims(&mut buf, &[2, 3, 4]);
+        put_str(&mut buf, "genie").unwrap();
+        put_dims(&mut buf, &[2, 3, 4]).unwrap();
         let mut raw = buf.freeze();
         assert_eq!(get_u8(&mut raw).unwrap(), 7);
         assert_eq!(get_u32(&mut raw).unwrap(), 0xDEAD_BEEF);
@@ -164,9 +184,49 @@ mod tests {
     }
 
     #[test]
+    fn oversize_rank_refused_not_truncated() {
+        let mut buf = BytesMut::new();
+        let dims = vec![1usize; 300];
+        let err = put_dims(&mut buf, &dims).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::Oversize {
+                    what: "tensor rank",
+                    value: 300,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Nothing half-written before the failing prefix.
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversize_dim_refused_not_truncated() {
+        if usize::BITS < 64 {
+            return; // dims above u32::MAX are unrepresentable on 32-bit
+        }
+        let mut buf = BytesMut::new();
+        let too_big = u32::MAX as usize + 1;
+        let err = put_dims(&mut buf, &[2, too_big]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::Oversize {
+                    what: "tensor dimension",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn bytes_are_zero_copy_slices() {
         let mut buf = BytesMut::new();
-        put_bytes(&mut buf, &[1, 2, 3]);
+        put_bytes(&mut buf, &[1, 2, 3]).unwrap();
         let frozen = buf.freeze();
         let mut view = frozen.clone();
         let payload = get_bytes(&mut view).unwrap();

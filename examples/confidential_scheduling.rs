@@ -18,7 +18,9 @@ use genie::srg::redact::{fingerprint, identifying_bytes, redact};
 fn capture_llm(cfg: TransformerConfig, secret: &str) -> Srg {
     let m = TransformerLm::new_spec(cfg);
     let ctx = CaptureCtx::new(format!("{secret}-proprietary-model"));
-    let cap = ctx.scope(secret, || m.capture_decode_step(&ctx, 0, &KvState::default()));
+    let cap = ctx.scope(secret, || {
+        m.capture_decode_step(&ctx, 0, &KvState::default())
+    });
     cap.logits.sample().mark_output();
     ctx.finish().srg
 }
@@ -33,7 +35,10 @@ fn main() {
         m.capture_inference(&ctx, 1, None).mark_output();
         lexicon.learn("vision", &ctx.finish().srg);
     }
-    println!("fleet lexicon trained on {} public classes", lexicon.classes());
+    println!(
+        "fleet lexicon trained on {} public classes",
+        lexicon.classes()
+    );
 
     // Tenant A captures its proprietary GPT-J variant and redacts.
     let secret_graph = capture_llm(TransformerConfig::gptj_6b(), "acme_secret_sauce");

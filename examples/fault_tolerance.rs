@@ -37,12 +37,7 @@ fn main() {
         }
     };
     session
-        .execute(
-            &base_recipe.cap,
-            &[],
-            &[],
-            &[(base_recipe.output, "base")],
-        )
+        .execute(&base_recipe.cap, &[], &[], &[(base_recipe.output, "base")])
         .expect("step 0");
     log.record(base_recipe);
 

@@ -19,7 +19,11 @@ fn main() {
     let cap = ctx.finish();
 
     println!("captured SRG `{}`:", cap.srg.name);
-    println!("  {} nodes, {} edges", cap.srg.node_count(), cap.srg.edge_count());
+    println!(
+        "  {} nodes, {} edges",
+        cap.srg.node_count(),
+        cap.srg.edge_count()
+    );
     println!(
         "  validation: {}",
         if genie::srg::validate::validate(&cap.srg).is_empty() {

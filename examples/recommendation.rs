@@ -15,7 +15,11 @@ fn main() {
     let cfg = DlrmConfig::tiny();
     let model = Dlrm::new_functional(cfg.clone(), 3);
     let ids: Vec<Vec<i64>> = (0..cfg.tables)
-        .map(|t| (0..cfg.lookups_per_table).map(|i| ((t * 13 + i * 7) % cfg.rows_per_table) as i64).collect())
+        .map(|t| {
+            (0..cfg.lookups_per_table)
+                .map(|i| ((t * 13 + i * 7) % cfg.rows_per_table) as i64)
+                .collect()
+        })
         .collect();
     let score = model.predict(&ids, genie::tensor::init::randn([1, cfg.dense_features], 5));
     println!("click probability: {score:.4}");

@@ -20,7 +20,10 @@ fn main() {
 
     println!("=== {} ===", workload.name());
     let stats = GraphStats::of(&srg).expect("acyclic");
-    println!("nodes: {}  edges: {}  depth: {}  max width: {}", stats.nodes, stats.edges, stats.depth, stats.max_width);
+    println!(
+        "nodes: {}  edges: {}  depth: {}  max width: {}",
+        stats.nodes, stats.edges, stats.depth, stats.max_width
+    );
     println!("pattern: {}", stats.computation_pattern());
     println!("memory:  {}", stats.memory_access_profile());
     println!(
@@ -53,10 +56,14 @@ fn main() {
     let dot = dir.join(format!("{which}.dot"));
     std::fs::write(&dot, genie::srg::dot::to_dot(&srg)).expect("write dot");
     let plan_dot = dir.join(format!("{which}.plan.dot"));
-    std::fs::write(&plan_dot, genie::scheduler::plan_dot::plan_to_dot(&plan)).expect("write plan dot");
+    std::fs::write(&plan_dot, genie::scheduler::plan_dot::plan_to_dot(&plan))
+        .expect("write plan dot");
     let json = dir.join(format!("{which}.srg.json"));
-    std::fs::write(&json, genie::srg::serialize::to_json_pretty(&srg).expect("serialize"))
-        .expect("write json");
+    std::fs::write(
+        &json,
+        genie::srg::serialize::to_json_pretty(&srg).expect("serialize"),
+    )
+    .expect("write json");
     println!("\nartifacts:");
     for p in [&dot, &plan_dot, &json] {
         println!("  {}", p.display());

@@ -20,6 +20,7 @@
 //! | [`netsim`] | deterministic discrete-event network simulation |
 //! | [`transport`] | real TCP transport: framing, codec, RPC, pinned pools |
 //! | [`scheduler`] | cost model, policies, rewrites, global scheduling |
+//! | [`telemetry`] | cross-layer spans, metrics registry, Perfetto export |
 //! | [`backend`] | local / simulated / remote-over-TCP execution |
 //! | [`lineage`] | lineage log, replay cuts, commit points |
 //! | [`bench`](mod@bench) | regeneration of every table and figure in the paper |
@@ -62,6 +63,7 @@ pub use genie_models as models;
 pub use genie_netsim as netsim;
 pub use genie_scheduler as scheduler;
 pub use genie_srg as srg;
+pub use genie_telemetry as telemetry;
 pub use genie_tensor as tensor;
 pub use genie_transport as transport;
 

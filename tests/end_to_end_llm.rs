@@ -52,8 +52,12 @@ fn remote_generate(
         // Shape-only KV mirror drives the capture; payloads are stripped
         // and replaced by handle bindings.
         let kv = KvState {
-            k: (0..cfg.layers).map(|_| Tensor::zeros(vec![cached, d])).collect(),
-            v: (0..cfg.layers).map(|_| Tensor::zeros(vec![cached, d])).collect(),
+            k: (0..cfg.layers)
+                .map(|_| Tensor::zeros(vec![cached, d]))
+                .collect(),
+            v: (0..cfg.layers)
+                .map(|_| Tensor::zeros(vec![cached, d]))
+                .collect(),
         };
         let ctx = CaptureCtx::new(format!("decode{step}"));
         let cap = model.capture_decode_step(&ctx, token, &kv);

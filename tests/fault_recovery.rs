@@ -6,7 +6,9 @@
 //! produces (§3.5: "recovery of long-running decode loops").
 
 use genie::backend::{spawn_server, RemoteSession};
-use genie::lineage::{is_state_loss, recover, CommitLog, LineageLog, PendingOutput, Recipe, RemoteReplayer};
+use genie::lineage::{
+    is_state_loss, recover, CommitLog, LineageLog, PendingOutput, Recipe, RemoteReplayer,
+};
 use genie::prelude::*;
 use genie::tensor::Tensor;
 use std::collections::BTreeSet;
@@ -51,7 +53,10 @@ fn seed_recipe() -> Recipe {
     }
 }
 
-fn run_recipe(session: &mut RemoteSession, r: &Recipe) -> Result<(), genie::transport::TransportError> {
+fn run_recipe(
+    session: &mut RemoteSession,
+    r: &Recipe,
+) -> Result<(), genie::transport::TransportError> {
     let handle_refs: Vec<(genie::srg::NodeId, &str)> = r
         .handle_inputs
         .iter()

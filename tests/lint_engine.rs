@@ -19,7 +19,12 @@ fn lint_code_namespace_is_stable() {
     assert!(codes.iter().any(|c| c.is_plan_level()), "GA1xx present");
     assert!(codes.iter().any(|c| !c.is_plan_level()), "GA0xx present");
     for c in codes {
-        assert_eq!(LintCode::parse(c.code()), Some(c), "{} round-trips", c.code());
+        assert_eq!(
+            LintCode::parse(c.code()),
+            Some(c),
+            "{} round-trips",
+            c.code()
+        );
         assert!(!c.invariant().is_empty());
     }
 }
@@ -39,7 +44,10 @@ fn every_zoo_family_is_deny_clean_end_to_end() {
 
         let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
         assert!(
-            !plan.diagnostics.iter().any(|d| d.severity == Severity::Deny),
+            !plan
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Deny),
             "{}: {:?}",
             w.name(),
             plan.diagnostics

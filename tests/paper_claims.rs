@@ -15,7 +15,10 @@ fn claim_traffic_reduction_orders_of_magnitude() {
     // over 26,000× in the prefill phase"
     let rows = rows();
     let naive = rows.iter().find(|r| r.mode == Mode::NaiveBlind).unwrap();
-    let sa = rows.iter().find(|r| r.mode == Mode::SemanticsAware).unwrap();
+    let sa = rows
+        .iter()
+        .find(|r| r.mode == Mode::SemanticsAware)
+        .unwrap();
     assert!(naive.decode.net_mb / sa.decode.net_mb > 8_400.0);
     assert!(naive.prefill.net_mb / sa.prefill.net_mb > 26_000.0);
 }
@@ -30,7 +33,10 @@ fn claim_gpu_idles_without_semantics() {
     }
     // "improves utilization by 6× over the Naïve mode" — demand ≥3×.
     let naive = rows.iter().find(|r| r.mode == Mode::NaiveBlind).unwrap();
-    let sa = rows.iter().find(|r| r.mode == Mode::SemanticsAware).unwrap();
+    let sa = rows
+        .iter()
+        .find(|r| r.mode == Mode::SemanticsAware)
+        .unwrap();
     assert!(sa.decode.gpu_util_pct > 3.0 * naive.decode.gpu_util_pct);
     // "the GPU still remains heavily underutilized"
     assert!(sa.decode.gpu_util_pct < 10.0);
@@ -66,7 +72,10 @@ fn claim_delta_kv_linear_sa_flat() {
     // Flatness: SA varies less than 6% over the whole sweep.
     let sa_min = t3.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
     let sa_max = t3.iter().map(|r| r.2).fold(0.0, f64::max);
-    assert!((sa_max - sa_min) / sa_min < 0.06, "SA not flat: {sa_min}..{sa_max}");
+    assert!(
+        (sa_max - sa_min) / sa_min < 0.06,
+        "SA not flat: {sa_min}..{sa_max}"
+    );
     // "By 200 tokens, the Semantics-Aware design is already ~1.7× faster"
     assert!(t3[3].1 / t3[3].2 > 1.6, "ratio {}", t3[3].1 / t3[3].2);
 }

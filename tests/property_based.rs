@@ -22,7 +22,9 @@ fn random_capture(widths: Vec<usize>, edges_seed: u64) -> genie::frontend::Captu
         .collect();
     let mut rng = edges_seed;
     let mut next_u = || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng >> 33) as usize
     };
     for w in widths.iter().skip(1) {
@@ -184,7 +186,7 @@ proptest! {
             id: 1,
             body: genie::transport::RequestBody::Upload { key: 9, tensor: p },
         };
-        let back = genie::transport::Request::decode(req.encode()).unwrap();
+        let back = genie::transport::Request::decode(req.encode().unwrap()).unwrap();
         prop_assert_eq!(back, req);
     }
 

@@ -8,11 +8,7 @@ use genie::netsim::RpcParams;
 use genie::prelude::*;
 use genie::scheduler::Location;
 
-fn plan_for(
-    w: Workload,
-    policy: &dyn Policy,
-    topo: &Topology,
-) -> genie::scheduler::ExecutionPlan {
+fn plan_for(w: Workload, policy: &dyn Policy, topo: &Topology) -> genie::scheduler::ExecutionPlan {
     let srg = w.spec_graph();
     let state = ClusterState::new();
     let cost = CostModel::paper_stack();
@@ -156,5 +152,8 @@ fn multimodal_lands_by_modality_affinity_in_global_scheduler() {
         .values()
         .flat_map(|devs| devs.iter().map(|d| topo.device(*d).spec.class))
         .collect();
-    assert!(classes.len() >= 2, "fleet must use multiple tiers: {classes:?}");
+    assert!(
+        classes.len() >= 2,
+        "fleet must use multiple tiers: {classes:?}"
+    );
 }

@@ -1,0 +1,94 @@
+//! Integration: cross-layer telemetry — the Perfetto/Chrome trace export
+//! over a zoo model, and the metric surface the run leaves behind.
+
+use genie::backend::simulate_once;
+use genie::models::Workload;
+use genie::netsim::RpcParams;
+use genie::prelude::*;
+use genie::telemetry::ChromeTrace;
+
+/// Golden-shape test: a scheduled + simulated zoo run exports a
+/// Chrome-trace JSON document where every kernel slice carries SRG-node
+/// and phase attribution and the device/link tracks are named.
+#[test]
+fn trace_export_attributes_every_kernel() {
+    let w = Workload::ComputerVision;
+    let srg = w.spec_graph();
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+    let report = simulate_once(&plan, &topo, &cost, RpcParams::tensorpipe_python());
+
+    let mut chrome = ChromeTrace::new();
+    chrome.push_sim_trace(&report.trace, Some(&srg), Some(&plan.label()));
+    let doc: serde_json::Value = serde_json::from_str(&chrome.to_json_string()).unwrap();
+
+    let events = doc["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty(), "trace document must hold events");
+
+    let kernels: Vec<&serde_json::Value> =
+        events.iter().filter(|e| e["cat"] == "sim.kernel").collect();
+    assert!(!kernels.is_empty(), "simulated run must emit kernel slices");
+    for k in &kernels {
+        assert_eq!(k["ph"], "X", "kernel events are complete slices");
+        assert!(k["dur"].as_f64().unwrap() >= 0.0);
+        assert!(
+            k["args"]["node"].is_u64(),
+            "kernel slice missing SRG node attribution: {k}"
+        );
+        assert!(
+            k["args"]["phase"].is_string(),
+            "kernel slice missing phase attribution: {k}"
+        );
+        assert_eq!(k["args"]["plan"], serde_json::json!(plan.label()));
+    }
+
+    // Track naming metadata: a process-name record per simulated pid.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["name"] == "process_name")
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    assert!(names.iter().any(|n| n.contains("devices")));
+    assert!(names.iter().any(|n| n.contains("links")));
+}
+
+/// Runtime spans recorded during capture/scheduling surface in the same
+/// exported document, and the metrics registry reports the per-device
+/// estimate-vs-actual skew gauges after a simulation.
+#[test]
+fn runtime_spans_and_skew_metrics_surface() {
+    let w = Workload::LlmServing;
+    let srg = w.spec_graph();
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+    let _report = simulate_once(&plan, &topo, &cost, RpcParams::rdma_zero_copy());
+
+    let telemetry = genie::telemetry::global();
+    let records = telemetry.collector.snapshot();
+    let mut chrome = ChromeTrace::new();
+    chrome.push_records(&records, Some(&srg));
+    let doc: serde_json::Value = serde_json::from_str(&chrome.to_json_string()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| e["name"] == "schedule" && e["cat"] == "scheduler"),
+        "scheduling span must appear on the runtime track"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e["name"] == "sim.execute" && e["cat"] == "backend"),
+        "simulation span must appear on the runtime track"
+    );
+
+    let snap = telemetry.metrics.snapshot();
+    let prom = snap.render_prometheus();
+    assert!(prom.contains("genie_sim_device_busy_seconds"));
+    assert!(prom.contains("genie_sim_device_estimate_seconds"));
+    assert!(prom.contains("genie_sim_kernel_skew_ratio"));
+}
