@@ -1,0 +1,71 @@
+//! Data-plane micro-benchmarks: kernel dispatch paths (scalar vs blocked
+//! vs parallel), zero-copy tensor plumbing, and wavefront vs sequential
+//! interpretation. The `bench_dataplane` binary produces the committed
+//! `BENCH_dataplane.json` artifact; this harness is for interactive
+//! `cargo bench -p genie-bench --bench dataplane` digging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genie_frontend::capture::CaptureCtx;
+use genie_frontend::interp;
+use genie_models::{TransformerConfig, TransformerLm};
+use genie_tensor::{init, ops};
+
+fn bench_matmul_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let a = init::randn([n, n], 1);
+        let b = init::randn([n, n], 2);
+        group.bench_function(format!("scalar/{n}"), |bch| {
+            bch.iter(|| ops::matmul_scalar(&a, &b).len())
+        });
+        group.bench_function(format!("blocked/{n}"), |bch| {
+            bch.iter(|| ops::matmul_blocked(&a, &b).len())
+        });
+        group.bench_function(format!("parallel/{n}"), |bch| {
+            bch.iter(|| ops::matmul_parallel(&a, &b).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_zero_copy(c: &mut Criterion) {
+    let t = init::randn([1024, 1024], 3);
+    c.bench_function("tensor/clone_1m", |b| b.iter(|| t.clone().len()));
+    c.bench_function("tensor/reshaped_1m", |b| {
+        b.iter(|| t.reshaped([1024 * 1024]).len())
+    });
+    c.bench_function("tensor/deep_copy_1m", |b| {
+        b.iter(|| genie_tensor::Tensor::from_vec([1024, 1024], t.data().to_vec()).len())
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let model = TransformerLm::new_functional(TransformerConfig::tiny(), 7);
+    let prompt: Vec<i64> = (0..16).collect();
+    let ctx = CaptureCtx::new("prefill");
+    let cap = model.capture_prefill(&ctx, &prompt);
+    cap.logits.mark_output();
+    let captured = ctx.finish();
+
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(10);
+    group.bench_function("sequential/tiny_prefill", |b| {
+        b.iter(|| {
+            interp::execute_sequential(&captured.srg, &captured.values)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("wavefront/tiny_prefill", |b| {
+        b.iter(|| {
+            interp::execute(&captured.srg, &captured.values)
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_paths, bench_zero_copy, bench_interp);
+criterion_main!(benches);

@@ -18,17 +18,19 @@ fn decode_srg() -> genie_srg::Srg {
 }
 
 fn bench_micro(c: &mut Criterion) {
+    // Build the shared graph and emit diagnostics before any measurement
+    // starts, so nothing allocates or prints inside the measured region.
+    let srg = decode_srg();
+    eprintln!(
+        "GPT-J decode-step SRG: {} nodes, {} edges",
+        srg.node_count(),
+        srg.edge_count()
+    );
+
     // Capture overhead: full GPT-J decode-step graph (~500 nodes).
     c.bench_function("capture/gptj_decode_step", |b| {
         b.iter(|| decode_srg().node_count())
     });
-
-    let srg = decode_srg();
-    println!(
-        "\nGPT-J decode-step SRG: {} nodes, {} edges",
-        srg.node_count(),
-        srg.edge_count()
-    );
 
     c.bench_function("graph/topo_order", |b| {
         b.iter(|| genie_srg::traverse::topo_order(&srg).unwrap().len())

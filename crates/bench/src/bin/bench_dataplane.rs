@@ -1,0 +1,231 @@
+//! Regenerate `BENCH_dataplane.json`: before/after numbers for the
+//! data-plane overhaul — kernel dispatch paths (scalar reference vs
+//! cache-blocked vs parallel), zero-copy tensor plumbing, wavefront vs
+//! sequential interpretation, and the scheduler's kernel-time cache.
+//!
+//! Pass `--quick` (CI) to shrink problem sizes and repetition counts.
+//! Timing is hand-rolled (`std::time::Instant` medians) because criterion
+//! is a dev-dependency and this binary ships with the crate.
+
+use genie_bench::report::{render_table, write_artifact};
+use genie_cluster::{ClusterState, Topology};
+use genie_frontend::capture::CaptureCtx;
+use genie_frontend::interp;
+use genie_models::{KvState, TransformerConfig, TransformerLm};
+use genie_scheduler::{schedule, CostModel, SemanticsAware};
+use genie_tensor::{init, ops, stats};
+use serde_json::json;
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f` (after one warmup).
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn matmul_section(quick: bool) -> (serde_json::Value, Vec<Vec<String>>) {
+    let sizes: &[usize] = if quick {
+        &[64, 128, 256]
+    } else {
+        &[128, 256, 512]
+    };
+    let reps = if quick { 2 } else { 5 };
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &n in sizes {
+        let a = init::randn([n, n], 1);
+        let b = init::randn([n, n], 2);
+        // Equivalence sanity before timing anything.
+        let reference = ops::matmul_scalar(&a, &b);
+        assert_eq!(reference.data(), ops::matmul_blocked(&a, &b).data());
+        assert_eq!(reference.data(), ops::matmul_parallel(&a, &b).data());
+
+        let scalar = median_secs(reps, || ops::matmul_scalar(&a, &b).len());
+        let blocked = median_secs(reps, || ops::matmul_blocked(&a, &b).len());
+        let parallel = median_secs(reps, || ops::matmul_parallel(&a, &b).len());
+        let speedup_blocked = scalar / blocked.max(1e-12);
+        let speedup_parallel = scalar / parallel.max(1e-12);
+        table.push(vec![
+            format!("{n}x{n}"),
+            format!("{:.1}", scalar * 1e3),
+            format!("{:.1}", blocked * 1e3),
+            format!("{:.1}", parallel * 1e3),
+            format!("{speedup_blocked:.2}x"),
+            format!("{speedup_parallel:.2}x"),
+        ]);
+        rows.push(json!({
+            "size": n,
+            "scalar_s": scalar,
+            "blocked_s": blocked,
+            "parallel_s": parallel,
+            "speedup_blocked": speedup_blocked,
+            "speedup_parallel": speedup_parallel,
+        }));
+    }
+    (json!(rows), table)
+}
+
+fn zero_copy_section(quick: bool) -> serde_json::Value {
+    let n = if quick { 512 } else { 1024 };
+    let reps = if quick { 100 } else { 1000 };
+    let t = init::randn([n, n], 3);
+    let clone = median_secs(reps, || t.clone().len());
+    let reshape = median_secs(reps, || t.reshaped([n * n]).len());
+    let deep = median_secs(reps, || {
+        genie_tensor::Tensor::from_vec([n, n], t.data().to_vec()).len()
+    });
+    json!({
+        "elements": n * n,
+        "clone_s": clone,
+        "reshaped_s": reshape,
+        "deep_copy_s": deep,
+        "clone_speedup_vs_deep_copy": deep / clone.max(1e-12),
+    })
+}
+
+fn interp_section(quick: bool) -> serde_json::Value {
+    let model = TransformerLm::new_functional(TransformerConfig::tiny(), 7);
+    let prompt: Vec<i64> = (0..if quick { 8 } else { 24 }).collect();
+    let ctx = CaptureCtx::new("prefill");
+    let cap = model.capture_prefill(&ctx, &prompt);
+    cap.logits.mark_output();
+    let logits_node = cap.logits.node;
+    let captured = ctx.finish();
+
+    // Wavefront must agree with the sequential oracle exactly.
+    let seq = interp::execute_sequential(&captured.srg, &captured.values).unwrap();
+    let wave = interp::execute(&captured.srg, &captured.values).unwrap();
+    assert_eq!(seq[&logits_node], wave[&logits_node]);
+
+    let reps = if quick { 3 } else { 10 };
+    let sequential = median_secs(reps, || {
+        interp::execute_sequential(&captured.srg, &captured.values)
+            .unwrap()
+            .len()
+    });
+    let wavefront = median_secs(reps, || {
+        interp::execute(&captured.srg, &captured.values)
+            .unwrap()
+            .len()
+    });
+    let outputs_only = median_secs(reps, || {
+        interp::execute_outputs(&captured.srg, &captured.values, &[logits_node])
+            .unwrap()
+            .len()
+    });
+    json!({
+        "graph": "transformer_tiny_prefill",
+        "nodes": captured.srg.node_count(),
+        "prompt_tokens": prompt.len(),
+        "sequential_s": sequential,
+        "wavefront_s": wavefront,
+        "wavefront_outputs_only_s": outputs_only,
+        "wavefront_speedup": sequential / wavefront.max(1e-12),
+    })
+}
+
+fn cost_cache_section(quick: bool) -> serde_json::Value {
+    // GPT-J decode-step graph: the per-request planning workload.
+    let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
+    let ctx = CaptureCtx::new("decode");
+    let cap = m.capture_decode_step(&ctx, 0, &KvState::default());
+    cap.logits.sample().mark_output();
+    let srg = ctx.finish().srg;
+
+    let topo = Topology::rack(4, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    let policy = SemanticsAware::new();
+
+    cost.clear_cache();
+    let t0 = Instant::now();
+    std::hint::black_box(
+        schedule(&srg, &topo, &state, &cost, &policy)
+            .transfers
+            .len(),
+    );
+    let cold = t0.elapsed().as_secs_f64();
+    let reps = if quick { 3 } else { 10 };
+    let warm = median_secs(reps, || {
+        schedule(&srg, &topo, &state, &cost, &policy)
+            .transfers
+            .len()
+    });
+    let cache = cost.cache_stats();
+    json!({
+        "graph": "gptj_6b_decode_step",
+        "nodes": srg.node_count(),
+        "cold_schedule_s": cold,
+        "warm_schedule_s": warm,
+        "warm_speedup": cold / warm.max(1e-12),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "cache_entries": cache.entries,
+        "cache_hit_rate": cache.hit_rate(),
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let before = stats::snapshot();
+
+    let (matmul, matmul_table) = matmul_section(quick);
+    let zero_copy = zero_copy_section(quick);
+    let interp_cmp = interp_section(quick);
+    let cost_cache = cost_cache_section(quick);
+
+    let dispatch: Vec<serde_json::Value> = stats::snapshot()
+        .since(&before)
+        .cells()
+        .into_iter()
+        .map(|(op, path, n)| json!({ "op": op, "path": path, "calls": n }))
+        .collect();
+
+    let artifact = json!({
+        "bench": "dataplane",
+        "quick": quick,
+        "matmul": matmul,
+        "zero_copy": zero_copy,
+        "interp": interp_cmp,
+        "cost_cache": cost_cache,
+        "kernel_dispatch": dispatch,
+    });
+    let path = write_artifact("BENCH_dataplane", &artifact).expect("artifact written");
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "matmul",
+                "scalar ms",
+                "blocked ms",
+                "parallel ms",
+                "blocked x",
+                "parallel x"
+            ],
+            &matmul_table,
+        )
+    );
+    println!(
+        "interp tiny-prefill: sequential {:.2} ms, wavefront {:.2} ms ({:.2}x)",
+        interp_cmp["sequential_s"].as_f64().unwrap_or(0.0) * 1e3,
+        interp_cmp["wavefront_s"].as_f64().unwrap_or(0.0) * 1e3,
+        interp_cmp["wavefront_speedup"].as_f64().unwrap_or(0.0),
+    );
+    println!(
+        "cost cache: cold {:.2} ms, warm {:.2} ms ({:.2}x), hit rate {:.1}%",
+        cost_cache["cold_schedule_s"].as_f64().unwrap_or(0.0) * 1e3,
+        cost_cache["warm_schedule_s"].as_f64().unwrap_or(0.0) * 1e3,
+        cost_cache["warm_speedup"].as_f64().unwrap_or(0.0),
+        cost_cache["cache_hit_rate"].as_f64().unwrap_or(0.0) * 100.0,
+    );
+    println!("artifact: {}", path.display());
+}

@@ -5,12 +5,23 @@
 //! execution must produce the same numbers as local, and lineage replay
 //! must reproduce lost values exactly. Backends delegate to this
 //! interpreter for the compute they "run".
+//!
+//! Execution is *wavefront*-ordered: the topological order is grouped into
+//! dependency levels (via [`genie_srg::traverse::levels`]) and every node
+//! in a level is evaluated before the next level starts. Nodes within a
+//! level are mutually independent, so wide levels are fanned out over
+//! cores. Because each node's kernel is deterministic and level order
+//! respects every edge, the wavefront engine produces bit-identical values
+//! to the sequential reference ([`execute_sequential`]), which is kept as
+//! the oracle the wavefront path is tested against.
 
 use crate::value::Value;
 use genie_srg::{NodeId, OpKind, Srg};
 use genie_tensor::ops;
 use genie_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::num::NonZeroUsize;
+use std::thread;
 
 /// Interpretation failure.
 #[derive(Debug)]
@@ -50,11 +61,23 @@ impl std::fmt::Display for InterpError {
 impl std::error::Error for InterpError {}
 
 /// Execute every node of `srg`, reading source payloads from `bindings`.
-/// Returns the value of every node.
+/// Returns the value of every node. Runs the wavefront engine with no
+/// value dropping (every node's value is part of the contract).
 pub fn execute(
     srg: &Srg,
     bindings: &HashMap<NodeId, Value>,
 ) -> Result<HashMap<NodeId, Value>, InterpError> {
+    execute_wavefront(srg, bindings, None)
+}
+
+/// Sequential reference executor: one node at a time in topological order.
+/// The wavefront engine is tested against this oracle; it stays available
+/// for debugging and for environments where spawning threads is unwanted.
+pub fn execute_sequential(
+    srg: &Srg,
+    bindings: &HashMap<NodeId, Value>,
+) -> Result<HashMap<NodeId, Value>, InterpError> {
+    let stats_before = genie_tensor::stats::snapshot();
     let order = genie_srg::traverse::topo_order(srg).map_err(|_| InterpError::Cycle)?;
     let mut values: HashMap<NodeId, Value> = HashMap::new();
 
@@ -67,20 +90,144 @@ pub fn execute(
         let out = eval_node(srg, id, &node.op, &inputs, bindings)?;
         values.insert(id, out);
     }
+    publish_dispatch_delta(&stats_before);
     Ok(values)
 }
 
-/// Execute and return only the requested outputs, in order.
+/// Execute and return only the requested outputs, in order. Interior
+/// values are dropped as soon as their last consumer has run, so peak
+/// memory tracks the widest live wavefront instead of the whole graph.
 pub fn execute_outputs(
     srg: &Srg,
     bindings: &HashMap<NodeId, Value>,
     outputs: &[NodeId],
 ) -> Result<Vec<Value>, InterpError> {
-    let all = execute(srg, bindings)?;
+    let mut all = execute_wavefront(srg, bindings, Some(outputs))?;
     Ok(outputs
         .iter()
-        .map(|id| all.get(id).expect("outputs exist in graph").clone())
+        .map(|id| {
+            all.remove(id)
+                .or_else(|| all.get(id).cloned())
+                .expect("outputs exist in graph")
+        })
         .collect())
+}
+
+/// Group nodes into dependency levels: every node's inputs live in a
+/// strictly earlier level, and nodes within a level are independent.
+fn level_groups(srg: &Srg) -> Result<Vec<Vec<NodeId>>, InterpError> {
+    let lv = genie_srg::traverse::levels(srg).map_err(|_| InterpError::Cycle)?;
+    let depth = lv.iter().copied().max().map_or(0, |d| d + 1);
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); depth];
+    // node_ids is ascending, so each group is deterministically ordered.
+    for id in srg.node_ids() {
+        groups[lv[id.index()]].push(id);
+    }
+    Ok(groups)
+}
+
+/// Wavefront engine. With `retain = Some(outputs)`, a node's value is
+/// removed from the map once every consumer has executed (outputs are
+/// always kept); with `None`, every value is kept.
+fn execute_wavefront(
+    srg: &Srg,
+    bindings: &HashMap<NodeId, Value>,
+    retain: Option<&[NodeId]>,
+) -> Result<HashMap<NodeId, Value>, InterpError> {
+    let stats_before = genie_tensor::stats::snapshot();
+    let groups = level_groups(srg)?;
+    let keep: Option<HashSet<NodeId>> = retain.map(|o| o.iter().copied().collect());
+    let mut remaining: Vec<usize> = srg.node_ids().map(|id| srg.out_degree(id)).collect();
+    let mut values: HashMap<NodeId, Value> = HashMap::new();
+
+    for group in groups {
+        let results = eval_level(srg, &group, &values, bindings);
+        for (id, res) in group.iter().copied().zip(results) {
+            values.insert(id, res?);
+        }
+        if let Some(keep) = &keep {
+            // All of this level's reads are done; release inputs whose
+            // last consumer just ran.
+            for &id in &group {
+                for e in srg.in_edges(id) {
+                    let r = &mut remaining[e.src.index()];
+                    *r = r.saturating_sub(1);
+                    if *r == 0 && !keep.contains(&e.src) {
+                        values.remove(&e.src);
+                    }
+                }
+            }
+        }
+    }
+    publish_dispatch_delta(&stats_before);
+    Ok(values)
+}
+
+/// Evaluate one level: in parallel over cores when the level is wide
+/// enough, sequentially otherwise. Result order matches `group` order.
+fn eval_level(
+    srg: &Srg,
+    group: &[NodeId],
+    values: &HashMap<NodeId, Value>,
+    bindings: &HashMap<NodeId, Value>,
+) -> Vec<Result<Value, InterpError>> {
+    let eval_one = |id: NodeId| {
+        let node = srg.node(id);
+        let inputs: Vec<&Value> = srg
+            .in_edges(id)
+            .map(|e| values.get(&e.src).expect("level order guarantees inputs"))
+            .collect();
+        eval_node(srg, id, &node.op, &inputs, bindings)
+    };
+    let cores = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    if group.len() < 2 || cores < 2 {
+        return group.iter().copied().map(eval_one).collect();
+    }
+    let workers = cores.min(group.len());
+    let per = group.len().div_ceil(workers);
+    let mut slots: Vec<Option<Result<Value, InterpError>>> =
+        (0..group.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        let mut rest = slots.as_mut_slice();
+        let mut base = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let eval_ref = &eval_one;
+            let ids = &group[base..base + take];
+            scope.spawn(move || {
+                for (slot, &id) in chunk.iter_mut().zip(ids) {
+                    *slot = Some(eval_ref(id));
+                }
+            });
+            base += take;
+            rest = tail;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every level slot filled"))
+        .collect()
+}
+
+/// Publish kernel-dispatch counts accumulated since `before` as
+/// `genie_tensor_kernel_dispatch_total{op,path}` counters.
+fn publish_dispatch_delta(before: &genie_tensor::stats::Snapshot) {
+    let delta = genie_tensor::stats::snapshot().since(before);
+    if delta.total() == 0 {
+        return;
+    }
+    let metrics = &genie_telemetry::global().metrics;
+    for (op, path, n) in delta.cells() {
+        metrics
+            .counter(
+                "genie_tensor_kernel_dispatch_total",
+                &[("op", op), ("path", path)],
+            )
+            .add(n);
+    }
 }
 
 fn eval_node(
@@ -204,7 +351,8 @@ fn eval_node(
                 .filter(|s| !s.is_empty())
                 .map(|s| s.parse().expect("valid reshape attr"))
                 .collect();
-            Value::F(inputs[0].as_f("reshape").clone().reshape(shape))
+            // Zero-copy: a reshaped view shares the input's buffer.
+            Value::F(inputs[0].as_f("reshape").reshaped(shape))
         }
         OpKind::Transpose => Value::F(ops::transpose2d(inputs[0].as_f("transpose"))),
         OpKind::Reduce => {
@@ -425,6 +573,90 @@ mod tests {
         let out = run_single_output(&cap).unwrap();
         let expect = ops::narrow(&ops::add_bias(&ops::concat(&a, &b, 1), &bias), 1, 2, 3);
         assert!(out.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn wavefront_matches_sequential_on_branching_graph() {
+        // A diamond with heterogeneous branches: x fans out to four
+        // independent ops (one wavefront level), which recombine.
+        let x = randn([4, 4], 40);
+        let ctx = CaptureCtx::new("g");
+        let lx = ctx.input("x", [4, 4], ElemType::F32, Some(x));
+        let a = lx.relu();
+        let b = lx.gelu();
+        let c = lx.silu();
+        let d = lx.softmax();
+        let ab = a.mul(&b);
+        let cd = c.mul(&d);
+        let y = ab.add(&cd);
+        y.mark_output();
+        let cap = ctx.finish();
+
+        let wave = execute(&cap.srg, &cap.values).unwrap();
+        let seq = execute_sequential(&cap.srg, &cap.values).unwrap();
+        assert_eq!(wave.len(), seq.len());
+        for (id, v) in &seq {
+            assert_eq!(wave.get(id), Some(v), "node {id} diverged");
+        }
+    }
+
+    #[test]
+    fn execute_outputs_matches_full_execution() {
+        let x = randn([3, 6], 41);
+        let w = randn([6, 6], 42);
+        let ctx = CaptureCtx::new("g");
+        let lx = ctx.input("x", [3, 6], ElemType::F32, Some(x));
+        let lw = ctx.parameter("w", [6, 6], ElemType::F32, Some(w));
+        let h1 = lx.matmul(&lw).relu();
+        let h2 = h1.matmul(&lw).gelu();
+        let y = h2.mean_lastdim();
+        y.mark_output();
+        let cap = ctx.finish();
+
+        let outs = execute_outputs(&cap.srg, &cap.values, &[y.node]).unwrap();
+        let seq = execute_sequential(&cap.srg, &cap.values).unwrap();
+        assert_eq!(
+            outs[0], seq[&y.node],
+            "dropping interiors must not change outputs"
+        );
+    }
+
+    #[test]
+    fn level_groups_respect_dependencies() {
+        let ctx = CaptureCtx::new("g");
+        let lx = ctx.input("x", [2, 2], ElemType::F32, Some(Tensor::ones([2, 2])));
+        let a = lx.relu();
+        let b = lx.gelu();
+        let y = a.add(&b);
+        y.mark_output();
+        let cap = ctx.finish();
+        let groups = level_groups(&cap.srg).unwrap();
+        let level_of = |n: genie_srg::NodeId| {
+            groups
+                .iter()
+                .position(|g| g.contains(&n))
+                .expect("node in some level")
+        };
+        assert_eq!(level_of(a.node), level_of(b.node), "siblings share a level");
+        assert!(level_of(lx.node) < level_of(a.node));
+        assert!(level_of(a.node) < level_of(y.node));
+    }
+
+    #[test]
+    fn dispatch_counters_published() {
+        let ctx = CaptureCtx::new("g");
+        let la = ctx.input("a", [4, 8], ElemType::F32, Some(randn([4, 8], 50)));
+        let lb = ctx.parameter("b", [8, 8], ElemType::F32, Some(randn([8, 8], 51)));
+        let y = la.matmul(&lb);
+        y.mark_output();
+        let cap = ctx.finish();
+        execute(&cap.srg, &cap.values).unwrap();
+        let snap = genie_telemetry::global().metrics.snapshot();
+        let count = snap.counter(
+            "genie_tensor_kernel_dispatch_total",
+            &[("op", "matmul"), ("path", "scalar")],
+        );
+        assert!(count.unwrap_or(0) >= 1, "matmul dispatch not published");
     }
 
     #[test]

@@ -4,12 +4,90 @@
 use genie_cluster::{ClusterState, DevId, GpuSpec, Topology};
 use genie_srg::Node;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Key for one memoized roofline estimate: the bit patterns of every
+/// quantity [`CostModel::kernel_time`] actually reads. Keying on derated
+/// denominators (not on op/shape labels) means a mutated efficiency field
+/// or a different `GpuSpec` can never be served a stale entry.
+type KernelTimeKey = (u64, u64, u64, u64, u64);
+
+/// Memoization table for [`CostModel::kernel_time`]. Scheduling a graph
+/// calls the roofline estimator once per (node, candidate device) per
+/// pass; repeated `schedule`/`critical_path` invocations over a serving
+/// loop recompute identical estimates thousands of times. Model zoos have
+/// few distinct (flops, bytes, device) combinations, so a small table
+/// absorbs nearly all of them.
+#[derive(Debug, Default)]
+pub struct KernelTimeCache {
+    entries: Mutex<HashMap<KernelTimeKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KernelTimeCache {
+    fn lookup(&self, key: KernelTimeKey, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(&v) = self.entries.lock().expect("cost cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("cost cache poisoned")
+            .insert(key, v);
+        v
+    }
+
+    fn stats(&self) -> CostCacheStats {
+        CostCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cost cache poisoned").len(),
+        }
+    }
+
+    fn clear(&self) {
+        self.entries.lock().expect("cost cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time counters for the kernel-time cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostCacheStats {
+    /// Estimates served from the table.
+    pub hits: u64,
+    /// Estimates computed and inserted.
+    pub misses: u64,
+    /// Distinct (flops, bytes, device) keys resident.
+    pub entries: usize,
+}
+
+impl CostCacheStats {
+    /// Fraction of lookups served from the table (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Cost-model parameters. Roofline kernel estimates are scaled by
 /// empirical efficiency factors (real frameworks reach a fraction of peak,
 /// especially at small batch), and transfers are priced with a per-call
 /// overhead plus serialized payload time.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Kernel-time estimates are memoized in a cache shared by clones of this
+/// model (equality, serialization, and debug output ignore it).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CostModel {
     /// Fraction of peak FLOP/s actually achieved by compute-bound kernels.
     pub compute_efficiency: f64,
@@ -21,6 +99,19 @@ pub struct CostModel {
     pub network_bandwidth: f64,
     /// One-way network latency in seconds.
     pub network_latency_s: f64,
+    #[serde(skip, default)]
+    cache: Arc<KernelTimeCache>,
+}
+
+impl PartialEq for CostModel {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is an implementation detail, not part of model identity.
+        self.compute_efficiency == other.compute_efficiency
+            && self.memory_efficiency == other.memory_efficiency
+            && self.per_call_overhead_s == other.per_call_overhead_s
+            && self.network_bandwidth == other.network_bandwidth
+            && self.network_latency_s == other.network_latency_s
+    }
 }
 
 impl CostModel {
@@ -33,6 +124,7 @@ impl CostModel {
             per_call_overhead_s: 8e-6,
             network_bandwidth: 25e9 / 8.0,
             network_latency_s: 250e-6,
+            cache: Arc::default(),
         }
     }
 
@@ -46,15 +138,41 @@ impl CostModel {
             per_call_overhead_s: 0.45,
             network_bandwidth: 1.4e9,
             network_latency_s: 250e-6,
+            cache: Arc::default(),
         }
     }
 
     /// Roofline kernel-time estimate for `node` on `gpu`, with efficiency
-    /// derating applied to whichever side binds.
+    /// derating applied to whichever side binds. Memoized: repeated calls
+    /// with the same (flops, bytes, derated device) are served from the
+    /// model's cache.
     pub fn kernel_time(&self, node: &Node, gpu: &GpuSpec) -> f64 {
+        let key = (
+            node.cost.flops.to_bits(),
+            node.cost.bytes_total().to_bits(),
+            (gpu.peak_flops * self.compute_efficiency).to_bits(),
+            (gpu.mem_bandwidth * self.memory_efficiency).to_bits(),
+            gpu.kernel_launch_overhead.to_bits(),
+        );
+        self.cache
+            .lookup(key, || self.kernel_time_uncached(node, gpu))
+    }
+
+    /// The un-memoized roofline estimate (reference for the cached path).
+    pub fn kernel_time_uncached(&self, node: &Node, gpu: &GpuSpec) -> f64 {
         let compute = node.cost.flops / (gpu.peak_flops * self.compute_efficiency);
         let memory = node.cost.bytes_total() / (gpu.mem_bandwidth * self.memory_efficiency);
         gpu.kernel_launch_overhead + compute.max(memory)
+    }
+
+    /// Hit/miss/occupancy counters for the kernel-time cache.
+    pub fn cache_stats(&self) -> CostCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every memoized estimate and reset the counters.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     /// Time to move `bytes` across the network in one call.
@@ -171,6 +289,70 @@ mod tests {
             congested > 0.0,
             "under 90% congestion recomputation must win"
         );
+    }
+
+    #[test]
+    fn cached_kernel_time_matches_uncached() {
+        let m = CostModel::paper_stack();
+        let gpu = GpuSpec::a100_80gb();
+        let n = node(3e12, 5e9);
+        let uncached = m.kernel_time_uncached(&n, &gpu);
+        assert_eq!(m.kernel_time(&n, &gpu), uncached);
+        assert_eq!(
+            m.kernel_time(&n, &gpu),
+            uncached,
+            "hit must serve same value"
+        );
+        let stats = m.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutated_efficiency_is_not_served_stale() {
+        let mut m = CostModel::ideal_25g();
+        let gpu = GpuSpec::a100_80gb();
+        let n = node(312e12, 0.0);
+        let before = m.kernel_time(&n, &gpu);
+        m.compute_efficiency = 0.5;
+        let after = m.kernel_time(&n, &gpu);
+        assert_eq!(after, m.kernel_time_uncached(&n, &gpu));
+        assert!(after > before, "halved efficiency must cost more");
+    }
+
+    #[test]
+    fn clear_cache_resets_counters() {
+        let m = CostModel::ideal_25g();
+        let gpu = GpuSpec::a100_80gb();
+        m.kernel_time(&node(1e12, 1e9), &gpu);
+        m.clear_cache();
+        assert_eq!(m.cache_stats(), CostCacheStats::default());
+        assert_eq!(m.cache_stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let m = CostModel::ideal_25g();
+        let gpu = GpuSpec::a100_80gb();
+        let n = node(2e12, 3e9);
+        let clone = m.clone();
+        clone.kernel_time(&n, &gpu);
+        m.kernel_time(&n, &gpu);
+        let stats = m.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn serde_roundtrip_ignores_cache() {
+        let m = CostModel::paper_stack();
+        let gpu = GpuSpec::a100_80gb();
+        m.kernel_time(&node(1e12, 1e9), &gpu);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.cache_stats(), CostCacheStats::default());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod rewrite;
 pub mod schedule;
 pub mod view;
 
-pub use cost::CostModel;
+pub use cost::{CostCacheStats, CostModel};
 pub use lint::lint_plan;
 pub use plan::{CostBreakdown, ExecutionPlan, Location, Transfer};
 pub use policy::{DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware};

@@ -212,6 +212,10 @@ pub fn schedule_with_lints(
             &genie_telemetry::DEFAULT_TIME_BOUNDS,
         )
         .observe(begin.elapsed().as_secs_f64());
+    telemetry
+        .metrics
+        .gauge("genie_cost_cache_hit_rate", &[])
+        .set(cost.cache_stats().hit_rate());
     plan
 }
 
@@ -405,6 +409,31 @@ mod tests {
                 .any(|r| r.name == "schedule" && r.attrs.plan.as_deref() == Some(label.as_str())),
             "schedule span carries the plan label"
         );
+    }
+
+    #[test]
+    fn repeated_scheduling_warms_cost_cache() {
+        let srg = decode_graph();
+        let topo = Topology::rack(2, 25e9);
+        let state = ClusterState::new();
+        let cost = CostModel::ideal_25g();
+        let policy = SemanticsAware::new();
+
+        schedule(&srg, &topo, &state, &cost, &policy);
+        let cold = cost.cache_stats();
+        schedule(&srg, &topo, &state, &cost, &policy);
+        let warm = cost.cache_stats();
+
+        assert!(warm.hits > cold.hits, "re-scheduling must hit the cache");
+        assert_eq!(
+            warm.misses, cold.misses,
+            "no new estimates on an identical re-schedule"
+        );
+        let gauge = genie_telemetry::global()
+            .metrics
+            .snapshot()
+            .gauge("genie_cost_cache_hit_rate", &[]);
+        assert!(gauge.is_some(), "hit-rate gauge published");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String 
         "genie_transport_calls_total",
         "genie_transport_bytes_total",
         "genie_transport_errors_total",
+        "genie_tensor_kernel_dispatch_total",
     ];
     let mut any = false;
     for c in &snapshot.counters {
@@ -74,6 +75,17 @@ pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String 
             format!("{{{}}}", inner.join(","))
         };
         let _ = writeln!(out, "{:<44} {:>14}", format!("{}{labels}", c.name), c.value);
+    }
+
+    // --- Scalar gauges worth a line --------------------------------------
+    for g in &snapshot.gauges {
+        if g.name == "genie_cost_cache_hit_rate" {
+            let _ = writeln!(
+                out,
+                "\ncost-model cache hit rate: {:>5.1}%",
+                g.value * 100.0
+            );
+        }
     }
 
     // --- Latency histograms ----------------------------------------------
@@ -138,6 +150,12 @@ mod tests {
         reg.gauge("genie_sim_kernel_skew_ratio", &[("device", "d0")])
             .set(1.5);
         reg.counter("genie_sim_kernels_total", &[]).add(12);
+        reg.counter(
+            "genie_tensor_kernel_dispatch_total",
+            &[("op", "matmul"), ("path", "blocked")],
+        )
+        .add(3);
+        reg.gauge("genie_cost_cache_hit_rate", &[]).set(0.875);
         reg.histogram("genie_schedule_seconds", &[], &[0.1, 1.0])
             .observe(0.05);
         let records = vec![SpanRecord {
@@ -158,6 +176,11 @@ mod tests {
         assert!(top.contains("d0"), "{top}");
         assert!(top.contains("1.50x"), "{top}");
         assert!(top.contains("genie_sim_kernels_total"), "{top}");
+        assert!(
+            top.contains("genie_tensor_kernel_dispatch_total{op=matmul,path=blocked}"),
+            "{top}"
+        );
+        assert!(top.contains("cost-model cache hit rate:  87.5%"), "{top}");
         assert!(top.contains("genie_schedule_seconds"), "{top}");
         assert!(top.contains("schedule"), "{top}");
     }

@@ -26,7 +26,9 @@
 
 pub mod init;
 pub mod ops;
+mod par;
 pub mod shape;
+pub mod stats;
 pub mod tensor;
 
 pub use shape::Shape;

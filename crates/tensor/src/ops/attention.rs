@@ -1,8 +1,17 @@
 //! Scaled dot-product attention — the core kernel of transformer models.
+//!
+//! [`multi_head_attention`] dispatches between a sequential head loop (the
+//! reference) and a parallel variant that computes heads on separate cores.
+//! Heads are independent, so both orders produce bit-identical output.
 
 use crate::ops::activation::softmax_lastdim;
 use crate::ops::linalg::{matmul, transpose2d};
+use crate::par;
+use crate::stats::{self, Path};
 use crate::tensor::Tensor;
+
+/// Approximate FLOPs below which multi-head attention stays sequential.
+pub const ATTENTION_PAR_MIN_FLOPS: usize = 1 << 18;
 
 /// Single-head scaled dot-product attention with optional causal masking.
 ///
@@ -40,7 +49,8 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, causal: bool) -> Tensor {
 }
 
 /// Multi-head attention over packed `[t, heads*dh]` projections. Splits
-/// heads, runs [`attention`] per head, and re-packs.
+/// heads, runs [`attention`] per head, and re-packs. Dispatches between
+/// the sequential reference loop and a head-parallel variant.
 pub fn multi_head_attention(
     q: &Tensor,
     k: &Tensor,
@@ -48,6 +58,18 @@ pub fn multi_head_attention(
     heads: usize,
     causal: bool,
 ) -> Tensor {
+    let (tq, dm) = (q.dims()[0], q.dims()[1]);
+    let tk = k.dims()[0];
+    // QK^T plus weights·V, both 2·tq·tk·dh per head, over all heads.
+    let flops = 4 * tq * tk * dm;
+    if heads > 1 && flops >= ATTENTION_PAR_MIN_FLOPS && par::worker_count(heads) > 1 {
+        multi_head_attention_parallel(q, k, v, heads, causal)
+    } else {
+        multi_head_attention_sequential(q, k, v, heads, causal)
+    }
+}
+
+fn head_geometry(q: &Tensor, k: &Tensor, heads: usize) -> (usize, usize, usize, usize) {
     assert_eq!(q.rank(), 2);
     let (tq, dm) = (q.dims()[0], q.dims()[1]);
     let tk = k.dims()[0];
@@ -56,22 +78,56 @@ pub fn multi_head_attention(
         0,
         "model dim {dm} not divisible by {heads} heads"
     );
-    let dh = dm / heads;
+    (tq, tk, dm, dm / heads)
+}
 
+fn head_output(q: &Tensor, k: &Tensor, v: &Tensor, h: usize, dh: usize, causal: bool) -> Tensor {
+    let qh = slice_head(q, h, dh);
+    let kh = slice_head(k, h, dh);
+    let vh = slice_head(v, h, dh);
+    attention(&qh, &kh, &vh, causal)
+}
+
+fn pack_heads(head_outs: &[Tensor], tq: usize, dm: usize, dh: usize) -> Tensor {
     let mut out = vec![0.0f32; tq * dm];
-    for h in 0..heads {
-        let qh = slice_head(q, h, dh);
-        let kh = slice_head(k, h, dh);
-        let vh = slice_head(v, h, dh);
-        let oh = attention(&qh, &kh, &vh, causal);
+    for (h, oh) in head_outs.iter().enumerate() {
         for t in 0..tq {
-            for c in 0..dh {
-                out[t * dm + h * dh + c] = oh.data()[t * dh + c];
-            }
+            out[t * dm + h * dh..t * dm + h * dh + dh]
+                .copy_from_slice(&oh.data()[t * dh..(t + 1) * dh]);
         }
-        debug_assert_eq!(kh.dims()[0], tk);
     }
     Tensor::from_vec([tq, dm], out)
+}
+
+/// Reference multi-head attention: heads computed one after another.
+pub fn multi_head_attention_sequential(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    causal: bool,
+) -> Tensor {
+    let (tq, _tk, dm, dh) = head_geometry(q, k, heads);
+    stats::note("attention", Path::Scalar);
+    let outs: Vec<Tensor> = (0..heads)
+        .map(|h| head_output(q, k, v, h, dh, causal))
+        .collect();
+    pack_heads(&outs, tq, dm, dh)
+}
+
+/// Multi-head attention with heads fanned out over cores (forced, for
+/// benches/tests). Bit-identical to the sequential reference.
+pub fn multi_head_attention_parallel(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    heads: usize,
+    causal: bool,
+) -> Tensor {
+    let (tq, _tk, dm, dh) = head_geometry(q, k, heads);
+    stats::note("attention", Path::Parallel);
+    let outs = par::par_map(heads, |h| head_output(q, k, v, h, dh, causal));
+    pack_heads(&outs, tq, dm, dh)
 }
 
 fn slice_head(x: &Tensor, head: usize, dh: usize) -> Tensor {
@@ -159,6 +215,17 @@ mod tests {
         let b = multi_head_attention(&q, &k, &v, 2, true);
         assert_eq!(a.dims(), &[3, 8]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mha_paths_agree_bitwise() {
+        let q = randn([5, 12], 21);
+        let k = randn([7, 12], 22);
+        let v = randn([7, 12], 23);
+        let seq = multi_head_attention_sequential(&q, &k, &v, 3, true);
+        let par = multi_head_attention_parallel(&q, &k, &v, 3, true);
+        assert_eq!(seq.dims(), par.dims());
+        assert_eq!(seq.data(), par.data());
     }
 
     #[test]

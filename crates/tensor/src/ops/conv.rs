@@ -1,10 +1,32 @@
 //! Convolution and pooling kernels (NCHW layout).
+//!
+//! [`conv2d`] dispatches between the scalar reference loop and a parallel
+//! variant that fans the `(n, cout)` output planes out over cores; both
+//! compute every output element identically, so results are bit-for-bit
+//! equal.
 
+use crate::par;
+use crate::stats::{self, Path};
 use crate::tensor::Tensor;
 
-/// 2-D convolution: input `[N, Cin, H, W]`, weight `[Cout, Cin, Kh, Kw]`,
-/// bias `[Cout]`, with the given stride and symmetric zero padding.
-pub fn conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
+/// Multiply-accumulates below which conv2d stays on the scalar loop.
+pub const CONV_PAR_MIN_MACS: usize = 1 << 19;
+
+struct ConvGeom {
+    n: usize,
+    cin: usize,
+    h: usize,
+    wd: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    stride: usize,
+    padding: usize,
+}
+
+fn conv_geom(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> ConvGeom {
     assert_eq!(x.rank(), 4, "conv2d input must be NCHW");
     assert_eq!(w.rank(), 4, "conv2d weight must be [Cout,Cin,Kh,Kw]");
     assert!(stride >= 1, "stride must be >= 1");
@@ -14,41 +36,121 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usi
     assert_eq!(bias.dims(), &[cout]);
     let oh = (h + 2 * padding - kh) / stride + 1;
     let ow = (wd + 2 * padding - kw) / stride + 1;
+    ConvGeom {
+        n,
+        cin,
+        h,
+        wd,
+        cout,
+        kh,
+        kw,
+        oh,
+        ow,
+        stride,
+        padding,
+    }
+}
 
-    let xd = x.data();
-    let wdta = w.data();
-    let mut out = vec![0.0f32; n * cout * oh * ow];
-    for ni in 0..n {
-        for co in 0..cout {
-            let b = bias.data()[co];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = b;
-                    for ci in 0..cin {
-                        for ky in 0..kh {
-                            let iy = oy * stride + ky;
-                            if iy < padding || iy - padding >= h {
-                                continue;
-                            }
-                            let iy = iy - padding;
-                            for kx in 0..kw {
-                                let ix = ox * stride + kx;
-                                if ix < padding || ix - padding >= wd {
-                                    continue;
-                                }
-                                let ix = ix - padding;
-                                let xv = xd[((ni * cin + ci) * h + iy) * wd + ix];
-                                let wv = wdta[((co * cin + ci) * kh + ky) * kw + kx];
-                                acc += xv * wv;
-                            }
-                        }
+/// Compute one `(ni, co)` output plane into `plane` (`oh*ow` elements).
+fn conv_plane(
+    plane: &mut [f32],
+    g: &ConvGeom,
+    xd: &[f32],
+    wdta: &[f32],
+    b: f32,
+    ni: usize,
+    co: usize,
+) {
+    for oy in 0..g.oh {
+        for ox in 0..g.ow {
+            let mut acc = b;
+            for ci in 0..g.cin {
+                for ky in 0..g.kh {
+                    let iy = oy * g.stride + ky;
+                    if iy < g.padding || iy - g.padding >= g.h {
+                        continue;
                     }
-                    out[((ni * cout + co) * oh + oy) * ow + ox] = acc;
+                    let iy = iy - g.padding;
+                    for kx in 0..g.kw {
+                        let ix = ox * g.stride + kx;
+                        if ix < g.padding || ix - g.padding >= g.wd {
+                            continue;
+                        }
+                        let ix = ix - g.padding;
+                        let xv = xd[((ni * g.cin + ci) * g.h + iy) * g.wd + ix];
+                        let wv = wdta[((co * g.cin + ci) * g.kh + ky) * g.kw + kx];
+                        acc += xv * wv;
+                    }
                 }
             }
+            plane[oy * g.ow + ox] = acc;
         }
     }
-    Tensor::from_vec([n, cout, oh, ow], out)
+}
+
+/// 2-D convolution: input `[N, Cin, H, W]`, weight `[Cout, Cin, Kh, Kw]`,
+/// bias `[Cout]`, with the given stride and symmetric zero padding.
+/// Dispatches between the scalar reference and the parallel kernel.
+pub fn conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
+    let g = conv_geom(x, w, bias, stride, padding);
+    let macs = g.n * g.cout * g.oh * g.ow * g.cin * g.kh * g.kw;
+    let planes = g.n * g.cout;
+    if g.oh * g.ow > 0 && macs >= CONV_PAR_MIN_MACS && par::worker_count(planes) > 1 {
+        conv2d_parallel(x, w, bias, stride, padding)
+    } else {
+        conv2d_scalar(x, w, bias, stride, padding)
+    }
+}
+
+/// Reference conv2d: the scalar loop over every output element.
+pub fn conv2d_scalar(
+    x: &Tensor,
+    w: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let g = conv_geom(x, w, bias, stride, padding);
+    stats::note("conv2d", Path::Scalar);
+    let xd = x.data();
+    let wdta = w.data();
+    let mut out = vec![0.0f32; g.n * g.cout * g.oh * g.ow];
+    let plane_len = g.oh * g.ow;
+    if plane_len > 0 {
+        for (idx, plane) in out.chunks_mut(plane_len).enumerate() {
+            let (ni, co) = (idx / g.cout, idx % g.cout);
+            conv_plane(plane, &g, xd, wdta, bias.data()[co], ni, co);
+        }
+    }
+    Tensor::from_vec([g.n, g.cout, g.oh, g.ow], out)
+}
+
+/// conv2d with `(n, cout)` output planes spread over cores (forced, for
+/// benches/tests). Bit-identical to [`conv2d_scalar`].
+pub fn conv2d_parallel(
+    x: &Tensor,
+    w: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let g = conv_geom(x, w, bias, stride, padding);
+    stats::note("conv2d", Path::Parallel);
+    let xd = x.data();
+    let wdta = w.data();
+    let bd = bias.data();
+    let mut out = vec![0.0f32; g.n * g.cout * g.oh * g.ow];
+    let plane_len = g.oh * g.ow;
+    if plane_len > 0 {
+        par::par_rows(&mut out, plane_len, |plane0, chunk| {
+            for (pi, plane) in chunk.chunks_mut(plane_len).enumerate() {
+                let idx = plane0 + pi;
+                let (ni, co) = (idx / g.cout, idx % g.cout);
+                conv_plane(plane, &g, xd, wdta, bd[co], ni, co);
+            }
+        });
+    }
+    Tensor::from_vec([g.n, g.cout, g.oh, g.ow], out)
 }
 
 /// Pooling mode.
@@ -161,6 +263,17 @@ mod tests {
         let y = conv2d(&x, &w, &bias, 1, 0);
         assert_eq!(&y.data()[..4], &[3.0; 4]);
         assert_eq!(&y.data()[4..], &[-1.0; 4]);
+    }
+
+    #[test]
+    fn conv2d_paths_agree_bitwise() {
+        let x = crate::init::randn([2, 3, 9, 11], 7);
+        let w = crate::init::randn([4, 3, 3, 3], 8);
+        let bias = crate::init::randn([4], 9);
+        let reference = conv2d_scalar(&x, &w, &bias, 2, 1);
+        let par = conv2d_parallel(&x, &w, &bias, 2, 1);
+        assert_eq!(reference.dims(), par.dims());
+        assert_eq!(reference.data(), par.data());
     }
 
     #[test]

@@ -1,19 +1,48 @@
 //! Dense linear algebra kernels.
+//!
+//! Each heavy kernel has three implementations that produce bit-identical
+//! results (accumulation order per output element is ascending `p` with a
+//! single accumulator in all of them):
+//!
+//! * `*_scalar` — the naive reference loop, kept as ground truth;
+//! * `*_blocked` — register/cache-blocked: 4 output rows × 64 output
+//!   columns per tile, so each loaded B row is reused 4× and C is written
+//!   exactly once;
+//! * `*_parallel` — the blocked kernel with output rows (or batches)
+//!   fanned out over cores via scoped threads.
+//!
+//! The public entry points ([`matmul`], [`batched_matmul`]) dispatch on
+//! problem size and record the chosen path in [`crate::stats`].
 
+use crate::par;
+use crate::stats::{self, Path};
 use crate::tensor::Tensor;
 
-/// `C[m,n] = A[m,k] · B[k,n]`. Naive triple loop with k-inner blocking via
-/// iterator sums — adequate for the tiny functional-plane models.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+/// Below this many FLOPs (`2·m·k·n`) the blocked kernel's tile overhead
+/// outweighs its reuse: stay on the scalar loop.
+pub const MATMUL_BLOCK_MIN_FLOPS: usize = 1 << 14;
+
+/// At or above this many FLOPs the kernel is worth spreading over cores
+/// (thread spawn is ~10 µs; a 2²⁰-FLOP matmul runs ~100 µs scalar).
+pub const MATMUL_PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Output-row tile height of the blocked kernel.
+const MR: usize = 4;
+/// Output-column tile width of the blocked kernel.
+const NR: usize = 64;
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     assert_eq!(a.rank(), 2, "matmul lhs must be rank-2, got {}", a.shape());
     assert_eq!(b.rank(), 2, "matmul rhs must be rank-2, got {}", b.shape());
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dims: {} vs {}", a.shape(), b.shape());
+    (m, k, n)
+}
 
-    let ad = a.data();
-    let bd = b.data();
-    let mut out = vec![0.0f32; m * n];
+/// Reference triple loop over row slices, shared by [`matmul_scalar`] and
+/// [`batched_matmul_scalar`].
+fn matmul_scalar_into(out: &mut [f32], ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -27,36 +56,185 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
+}
+
+/// Blocked kernel over a contiguous range of output rows. `out_rows` holds
+/// rows `[row0, row0 + out_rows.len()/n)` of C; `ad`/`bd` are the full A
+/// and B buffers. Accumulates each output element in ascending-`p` order,
+/// so results are bit-identical to [`matmul_scalar_into`].
+fn matmul_blocked_rows(
+    out_rows: &mut [f32],
+    row0: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+) {
+    let rows = out_rows.len() / n;
+    let mut acc = [[0.0f32; NR]; MR];
+    for i0 in (0..rows).step_by(MR) {
+        let ir = (rows - i0).min(MR);
+        for jt in (0..n).step_by(NR) {
+            let jw = (n - jt).min(NR);
+            for row in acc.iter_mut().take(ir) {
+                row[..jw].fill(0.0);
+            }
+            for p in 0..k {
+                let brow = &bd[p * n + jt..p * n + jt + jw];
+                for (r, row) in acc.iter_mut().enumerate().take(ir) {
+                    let av = ad[(row0 + i0 + r) * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in row[..jw].iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for r in 0..ir {
+                let obase = (i0 + r) * n + jt;
+                out_rows[obase..obase + jw].copy_from_slice(&acc[r][..jw]);
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`. Dispatches between the scalar reference,
+/// the blocked kernel, and the blocked+parallel kernel on problem size;
+/// all three produce bit-identical results.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    let flops = 2 * m * k * n;
+    if flops < MATMUL_BLOCK_MIN_FLOPS || m == 0 || k == 0 || n == 0 {
+        return matmul_scalar(a, b);
+    }
+    if flops >= MATMUL_PAR_MIN_FLOPS && par::worker_count(m) > 1 {
+        return matmul_parallel(a, b);
+    }
+    matmul_blocked(a, b)
+}
+
+/// The naive reference matmul (always the scalar loop).
+pub fn matmul_scalar(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    stats::note("matmul", Path::Scalar);
+    let mut out = vec![0.0f32; m * n];
+    matmul_scalar_into(&mut out, a.data(), b.data(), m, k, n);
     Tensor::from_vec([m, n], out)
 }
 
-/// Batched matmul over matching leading batch dims:
-/// `C[b,m,n] = A[b,m,k] · B[b,k,n]`.
-pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+/// The cache-blocked matmul on one thread (forced, for benches/tests).
+pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    stats::note("matmul", Path::Blocked);
+    let mut out = vec![0.0f32; m * n];
+    if n > 0 {
+        matmul_blocked_rows(&mut out, 0, a.data(), b.data(), k, n);
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// The cache-blocked matmul with rows spread over cores (forced, for
+/// benches/tests).
+pub fn matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    stats::note("matmul", Path::Parallel);
+    let mut out = vec![0.0f32; m * n];
+    if n > 0 {
+        let (ad, bd) = (a.data(), b.data());
+        par::par_rows(&mut out, n, |row0, chunk| {
+            matmul_blocked_rows(chunk, row0, ad, bd, k, n);
+        });
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+fn batched_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
     assert_eq!(a.rank(), 3, "batched_matmul lhs must be rank-3");
     assert_eq!(b.rank(), 3, "batched_matmul rhs must be rank-3");
     let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
     let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
     assert_eq!(ba, bb, "batch dims differ");
     assert_eq!(k, k2, "inner dims differ");
+    (ba, m, k, n)
+}
+
+/// Batched matmul over matching leading batch dims:
+/// `C[b,m,n] = A[b,m,k] · B[b,k,n]`. Dispatches like [`matmul`], with
+/// parallelism across batches.
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k, n) = batched_dims(a, b);
+    let flops = 2 * ba * m * k * n;
+    if flops < MATMUL_BLOCK_MIN_FLOPS || ba * m * k * n == 0 {
+        return batched_matmul_scalar(a, b);
+    }
+    if flops >= MATMUL_PAR_MIN_FLOPS && par::worker_count(ba) > 1 {
+        return batched_matmul_parallel(a, b);
+    }
+    batched_matmul_blocked(a, b)
+}
+
+/// Reference batched matmul: the scalar row-slice loop applied per batch.
+pub fn batched_matmul_scalar(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k, n) = batched_dims(a, b);
+    stats::note("batched_matmul", Path::Scalar);
     let mut out = vec![0.0f32; ba * m * n];
-    let ad = a.data();
-    let bd = b.data();
+    let (ad, bd) = (a.data(), b.data());
     for batch in 0..ba {
-        let abase = batch * m * k;
-        let bbase = batch * k * n;
-        let obase = batch * m * n;
-        for i in 0..m {
-            for p in 0..k {
-                let av = ad[abase + i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                for j in 0..n {
-                    out[obase + i * n + j] += av * bd[bbase + p * n + j];
-                }
-            }
+        matmul_scalar_into(
+            &mut out[batch * m * n..][..m * n],
+            &ad[batch * m * k..][..m * k],
+            &bd[batch * k * n..][..k * n],
+            m,
+            k,
+            n,
+        );
+    }
+    Tensor::from_vec([ba, m, n], out)
+}
+
+/// Blocked batched matmul on one thread (forced, for benches/tests).
+pub fn batched_matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k, n) = batched_dims(a, b);
+    stats::note("batched_matmul", Path::Blocked);
+    let mut out = vec![0.0f32; ba * m * n];
+    if n > 0 {
+        let (ad, bd) = (a.data(), b.data());
+        for batch in 0..ba {
+            matmul_blocked_rows(
+                &mut out[batch * m * n..][..m * n],
+                0,
+                &ad[batch * m * k..][..m * k],
+                &bd[batch * k * n..][..k * n],
+                k,
+                n,
+            );
         }
+    }
+    Tensor::from_vec([ba, m, n], out)
+}
+
+/// Blocked batched matmul with batches spread over cores (forced, for
+/// benches/tests).
+pub fn batched_matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k, n) = batched_dims(a, b);
+    stats::note("batched_matmul", Path::Parallel);
+    let mut out = vec![0.0f32; ba * m * n];
+    if m * n > 0 {
+        let (ad, bd) = (a.data(), b.data());
+        par::par_rows(&mut out, m * n, |b0, chunk| {
+            for (bi, osub) in chunk.chunks_mut(m * n).enumerate() {
+                let batch = b0 + bi;
+                matmul_blocked_rows(
+                    osub,
+                    0,
+                    &ad[batch * m * k..][..m * k],
+                    &bd[batch * k * n..][..k * n],
+                    k,
+                    n,
+                );
+            }
+        });
     }
     Tensor::from_vec([ba, m, n], out)
 }
@@ -124,6 +302,50 @@ mod tests {
     #[should_panic(expected = "inner dims")]
     fn matmul_dim_mismatch_panics() {
         matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn all_matmul_paths_agree_bitwise() {
+        // Ragged dims exercise partial MR/NR tiles.
+        let a = crate::init::randn([37, 53], 1);
+        let b = crate::init::randn([53, 71], 2);
+        let reference = matmul_scalar(&a, &b);
+        assert_eq!(matmul_blocked(&a, &b), reference);
+        assert_eq!(matmul_parallel(&a, &b), reference);
+        assert_eq!(matmul(&a, &b), reference);
+    }
+
+    #[test]
+    fn batched_paths_agree_bitwise() {
+        let a = crate::init::randn([3, 17, 29], 3);
+        let b = crate::init::randn([3, 29, 19], 4);
+        let reference = batched_matmul_scalar(&a, &b);
+        assert_eq!(batched_matmul_blocked(&a, &b), reference);
+        assert_eq!(batched_matmul_parallel(&a, &b), reference);
+        assert_eq!(batched_matmul(&a, &b), reference);
+    }
+
+    #[test]
+    fn degenerate_dims_are_fine() {
+        let a = Tensor::zeros([0usize, 4].to_vec());
+        let b = Tensor::zeros([4, 5]);
+        assert_eq!(matmul(&a, &b).dims(), &[0, 5]);
+        let a = Tensor::zeros([3, 0usize].to_vec());
+        let b = Tensor::zeros([0usize, 5].to_vec());
+        assert_eq!(matmul(&a, &b), Tensor::zeros([3, 5]));
+    }
+
+    #[test]
+    fn dispatch_records_path() {
+        let before = crate::stats::snapshot();
+        let a = crate::init::randn([64, 64], 5);
+        let b = crate::init::randn([64, 64], 6);
+        let _ = matmul(&a, &b); // 512k FLOPs: blocked or parallel, not scalar
+        let delta = crate::stats::snapshot().since(&before);
+        assert!(
+            delta.get("matmul", Path::Blocked) + delta.get("matmul", Path::Parallel) >= 1,
+            "large matmul must leave the scalar path"
+        );
     }
 
     #[test]

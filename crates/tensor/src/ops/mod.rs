@@ -11,11 +11,20 @@ pub mod reduce;
 pub mod shape_ops;
 
 pub use activation::{gelu, relu, sigmoid, silu, softmax_lastdim};
-pub use attention::{attention, multi_head_attention};
-pub use conv::{conv2d, global_avg_pool, pool2d, PoolMode};
+pub use attention::{
+    attention, multi_head_attention, multi_head_attention_parallel,
+    multi_head_attention_sequential, ATTENTION_PAR_MIN_FLOPS,
+};
+pub use conv::{
+    conv2d, conv2d_parallel, conv2d_scalar, global_avg_pool, pool2d, PoolMode, CONV_PAR_MIN_MACS,
+};
 pub use elementwise::{add, add_bias, mul, scale, sub};
 pub use embedding::{gather_rows, gather_sum};
-pub use linalg::{batched_matmul, matmul, matvec, transpose2d};
+pub use linalg::{
+    batched_matmul, batched_matmul_blocked, batched_matmul_parallel, batched_matmul_scalar, matmul,
+    matmul_blocked, matmul_parallel, matmul_scalar, matvec, transpose2d, MATMUL_BLOCK_MIN_FLOPS,
+    MATMUL_PAR_MIN_FLOPS,
+};
 pub use norm::{batch_norm_2d, layer_norm, rms_norm};
 pub use reduce::{argmax_lastdim, max_lastdim, mean_lastdim, sum_lastdim};
 pub use shape_ops::{concat, narrow, select};

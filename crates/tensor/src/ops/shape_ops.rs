@@ -21,9 +21,7 @@ pub fn concat(a: &Tensor, b: &Tensor, dim: usize) -> Tensor {
     out_dims[dim] += b.dims()[dim];
 
     // Treat layout as [outer, dim, inner].
-    let outer: usize = a.dims()[..dim].iter().product();
-    let inner: usize = a.dims()[dim + 1..].iter().product();
-    let a_dim = a.dims()[dim];
+    let (outer, a_dim, inner) = a.shape().split_at_dim(dim);
     let b_dim = b.dims()[dim];
 
     let mut out = Vec::with_capacity(a.len() + b.len());
@@ -42,9 +40,7 @@ pub fn narrow(x: &Tensor, dim: usize, start: usize, len: usize) -> Tensor {
         "narrow [{start}, {start}+{len}) exceeds dim size {}",
         x.dims()[dim]
     );
-    let outer: usize = x.dims()[..dim].iter().product();
-    let inner: usize = x.dims()[dim + 1..].iter().product();
-    let d = x.dims()[dim];
+    let (outer, d, inner) = x.shape().split_at_dim(dim);
     let mut out = Vec::with_capacity(outer * len * inner);
     for o in 0..outer {
         let base = (o * d + start) * inner;

@@ -1,0 +1,125 @@
+//! Minimal structured parallelism for kernels, built on scoped threads.
+//!
+//! The functional plane cannot take a thread-pool dependency, so parallel
+//! kernels split their output into disjoint row ranges and fan those out
+//! over `std::thread::scope`. Work is only split when the host actually
+//! has spare cores and the task list is wide enough to amortize thread
+//! spawn (~10 µs each); callers gate on a FLOP threshold on top of this.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads worth using for `tasks` independent pieces of
+/// work: capped by available cores and by the task count itself.
+pub(crate) fn worker_count(tasks: usize) -> usize {
+    let cores = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(tasks).max(1)
+}
+
+/// Run `f(start_row, rows_chunk)` over `out` split into contiguous chunks
+/// of `row_len`-sized rows, in parallel across available cores. `f`
+/// receives the index of the first row in its chunk and the mutable chunk
+/// (a whole number of rows). Falls back to a single in-thread call when
+/// parallelism would not help.
+pub(crate) fn par_rows<F>(out: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert!(row_len > 0 && out.len() % row_len == 0);
+    if out.is_empty() {
+        return;
+    }
+    let rows = out.len() / row_len;
+    let workers = worker_count(rows);
+    if workers <= 1 {
+        f(0, out);
+        return;
+    }
+    // Ceil-divide rows over workers; each chunk is a whole number of rows.
+    let rows_per = rows.div_ceil(workers);
+    thread::scope(|scope| {
+        let mut rest = out;
+        let mut row0 = 0;
+        while !rest.is_empty() {
+            let take = (rows_per * row_len).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            let start = row0;
+            scope.spawn(move || fref(start, chunk));
+            row0 += take / row_len;
+            rest = tail;
+        }
+    });
+}
+
+/// Run `f(i)` for every `i` in `0..tasks` in parallel, collecting results
+/// in task order. Falls back to a sequential loop on a single core.
+pub(crate) fn par_map<T, F>(tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(tasks);
+    if workers <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let per = tasks.div_ceil(workers);
+    thread::scope(|scope| {
+        let mut rest = slots.as_mut_slice();
+        let mut base = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fref = &f;
+            let start = base;
+            scope.spawn(move || {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(fref(start + k));
+                }
+            });
+            base += take;
+            rest = tail;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_rows_covers_every_row_once() {
+        let mut out = vec![0.0f32; 7 * 3];
+        par_rows(&mut out, 3, |row0, chunk| {
+            for (r, row) in chunk.chunks_mut(3).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row0 + r) as f32;
+                }
+            }
+        });
+        for (r, row) in out.chunks(3).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let got = par_map(13, |i| i * i);
+        let want: Vec<usize> = (0..13).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut out: Vec<f32> = Vec::new();
+        par_rows(&mut out, 4, |_, _| panic!("no work expected"));
+        assert!(par_map(0, |i| i).is_empty());
+    }
+}

@@ -35,6 +35,22 @@ impl Shape {
         self.0.iter().product()
     }
 
+    /// Total element count — short alias for hot-path callers that used to
+    /// recompute `dims().iter().product()` inline.
+    pub fn numel(&self) -> usize {
+        self.num_elements()
+    }
+
+    /// Split around dimension `dim` for `[outer, dim, inner]` layout
+    /// arithmetic: returns `(outer, self.dim(dim), inner)` where `outer` is
+    /// the product of dims before `dim` and `inner` the product after.
+    pub fn split_at_dim(&self, dim: usize) -> (usize, usize, usize) {
+        assert!(dim < self.rank(), "dim {dim} out of range for {self}");
+        let outer = self.0[..dim].iter().product();
+        let inner = self.0[dim + 1..].iter().product();
+        (outer, self.0[dim], inner)
+    }
+
     /// Size of dimension `i`.
     pub fn dim(&self, i: usize) -> usize {
         self.0[i]
@@ -50,12 +66,15 @@ impl Shape {
     }
 
     /// Flatten a multi-index into a linear offset. Panics (debug) on
-    /// out-of-range indices.
+    /// out-of-range indices. Horner's rule over the dims — no stride
+    /// vector is allocated (this sits on the per-element access path).
     pub fn offset(&self, index: &[usize]) -> usize {
         debug_assert_eq!(index.len(), self.rank());
         debug_assert!(index.iter().zip(&self.0).all(|(&i, &d)| i < d));
-        let strides = self.strides();
-        index.iter().zip(&strides).map(|(&i, &s)| i * s).sum()
+        index
+            .iter()
+            .zip(&self.0)
+            .fold(0, |off, (&i, &d)| off * d + i)
     }
 
     /// Whether `other` has the same element count (valid reshape target).
@@ -142,6 +161,15 @@ mod tests {
     fn display_format() {
         assert_eq!(format!("{}", Shape::new([2, 3])), "[2x3]");
         assert_eq!(format!("{}", Shape::scalar()), "[]");
+    }
+
+    #[test]
+    fn numel_and_split() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.split_at_dim(0), (1, 2, 12));
+        assert_eq!(s.split_at_dim(1), (2, 3, 4));
+        assert_eq!(s.split_at_dim(2), (6, 4, 1));
     }
 
     #[test]

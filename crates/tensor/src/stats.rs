@@ -1,0 +1,136 @@
+//! Kernel-dispatch accounting.
+//!
+//! Every heavy kernel records which implementation served a call: the
+//! `scalar` reference loop, the cache-`blocked` single-thread kernel, or
+//! the `parallel` (blocked + multi-core) kernel. The counters are process
+//! globals so the interpreter and benches can report the dispatch mix —
+//! `genie-frontend` publishes deltas into the telemetry registry as
+//! `genie_tensor_kernel_dispatch_total{op,path}`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which implementation served a kernel call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Path {
+    /// Naive reference loop.
+    Scalar,
+    /// Cache-blocked, single thread.
+    Blocked,
+    /// Cache-blocked and spread over cores.
+    Parallel,
+}
+
+impl Path {
+    /// Stable label used in metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Path::Scalar => "scalar",
+            Path::Blocked => "blocked",
+            Path::Parallel => "parallel",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Path::Scalar => 0,
+            Path::Blocked => 1,
+            Path::Parallel => 2,
+        }
+    }
+}
+
+/// Instrumented kernel families.
+pub const OPS: [&str; 4] = ["matmul", "batched_matmul", "conv2d", "attention"];
+
+const PATHS: [Path; 3] = [Path::Scalar, Path::Blocked, Path::Parallel];
+
+static COUNTS: [[AtomicU64; 3]; 4] = [
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+];
+
+fn op_index(op: &str) -> usize {
+    OPS.iter().position(|&o| o == op).expect("known op family")
+}
+
+pub(crate) fn note(op: &str, path: Path) {
+    COUNTS[op_index(op)][path.index()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the dispatch counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counts: [[u64; 3]; 4],
+}
+
+impl Snapshot {
+    /// Count for one `(op, path)` cell.
+    pub fn get(&self, op: &str, path: Path) -> u64 {
+        self.counts[op_index(op)][path.index()]
+    }
+
+    /// All non-zero `(op, path label, count)` cells, in stable order.
+    pub fn cells(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let mut out = Vec::new();
+        for (oi, op) in OPS.iter().enumerate() {
+            for path in PATHS {
+                let n = self.counts[oi][path.index()];
+                if n > 0 {
+                    out.push((*op, path.label(), n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-cell difference versus an earlier snapshot (saturating).
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut counts = [[0u64; 3]; 4];
+        for (oi, row) in counts.iter_mut().enumerate() {
+            for (pi, cell) in row.iter_mut().enumerate() {
+                *cell = self.counts[oi][pi].saturating_sub(earlier.counts[oi][pi]);
+            }
+        }
+        Snapshot { counts }
+    }
+
+    /// Total calls across all cells.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+/// Read the current dispatch counters.
+pub fn snapshot() -> Snapshot {
+    let mut counts = [[0u64; 3]; 4];
+    for (oi, row) in counts.iter_mut().enumerate() {
+        for (pi, cell) in row.iter_mut().enumerate() {
+            *cell = COUNTS[oi][pi].load(Ordering::Relaxed);
+        }
+    }
+    Snapshot { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_increments_the_right_cell() {
+        // Counters are process-global and other tests run kernels in
+        // parallel, so assert growth, never absolute values.
+        let before = snapshot();
+        note("matmul", Path::Blocked);
+        note("matmul", Path::Blocked);
+        note("conv2d", Path::Parallel);
+        let delta = snapshot().since(&before);
+        assert!(delta.get("matmul", Path::Blocked) >= 2);
+        assert!(delta.get("conv2d", Path::Parallel) >= 1);
+        assert!(delta.total() >= 3);
+        assert!(delta
+            .cells()
+            .contains(&("matmul", "blocked", delta.get("matmul", Path::Blocked))));
+    }
+}

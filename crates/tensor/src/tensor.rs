@@ -6,21 +6,47 @@
 //! identical* results to eager evaluation. One element type (f32) keeps the
 //! kernel surface small; precision variants matter only to the cost model,
 //! which works from `genie-srg`'s `TensorMeta`, not from this type.
+//!
+//! Storage is a shared `Arc<[f32]>`: cloning a tensor is a refcount bump,
+//! and `reshape`/[`Tensor::reshaped`] are pure metadata edits over the same
+//! buffer. Mutation goes through copy-on-write ([`Tensor::data_mut`]), so
+//! value semantics are preserved — a clone can never observe a later write
+//! to its sibling. This is what lets the wavefront interpreter hand values
+//! between graph levels without deep-copying activations.
 
 use crate::shape::Shape;
-use serde::{Deserialize, Serialize};
+use serde::de::Error as _;
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
+use std::sync::Arc;
 
-/// A contiguous, row-major, f32 tensor.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+/// A contiguous, row-major, f32 tensor with shared (`Arc`) storage.
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<[f32]>,
 }
 
 impl Tensor {
     /// Construct from a shape and backing data. Panics if sizes mismatch.
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.num_elements(),
+            data.len(),
+            "shape {shape} does not match {} elements",
+            data.len()
+        );
+        Tensor {
+            shape,
+            data: data.into(),
+        }
+    }
+
+    /// Construct from a shape and an already-shared buffer (zero-copy).
+    /// Panics if sizes mismatch.
+    pub fn from_shared(shape: impl Into<Shape>, data: Arc<[f32]>) -> Self {
         let shape = shape.into();
         assert_eq!(
             shape.num_elements(),
@@ -37,7 +63,7 @@ impl Tensor {
         let n = shape.num_elements();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: vec![0.0; n].into(),
         }
     }
 
@@ -47,7 +73,7 @@ impl Tensor {
         let n = shape.num_elements();
         Tensor {
             shape,
-            data: vec![1.0; n],
+            data: vec![1.0; n].into(),
         }
     }
 
@@ -57,7 +83,7 @@ impl Tensor {
         let n = shape.num_elements();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: vec![value; n].into(),
         }
     }
 
@@ -65,7 +91,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: vec![value].into(),
         }
     }
 
@@ -99,14 +125,25 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the backing data.
+    /// Mutable view of the backing data (copy-on-write: a shared buffer is
+    /// detached first, so clones of this tensor are never affected).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        if Arc::strong_count(&self.data) != 1 || Arc::weak_count(&self.data) != 0 {
+            self.data = Arc::from(&self.data[..]);
+        }
+        Arc::get_mut(&mut self.data).expect("buffer was just detached")
     }
 
-    /// Consume into the backing data.
+    /// Consume into the backing data (copies only if the buffer is shared
+    /// with another tensor).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.to_vec()
+    }
+
+    /// True when both tensors share the same backing buffer — clones and
+    /// zero-copy reshapes do, deep copies don't.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Element access by multi-index.
@@ -114,10 +151,10 @@ impl Tensor {
         self.data[self.shape.offset(index)]
     }
 
-    /// Mutable element access by multi-index.
+    /// Mutable element access by multi-index (copy-on-write).
     pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
         let off = self.shape.offset(index);
-        &mut self.data[off]
+        &mut self.data_mut()[off]
     }
 
     /// Reshape (zero-copy). Panics if the element counts differ.
@@ -132,6 +169,21 @@ impl Tensor {
         self
     }
 
+    /// Zero-copy reshaped view: same buffer, new shape metadata. Panics if
+    /// the element counts differ.
+    pub fn reshaped(&self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert!(
+            self.shape.can_reshape_to(&shape),
+            "cannot reshape {} to {shape}",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        }
+    }
+
     /// Size of the payload in bytes.
     pub fn size_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
@@ -142,7 +194,7 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
@@ -153,11 +205,45 @@ impl Tensor {
     }
 }
 
+impl Serialize for Tensor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Matches the former `derive(Serialize)` layout so stored artifacts
+        // and wire formats are unchanged by the Arc storage switch.
+        let mut st = serializer.serialize_struct("Tensor", 2)?;
+        st.serialize_field("shape", &self.shape)?;
+        st.serialize_field("data", &self.data[..])?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Tensor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        #[serde(rename = "Tensor")]
+        struct Raw {
+            shape: Shape,
+            data: Vec<f32>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        if raw.shape.num_elements() != raw.data.len() {
+            return Err(D::Error::custom(format!(
+                "shape {} does not match {} elements",
+                raw.shape,
+                raw.data.len()
+            )));
+        }
+        Ok(Tensor {
+            shape: raw.shape,
+            data: raw.data.into(),
+        })
+    }
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
         if self.data.len() <= 8 {
-            write!(f, "{:?}", self.data)
+            write!(f, "{:?}", &self.data[..])
         } else {
             write!(
                 f,
@@ -172,10 +258,11 @@ impl fmt::Debug for Tensor {
 }
 
 /// An integer index tensor (token ids, embedding rows, argmax results).
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Shares storage on clone exactly like [`Tensor`].
+#[derive(Clone, PartialEq, Eq)]
 pub struct IndexTensor {
     shape: Shape,
-    data: Vec<i64>,
+    data: Arc<[i64]>,
 }
 
 impl IndexTensor {
@@ -183,14 +270,17 @@ impl IndexTensor {
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<i64>) -> Self {
         let shape = shape.into();
         assert_eq!(shape.num_elements(), data.len());
-        IndexTensor { shape, data }
+        IndexTensor {
+            shape,
+            data: data.into(),
+        }
     }
 
     /// 1-D index tensor.
     pub fn from_slice(data: &[i64]) -> Self {
         IndexTensor {
             shape: Shape::new([data.len()]),
-            data: data.to_vec(),
+            data: data.to_vec().into(),
         }
     }
 
@@ -215,9 +305,41 @@ impl IndexTensor {
     }
 }
 
+impl Serialize for IndexTensor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("IndexTensor", 2)?;
+        st.serialize_field("shape", &self.shape)?;
+        st.serialize_field("data", &self.data[..])?;
+        st.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for IndexTensor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        #[serde(rename = "IndexTensor")]
+        struct Raw {
+            shape: Shape,
+            data: Vec<i64>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        if raw.shape.num_elements() != raw.data.len() {
+            return Err(D::Error::custom(format!(
+                "shape {} does not match {} elements",
+                raw.shape,
+                raw.data.len()
+            )));
+        }
+        Ok(IndexTensor {
+            shape: raw.shape,
+            data: raw.data.into(),
+        })
+    }
+}
+
 impl fmt::Debug for IndexTensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "IndexTensor{} {:?}", self.shape, &self.data)
+        write!(f, "IndexTensor{} {:?}", self.shape, &self.data[..])
     }
 }
 
@@ -250,17 +372,74 @@ mod tests {
     }
 
     #[test]
+    fn clone_is_zero_copy() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
+        let c = t.clone();
+        assert!(t.shares_storage(&c));
+    }
+
+    #[test]
+    fn copy_on_write_detaches_clones() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        *b.at_mut(&[0]) = 9.0;
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0], "original must be untouched");
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0]);
+        assert!(!a.shares_storage(&b));
+    }
+
+    #[test]
     fn reshape_preserves_data() {
         let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
         let r = t.clone().reshape([3, 2]);
         assert_eq!(r.data(), t.data());
         assert_eq!(r.dims(), &[3, 2]);
+        assert!(r.shares_storage(&t), "reshape must not copy");
+    }
+
+    #[test]
+    fn reshaped_view_is_zero_copy() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
+        let v = t.reshaped([6]);
+        assert_eq!(v.dims(), &[6]);
+        assert_eq!(v.data(), t.data());
+        assert!(v.shares_storage(&t));
     }
 
     #[test]
     #[should_panic(expected = "cannot reshape")]
     fn bad_reshape_panics() {
         Tensor::zeros([2, 3]).reshape([4]);
+    }
+
+    #[test]
+    fn from_shared_wraps_buffer() {
+        let buf: Arc<[f32]> = vec![1.0, 2.0].into();
+        let t = Tensor::from_shared([2], Arc::clone(&buf));
+        let u = Tensor::from_shared([1, 2], buf);
+        assert_eq!(t.data(), &[1.0, 2.0]);
+        assert!(t.shares_storage(&u));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_layout() {
+        let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, r#"{"shape":[2,2],"data":[1.0,2.0,3.0,4.0]}"#);
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+
+        let i = IndexTensor::from_slice(&[7, 8]);
+        let json = serde_json::to_string(&i).unwrap();
+        assert_eq!(json, r#"{"shape":[2],"data":[7,8]}"#);
+        let back: IndexTensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn serde_rejects_mismatched_payload() {
+        let err = serde_json::from_str::<Tensor>(r#"{"shape":[3],"data":[1.0]}"#);
+        assert!(err.is_err());
     }
 
     #[test]

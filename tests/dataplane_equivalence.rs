@@ -1,0 +1,103 @@
+//! Wavefront interpretation must be a pure performance optimization:
+//! across the whole functional model zoo, `interp::execute` (level-
+//! parallel) and `interp::execute_outputs` (level-parallel + value
+//! dropping) must produce exactly the same values as the sequential
+//! oracle `interp::execute_sequential` — bit for bit, not approximately.
+
+use genie::frontend::capture::{CaptureCtx, CapturedGraph};
+use genie::frontend::interp;
+use genie::models::{
+    CnnConfig, Dlrm, DlrmConfig, KvState, Multimodal, MultimodalConfig, SimpleCnn,
+    TransformerConfig, TransformerLm,
+};
+use genie::srg::NodeId;
+use genie::tensor::init;
+
+/// Assert the three execution strategies agree exactly on `captured`.
+fn assert_wavefront_matches(captured: &CapturedGraph, output: NodeId) {
+    let seq = interp::execute_sequential(&captured.srg, &captured.values).expect("sequential");
+    let wave = interp::execute(&captured.srg, &captured.values).expect("wavefront");
+
+    assert_eq!(seq.len(), wave.len(), "same set of evaluated nodes");
+    for (id, v) in &seq {
+        assert_eq!(Some(v), wave.get(id), "node {id:?} diverged");
+    }
+
+    let outs =
+        interp::execute_outputs(&captured.srg, &captured.values, &[output]).expect("outputs");
+    assert_eq!(Some(&outs[0]), seq.get(&output), "output diverged");
+}
+
+#[test]
+fn transformer_prefill_wavefront_matches_sequential() {
+    let model = TransformerLm::new_functional(TransformerConfig::tiny(), 11);
+    let prompt: Vec<i64> = (0..12).map(|i| i % 32).collect();
+    let ctx = CaptureCtx::new("llm.prefill");
+    let cap = model.capture_prefill(&ctx, &prompt);
+    cap.logits.mark_output();
+    let out = cap.logits.node;
+    assert_wavefront_matches(&ctx.finish(), out);
+}
+
+#[test]
+fn transformer_decode_step_wavefront_matches_sequential() {
+    let model = TransformerLm::new_functional(TransformerConfig::tiny(), 11);
+    let cfg = &model.config;
+    let kv = KvState {
+        k: (0..cfg.layers)
+            .map(|l| init::randn([4, cfg.d_model], 100 + l as u64))
+            .collect(),
+        v: (0..cfg.layers)
+            .map(|l| init::randn([4, cfg.d_model], 200 + l as u64))
+            .collect(),
+    };
+    let ctx = CaptureCtx::new("llm.decode");
+    let cap = model.capture_decode_step(&ctx, 3, &kv);
+    cap.logits.mark_output();
+    let out = cap.logits.node;
+    assert_wavefront_matches(&ctx.finish(), out);
+}
+
+#[test]
+fn cnn_inference_wavefront_matches_sequential() {
+    let cfg = CnnConfig::tiny();
+    let model = SimpleCnn::new_functional(cfg.clone(), 5);
+    let pixels = init::randn([2, 3, cfg.image_size, cfg.image_size], 42);
+    let ctx = CaptureCtx::new("cnn.inference");
+    let scores = model.capture_inference(&ctx, 2, Some(pixels));
+    scores.mark_output();
+    let out = scores.node;
+    assert_wavefront_matches(&ctx.finish(), out);
+}
+
+#[test]
+fn dlrm_inference_wavefront_matches_sequential() {
+    let cfg = DlrmConfig::tiny();
+    let model = Dlrm::new_functional(cfg.clone(), 9);
+    let ids: Vec<Vec<i64>> = (0..cfg.tables)
+        .map(|t| {
+            (0..cfg.lookups_per_table)
+                .map(|i| ((t * 17 + i * 5) % cfg.rows_per_table) as i64)
+                .collect()
+        })
+        .collect();
+    let dense = init::randn([1, cfg.dense_features], 8);
+    let ctx = CaptureCtx::new("dlrm.inference");
+    let logit = model.capture_inference(&ctx, &ids, Some(dense));
+    logit.mark_output();
+    let out = logit.node;
+    assert_wavefront_matches(&ctx.finish(), out);
+}
+
+#[test]
+fn multimodal_inference_wavefront_matches_sequential() {
+    let cfg = MultimodalConfig::tiny();
+    let model = Multimodal::new_functional(cfg.clone(), 13);
+    let question: Vec<i64> = (0..6).map(|i| i % cfg.text.vocab as i64).collect();
+    let pixels = init::randn([1, 3, cfg.vision.image_size, cfg.vision.image_size], 21);
+    let ctx = CaptureCtx::new("vqa.inference");
+    let scores = model.capture_inference(&ctx, &question, Some(pixels));
+    scores.mark_output();
+    let out = scores.node;
+    assert_wavefront_matches(&ctx.finish(), out);
+}
