@@ -27,5 +27,7 @@ pub mod sim;
 
 pub use handle::{HandleTable, RemoteHandle};
 pub use local::LocalBackend;
-pub use remote::{spawn_server, GenieExecutor, RemoteSession};
-pub use sim::{simulate_once, SimBackend, SimReport};
+pub use remote::{
+    classify_error, spawn_chaotic_server, spawn_server, ErrorClass, GenieExecutor, RemoteSession,
+};
+pub use sim::{simulate_once, simulate_once_faulty, SimBackend, SimReport};

@@ -14,7 +14,8 @@ use genie_frontend::value::Value;
 use genie_srg::NodeId;
 use genie_tensor::{IndexTensor, Tensor};
 use genie_transport::{
-    Client, PayloadKind, RequestBody, ResponseBody, Server, TensorPayload, TransportError,
+    Client, PayloadKind, RequestBody, ResponseBody, RetryPolicy, Server, TensorPayload,
+    TransportError,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -168,20 +169,102 @@ pub fn spawn_server() -> genie_transport::Result<(Server, GenieExecutor)> {
     Ok((server, executor))
 }
 
+/// [`spawn_server`] behind a chaotic transport: every request executes
+/// normally, then the reply is stalled or dropped per `policy`. Pair with
+/// [`RemoteSession::connect_with`] to exercise the retry + request-id
+/// dedup path under seeded hostility.
+pub fn spawn_chaotic_server(
+    policy: genie_transport::ChaosPolicy,
+) -> genie_transport::Result<(Server, GenieExecutor)> {
+    let executor = GenieExecutor::new();
+    let exec2 = executor.clone();
+    let server = Server::spawn_chaotic(
+        move || {
+            let exec = exec2.clone();
+            move |body: RequestBody| exec.handle_body(body)
+        },
+        policy,
+    )?;
+    Ok((server, executor))
+}
+
+/// How a remote error should be handled, from the lineage runtime's
+/// point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient transport trouble — the retry layer already did (or can
+    /// do) its best; no remote state was lost.
+    Retryable,
+    /// Remote state is gone (crash, epoch bump, severed session):
+    /// recovery must replay lineage before continuing.
+    StateLoss,
+    /// A programming or protocol error retries cannot fix.
+    Fatal,
+}
+
+/// Classify a transport error for the recovery path. `Exhausted` is
+/// classified by its final error: a retry budget spent against a dead
+/// server is state loss (the session, and with it the server's view of
+/// our handles, may be gone), while an exhausted budget over timeouts
+/// alone stays retryable — the server may simply be slow.
+pub fn classify_error(error: &TransportError) -> ErrorClass {
+    match error {
+        TransportError::Timeout { .. } => ErrorClass::Retryable,
+        TransportError::Io(_) | TransportError::ConnectionClosed => ErrorClass::StateLoss,
+        TransportError::Remote(msg) => {
+            if msg.contains("stale handle") || msg.contains("dangling handle") {
+                ErrorClass::StateLoss
+            } else {
+                ErrorClass::Fatal
+            }
+        }
+        TransportError::Exhausted { last, .. } => classify_error(last),
+        _ => ErrorClass::Fatal,
+    }
+}
+
 /// A client session against a remote executor.
 pub struct RemoteSession {
     client: Client,
+    retry: Option<RetryPolicy>,
     /// Named handle table for this session's pinned state.
     pub handles: HandleTable,
 }
 
 impl RemoteSession {
-    /// Connect to a remote executor.
+    /// Connect to a remote executor (default deadline, no retries).
     pub fn connect(addr: SocketAddr) -> genie_transport::Result<RemoteSession> {
         Ok(RemoteSession {
             client: Client::connect(addr)?,
+            retry: None,
             handles: HandleTable::new(),
         })
+    }
+
+    /// Connect with a retry policy: every call is issued under the
+    /// policy's deadline and re-sent (same request id, server-side
+    /// dedup) on transient transport errors.
+    pub fn connect_with(
+        addr: SocketAddr,
+        policy: RetryPolicy,
+    ) -> genie_transport::Result<RemoteSession> {
+        Ok(RemoteSession {
+            client: Client::connect_with_deadline(addr, Some(policy.deadline))?,
+            retry: Some(policy),
+            handles: HandleTable::new(),
+        })
+    }
+
+    /// The active retry policy, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
+    fn call(&mut self, body: RequestBody) -> genie_transport::Result<ResponseBody> {
+        match &self.retry {
+            Some(policy) => self.client.call_retry(body, policy),
+            None => self.client.call(body),
+        }
     }
 
     /// Upload a value and pin it under `name`.
@@ -193,7 +276,7 @@ impl RemoteSession {
         let key = self.handles.fresh_key();
         let payload = value_to_payload(value);
         let bytes = payload.size_bytes() as u64;
-        match self.client.call(RequestBody::Upload {
+        match self.call(RequestBody::Upload {
             key,
             tensor: payload,
         })? {
@@ -270,7 +353,7 @@ impl RemoteSession {
             fetch: fetch.iter().map(|n| n.0).collect(),
             pin: pin_keys.iter().map(|(n, k, _)| (*n, *k)).collect(),
         };
-        match self.client.call(body)? {
+        match self.call(body)? {
             ResponseBody::ExecuteResult { tensors, handles } => {
                 for ((_, _, name), (key, epoch)) in pin_keys.iter().zip(&handles) {
                     self.handles.bind(
@@ -299,7 +382,7 @@ impl RemoteSession {
             .handles
             .get(name)
             .ok_or_else(|| TransportError::Codec(format!("no handle named {name}")))?;
-        match self.client.call(RequestBody::Fetch { key: handle.key })? {
+        match self.call(RequestBody::Fetch { key: handle.key })? {
             ResponseBody::Tensors(mut ts) if ts.len() == 1 => {
                 payload_to_value(&ts.remove(0)).map_err(TransportError::Codec)
             }
@@ -313,7 +396,7 @@ impl RemoteSession {
     /// bumps its epoch; every local handle is invalidated. Returns the
     /// lost bindings for lineage recovery.
     pub fn inject_crash(&mut self) -> genie_transport::Result<Vec<(String, RemoteHandle)>> {
-        self.client.call(RequestBody::Crash)?;
+        self.call(RequestBody::Crash)?;
         Ok(self.handles.invalidate_all())
     }
 
@@ -321,7 +404,7 @@ impl RemoteSession {
     /// the live signal §3.3's "runtime hint adaptation" consumes.
     pub fn probe_rtt(&mut self) -> genie_transport::Result<std::time::Duration> {
         let start = std::time::Instant::now();
-        match self.client.call(RequestBody::Ping)? {
+        match self.call(RequestBody::Ping)? {
             ResponseBody::Pong => Ok(start.elapsed()),
             other => Err(TransportError::Codec(format!(
                 "unexpected ping response {other:?}"
@@ -493,6 +576,57 @@ mod tests {
             .execute(&cap, &[(lw.node, "w")], &[y.node], &[])
             .unwrap_err();
         assert!(matches!(err, TransportError::Remote(msg) if msg.contains("handle")));
+        drop(server);
+    }
+
+    #[test]
+    fn error_classification_feeds_recovery() {
+        assert_eq!(
+            classify_error(&TransportError::Timeout {
+                after: std::time::Duration::from_secs(1)
+            }),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            classify_error(&TransportError::ConnectionClosed),
+            ErrorClass::StateLoss
+        );
+        assert_eq!(
+            classify_error(&TransportError::Remote("stale handle 3".into())),
+            ErrorClass::StateLoss
+        );
+        assert_eq!(
+            classify_error(&TransportError::Remote("execution failed: shape".into())),
+            ErrorClass::Fatal
+        );
+        // Exhausted inherits the class of its final error.
+        assert_eq!(
+            classify_error(&TransportError::Exhausted {
+                attempts: 3,
+                last: Box::new(TransportError::ConnectionClosed),
+            }),
+            ErrorClass::StateLoss
+        );
+        assert_eq!(
+            classify_error(&TransportError::Exhausted {
+                attempts: 3,
+                last: Box::new(TransportError::Timeout {
+                    after: std::time::Duration::from_secs(1)
+                }),
+            }),
+            ErrorClass::Retryable
+        );
+    }
+
+    #[test]
+    fn session_with_retry_policy_works_end_to_end() {
+        let (server, _exec) = spawn_server().unwrap();
+        let mut session = RemoteSession::connect_with(server.addr(), RetryPolicy::fast()).unwrap();
+        session
+            .upload_pinned("w", &Value::F(randn([4, 4], 1)))
+            .unwrap();
+        let v = session.fetch("w").unwrap();
+        assert_eq!(v.as_f("w").dims(), &[4, 4]);
         drop(server);
     }
 

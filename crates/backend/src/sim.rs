@@ -8,7 +8,7 @@
 //! plan over the same session sees them as handles.
 
 use genie_cluster::{ClusterState, DevId, ResidentObject, Topology};
-use genie_netsim::{Fabric, Nanos, RpcParams, Trace, TraceEvent};
+use genie_netsim::{Fabric, FaultPlan, Nanos, RpcParams, Trace, TraceEvent};
 use genie_scheduler::{CostModel, ExecutionPlan, Location};
 use genie_srg::NodeId;
 use std::collections::BTreeMap;
@@ -57,6 +57,7 @@ impl<'a> SimBackend<'a> {
         let client = self.topo.client_host();
         let mut network_bytes: u64 = 0;
         let plan_label = plan.label();
+        let faults_before = fabric.faults_injected();
 
         let telemetry = genie_telemetry::global();
         let mut span = telemetry.collector.span_with(
@@ -303,10 +304,24 @@ impl<'a> SimBackend<'a> {
                     .observe(skew);
             }
         }
+        // Transmissions perturbed by the installed fault plan during this
+        // execution (netsim itself is telemetry-free, so the backend owns
+        // the counter).
+        let faults_injected = fabric.faults_injected() - faults_before;
+        if faults_injected > 0 {
+            telemetry
+                .metrics
+                .counter("genie_fault_injected_total", &[])
+                .add(faults_injected);
+        }
         span.annotate(|a| {
             a.extra.push(("makespan_s".into(), format!("{span_s:.6}")));
             a.extra
                 .push(("network_bytes".into(), network_bytes.to_string()));
+            if faults_injected > 0 {
+                a.extra
+                    .push(("faults_injected".into(), faults_injected.to_string()));
+            }
         });
         SimReport {
             makespan_s: span_s,
@@ -329,6 +344,27 @@ pub fn simulate_once(
     let mut state = ClusterState::new();
     let mut fabric = Fabric::new(topo, &state, params);
     SimBackend::new(topo, cost).execute(plan, &mut state, &mut fabric, Nanos::ZERO)
+}
+
+/// [`simulate_once`] with an installed fault plan: links degrade, jitter,
+/// and go down per the plan's seeded schedule, and the plan's fault
+/// windows are merged into the report's trace so exports attribute them.
+pub fn simulate_once_faulty(
+    plan: &ExecutionPlan,
+    topo: &Topology,
+    cost: &CostModel,
+    params: RpcParams,
+    faults: &FaultPlan,
+) -> SimReport {
+    let mut state = ClusterState::new();
+    let mut fabric = Fabric::new(topo, &state, params);
+    fabric.apply_fault_plan(faults);
+    let mut report =
+        SimBackend::new(topo, cost).execute(plan, &mut state, &mut fabric, Nanos::ZERO);
+    for event in fabric.fault_events() {
+        report.trace.push(event.clone());
+    }
+    report
 }
 
 #[cfg(test)]
@@ -433,6 +469,53 @@ mod tests {
             .gauge("genie_sim_kernel_skew_ratio", &labels)
             .expect("skew gauge");
         assert!(skew > 0.0);
+    }
+
+    #[test]
+    fn faulty_simulation_is_slower_counted_and_attributed() {
+        use genie_netsim::{FaultSchedule, FaultSpec};
+        let (plan, topo) = decode_plan(&SemanticsAware::new());
+        let cost = CostModel::paper_stack();
+        let oracle = simulate_once(&plan, &topo, &cost, RpcParams::rdma_zero_copy());
+
+        let metric = || {
+            genie_telemetry::global()
+                .metrics
+                .snapshot()
+                .counter("genie_fault_injected_total", &[])
+                .unwrap_or(0)
+        };
+        let before = metric();
+        // Derate the client link to 10%: the 12 GB weight upload slows ~10x.
+        let faults = FaultPlan::new(
+            3,
+            FaultSchedule {
+                specs: vec![FaultSpec::Derate {
+                    a: 0,
+                    b: 1,
+                    factor: 0.1,
+                }],
+            },
+        );
+        let degraded =
+            simulate_once_faulty(&plan, &topo, &cost, RpcParams::rdma_zero_copy(), &faults);
+        assert!(
+            degraded.makespan_s > oracle.makespan_s * 2.0,
+            "degraded {} vs oracle {}",
+            degraded.makespan_s,
+            oracle.makespan_s
+        );
+        assert_eq!(degraded.network_bytes, oracle.network_bytes);
+        assert!(metric() > before, "fault injections counted");
+        assert!(
+            degraded.trace.events().iter().any(
+                |e| matches!(e, TraceEvent::Mark { label, .. } if label.starts_with("fault."))
+            ),
+            "fault windows attributed in the trace"
+        );
+        // Same seed, same timeline.
+        let again = simulate_once_faulty(&plan, &topo, &cost, RpcParams::rdma_zero_copy(), &faults);
+        assert_eq!(again.makespan_s, degraded.makespan_s);
     }
 
     #[test]

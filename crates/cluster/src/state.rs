@@ -67,6 +67,15 @@ pub struct ClusterState {
     /// Background congestion per host-pair in [0, 1): fraction of link
     /// bandwidth consumed by other tenants. Keyed by unordered host ids.
     congestion: BTreeMap<(u32, u32), f64>,
+    /// Injected bandwidth derate per host-pair in (0, 1]: the fault
+    /// layer's degradation signal, multiplied into edge costs by the
+    /// scheduler. Keyed by unordered host ids.
+    #[serde(default)]
+    link_derate: BTreeMap<(u32, u32), f64>,
+    /// Host pairs currently severed by a partition or outage. The
+    /// scheduler must not place transfers across them.
+    #[serde(default)]
+    partitioned: std::collections::BTreeSet<(u32, u32)>,
 }
 
 impl ClusterState {
@@ -201,6 +210,45 @@ impl ClusterState {
         let key = if a <= b { (a, b) } else { (b, a) };
         self.congestion.get(&key).copied().unwrap_or(0.0)
     }
+
+    /// Record an injected bandwidth derate on the path between two hosts
+    /// (fraction of line rate remaining, in `(0, 1]`; `1.0` clears it).
+    pub fn set_link_derate(&mut self, a: u32, b: u32, factor: f64) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let factor = factor.clamp(f64::MIN_POSITIVE, 1.0);
+        if factor >= 1.0 {
+            self.link_derate.remove(&key);
+        } else {
+            self.link_derate.insert(key, factor);
+        }
+    }
+
+    /// Remaining bandwidth fraction between two hosts (1.0 = undegraded).
+    pub fn link_derate(&self, a: u32, b: u32) -> f64 {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_derate.get(&key).copied().unwrap_or(1.0)
+    }
+
+    /// Mark or clear a partition between two hosts.
+    pub fn set_partitioned(&mut self, a: u32, b: u32, severed: bool) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if severed {
+            self.partitioned.insert(key);
+        } else {
+            self.partitioned.remove(&key);
+        }
+    }
+
+    /// Whether the path between two hosts is currently severed.
+    pub fn is_partitioned(&self, a: u32, b: u32) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.partitioned.contains(&key)
+    }
+
+    /// Whether any partition is active anywhere in the cluster.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitioned.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +354,26 @@ mod tests {
         assert_eq!(s.queue_seconds(d), 2.0);
         s.drain_work(d, 3.0);
         assert_eq!(s.queue_seconds(d), 0.0);
+    }
+
+    #[test]
+    fn link_faults_are_symmetric_and_clearable() {
+        let mut s = ClusterState::new();
+        s.set_link_derate(2, 0, 0.25);
+        assert_eq!(s.link_derate(0, 2), 0.25);
+        assert_eq!(s.link_derate(2, 0), 0.25);
+        assert_eq!(s.link_derate(0, 1), 1.0, "untouched pairs undegraded");
+        s.set_link_derate(2, 0, 1.0);
+        assert_eq!(s.link_derate(0, 2), 1.0, "full rate clears the entry");
+        s.set_link_derate(0, 1, -3.0);
+        assert!(s.link_derate(0, 1) > 0.0, "derate clamps above zero");
+
+        assert!(!s.has_partitions());
+        s.set_partitioned(1, 0, true);
+        assert!(s.is_partitioned(0, 1));
+        assert!(s.has_partitions());
+        s.set_partitioned(0, 1, false);
+        assert!(!s.is_partitioned(0, 1));
     }
 
     #[test]

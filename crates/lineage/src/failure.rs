@@ -18,14 +18,28 @@ pub struct FailureEvent {
     pub new_epoch: u64,
 }
 
-/// Whether a remote error message indicates lost state (stale or
-/// dangling handle) rather than a programming error.
+/// Whether a transport error indicates lost remote state (stale or
+/// dangling handle, severed session) rather than a programming error or
+/// transient slowness. Timeouts alone are *not* state loss — the server
+/// may be slow but intact, and the retry layer owns that case; a spent
+/// retry budget ([`Exhausted`](genie_transport::TransportError::Exhausted))
+/// is classified by the final attempt's error.
 pub fn is_state_loss(error: &genie_transport::TransportError) -> bool {
+    use genie_transport::TransportError;
     match error {
-        genie_transport::TransportError::Remote(msg) => {
+        TransportError::Remote(msg) => {
             msg.contains("stale handle") || msg.contains("dangling handle")
         }
-        genie_transport::TransportError::ConnectionClosed => true,
+        TransportError::ConnectionClosed => true,
+        TransportError::Io(e) => matches!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionRefused
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+        ),
+        TransportError::Timeout { .. } => false,
+        TransportError::Exhausted { last, .. } => is_state_loss(last),
         _ => false,
     }
 }
@@ -55,6 +69,35 @@ mod tests {
         assert!(is_state_loss(
             &genie_transport::TransportError::ConnectionClosed
         ));
+    }
+
+    #[test]
+    fn transport_fault_taxonomy() {
+        use genie_transport::TransportError;
+        // Timeouts are transient, not state loss.
+        assert!(!is_state_loss(&TransportError::Timeout {
+            after: std::time::Duration::from_secs(1)
+        }));
+        // A reset connection means the session (and its epoch view) died.
+        assert!(is_state_loss(&TransportError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "rst"
+        ))));
+        assert!(!is_state_loss(&TransportError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "no"
+        ))));
+        // Exhausted inherits its final error's classification.
+        assert!(is_state_loss(&TransportError::Exhausted {
+            attempts: 4,
+            last: Box::new(TransportError::ConnectionClosed),
+        }));
+        assert!(!is_state_loss(&TransportError::Exhausted {
+            attempts: 4,
+            last: Box::new(TransportError::Timeout {
+                after: std::time::Duration::from_millis(100)
+            }),
+        }));
     }
 
     #[test]

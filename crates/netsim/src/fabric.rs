@@ -7,17 +7,34 @@
 //! Genie's simulation backend; the compute half lives in
 //! `genie-backend::sim`.
 
-use crate::link::LinkSim;
+use crate::fault::{FaultPlan, FaultSpec};
+use crate::link::{LinkFault, LinkSim};
 use crate::rpc::{RpcChannel, RpcParams};
 use crate::time::Nanos;
+use crate::trace::TraceEvent;
 use genie_cluster::{ClusterState, HostId, Topology};
 use std::collections::BTreeMap;
+
+/// Health of one link at a point in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkStatus {
+    /// Full bandwidth, no injected degradation.
+    Up,
+    /// Degraded: effective bandwidth multiplied by the carried factor.
+    Degraded(f64),
+    /// Inside an outage or partition window: no traffic moves.
+    Down,
+}
 
 /// Simulated fabric: per-host-pair RPC channels with shared parameters.
 #[derive(Clone, Debug)]
 pub struct Fabric {
     params: RpcParams,
     channels: BTreeMap<(HostId, HostId), RpcChannel>,
+    /// The applied fault plan, when one is installed.
+    fault_plan: Option<FaultPlan>,
+    /// Fault windows as trace marks, recorded when the plan is applied.
+    fault_events: Vec<TraceEvent>,
 }
 
 impl Fabric {
@@ -32,7 +49,104 @@ impl Fabric {
             sim.congestion = state.congestion(link.a.0, link.b.0);
             channels.insert(key, RpcChannel::new(params.clone(), sim));
         }
-        Fabric { params, channels }
+        Fabric {
+            params,
+            channels,
+            fault_plan: None,
+            fault_events: Vec::new(),
+        }
+    }
+
+    /// Install a fault plan: every spec is projected onto the affected
+    /// links (derates multiply, jitter takes the max, outage and
+    /// partition windows accumulate as down windows) and each fault
+    /// window is recorded as a [`TraceEvent::Mark`] pair so exports show
+    /// when the fabric was degraded. Idempotent per plan: applying a new
+    /// plan replaces the previous one.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault_events.clear();
+        for (&(a, b), ch) in self.channels.iter_mut() {
+            let mut fault = LinkFault::none(plan.seed ^ (u64::from(a.0) << 32) ^ u64::from(b.0));
+            let mut touched = false;
+            for spec in plan.faults_for(a.0, b.0) {
+                touched = true;
+                match spec {
+                    FaultSpec::Derate { factor, .. } => {
+                        fault.derate *= factor.clamp(f64::MIN_POSITIVE, 1.0);
+                    }
+                    FaultSpec::Jitter { max, .. } => {
+                        fault.jitter_max = fault.jitter_max.max(*max);
+                    }
+                    FaultSpec::LinkDown { from, until, .. }
+                    | FaultSpec::Partition { from, until, .. } => {
+                        fault.down.push((*from, *until));
+                    }
+                }
+            }
+            ch.link.fault = if touched { Some(fault) } else { None };
+        }
+        for spec in &plan.schedule.specs {
+            let label = spec.label();
+            match spec.window() {
+                Some((from, until)) => {
+                    self.fault_events.push(TraceEvent::Mark {
+                        label: format!("{label} begin"),
+                        at: from,
+                    });
+                    self.fault_events.push(TraceEvent::Mark {
+                        label: format!("{label} end"),
+                        at: until,
+                    });
+                }
+                None => self.fault_events.push(TraceEvent::Mark {
+                    label,
+                    at: Nanos::ZERO,
+                }),
+            }
+        }
+        self.fault_plan = Some(plan.clone());
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Fault-window trace marks recorded by [`apply_fault_plan`]
+    /// (push them into a [`Trace`](crate::Trace) alongside the run's
+    /// events so exports attribute degradation windows).
+    pub fn fault_events(&self) -> &[TraceEvent] {
+        &self.fault_events
+    }
+
+    /// Total transmissions perturbed by injected faults across all links.
+    pub fn faults_injected(&self) -> u64 {
+        self.channels.values().map(|c| c.link.faults_hit).sum()
+    }
+
+    /// Health of the link between two hosts at `now`. `Down` while inside
+    /// an outage or partition window, `Degraded` under a bandwidth
+    /// derate, `Up` otherwise (including when no link exists — callers
+    /// panic on missing links elsewhere).
+    pub fn link_status(&self, a: HostId, b: HostId, now: Nanos) -> LinkStatus {
+        let Some(plan) = &self.fault_plan else {
+            return LinkStatus::Up;
+        };
+        if plan.is_severed(a.0, b.0, now) {
+            return LinkStatus::Down;
+        }
+        let derate: f64 = plan
+            .faults_for(a.0, b.0)
+            .filter_map(|s| match s {
+                FaultSpec::Derate { factor, .. } => Some(factor.clamp(f64::MIN_POSITIVE, 1.0)),
+                _ => None,
+            })
+            .product();
+        if derate < 1.0 {
+            LinkStatus::Degraded(derate)
+        } else {
+            LinkStatus::Up
+        }
     }
 
     /// The channel between two hosts. Panics if the topology has no link
@@ -104,6 +218,73 @@ mod tests {
         let state = ClusterState::new();
         let mut f = Fabric::new(&topo, &state, RpcParams::tuned_tcp());
         f.channel(HostId(0), HostId(5));
+    }
+
+    #[test]
+    fn fault_plan_projects_onto_links() {
+        use crate::fault::{FaultSchedule, FaultSpec};
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let mut f = Fabric::new(&topo, &state, RpcParams::rdma_zero_copy());
+        let plan = FaultPlan::new(
+            7,
+            FaultSchedule {
+                specs: vec![
+                    FaultSpec::Derate {
+                        a: 0,
+                        b: 1,
+                        factor: 0.25,
+                    },
+                    FaultSpec::LinkDown {
+                        a: 0,
+                        b: 1,
+                        from: Nanos::from_millis(1),
+                        until: Nanos::from_millis(2),
+                    },
+                ],
+            },
+        );
+        f.apply_fault_plan(&plan);
+        assert_eq!(
+            f.link_status(HostId(0), HostId(1), Nanos::ZERO),
+            LinkStatus::Degraded(0.25)
+        );
+        assert_eq!(
+            f.link_status(HostId(0), HostId(1), Nanos::from_millis(1)),
+            LinkStatus::Down
+        );
+        // Four marks: derate (one) + link-down begin/end... derate has no
+        // window so it is a single mark: 1 + 2 = 3.
+        assert_eq!(f.fault_events().len(), 3);
+        assert_eq!(f.faults_injected(), 0, "nothing transmitted yet");
+        let c = f.channel(HostId(0), HostId(1));
+        let t0 = c.ensure_session(Nanos::ZERO);
+        c.call_sync(t0, 1_000_000, 0, Nanos::ZERO);
+        assert!(f.faults_injected() > 0, "derated transmission counted");
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        let topo = Topology::paper_testbed();
+        let state = ClusterState::new();
+        let run = |seed| {
+            let mut f = Fabric::new(&topo, &state, RpcParams::tuned_tcp());
+            f.apply_fault_plan(&FaultPlan::generate(
+                seed,
+                topo.hosts().len() as u32,
+                Nanos::from_secs_f64(30.0),
+                6,
+            ));
+            let c = f.channel(HostId(0), HostId(1));
+            let mut t = c.ensure_session(Nanos::ZERO);
+            for _ in 0..5 {
+                t = c
+                    .call_sync(t, 1 << 20, 1 << 10, Nanos::from_millis(3))
+                    .response_delivered;
+            }
+            (t, f.faults_injected())
+        };
+        assert_eq!(run(11), run(11), "same seed, same timeline");
     }
 
     #[test]

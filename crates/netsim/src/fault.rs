@@ -1,0 +1,401 @@
+//! Deterministic network fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, wall-clock-free description of everything
+//! that goes wrong on the fabric during a run: per-link degradation
+//! (bandwidth derate, latency jitter), transient link-down windows, and
+//! host partitions. Plans are either hand-built from [`FaultSpec`]s or
+//! generated pseudo-randomly from a seed with [`FaultSchedule::generate`];
+//! either way the same seed always yields the same schedule and — because
+//! the only randomness is a [`XorShift64`] threaded through the simulated
+//! links — the same simulated timeline, which is what makes a failing
+//! chaos seed reproducible from its number alone.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A tiny, deterministic xorshift64* PRNG. No wall clock, no global
+/// state: callers seed it explicitly and ownership decides the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeded generator (a zero seed is remapped: xorshift has a zero
+    /// fixed point).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One injected fault, in terms of host ids and simulated time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Multiply the link's effective bandwidth by `factor` (in `(0, 1]`)
+    /// for the whole run.
+    Derate {
+        /// One endpoint host id.
+        a: u32,
+        /// Other endpoint host id.
+        b: u32,
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Add up to `max` of pseudo-random extra propagation latency per
+    /// transmission on the link (drawn from the plan's seeded RNG).
+    Jitter {
+        /// One endpoint host id.
+        a: u32,
+        /// Other endpoint host id.
+        b: u32,
+        /// Maximum extra latency per transmission.
+        max: Nanos,
+    },
+    /// The link accepts no traffic during the window; transmissions issued
+    /// inside it are deferred to the window's end.
+    LinkDown {
+        /// One endpoint host id.
+        a: u32,
+        /// Other endpoint host id.
+        b: u32,
+        /// Start of the outage (inclusive).
+        from: Nanos,
+        /// End of the outage (exclusive).
+        until: Nanos,
+    },
+    /// Every link touching any host in `hosts` is down during the window
+    /// (the host group is unreachable from the rest of the cluster).
+    Partition {
+        /// The partitioned host group.
+        hosts: Vec<u32>,
+        /// Start of the partition (inclusive).
+        from: Nanos,
+        /// End of the partition (exclusive).
+        until: Nanos,
+    },
+}
+
+impl FaultSpec {
+    /// Whether this fault applies to the (unordered) host pair.
+    pub fn touches(&self, x: u32, y: u32) -> bool {
+        match self {
+            FaultSpec::Derate { a, b, .. }
+            | FaultSpec::Jitter { a, b, .. }
+            | FaultSpec::LinkDown { a, b, .. } => (*a == x && *b == y) || (*a == y && *b == x),
+            FaultSpec::Partition { hosts, .. } => {
+                // A partition severs a link when it separates the pair:
+                // exactly one endpoint inside the group.
+                hosts.contains(&x) != hosts.contains(&y)
+            }
+        }
+    }
+
+    /// A short label for traces and logs, e.g. `fault.link_down 0-1`.
+    pub fn label(&self) -> String {
+        match self {
+            FaultSpec::Derate { a, b, factor } => format!("fault.derate {a}-{b} x{factor:.2}"),
+            FaultSpec::Jitter { a, b, max } => format!("fault.jitter {a}-{b} +{max}"),
+            FaultSpec::LinkDown { a, b, .. } => format!("fault.link_down {a}-{b}"),
+            FaultSpec::Partition { hosts, .. } => {
+                let ids: Vec<String> = hosts.iter().map(|h| h.to_string()).collect();
+                format!("fault.partition {{{}}}", ids.join(","))
+            }
+        }
+    }
+
+    /// The fault's active window, when it has one (derate and jitter are
+    /// whole-run).
+    pub fn window(&self) -> Option<(Nanos, Nanos)> {
+        match self {
+            FaultSpec::LinkDown { from, until, .. } | FaultSpec::Partition { from, until, .. } => {
+                Some((*from, *until))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An ordered list of faults — the `schedule` half of a chaos config.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The faults, in declaration order.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultSchedule {
+    /// Empty (fault-free) schedule.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Generate a pseudo-random schedule over `hosts` host ids within a
+    /// `horizon` of simulated time. Deterministic in `seed`: the same
+    /// inputs always produce the same schedule. Roughly half the faults
+    /// are degradations (derate/jitter), the rest outages (link-down or,
+    /// occasionally, a one-host partition).
+    pub fn generate(seed: u64, hosts: u32, horizon: Nanos, faults: usize) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let mut specs = Vec::with_capacity(faults);
+        for _ in 0..faults {
+            let a = rng.next_below(hosts as u64) as u32;
+            let mut b = rng.next_below(hosts as u64) as u32;
+            if hosts > 1 && b == a {
+                b = (a + 1) % hosts;
+            }
+            let from = Nanos(rng.next_below(horizon.0.max(1)));
+            let len = Nanos(rng.next_below((horizon.0 / 4).max(1)) + 1);
+            let until = Nanos((from + len).0.min(horizon.0));
+            match rng.next_below(4) {
+                0 => specs.push(FaultSpec::Derate {
+                    a,
+                    b,
+                    // Derate to 10%..90% of line rate.
+                    factor: 0.1 + 0.8 * rng.next_f64(),
+                }),
+                1 => specs.push(FaultSpec::Jitter {
+                    a,
+                    b,
+                    max: Nanos(rng.next_below(horizon.0 / 100 + 1) + 1),
+                }),
+                2 => specs.push(FaultSpec::LinkDown { a, b, from, until }),
+                _ => specs.push(FaultSpec::Partition {
+                    hosts: vec![a],
+                    from,
+                    until,
+                }),
+            }
+        }
+        FaultSchedule { specs }
+    }
+
+    /// True when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// A seeded fault schedule ready to apply to a fabric: the schedule plus
+/// the RNG stream that drives per-transmission jitter draws.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed the plan (and its jitter stream) was built from.
+    pub seed: u64,
+    /// The faults to inject.
+    pub schedule: FaultSchedule,
+}
+
+impl FaultPlan {
+    /// A plan with an explicit schedule.
+    pub fn new(seed: u64, schedule: FaultSchedule) -> Self {
+        FaultPlan { seed, schedule }
+    }
+
+    /// A fault-free plan (the oracle configuration).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            schedule: FaultSchedule::none(),
+        }
+    }
+
+    /// Generate a pseudo-random plan — see [`FaultSchedule::generate`].
+    pub fn generate(seed: u64, hosts: u32, horizon: Nanos, faults: usize) -> Self {
+        FaultPlan {
+            seed,
+            schedule: FaultSchedule::generate(seed, hosts, horizon, faults),
+        }
+    }
+
+    /// Faults affecting the (unordered) host pair.
+    pub fn faults_for(&self, a: u32, b: u32) -> impl Iterator<Item = &FaultSpec> {
+        self.schedule.specs.iter().filter(move |s| s.touches(a, b))
+    }
+
+    /// Whether the pair is inside any partition or link-down window at
+    /// `now`.
+    pub fn is_severed(&self, a: u32, b: u32, now: Nanos) -> bool {
+        self.faults_for(a, b).any(|s| match s.window() {
+            Some((from, until)) => now >= from && now < until,
+            None => false,
+        })
+    }
+
+    /// Project the plan onto scheduler-visible cluster state over `hosts`
+    /// host ids: whole-run derates multiply into
+    /// [`link_derate`](genie_cluster::ClusterState::link_derate), and any
+    /// pair with an outage or partition window anywhere in the run is
+    /// marked [`partitioned`](genie_cluster::ClusterState::is_partitioned)
+    /// — a conservative planning view (the scheduler avoids paths that
+    /// will sever at any point, rather than re-planning mid-window).
+    pub fn project_onto_state(&self, state: &mut genie_cluster::ClusterState, hosts: u32) {
+        for a in 0..hosts {
+            for b in (a + 1)..hosts {
+                for spec in self.faults_for(a, b) {
+                    match spec {
+                        FaultSpec::Derate { factor, .. } => {
+                            let current = state.link_derate(a, b);
+                            state.set_link_derate(a, b, current * factor);
+                        }
+                        FaultSpec::Jitter { .. } => {}
+                        FaultSpec::LinkDown { .. } | FaultSpec::Partition { .. } => {
+                            state.set_partitioned(a, b, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(XorShift64::new(0), XorShift64::new(0));
+        assert_ne!(XorShift64::new(0).next_u64(), 0);
+    }
+
+    #[test]
+    fn generated_schedules_are_seed_deterministic() {
+        let h = Nanos::from_secs_f64(10.0);
+        let s1 = FaultSchedule::generate(99, 4, h, 8);
+        let s2 = FaultSchedule::generate(99, 4, h, 8);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.specs.len(), 8);
+        let other = FaultSchedule::generate(100, 4, h, 8);
+        assert_ne!(s1, other, "different seeds diverge");
+    }
+
+    #[test]
+    fn partition_touches_only_severed_pairs() {
+        let p = FaultSpec::Partition {
+            hosts: vec![1, 2],
+            from: Nanos::ZERO,
+            until: Nanos(100),
+        };
+        assert!(p.touches(0, 1), "0 outside, 1 inside");
+        assert!(p.touches(2, 3));
+        assert!(!p.touches(1, 2), "both inside: intra-group link survives");
+        assert!(!p.touches(0, 3), "both outside: unaffected");
+    }
+
+    #[test]
+    fn severed_windows_respect_bounds() {
+        let plan = FaultPlan::new(
+            1,
+            FaultSchedule {
+                specs: vec![FaultSpec::LinkDown {
+                    a: 0,
+                    b: 1,
+                    from: Nanos(10),
+                    until: Nanos(20),
+                }],
+            },
+        );
+        assert!(!plan.is_severed(0, 1, Nanos(9)));
+        assert!(plan.is_severed(0, 1, Nanos(10)));
+        assert!(plan.is_severed(1, 0, Nanos(19)), "unordered pair");
+        assert!(!plan.is_severed(0, 1, Nanos(20)), "window end exclusive");
+        assert!(!plan.is_severed(0, 2, Nanos(15)), "other link untouched");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            FaultSpec::LinkDown {
+                a: 0,
+                b: 1,
+                from: Nanos::ZERO,
+                until: Nanos(1)
+            }
+            .label(),
+            "fault.link_down 0-1"
+        );
+        assert!(FaultSpec::Partition {
+            hosts: vec![2],
+            from: Nanos::ZERO,
+            until: Nanos(1)
+        }
+        .label()
+        .contains("{2}"));
+    }
+
+    #[test]
+    fn projection_marks_scheduler_state() {
+        let plan = FaultPlan::new(
+            1,
+            FaultSchedule {
+                specs: vec![
+                    FaultSpec::Derate {
+                        a: 0,
+                        b: 1,
+                        factor: 0.5,
+                    },
+                    FaultSpec::Derate {
+                        a: 0,
+                        b: 1,
+                        factor: 0.5,
+                    },
+                    FaultSpec::Partition {
+                        hosts: vec![2],
+                        from: Nanos(10),
+                        until: Nanos(20),
+                    },
+                ],
+            },
+        );
+        let mut state = genie_cluster::ClusterState::new();
+        plan.project_onto_state(&mut state, 3);
+        assert_eq!(state.link_derate(0, 1), 0.25, "derates multiply");
+        assert!(state.is_partitioned(0, 2));
+        assert!(state.is_partitioned(1, 2));
+        assert!(!state.is_partitioned(0, 1));
+    }
+
+    #[test]
+    fn plan_roundtrips_serde() {
+        let plan = FaultPlan::generate(5, 3, Nanos::from_secs_f64(1.0), 6);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -15,6 +15,9 @@
 //!   `genie_cluster::Topology`;
 //! - [`queue::EventQueue`] / [`time::Nanos`] — a deterministic event core
 //!   (integer nanoseconds, ties broken by insertion order);
+//! - [`fault::FaultPlan`] — seeded, wall-clock-free fault injection:
+//!   bandwidth derates, latency jitter, link outages and host partitions
+//!   applied inside [`link::LinkSim`] and surfaced as trace marks;
 //! - [`trace::Trace`] — flat records from which latency, traffic, and the
 //!   paper's "effective GPU utilization" metric are computed.
 //!
@@ -32,14 +35,16 @@
 #![forbid(unsafe_code)]
 
 pub mod fabric;
+pub mod fault;
 pub mod link;
 pub mod queue;
 pub mod rpc;
 pub mod time;
 pub mod trace;
 
-pub use fabric::Fabric;
-pub use link::LinkSim;
+pub use fabric::{Fabric, LinkStatus};
+pub use fault::{FaultPlan, FaultSchedule, FaultSpec, XorShift64};
+pub use link::{LinkFault, LinkSim};
 pub use queue::EventQueue;
 pub use rpc::{CallTiming, OnewayTiming, RpcChannel, RpcParams};
 pub use time::Nanos;

@@ -189,8 +189,8 @@ impl RpcChannel {
         let line = self.link.effective_bandwidth();
         let goodput = self.params.effective_bandwidth.min(line);
         let duration = Nanos::from_secs_f64(bytes as f64 / goodput);
-        let start = self.link.occupy(at, duration, bytes);
-        (start, start + duration + self.link.latency)
+        let (start, jitter) = self.link.occupy_timed(at, duration, bytes);
+        (start, start + duration + self.link.latency + jitter)
     }
 }
 

@@ -58,7 +58,38 @@ pub fn schedule_with_lints(
             .with("policy", policy.name()),
     );
     let view = ClusterView::new(topo, state, cost);
-    let placements = policy.place(srg, &view);
+    let mut placements = policy.place(srg, &view);
+
+    // Fault awareness: a device whose host is partitioned from the client
+    // is unreachable for the lifetime of this plan, so scheduling work
+    // there would stall the run. Reroute those placements to the client —
+    // slower, but correct — and count the degradation.
+    if state.has_partitions() {
+        let client = topo.client_host();
+        let mut reroutes = 0u64;
+        for loc in placements.values_mut() {
+            if let Location::Device(dev) = *loc {
+                let host = topo.device(dev).host;
+                if state.is_partitioned(client.0, host.0) {
+                    *loc = Location::ClientCpu;
+                    reroutes += 1;
+                }
+            }
+        }
+        if reroutes > 0 {
+            telemetry
+                .metrics
+                .counter("genie_schedule_reroutes_total", &[("reason", "partition")])
+                .add(reroutes);
+        }
+    }
+
+    // Effective bandwidth between two placements: a derated link divides
+    // goodput, multiplying the time estimate for anything crossing it.
+    let host_of = |loc: Location| match loc {
+        Location::ClientCpu => topo.client_host(),
+        Location::Device(dev) => topo.device(dev).host,
+    };
 
     let mut transfers = Vec::new();
     let mut pinned_uploads: Vec<(TensorId, genie_cluster::DevId, u64)> = Vec::new();
@@ -79,6 +110,7 @@ pub fn schedule_with_lints(
                 continue;
             }
             let bytes = edge.transfer_bytes() as u64;
+            let derate = state.link_derate(host_of(src_loc).0, host_of(dst_loc).0);
             if !arrived.insert((edge.tensor, dst_loc)) {
                 // Already shipped to this destination: free fan-out.
                 transfers.push(Transfer {
@@ -108,12 +140,12 @@ pub fn schedule_with_lints(
                         });
                     } else {
                         pinned_uploads.push((edge.tensor, dev, bytes));
-                        edge_cost.insert(eid, cost.streaming_time(bytes as f64));
+                        edge_cost.insert(eid, cost.streaming_time(bytes as f64) / derate);
                     }
                     continue;
                 }
             }
-            edge_cost.insert(eid, cost.transfer_time(bytes as f64));
+            edge_cost.insert(eid, cost.transfer_time(bytes as f64) / derate);
             transfers.push(Transfer {
                 edge: eid,
                 tensor: edge.tensor,
@@ -434,6 +466,66 @@ mod tests {
             .snapshot()
             .gauge("genie_cost_cache_hit_rate", &[]);
         assert!(gauge.is_some(), "hit-rate gauge published");
+    }
+
+    #[test]
+    fn degraded_link_inflates_transfer_estimate() {
+        let srg = decode_graph();
+        let topo = Topology::paper_testbed();
+        let cost = CostModel::ideal_25g();
+
+        let healthy = ClusterState::new();
+        let base = schedule(&srg, &topo, &healthy, &cost, &SemanticsAware::new());
+
+        // Client (host 0) to gpu-server (host 1) at 25% bandwidth.
+        let mut state = ClusterState::new();
+        state.set_link_derate(0, 1, 0.25);
+        let derated = schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+
+        assert_eq!(
+            base.placements, derated.placements,
+            "derating slows transfers but does not move work"
+        );
+        assert!(
+            derated.estimate.transfer_s > base.estimate.transfer_s * 3.9,
+            "4x less bandwidth ~4x the transfer estimate: {} vs {}",
+            derated.estimate.transfer_s,
+            base.estimate.transfer_s
+        );
+    }
+
+    #[test]
+    fn partitioned_host_reroutes_to_client() {
+        let srg = decode_graph();
+        let topo = Topology::paper_testbed();
+        let cost = CostModel::ideal_25g();
+
+        let mut state = ClusterState::new();
+        state.set_partitioned(0, 1, true);
+
+        let reroutes = || {
+            genie_telemetry::global()
+                .metrics
+                .snapshot()
+                .counter("genie_schedule_reroutes_total", &[("reason", "partition")])
+                .unwrap_or(0)
+        };
+        let before = reroutes();
+        let plan = schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+        assert!(
+            plan.placements.values().all(|l| *l == Location::ClientCpu),
+            "nothing may be placed across a severed link"
+        );
+        assert!(plan.transfers.is_empty() && plan.pinned_uploads.is_empty());
+        assert!(reroutes() > before, "reroutes are counted");
+
+        // Healing the partition restores remote placement.
+        state.set_partitioned(0, 1, false);
+        let healed = schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+        assert!(healed
+            .placements
+            .values()
+            .any(|l| matches!(l, Location::Device(_))));
     }
 
     #[test]

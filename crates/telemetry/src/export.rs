@@ -267,9 +267,16 @@ impl ChromeTrace {
                     });
                 }
                 TraceEvent::Mark { label, at } => {
+                    // Injected-fault marks get their own category so fault
+                    // windows are filterable in the Perfetto UI.
+                    let cat = if label.starts_with("fault.") {
+                        "sim.fault"
+                    } else {
+                        "sim.mark"
+                    };
                     self.events.push(ChromeEvent {
                         name: label.clone(),
-                        cat: "sim.mark".into(),
+                        cat: cat.into(),
                         ph: "i".into(),
                         ts: at.0 as f64 / 1_000.0,
                         dur: None,

@@ -1,6 +1,7 @@
 //! Transport errors.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors surfaced by the transport layer.
 #[derive(Debug)]
@@ -38,6 +39,21 @@ pub enum TransportError {
     },
     /// The remote handler reported an application error.
     Remote(String),
+    /// A socket read or write exceeded its deadline. The call may or may
+    /// not have reached the server — retry with the same request id and
+    /// let server-side deduplication coalesce the duplicate.
+    Timeout {
+        /// The deadline that elapsed (zero when only the socket reported
+        /// a timeout and the configured deadline is unknown).
+        after: Duration,
+    },
+    /// A retrying call gave up after exhausting its attempt budget.
+    Exhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<TransportError>,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -56,6 +72,12 @@ impl fmt::Display for TransportError {
                 write!(f, "response id {got} does not match request {expected}")
             }
             TransportError::Remote(msg) => write!(f, "remote error: {msg}"),
+            TransportError::Timeout { after } => {
+                write!(f, "call timed out after {after:?}")
+            }
+            TransportError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -64,6 +86,7 @@ impl std::error::Error for TransportError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TransportError::Io(e) => Some(e),
+            TransportError::Exhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -71,10 +94,16 @@ impl std::error::Error for TransportError {
 
 impl From<std::io::Error> for TransportError {
     fn from(e: std::io::Error) -> Self {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            TransportError::ConnectionClosed
-        } else {
-            TransportError::Io(e)
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::UnexpectedEof => TransportError::ConnectionClosed,
+            // Socket read/write timeouts surface as WouldBlock (Unix) or
+            // TimedOut (Windows); the client stamps the configured
+            // deadline in afterwards.
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout {
+                after: Duration::ZERO,
+            },
+            _ => TransportError::Io(e),
         }
     }
 }
@@ -109,5 +138,29 @@ mod tests {
             TransportError::from(io),
             TransportError::ConnectionClosed
         ));
+    }
+
+    #[test]
+    fn socket_timeouts_map_to_timeout() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let io = std::io::Error::new(kind, "slow");
+            assert!(matches!(
+                TransportError::from(io),
+                TransportError::Timeout { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn exhausted_chains_source() {
+        use std::error::Error;
+        let e = TransportError::Exhausted {
+            attempts: 3,
+            last: Box::new(TransportError::Timeout {
+                after: Duration::from_millis(250),
+            }),
+        };
+        assert!(e.to_string().contains("3 attempts"), "{e}");
+        assert!(e.source().unwrap().to_string().contains("250ms"), "{e}");
     }
 }

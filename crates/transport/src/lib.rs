@@ -10,6 +10,12 @@
 //! - [`client`] / [`server`] — blocking RPC with correlation ids, per-
 //!   connection handler state, traffic counters (the paper's "network
 //!   volume via RPC counters"), and graceful shutdown;
+//! - [`retry`] / [`chaos`] — the robustness layer: per-call deadlines
+//!   ([`TransportError::Timeout`] instead of hangs), process-global
+//!   idempotent request ids deduplicated server-side, capped exponential
+//!   backoff with deterministic jitter ([`retry::RetryPolicy`]), and a
+//!   seeded chaotic server ([`chaos::ChaosPolicy`]) that stalls or drops
+//!   responses after the handler ran;
 //! - [`buffer`] — the pinned-buffer pool realizing §3.4's *proactive*
 //!   allocation: tensors born in registered memory ship with zero staging
 //!   copies, and the pool's counters prove it.
@@ -22,15 +28,19 @@
 #![forbid(unsafe_code)]
 
 pub mod buffer;
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod frame;
 pub mod message;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use buffer::{PinnedBuf, PinnedPool};
-pub use client::Client;
+pub use chaos::{ChaosAction, ChaosPolicy};
+pub use client::{next_request_id, Client, DEFAULT_DEADLINE};
 pub use error::{Result, TransportError};
 pub use message::{PayloadKind, Request, RequestBody, Response, ResponseBody, TensorPayload};
+pub use retry::RetryPolicy;
 pub use server::{Handler, Server};

@@ -5,11 +5,25 @@
 //! thread per connection with blocking sockets keeps the state machine
 //! obvious — the event-driven complexity budget of this project is spent
 //! in the simulator, not in socket plumbing.
+//!
+//! Two hardening features ride on the loop:
+//!
+//! - **Request deduplication** — responses are cached by request id in a
+//!   bounded FIFO shared across connections. A retried request (same id,
+//!   possibly a fresh connection) is answered from the cache without
+//!   re-invoking the handler, making client retries idempotent even for
+//!   state-mutating requests.
+//! - **Chaos injection** — [`Server::spawn_chaotic`] wraps the reply path
+//!   in a seeded [`ChaosState`](crate::chaos::ChaosState) that can stall
+//!   or drop responses *after* the handler ran, exercising exactly the
+//!   ambiguity retries must survive.
 
+use crate::chaos::{ChaosAction, ChaosPolicy, ChaosState};
 use crate::error::Result;
 use crate::frame::{read_frame, write_frame};
 use crate::message::{Request, RequestBody, Response, ResponseBody};
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,6 +45,35 @@ where
     }
 }
 
+/// How many encoded responses the dedup cache retains. Retries arrive
+/// within a handful of calls of the original, so a small FIFO suffices.
+const DEDUP_CAPACITY: usize = 1024;
+
+/// Bounded FIFO of encoded responses keyed by request id, shared across
+/// connections so a retry over a fresh socket still hits the cache.
+#[derive(Debug, Default)]
+struct DedupCache {
+    by_id: HashMap<u64, Vec<u8>>,
+    order: VecDeque<u64>,
+}
+
+impl DedupCache {
+    fn get(&self, id: u64) -> Option<Vec<u8>> {
+        self.by_id.get(&id).cloned()
+    }
+
+    fn insert(&mut self, id: u64, payload: Vec<u8>) {
+        if self.by_id.insert(id, payload).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > DEDUP_CAPACITY {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_id.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// A running server. Dropping it shuts it down.
 pub struct Server {
     addr: SocketAddr,
@@ -47,12 +90,32 @@ impl Server {
         H: Handler,
         F: Fn() -> H + Send + 'static,
     {
+        Server::spawn_inner(factory, None)
+    }
+
+    /// [`spawn`](Self::spawn) with seeded fault injection on the reply
+    /// path: responses may be stalled or dropped per `policy`, always
+    /// after the handler ran and its response was cached for dedup.
+    pub fn spawn_chaotic<H, F>(factory: F, policy: ChaosPolicy) -> Result<Server>
+    where
+        H: Handler,
+        F: Fn() -> H + Send + 'static,
+    {
+        Server::spawn_inner(factory, Some(Arc::new(ChaosState::new(policy))))
+    }
+
+    fn spawn_inner<H, F>(factory: F, chaos: Option<Arc<ChaosState>>) -> Result<Server>
+    where
+        H: Handler,
+        F: Fn() -> H + Send + 'static,
+    {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let conns2 = conns.clone();
+        let dedup: Arc<Mutex<DedupCache>> = Arc::new(Mutex::new(DedupCache::default()));
 
         let accept_thread = std::thread::Builder::new()
             .name("genie-accept".into())
@@ -68,11 +131,18 @@ impl Server {
                         conns2.lock().push(clone);
                     }
                     let mut handler = factory();
+                    let dedup = dedup.clone();
+                    let chaos = chaos.clone();
                     let spawned =
                         std::thread::Builder::new()
                             .name("genie-conn".into())
                             .spawn(move || {
-                                let _ = serve_connection(stream, &mut handler);
+                                let _ = serve_connection(
+                                    stream,
+                                    &mut handler,
+                                    &dedup,
+                                    chaos.as_deref(),
+                                );
                             });
                     match spawned {
                         Ok(t) => conn_threads.push(t),
@@ -125,7 +195,12 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, handler: &mut dyn Handler) -> Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &mut dyn Handler,
+    dedup: &Mutex<DedupCache>,
+    chaos: Option<&ChaosState>,
+) -> Result<()> {
     let telemetry = genie_telemetry::global();
     stream.set_nodelay(true)?;
     loop {
@@ -148,15 +223,53 @@ fn serve_connection(mut stream: TcpStream, handler: &mut dyn Handler) -> Result<
             )
             .add(frame.len() as u64 + 4);
         let request = Request::decode(frame)?;
-        let body = {
-            let _span = telemetry.collector.span("transport.serve", "transport");
-            handler.handle(request.body)
+        // A duplicate delivery of an already-answered request (client
+        // retry after a lost response) is answered from the cache; the
+        // handler must not run twice.
+        let payload = match dedup.lock().get(request.id) {
+            Some(cached) => {
+                telemetry
+                    .metrics
+                    .counter("genie_transport_dups_coalesced_total", &[])
+                    .inc();
+                cached
+            }
+            None => {
+                let body = {
+                    let _span = telemetry.collector.span("transport.serve", "transport");
+                    handler.handle(request.body)
+                };
+                let response = Response {
+                    id: request.id,
+                    body,
+                };
+                let payload = response.encode()?;
+                dedup.lock().insert(request.id, payload.clone());
+                payload
+            }
         };
-        let response = Response {
-            id: request.id,
-            body,
-        };
-        let payload = response.encode()?;
+        // Chaos strikes after the handler ran and the response was
+        // cached: the work is done, only the acknowledgement is at risk.
+        if let Some(chaos) = chaos {
+            match chaos.next_action() {
+                ChaosAction::Deliver => {}
+                ChaosAction::Stall => {
+                    telemetry
+                        .metrics
+                        .counter("genie_chaos_injected_total", &[("kind", "stall")])
+                        .inc();
+                    std::thread::sleep(chaos.stall());
+                }
+                ChaosAction::Drop => {
+                    telemetry
+                        .metrics
+                        .counter("genie_chaos_injected_total", &[("kind", "drop")])
+                        .inc();
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Ok(());
+                }
+            }
+        }
         telemetry
             .metrics
             .counter(
@@ -227,6 +340,87 @@ mod tests {
     fn shutdown_is_idempotent() {
         let mut server = Server::spawn(|| |_b: RequestBody| ResponseBody::Ok).unwrap();
         server.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn duplicate_request_id_coalesced_across_connections() {
+        use std::sync::atomic::AtomicU64;
+        let invocations = Arc::new(AtomicU64::new(0));
+        let inv2 = invocations.clone();
+        let mut server = Server::spawn(move || {
+            let inv = inv2.clone();
+            move |_body: RequestBody| {
+                let n = inv.fetch_add(1, Ordering::SeqCst) + 1;
+                ResponseBody::Handle { key: n, epoch: 0 }
+            }
+        })
+        .unwrap();
+        let id = crate::client::next_request_id();
+        let mut c1 = Client::connect(server.addr()).unwrap();
+        let first = c1.call_with_id(id, RequestBody::Ping).unwrap();
+        // Same id again — same connection and a fresh one: both must get
+        // the cached response without the handler running again.
+        assert_eq!(c1.call_with_id(id, RequestBody::Ping).unwrap(), first);
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert_eq!(c2.call_with_id(id, RequestBody::Ping).unwrap(), first);
+        assert_eq!(invocations.load(Ordering::SeqCst), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dedup_cache_is_bounded() {
+        let mut cache = DedupCache::default();
+        for id in 0..(DEDUP_CAPACITY as u64 + 10) {
+            cache.insert(id, vec![0u8]);
+        }
+        assert_eq!(cache.by_id.len(), DEDUP_CAPACITY);
+        assert!(cache.get(0).is_none(), "oldest entries evicted");
+        assert!(cache.get(DEDUP_CAPACITY as u64 + 9).is_some());
+    }
+
+    #[test]
+    fn chaotic_server_with_none_policy_behaves_normally() {
+        let mut server =
+            Server::spawn_chaotic(|| |_b: RequestBody| ResponseBody::Pong, ChaosPolicy::none())
+                .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for _ in 0..10 {
+            assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn retries_survive_a_hostile_server() {
+        use crate::retry::RetryPolicy;
+        use std::time::Duration;
+        // Drops ~25% of responses; the handler mutates state, so only
+        // dedup keeps retries idempotent.
+        let mut server = Server::spawn_chaotic(
+            || {
+                let mut count = 0u64;
+                move |_body: RequestBody| {
+                    count += 1;
+                    ResponseBody::Ok
+                }
+            },
+            ChaosPolicy::hostile(42, Duration::from_millis(1)),
+        )
+        .unwrap();
+        let mut client =
+            Client::connect_with_deadline(server.addr(), Some(Duration::from_millis(500))).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::fast()
+        };
+        let mut ok = 0;
+        for _ in 0..20 {
+            if client.call_retry(RequestBody::Ping, &policy).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 18, "retries should mask most drops, got {ok}/20");
         server.shutdown();
     }
 }

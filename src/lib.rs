@@ -53,6 +53,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
 pub use genie_analysis as analysis;
 pub use genie_backend as backend;
 pub use genie_bench as bench;
@@ -69,6 +71,7 @@ pub use genie_transport as transport;
 
 /// The items most programs need.
 pub mod prelude {
+    pub use crate::chaos::ChaosConfig;
     pub use genie_backend::{LocalBackend, RemoteSession, SimBackend};
     pub use genie_cluster::{ClusterState, Topology};
     pub use genie_frontend::capture::{CaptureCtx, CapturedGraph, LazyTensor};

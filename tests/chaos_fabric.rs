@@ -1,0 +1,293 @@
+//! Integration: the chaos harness (§4g) — seeded fault schedules swept
+//! across the model zoo on both planes.
+//!
+//! The invariant under test, everywhere: a chaotic run either matches
+//! its fault-free oracle **bit-identically** or fails with a clean typed
+//! [`TransportError`] — never a panic, a hang, or wrong numerics.
+//!
+//! Seeds come from `GENIE_CHAOS_SEEDS` (comma-separated) when set, so a
+//! failing CI seed reproduces locally with e.g.
+//! `GENIE_CHAOS_SEEDS=47 cargo test --test chaos_fabric`.
+
+use genie::backend::{classify_error, spawn_chaotic_server, spawn_server, ErrorClass};
+use genie::chaos::ChaosConfig;
+use genie::models::Workload;
+use genie::netsim::{FaultSchedule, FaultSpec};
+use genie::prelude::*;
+use genie::tensor::Tensor;
+use genie::transport::TransportError;
+use std::sync::Mutex;
+
+/// The retry/fault counters are process-global; tests that assert exact
+/// deltas (the oracle's zero-injection invariant) must not interleave
+/// with tests that grow them. Each test holds this for its duration.
+static METRICS_GATE: Mutex<()> = Mutex::new(());
+
+fn metrics_gate() -> std::sync::MutexGuard<'static, ()> {
+    METRICS_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    if let Ok(env) = std::env::var("GENIE_CHAOS_SEEDS") {
+        let seeds: Vec<u64> = env
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        if !seeds.is_empty() {
+            return seeds;
+        }
+    }
+    vec![3, 7, 11, 29, 42, 47, 101, 1009]
+}
+
+/// Simulation plane: every seed × every zoo family schedules and runs to
+/// completion under its fault schedule. Faults never corrupt traffic
+/// accounting — they slow the run down, or (under partition) the
+/// scheduler falls back to the client and ships strictly less.
+#[test]
+fn seeded_schedules_degrade_every_zoo_family_gracefully() {
+    let _gate = metrics_gate();
+    let seeds = chaos_seeds();
+    for w in Workload::ALL {
+        let srg = w.spec_graph();
+        for &seed in &seeds {
+            let cfg = ChaosConfig::for_testbed(seed);
+            assert!(!cfg.is_oracle(), "seed {seed}: generated schedule is empty");
+            let run = cfg.run_sim(&srg);
+            eprintln!(
+                "chaos seed {seed} {}: oracle {:.4}s faulty {:.4}s rerouted={}",
+                w.name(),
+                run.oracle.makespan_s,
+                run.faulty.makespan_s,
+                run.rerouted
+            );
+            assert!(
+                run.faulty.makespan_s.is_finite(),
+                "seed {seed} {}: non-finite makespan",
+                w.name()
+            );
+            if run.rerouted {
+                // Partitioned: work fell back to the client, which can
+                // only reduce what crosses the wire.
+                assert!(
+                    run.faulty.network_bytes <= run.oracle.network_bytes,
+                    "seed {seed} {}: reroute must not ship more",
+                    w.name()
+                );
+            } else {
+                // Derate/jitter only: identical traffic, no faster.
+                assert_eq!(
+                    run.faulty.network_bytes,
+                    run.oracle.network_bytes,
+                    "seed {seed} {}: faults must not change traffic",
+                    w.name()
+                );
+                assert!(
+                    run.faulty.makespan_s >= run.oracle.makespan_s,
+                    "seed {seed} {}: faulted run faster than oracle ({} < {})",
+                    w.name(),
+                    run.faulty.makespan_s,
+                    run.oracle.makespan_s
+                );
+            }
+        }
+    }
+}
+
+/// Same seed, same timeline: the whole simulated fault story is a pure
+/// function of the seed.
+#[test]
+fn same_seed_same_outcome_twice() {
+    let _gate = metrics_gate();
+    let srg = Workload::ComputerVision.spec_graph();
+    for seed in chaos_seeds() {
+        let cfg = ChaosConfig::for_testbed(seed);
+        let a = cfg.run_sim(&srg);
+        let b = cfg.run_sim(&srg);
+        assert_eq!(
+            a.faulty.makespan_s, b.faulty.makespan_s,
+            "seed {seed}: replay diverged"
+        );
+        assert_eq!(a.faulty.network_bytes, b.faulty.network_bytes);
+        assert_eq!(a.rerouted, b.rerouted);
+    }
+}
+
+/// Drive a short decode-style loop (state' = relu(state + i)) against
+/// `session`, returning the final state vector or the first typed error.
+fn drive_decode_loop(
+    session: &mut RemoteSession,
+    steps: usize,
+) -> Result<Vec<f32>, TransportError> {
+    let ctx = CaptureCtx::new("seed");
+    let x = ctx.input(
+        "x",
+        [4],
+        ElemType::F32,
+        Some(Tensor::from_vec([4], vec![0.5, -1.0, 2.0, 0.0])),
+    );
+    let y = x.relu();
+    y.mark_output();
+    let cap = ctx.finish();
+    session.execute(&cap, &[], &[], &[(y.node, "state")])?;
+
+    for i in 0..steps {
+        let ctx = CaptureCtx::new(format!("step{i}"));
+        let prev = ctx.input("prev", [4], ElemType::F32, None);
+        let inc = ctx.input(
+            "inc",
+            [4],
+            ElemType::F32,
+            Some(Tensor::full([4], (i + 1) as f32)),
+        );
+        let y = prev.add(&inc).relu();
+        y.mark_output();
+        let mut cap = ctx.finish();
+        cap.values.remove(&prev.node);
+        session.execute(&cap, &[(prev.node, "state")], &[], &[(y.node, "state")])?;
+    }
+    let state = session.fetch("state")?;
+    Ok(state.as_f("state").data().to_vec())
+}
+
+/// What the loop computes, eagerly: relu carries every positive lane.
+fn decode_loop_oracle(steps: usize) -> Vec<f32> {
+    let mut state = [0.5f32, -1.0, 2.0, 0.0].map(|v| v.max(0.0));
+    for i in 0..steps {
+        for lane in &mut state {
+            *lane = (*lane + (i + 1) as f32).max(0.0);
+        }
+    }
+    state.to_vec()
+}
+
+/// Functional plane: the same decode loop against a chaotic server (the
+/// seed's transport policy drops ~25% of replies and stalls ~10% past the
+/// client deadline). Retry + server-side request-id dedup must yield the
+/// oracle's exact bits — or give up with a clean typed error that the
+/// recovery layer can classify. Never a panic, never wrong numerics.
+#[test]
+fn chaotic_transport_is_exact_or_typed_error() {
+    let _gate = metrics_gate();
+    const STEPS: usize = 5;
+    let expected = decode_loop_oracle(STEPS);
+    let retries = || {
+        genie::telemetry::global()
+            .metrics
+            .snapshot()
+            .counter("genie_rpc_retries_total", &[])
+            .unwrap_or(0)
+    };
+
+    let before = retries();
+    let mut completed = 0usize;
+    for seed in chaos_seeds() {
+        let cfg = ChaosConfig::for_testbed(seed);
+        let (server, exec) = spawn_chaotic_server(cfg.transport_policy()).unwrap();
+        let mut session = RemoteSession::connect_with(server.addr(), cfg.retry_policy()).unwrap();
+        match drive_decode_loop(&mut session, STEPS) {
+            Ok(state) => {
+                completed += 1;
+                assert_eq!(
+                    state, expected,
+                    "seed {seed}: completed run must match the oracle bit for bit"
+                );
+            }
+            Err(e) => {
+                // A clean, classified failure — retryable budget spent or
+                // the session died; either way recovery knows what to do.
+                let class = classify_error(&e);
+                assert!(
+                    matches!(class, ErrorClass::Retryable | ErrorClass::StateLoss),
+                    "seed {seed}: untyped/fatal failure {e} ({class:?})"
+                );
+                eprintln!("chaos seed {seed}: typed failure after retries: {e}");
+            }
+        }
+        // The server executed each distinct step at most once, no matter
+        // how many times drops forced the client to re-send.
+        assert!(
+            exec.resident_count() <= 1,
+            "seed {seed}: dedup must keep state single-copy"
+        );
+        drop(server);
+    }
+    assert!(completed > 0, "no seed completed — hostility miscalibrated");
+    assert!(
+        retries() > before,
+        "a hostile sweep must exercise the retry path"
+    );
+}
+
+/// Oracle control: with the fault-free configuration the same loop runs
+/// with zero retries and zero injected faults, and matches exactly.
+#[test]
+fn oracle_configuration_injects_nothing() {
+    let _gate = metrics_gate();
+    let metric = |name: &str| {
+        genie::telemetry::global()
+            .metrics
+            .snapshot()
+            .counter(name, &[])
+            .unwrap_or(0)
+    };
+    let cfg = ChaosConfig::oracle();
+    assert!(cfg.is_oracle());
+
+    let retries_before = metric("genie_rpc_retries_total");
+    let (server, _exec) = spawn_server().unwrap();
+    let mut session = RemoteSession::connect_with(server.addr(), cfg.retry_policy()).unwrap();
+    let state = drive_decode_loop(&mut session, 4).unwrap();
+    assert_eq!(state, decode_loop_oracle(4));
+    assert_eq!(
+        metric("genie_rpc_retries_total"),
+        retries_before,
+        "oracle run must not retry"
+    );
+
+    let faults_before = metric("genie_fault_injected_total");
+    let run = cfg.run_sim(&Workload::ComputerVision.spec_graph());
+    assert_eq!(run.oracle.makespan_s, run.faulty.makespan_s);
+    assert_eq!(run.oracle.network_bytes, run.faulty.network_bytes);
+    assert_eq!(
+        metric("genie_fault_injected_total"),
+        faults_before,
+        "oracle run must not inject"
+    );
+}
+
+/// A handcrafted derate schedule drives the fault-injection counter and
+/// slows the run — the metric surface the acceptance criteria pin down.
+#[test]
+fn derate_schedule_counts_injections_and_slows_the_run() {
+    let _gate = metrics_gate();
+    let faults = || {
+        genie::telemetry::global()
+            .metrics
+            .snapshot()
+            .counter("genie_fault_injected_total", &[])
+            .unwrap_or(0)
+    };
+    let cfg = ChaosConfig {
+        seed: 5,
+        schedule: FaultSchedule {
+            specs: vec![FaultSpec::Derate {
+                a: 0,
+                b: 1,
+                factor: 0.25,
+            }],
+        },
+    };
+    let before = faults();
+    let run = cfg.run_sim(&Workload::LlmServing.spec_graph());
+    assert!(!run.rerouted, "a derate never reroutes");
+    assert!(
+        run.faulty.makespan_s > run.oracle.makespan_s * 2.0,
+        "4x less bandwidth on the upload path: {} vs {}",
+        run.faulty.makespan_s,
+        run.oracle.makespan_s
+    );
+    assert!(faults() > before, "injections must be counted");
+    // The scheduler saw it too: its estimate degrades alongside.
+    assert!(run.plan.estimate.transfer_s > run.oracle_plan.estimate.transfer_s * 2.0);
+}

@@ -128,6 +128,76 @@ fn recovery_mid_session_is_exact() {
 }
 
 #[test]
+fn partition_mid_decode_loop_replays_exactly() {
+    use genie::backend::{classify_error, ErrorClass};
+    use genie::transport::RetryPolicy;
+
+    // Reference: an unfailed run of 6 steps.
+    let (server_a, _) = spawn_server().unwrap();
+    let mut clean = RemoteSession::connect(server_a.addr()).unwrap();
+    run_recipe(&mut clean, &seed_recipe()).unwrap();
+    for i in 0..6 {
+        run_recipe(&mut clean, &step_recipe(i)).unwrap();
+    }
+    let expected = clean.fetch("state").unwrap();
+
+    // Chaotic run: the serving host is partitioned away after step 3 —
+    // the server vanishes mid-loop, taking all pinned state with it.
+    let (server_b, _exec_b) = spawn_server().unwrap();
+    let mut session = RemoteSession::connect_with(server_b.addr(), RetryPolicy::fast()).unwrap();
+    let mut log = LineageLog::new();
+    let seed = seed_recipe();
+    run_recipe(&mut session, &seed).unwrap();
+    log.record(seed);
+    for i in 0..4 {
+        let r = step_recipe(i);
+        run_recipe(&mut session, &r).unwrap();
+        log.record(r);
+    }
+
+    // 💥 network partition: even retries cannot reach the host.
+    drop(server_b);
+    let err = run_recipe(&mut session, &step_recipe(4)).unwrap_err();
+    assert!(
+        is_state_loss(&err),
+        "a severed session must classify as state loss, got {err}"
+    );
+    assert_eq!(classify_error(&err), ErrorClass::StateLoss);
+    let lost_names: Vec<String> = session
+        .handles
+        .invalidate_all()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    assert_eq!(lost_names, vec!["state".to_string()]);
+
+    // Recovery re-plans onto a reachable standby and replays lineage.
+    let (server_c, _exec_c) = spawn_server().unwrap();
+    let mut session = RemoteSession::connect(server_c.addr()).unwrap();
+    let report = recover(
+        &log,
+        &lost_names,
+        &BTreeSet::new(),
+        &mut RemoteReplayer {
+            session: &mut session,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.replayed.len(), log.len(), "all state was lost");
+
+    // The decode loop continues where it left off — step 4 never landed.
+    for i in 4..6 {
+        run_recipe(&mut session, &step_recipe(i)).unwrap();
+    }
+    let recovered = session.fetch("state").unwrap();
+    assert_eq!(
+        recovered.as_f("state").data(),
+        expected.as_f("state").data(),
+        "post-partition continuation must match the unfailed run exactly"
+    );
+}
+
+#[test]
 fn external_outputs_stay_idempotent_across_replay() {
     // Tokens emitted before a crash must not re-emit when the replay
     // regenerates them.

@@ -1,9 +1,9 @@
 //! Integration: cross-layer telemetry — the Perfetto/Chrome trace export
 //! over a zoo model, and the metric surface the run leaves behind.
 
-use genie::backend::simulate_once;
+use genie::backend::{simulate_once, simulate_once_faulty};
 use genie::models::Workload;
-use genie::netsim::RpcParams;
+use genie::netsim::{FaultPlan, FaultSchedule, FaultSpec, Nanos, RpcParams};
 use genie::prelude::*;
 use genie::telemetry::ChromeTrace;
 
@@ -52,6 +52,72 @@ fn trace_export_attributes_every_kernel() {
         .collect();
     assert!(names.iter().any(|n| n.contains("devices")));
     assert!(names.iter().any(|n| n.contains("links")));
+}
+
+/// Golden-shape test for injected faults: a run under a fault plan
+/// exports its fault windows as instant events in their own `sim.fault`
+/// category, at the window's exact simulated timestamps, so Perfetto
+/// shows when and why the fabric was degraded.
+#[test]
+fn trace_export_attributes_fault_windows() {
+    let srg = Workload::ComputerVision.spec_graph();
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    let cost = CostModel::paper_stack();
+    let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
+    let faults = FaultPlan::new(
+        11,
+        FaultSchedule {
+            specs: vec![
+                FaultSpec::Derate {
+                    a: 0,
+                    b: 1,
+                    factor: 0.5,
+                },
+                FaultSpec::LinkDown {
+                    a: 0,
+                    b: 1,
+                    from: Nanos::from_millis(2),
+                    until: Nanos::from_millis(5),
+                },
+            ],
+        },
+    );
+    let report = simulate_once_faulty(&plan, &topo, &cost, RpcParams::tensorpipe_python(), &faults);
+
+    let mut chrome = ChromeTrace::new();
+    chrome.push_sim_trace(&report.trace, Some(&srg), Some(&plan.label()));
+    let doc: serde_json::Value = serde_json::from_str(&chrome.to_json_string()).unwrap();
+    let events = doc["traceEvents"].as_array().unwrap();
+
+    let fault_events: Vec<&serde_json::Value> =
+        events.iter().filter(|e| e["cat"] == "sim.fault").collect();
+    assert_eq!(
+        fault_events.len(),
+        3,
+        "derate mark + link-down begin/end: {fault_events:?}"
+    );
+    for f in &fault_events {
+        assert_eq!(f["ph"], "i", "fault windows export as instants");
+        let name = f["name"].as_str().unwrap();
+        assert!(name.starts_with("fault."), "attributed label: {name}");
+    }
+    // The window's endpoints land at their exact simulated microseconds.
+    let ts_of = |needle: &str| {
+        fault_events
+            .iter()
+            .find(|f| f["name"].as_str().unwrap().contains(needle))
+            .unwrap_or_else(|| panic!("no fault event containing {needle}"))["ts"]
+            .as_f64()
+            .unwrap()
+    };
+    assert_eq!(ts_of("link_down") /* begin */, 2_000.0);
+    assert_eq!(ts_of("end"), 5_000.0);
+    // Ordinary marks stay out of the fault category.
+    assert!(events
+        .iter()
+        .filter(|e| e["cat"] == "sim.mark")
+        .all(|e| !e["name"].as_str().unwrap_or("").starts_with("fault.")));
 }
 
 /// Runtime spans recorded during capture/scheduling surface in the same
