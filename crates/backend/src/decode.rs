@@ -1,0 +1,183 @@
+//! Simulated execution of batched decode steps (continuous batching).
+//!
+//! The serving runtime (`genie-serving`) advances a virtual clock one
+//! *engine step* at a time: every resident request either prefills its
+//! prompt or decodes one token. This module prices one such step with the
+//! same roofline the §3.3 cost model uses for kernels — the point being
+//! the paper's "How" argument (§3.6): tenants that share a model
+//! fingerprint amortize the weight read, so a batched decode step costs
+//! barely more than a single-request step.
+
+use genie_cluster::GpuSpec;
+use genie_models::TransformerConfig;
+
+/// The work one engine step performs on one device lane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepWork {
+    /// Requests prefilling this step.
+    pub prefill_members: u64,
+    /// Total prompt tokens processed by the prefilling members.
+    pub prefill_tokens: u64,
+    /// Requests decoding exactly one token this step.
+    pub decode_members: u64,
+    /// KV-cache tokens resident across all stepped members (attention
+    /// reads them all).
+    pub kv_resident_tokens: u64,
+}
+
+impl StepWork {
+    /// True when the step has no members.
+    pub fn is_empty(&self) -> bool {
+        self.prefill_members == 0 && self.decode_members == 0
+    }
+
+    /// Number of requests touched this step.
+    pub fn members(&self) -> u64 {
+        self.prefill_members + self.decode_members
+    }
+
+    /// New tokens produced this step (one per member: prefill samples its
+    /// first token, decode its next).
+    pub fn tokens_produced(&self) -> u64 {
+        self.members()
+    }
+}
+
+/// Priced breakdown of one engine step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepCost {
+    /// Device-side roofline seconds.
+    pub compute_s: f64,
+    /// Network seconds (RPC rounds plus token/ID payloads).
+    pub network_s: f64,
+}
+
+impl StepCost {
+    /// Total step seconds (the simulated device and the wire serialize:
+    /// tokens must arrive before the step and return after it).
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.network_s
+    }
+}
+
+/// Price one engine step of `work` for `cfg` on `gpu` behind a link of
+/// `link_bandwidth_bps` / `link_latency_s`.
+///
+/// `batched` is the continuous-batching switch: when true the whole step
+/// is one fused kernel sweep (weights stream through the device once,
+/// one RPC round covers every member); when false each member pays its
+/// own weight read and its own RPC round — the Orca-style baseline the
+/// §3.6 batching argument is measured against.
+pub fn batched_step_time(
+    cfg: &TransformerConfig,
+    work: &StepWork,
+    gpu: &GpuSpec,
+    link_bandwidth_bps: f64,
+    link_latency_s: f64,
+    batched: bool,
+) -> StepCost {
+    if work.is_empty() {
+        return StepCost::default();
+    }
+    let new_tokens = work.prefill_tokens + work.decode_members;
+    let flops = new_tokens as f64 * cfg.flops_per_token();
+
+    // Decode is memory-bound: the dominant cost is streaming the weights
+    // through the device. Batching reads them once per step; the
+    // unbatched baseline once per member.
+    let weight_reads = if batched { 1 } else { work.members() };
+    let kv_traffic =
+        (work.kv_resident_tokens + new_tokens) as f64 * cfg.kv_bytes_per_token() as f64;
+    let bytes = weight_reads as f64 * cfg.weight_bytes() as f64 + kv_traffic;
+    let compute_s = gpu.kernel_time(flops, bytes);
+
+    // Semantics-aware transport ships token IDs in and sampled IDs out —
+    // 8 bytes each way per member, plus prompt IDs for prefills. The
+    // batched step folds every member into one RPC round trip.
+    let rpc_rounds = if batched { 1 } else { work.members() };
+    let payload_bytes = (work.prefill_tokens + work.decode_members + work.members()) as f64 * 8.0;
+    let network_s = rpc_rounds as f64 * 2.0 * link_latency_s + payload_bytes / link_bandwidth_bps;
+
+    StepCost {
+        compute_s,
+        network_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gptj_step(decode_members: u64, batched: bool) -> StepCost {
+        let cfg = TransformerConfig::gptj_6b();
+        let work = StepWork {
+            prefill_members: 0,
+            prefill_tokens: 0,
+            decode_members,
+            kv_resident_tokens: decode_members * 64,
+        };
+        batched_step_time(&cfg, &work, &GpuSpec::a100_80gb(), 25e9, 250e-6, batched)
+    }
+
+    #[test]
+    fn batched_decode_amortizes_the_weight_read() {
+        let one = gptj_step(1, true);
+        let eight = gptj_step(8, true);
+        // Eight tenants decode in barely more time than one: the weight
+        // stream dominates and is shared.
+        assert!(eight.total_s() < one.total_s() * 1.5, "{eight:?} vs {one:?}");
+        // The unbatched baseline pays the stream per member.
+        let eight_unbatched = gptj_step(8, false);
+        assert!(
+            eight_unbatched.compute_s > eight.compute_s * 6.0,
+            "{} vs {}",
+            eight_unbatched.compute_s,
+            eight.compute_s
+        );
+        assert!(eight_unbatched.network_s > eight.network_s * 6.0);
+    }
+
+    #[test]
+    fn decode_step_is_memory_bound_on_a100() {
+        // One GPT-J decode step ≈ weights / HBM bandwidth ≈ 6 ms.
+        let one = gptj_step(1, true);
+        assert!(
+            (4e-3..10e-3).contains(&one.compute_s),
+            "step {}",
+            one.compute_s
+        );
+    }
+
+    #[test]
+    fn empty_step_is_free_and_prefill_counts_tokens() {
+        assert_eq!(
+            batched_step_time(
+                &TransformerConfig::tiny(),
+                &StepWork::default(),
+                &GpuSpec::a100_80gb(),
+                25e9,
+                250e-6,
+                true,
+            )
+            .total_s(),
+            0.0
+        );
+        let cfg = TransformerConfig::tiny();
+        let prefill = StepWork {
+            prefill_members: 1,
+            prefill_tokens: 64,
+            decode_members: 0,
+            kv_resident_tokens: 0,
+        };
+        let decode = StepWork {
+            prefill_members: 0,
+            prefill_tokens: 0,
+            decode_members: 1,
+            kv_resident_tokens: 64,
+        };
+        let gpu = GpuSpec::a100_80gb();
+        let p = batched_step_time(&cfg, &prefill, &gpu, 25e9, 250e-6, true);
+        let d = batched_step_time(&cfg, &decode, &gpu, 25e9, 250e-6, true);
+        assert!(p.compute_s > d.compute_s, "prefill does 64x the flops");
+    }
+}

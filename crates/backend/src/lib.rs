@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod decode;
 pub mod handle;
 pub mod local;
 pub mod remote;
 pub mod sim;
 
+pub use decode::{batched_step_time, StepCost, StepWork};
 pub use handle::{HandleTable, RemoteHandle};
 pub use local::LocalBackend;
 pub use remote::{

@@ -1,0 +1,145 @@
+//! Regenerate `BENCH_serving.json`: the serving runtime's offered-load ×
+//! fleet-size sweep at GPT-J scale — p50/p99 TTFT, aggregate tokens/s,
+//! and shed rate per point, batched vs. unbatched decode.
+//!
+//! The sweep is entirely on the virtual clock (spec plane), so it runs in
+//! milliseconds of wall time and is bit-deterministic: the artifact only
+//! changes when the engine or the cost model does.
+//!
+//! Pass `--quick` (CI) for the 3-point load sweep on a single lane.
+
+use genie_bench::report::{render_table, write_artifact};
+use genie_cluster::GpuSpec;
+use genie_models::TransformerConfig;
+use genie_netsim::Nanos;
+use genie_serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel};
+use serde_json::json;
+
+fn serving_config(lanes: u32, batched: bool) -> ServingConfig {
+    ServingConfig {
+        lanes,
+        max_batch: 8,
+        batched,
+        kv_capacity_bytes: 16 << 30,
+        queue_budget: Nanos::from_secs_f64(2.0),
+        max_queue: 1024,
+        gpu: GpuSpec::a100_80gb(),
+        link_bandwidth_bps: 25e9,
+        link_latency_s: 250e-6,
+        fault_plan: None,
+        record_telemetry: false,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let loads: &[f64] = if quick {
+        &[0.5, 2.0, 4.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0]
+    };
+    let fleets: &[u32] = if quick { &[1] } else { &[1, 2] };
+    let horizon = Nanos::from_secs_f64(if quick { 4.0 } else { 10.0 });
+    let model = TransformerConfig::gptj_6b();
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &lanes in fleets {
+        for &load in loads {
+            let requests = ArrivalConfig {
+                seed: 42,
+                rate_per_s: load,
+                horizon,
+                prompt_len: (16, 48),
+                decode_tokens: (32, 96),
+                vocab: model.vocab,
+                tenants: 4,
+            }
+            .generate();
+            let mut per_mode = Vec::new();
+            for batched in [true, false] {
+                let report =
+                    ServingLoop::new(ServingModel::Spec(model.clone()), serving_config(lanes, batched))
+                        .run(&requests);
+                per_mode.push(json!({
+                    "batched": batched,
+                    "requests": requests.len(),
+                    "completed": report.completed(),
+                    "shed_rate": report.shed_rate(),
+                    "ttft_p50_s": report.ttft_p50(),
+                    "ttft_p99_s": report.ttft_p99(),
+                    "tokens_per_s": report.tokens_per_s(),
+                    "makespan_s": report.makespan.as_secs_f64(),
+                    "preemptions": report.preemptions,
+                    "steps": report.steps,
+                }));
+                table.push(vec![
+                    format!("{load:.1}"),
+                    lanes.to_string(),
+                    if batched { "batched" } else { "unbatched" }.to_string(),
+                    report.completed().to_string(),
+                    format!("{:.1}", report.shed_rate() * 100.0),
+                    format!("{:.1}", report.ttft_p50() * 1e3),
+                    format!("{:.1}", report.ttft_p99() * 1e3),
+                    format!("{:.0}", report.tokens_per_s()),
+                ]);
+            }
+            rows.push(json!({
+                "offered_load_req_s": load,
+                "lanes": lanes,
+                "modes": per_mode,
+            }));
+        }
+    }
+
+    // Acceptance check: at offered load >= 2 req/s, continuous batching
+    // must beat unbatched decode on aggregate tokens/s (weight reads are
+    // amortized across the batch on a memory-bound decode step).
+    for row in &rows {
+        let load = row["offered_load_req_s"].as_f64().unwrap();
+        if load < 2.0 {
+            continue;
+        }
+        let modes = row["modes"].as_array().unwrap();
+        let tps_of = |want: bool| {
+            modes
+                .iter()
+                .find(|m| m["batched"].as_bool() == Some(want))
+                .and_then(|m| m["tokens_per_s"].as_f64())
+                .unwrap_or(0.0)
+        };
+        assert!(
+            tps_of(true) > tps_of(false),
+            "load {load}: batched {} tok/s must beat unbatched {} tok/s",
+            tps_of(true),
+            tps_of(false)
+        );
+    }
+
+    let artifact = json!({
+        "bench": "serving",
+        "quick": quick,
+        "model": "gptj_6b",
+        "seed": 42,
+        "sweep": rows,
+    });
+    let path = write_artifact("BENCH_serving", &artifact).expect("artifact written");
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "load req/s",
+                "lanes",
+                "mode",
+                "completed",
+                "shed %",
+                "ttft p50 ms",
+                "ttft p99 ms",
+                "tok/s"
+            ],
+            &table,
+        )
+    );
+    println!("artifact: {}", path.display());
+}

@@ -51,6 +51,32 @@ impl TransformerConfig {
         }
     }
 
+    /// A shallow-but-wide functional variant: exercises kernels whose
+    /// rows are longer than [`tiny`](Self::tiny)'s.
+    pub fn tiny_wide() -> Self {
+        TransformerConfig {
+            layers: 1,
+            d_model: 24,
+            heads: 3,
+            vocab: 48,
+            ffn_mult: 3,
+            elem: ElemType::F32,
+        }
+    }
+
+    /// A deeper functional variant: more KV layers to carry per decode
+    /// step, a smaller residual stream.
+    pub fn tiny_deep() -> Self {
+        TransformerConfig {
+            layers: 3,
+            d_model: 12,
+            heads: 2,
+            vocab: 24,
+            ffn_mult: 2,
+            elem: ElemType::F32,
+        }
+    }
+
     /// Parameters per layer: 4 attention projections (d²) + 2 FFN mats
     /// (d · ffn · 2) + 2 layer-norm vectors (negligible but counted).
     pub fn params_per_layer(&self) -> u64 {

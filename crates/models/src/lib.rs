@@ -34,4 +34,4 @@ pub use config::{CnnConfig, DlrmConfig, TransformerConfig};
 pub use dlrm::Dlrm;
 pub use multimodal::{Multimodal, MultimodalConfig};
 pub use transformer::{KvState, LmCapture, TransformerLm};
-pub use zoo::Workload;
+pub use zoo::{functional_transformers, Workload};

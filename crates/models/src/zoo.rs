@@ -95,6 +95,27 @@ impl Workload {
     }
 }
 
+/// The functional transformer zoo: every numerically-executable LM
+/// preset, with a fixed weight seed per entry. Differential suites (the
+/// serving loop vs the sequential `generate` oracle, wavefront vs
+/// sequential interpretation) sweep all of them.
+pub fn functional_transformers() -> Vec<(&'static str, TransformerLm)> {
+    vec![
+        (
+            "tiny",
+            TransformerLm::new_functional(TransformerConfig::tiny(), 42),
+        ),
+        (
+            "tiny-wide",
+            TransformerLm::new_functional(TransformerConfig::tiny_wide(), 43),
+        ),
+        (
+            "tiny-deep",
+            TransformerLm::new_functional(TransformerConfig::tiny_deep(), 44),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +162,19 @@ mod tests {
             let stats = GraphStats::of(&srg).unwrap();
             assert_eq!(stats.computation_pattern(), pattern, "{}", w.name());
             assert_eq!(stats.memory_access_profile(), memory, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn functional_zoo_generates_deterministically() {
+        for (name, m) in functional_transformers() {
+            assert!(m.is_functional(), "{name} must carry weights");
+            let a = m.generate(&[1, 2, 3], 4);
+            let b = m.generate(&[1, 2, 3], 4);
+            assert_eq!(a, b, "{name}: generation must be deterministic");
+            assert_eq!(a.len(), 4);
+            let vocab = m.config.vocab as i64;
+            assert!(a.iter().all(|&t| (0..vocab).contains(&t)), "{name}: {a:?}");
         }
     }
 

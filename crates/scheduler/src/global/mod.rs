@@ -19,6 +19,7 @@ use crate::plan::ExecutionPlan;
 use crate::policy::SemanticsAware;
 use crate::schedule::schedule;
 use genie_cluster::{ClusterState, DevId, Topology};
+use genie_netsim::Nanos;
 use std::collections::BTreeMap;
 use tenant::{TenantRequest, WorkloadClass};
 
@@ -30,6 +31,25 @@ pub struct GlobalScheduler {
     state: ClusterState,
     cost: CostModel,
     tenants: Vec<TenantRequest>,
+    /// Resources charged to the live state per planned tenant, so a
+    /// departure (or a full re-plan) can hand them back exactly.
+    planned: BTreeMap<u64, PlannedResources>,
+}
+
+/// What one planned tenant holds on the fleet.
+#[derive(Clone, Debug, Default)]
+struct PlannedResources {
+    pinned: Vec<(DevId, u64)>,
+    queued: Vec<(DevId, f64)>,
+}
+
+/// One event for the incremental [`GlobalScheduler::step`] entry point.
+#[derive(Clone, Debug)]
+pub enum FleetEvent {
+    /// A tenant arrives (same id replaces any waiting request).
+    Admit(TenantRequest),
+    /// A tenant leaves; its pinned memory and queued work are released.
+    Depart(u64),
 }
 
 /// Outcome of a planning round.
@@ -54,6 +74,7 @@ impl GlobalScheduler {
             topo,
             cost,
             tenants: Vec::new(),
+            planned: BTreeMap::new(),
         }
     }
 
@@ -72,25 +93,76 @@ impl GlobalScheduler {
         &mut self.state
     }
 
-    /// Plan every admitted tenant. Each tenant is restricted to its
-    /// affinity partition (a sub-topology containing only matching
-    /// devices) and planned with the semantics-aware policy; queue state
-    /// carries across tenants so later arrivals see earlier load.
+    /// Plan every admitted tenant from scratch. Previously recorded load
+    /// is handed back first, so repeated rounds never double-charge the
+    /// fleet; tenants are then admitted in ascending id order (see
+    /// [`step`](Self::step) for why order must be deterministic). Queue
+    /// state carries across tenants so later ids see earlier load.
     pub fn plan_round(&mut self) -> FleetPlan {
+        let ids: Vec<u64> = self.planned.keys().copied().collect();
+        for id in ids {
+            self.release(id);
+        }
+        self.step(Nanos::ZERO, Vec::new())
+    }
+
+    /// Incremental planning: apply `events` (arrivals and departures) at
+    /// simulated time `now`, then plan every tenant that is not already
+    /// placed — new arrivals and previously rejected tenants alike — in
+    /// ascending tenant-id order.
+    ///
+    /// The id ordering is the admission-control contract: a departure
+    /// frees memory, and whichever waiting tenants fit must re-admit in
+    /// the same order every time, independent of arrival interleaving.
+    /// (An earlier revision iterated in arrival order, so two rounds
+    /// bracketing the same departure could admit different survivors.)
+    pub fn step(&mut self, now: Nanos, events: Vec<FleetEvent>) -> FleetPlan {
+        for event in events {
+            match event {
+                FleetEvent::Admit(request) => {
+                    self.tenants.retain(|t| t.id != request.id);
+                    self.tenants.push(request);
+                }
+                FleetEvent::Depart(id) => {
+                    self.tenants.retain(|t| t.id != id);
+                    self.release(id);
+                }
+            }
+        }
+
+        let telemetry = genie_telemetry::global();
+        telemetry.collector.instant(
+            "fleet.step",
+            "scheduler",
+            genie_telemetry::SemAttrs::new()
+                .with("now_s", format!("{:.6}", now.as_secs_f64()))
+                .with("tenants", self.tenants.len().to_string()),
+        );
+
         let mut plans = BTreeMap::new();
         let mut assignments = BTreeMap::new();
         let mut rejected = BTreeMap::new();
 
         // Discover cross-tenant batch groups among LLM tenants first.
-        let llm_tenants: Vec<TenantRequest> = self
+        let mut llm_tenants: Vec<TenantRequest> = self
             .tenants
             .iter()
             .filter(|t| t.classify() == WorkloadClass::Llm)
             .cloned()
             .collect();
+        llm_tenants.sort_by_key(|t| t.id);
         let batch_groups = batching::group_by_model(&llm_tenants);
 
-        for t in &self.tenants {
+        // Deterministic admission order: ascending tenant id.
+        let mut pending: Vec<TenantRequest> = self
+            .tenants
+            .iter()
+            .filter(|t| !self.planned.contains_key(&t.id))
+            .cloned()
+            .collect();
+        pending.sort_by_key(|t| t.id);
+
+        for t in &pending {
             let class = t.classify();
             let devices = hetero::affinity_devices(&self.topo, class);
             // Build a filtered sub-topology view by masking queue state:
@@ -109,23 +181,29 @@ impl GlobalScheduler {
                 &SemanticsAware::new(),
             );
             // Admission control: a plan that does not fit is rejected —
-            // its load never lands, so later tenants can still admit.
+            // its load never lands, so later tenants can still admit (and
+            // the tenant stays pending for the next step).
             let violations = crate::memory::check(&plan, &self.topo, &self.state);
             if !violations.is_empty() {
                 rejected.insert(t.id, violations);
                 continue;
             }
             // Record load so the next tenant sees it: queued kernel time
-            // and pinned memory.
+            // and pinned memory — remembered per tenant so a departure
+            // can release it.
+            let mut resources = PlannedResources::default();
             for (node, loc) in &plan.placements {
                 if let Some(dev) = loc.device() {
                     let gpu = &self.topo.device(dev).spec;
-                    self.state
-                        .enqueue_work(dev, self.cost.kernel_time(plan.srg.node(*node), gpu));
+                    let secs = self.cost.kernel_time(plan.srg.node(*node), gpu);
+                    self.state.enqueue_work(dev, secs);
+                    resources.queued.push((dev, secs));
                 }
             }
             for (_, dev, bytes) in &plan.pinned_uploads {
-                let _ = self.state.alloc(&self.topo, *dev, *bytes);
+                if self.state.alloc(&self.topo, *dev, *bytes).is_ok() {
+                    resources.pinned.push((*dev, *bytes));
+                }
             }
             let used: Vec<DevId> = {
                 let mut v: Vec<DevId> = plan
@@ -137,6 +215,7 @@ impl GlobalScheduler {
                 v.dedup();
                 v
             };
+            self.planned.insert(t.id, resources);
             assignments.insert(t.id, used);
             plans.insert(t.id, plan);
         }
@@ -146,6 +225,18 @@ impl GlobalScheduler {
             batch_groups,
             assignments,
             rejected,
+        }
+    }
+
+    /// Hand back everything a planned tenant was charged for.
+    fn release(&mut self, id: u64) {
+        if let Some(resources) = self.planned.remove(&id) {
+            for (dev, bytes) in resources.pinned {
+                self.state.release(dev, bytes);
+            }
+            for (dev, secs) in resources.queued {
+                self.state.drain_work(dev, secs);
+            }
         }
     }
 }
@@ -240,6 +331,80 @@ mod tests {
         }
         // At least the first tenants admit.
         assert!(fleet.plans.len() >= 2, "admitted {}", fleet.plans.len());
+    }
+
+    #[test]
+    fn admission_order_is_deterministic_regardless_of_arrival_order() {
+        // Regression: plan_round used to iterate tenants in arrival
+        // order, so the same fleet and tenant set admitted different
+        // survivors depending on interleaving. Admission is now sorted by
+        // tenant id.
+        let plan_with_order = |ids: &[u64]| {
+            let topo = Topology::heterogeneous_fleet(1, 25e9);
+            let mut sched = GlobalScheduler::new(topo, CostModel::paper_stack());
+            for &id in ids {
+                sched.admit(request(id, Workload::LlmServing, id));
+            }
+            let fleet = sched.plan_round();
+            let admitted: Vec<u64> = fleet.plans.keys().copied().collect();
+            let rejected: Vec<u64> = fleet.rejected.keys().copied().collect();
+            (admitted, rejected, fleet.assignments)
+        };
+        let forward = plan_with_order(&[1, 2, 3, 4, 5]);
+        let shuffled = plan_with_order(&[4, 2, 5, 1, 3]);
+        assert_eq!(forward, shuffled, "admission must not depend on arrival order");
+        assert!(!forward.1.is_empty(), "the fixture must actually overflow");
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_double_charge_the_fleet() {
+        // Regression: a second plan_round used to stack queued work and
+        // pinned memory on top of the first, so tenants that fit on round
+        // one were rejected on round two.
+        let topo = Topology::heterogeneous_fleet(1, 25e9);
+        let mut sched = GlobalScheduler::new(topo, CostModel::paper_stack());
+        sched.admit(request(1, Workload::LlmServing, 1));
+        sched.admit(request(2, Workload::LlmServing, 2));
+        let first = sched.plan_round();
+        let second = sched.plan_round();
+        assert_eq!(
+            first.plans.keys().collect::<Vec<_>>(),
+            second.plans.keys().collect::<Vec<_>>(),
+            "a re-plan of the same tenant set must admit the same tenants"
+        );
+        assert_eq!(first.rejected.len(), second.rejected.len());
+    }
+
+    #[test]
+    fn step_readmits_rejected_tenants_after_departure() {
+        use genie_netsim::Nanos;
+        // Overfill the bandwidth-optimized tier, then depart admitted
+        // tenants until the rejected ones fit: each step re-checks the
+        // freed memory in ascending id order.
+        let topo = Topology::heterogeneous_fleet(1, 25e9);
+        let mut sched = GlobalScheduler::new(topo, CostModel::paper_stack());
+        let events = (1..=5u64)
+            .map(|id| FleetEvent::Admit(request(id, Workload::LlmServing, id)))
+            .collect();
+        let fleet = sched.step(Nanos::ZERO, events);
+        assert!(!fleet.rejected.is_empty(), "fixture must overflow the tier");
+        let admitted: Vec<u64> = fleet.assignments.keys().copied().collect();
+        let waiting: Vec<u64> = fleet.rejected.keys().copied().collect();
+
+        // Departing the first admitted tenant frees its slice; the
+        // lowest-id waiting tenant admits on the next step.
+        let fleet2 = sched.step(
+            Nanos::from_secs_f64(1.0),
+            vec![FleetEvent::Depart(admitted[0])],
+        );
+        assert!(
+            fleet2.plans.contains_key(&waiting[0]),
+            "freed memory must re-admit the lowest waiting id: {:?}",
+            fleet2.rejected
+        );
+        // And an empty step is a no-op: nothing pending, nothing planned.
+        let fleet3 = sched.step(Nanos::from_secs_f64(2.0), Vec::new());
+        assert!(fleet3.plans.is_empty() && fleet3.rejected.is_empty());
     }
 
     #[test]

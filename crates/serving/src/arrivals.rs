@@ -1,0 +1,112 @@
+//! Seeded open-loop arrival generation.
+//!
+//! Inter-arrival gaps are exponential (Poisson process) drawn from the
+//! repo's [`XorShift64`] generator — no wall clock, no global RNG — so a
+//! seed fully determines the offered trace. Prompt contents and lengths
+//! come from the same stream, which keeps the whole trace replayable
+//! from a single `u64`.
+
+use crate::request::ServingRequest;
+use genie_netsim::{Nanos, XorShift64};
+
+/// Parameters of a synthetic open-loop arrival trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalConfig {
+    /// PRNG seed; same seed ⇒ identical trace.
+    pub seed: u64,
+    /// Mean offered load in requests per second (must be positive).
+    pub rate_per_s: f64,
+    /// Generation stops at the first arrival past this horizon.
+    pub horizon: Nanos,
+    /// Inclusive (min, max) prompt length in tokens.
+    pub prompt_len: (usize, usize),
+    /// Inclusive (min, max) total generated tokens per request.
+    pub decode_tokens: (usize, usize),
+    /// Vocabulary size prompts are drawn from.
+    pub vocab: usize,
+    /// Requests round-robin over this many tenant ids.
+    pub tenants: u64,
+}
+
+impl ArrivalConfig {
+    /// Materialize the trace: requests sorted by arrival time with ids
+    /// assigned in arrival order starting at 1.
+    pub fn generate(&self) -> Vec<ServingRequest> {
+        assert!(self.rate_per_s > 0.0, "arrival rate must be positive");
+        assert!(self.prompt_len.0 >= 1 && self.prompt_len.0 <= self.prompt_len.1);
+        assert!(self.decode_tokens.0 >= 1 && self.decode_tokens.0 <= self.decode_tokens.1);
+        assert!(self.vocab >= 2, "vocab too small");
+        assert!(self.tenants >= 1, "need at least one tenant");
+
+        let mut rng = XorShift64::new(self.seed);
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        let mut id = 1u64;
+        loop {
+            // Inverse-CDF exponential gap; 1 - u ∈ (0, 1] so ln is finite.
+            let u = rng.next_f64();
+            t += -(1.0 - u).ln() / self.rate_per_s;
+            let at = Nanos::from_secs_f64(t);
+            if at > self.horizon {
+                break;
+            }
+            let span = |lo: usize, hi: usize, rng: &mut XorShift64| {
+                lo + rng.next_below((hi - lo + 1) as u64) as usize
+            };
+            let plen = span(self.prompt_len.0, self.prompt_len.1, &mut rng);
+            let prompt = (0..plen)
+                .map(|_| rng.next_below(self.vocab as u64) as i64)
+                .collect();
+            let total = span(self.decode_tokens.0, self.decode_tokens.1, &mut rng);
+            out.push(ServingRequest {
+                id,
+                tenant: (id - 1) % self.tenants,
+                arrival: at,
+                prompt,
+                total_tokens: total,
+            });
+            id += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> ArrivalConfig {
+        ArrivalConfig {
+            seed,
+            rate_per_s: 50.0,
+            horizon: Nanos::from_secs_f64(1.0),
+            prompt_len: (2, 6),
+            decode_tokens: (1, 4),
+            vocab: 32,
+            tenants: 3,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        assert_eq!(cfg(9).generate(), cfg(9).generate());
+        assert_ne!(cfg(9).generate(), cfg(10).generate());
+    }
+
+    #[test]
+    fn trace_is_sorted_bounded_and_well_formed() {
+        let reqs = cfg(4).generate();
+        assert!(reqs.len() > 10, "50 req/s over 1 s should yield dozens");
+        let mut prev = Nanos::ZERO;
+        for r in &reqs {
+            assert!(r.arrival >= prev);
+            prev = r.arrival;
+            assert!((2..=6).contains(&r.prompt.len()));
+            assert!((1..=4).contains(&r.total_tokens));
+            assert!(r.prompt.iter().all(|&t| (0..32).contains(&t)));
+            assert!(r.tenant < 3);
+        }
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (1..=reqs.len() as u64).collect::<Vec<_>>());
+    }
+}

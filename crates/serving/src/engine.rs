@@ -1,0 +1,842 @@
+//! The continuous-batching serving loop.
+//!
+//! A deterministic discrete-event engine in the Orca/vLLM mold, scaled
+//! to the repo's simulation plane: requests arrive on a virtual clock,
+//! queue for admission under an SLO budget, and decode *together* —
+//! every admitted request contributes one token per batched step, with
+//! late arrivals joining mid-flight (continuous batching) instead of
+//! waiting for the current batch to drain.
+//!
+//! Two execution planes share the one loop, mirroring the rest of the
+//! repo:
+//!
+//! - **Functional** ([`ServingModel::Functional`]): a tiny
+//!   [`TransformerLm`] with real weights; prefill and decode capture and
+//!   execute real SRGs, so the loop's tokens can be pinned bit-for-bit
+//!   against the sequential [`generate`](TransformerLm::generate)
+//!   oracle.
+//! - **Spec** ([`ServingModel::Spec`]): paper-scale configs (GPT-J-6B)
+//!   where only the roofline cost of each batched step is simulated and
+//!   tokens are synthesized deterministically.
+//!
+//! KV residency is explicit: each lane (device) has a byte capacity;
+//! under pressure the least-recently-stepped request is evicted and
+//! re-queued, and on readmission it *re-prefills* over prompt +
+//! generated prefix — the lineage-style re-materialization the repo's
+//! incremental-decode ≡ full-forward equivalence guarantees is exact.
+//!
+//! Determinism contract: no wall clock, no global RNG, `BTreeMap`
+//! iteration everywhere ties break by request id. Same requests + same
+//! config ⇒ byte-identical event log, a property the test suite replays.
+
+use crate::kv::KvLedger;
+use crate::report::ServingReport;
+use crate::request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
+use genie_backend::{batched_step_time, StepWork};
+use genie_cluster::GpuSpec;
+use genie_frontend::capture::CaptureCtx;
+use genie_models::{KvState, TransformerConfig, TransformerLm};
+use genie_netsim::{FaultPlan, FaultSpec, Nanos, XorShift64};
+use genie_telemetry::{SemAttrs, SpanKind, SpanRecord, Track, DEFAULT_TIME_BOUNDS};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The model a serving loop executes.
+#[derive(Clone, Debug)]
+pub enum ServingModel {
+    /// Tiny functional LM: real arithmetic, oracle-comparable tokens.
+    Functional(TransformerLm),
+    /// Paper-scale spec config: roofline costs, synthesized tokens.
+    Spec(TransformerConfig),
+}
+
+impl ServingModel {
+    /// The architecture config (either plane).
+    pub fn config(&self) -> &TransformerConfig {
+        match self {
+            ServingModel::Functional(m) => &m.config,
+            ServingModel::Spec(c) => c,
+        }
+    }
+
+    /// Whether this plane executes real arithmetic.
+    pub fn is_functional(&self) -> bool {
+        matches!(self, ServingModel::Functional(_))
+    }
+}
+
+/// Static configuration of one serving loop.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Decode lanes (devices serving replicas of the model).
+    pub lanes: u32,
+    /// Max requests batched per lane per step.
+    pub max_batch: usize,
+    /// Batched pricing (weights read once per step) vs. sequential
+    /// per-member pricing — the ablation knob for the batching win.
+    pub batched: bool,
+    /// KV-cache byte capacity per lane.
+    pub kv_capacity_bytes: u64,
+    /// SLO budget: max time a request may sit queued before shedding.
+    pub queue_budget: Nanos,
+    /// Queue length cap; arrivals beyond it shed immediately.
+    pub max_queue: usize,
+    /// Accelerator executing each lane.
+    pub gpu: GpuSpec,
+    /// Client↔server link bandwidth in bits/s.
+    pub link_bandwidth_bps: f64,
+    /// Client↔server one-way link latency in seconds.
+    pub link_latency_s: f64,
+    /// Optional fault schedule; lane `l` maps to the link between host 0
+    /// (client) and host `1 + l` (its server).
+    pub fault_plan: Option<FaultPlan>,
+    /// Record `genie_serving_*` metrics and spans into the process-global
+    /// telemetry sinks (the report always carries its own copies).
+    pub record_telemetry: bool,
+}
+
+impl ServingConfig {
+    /// One A100 lane behind the paper's 25 Gbps / 250 µs testbed link,
+    /// batch 8, 8 GiB of KV, a 2 s queue budget.
+    pub fn paper_testbed() -> Self {
+        ServingConfig {
+            lanes: 1,
+            max_batch: 8,
+            batched: true,
+            kv_capacity_bytes: 8 << 30,
+            queue_budget: Nanos::from_secs_f64(2.0),
+            max_queue: 256,
+            gpu: GpuSpec::a100_80gb(),
+            link_bandwidth_bps: 25e9,
+            link_latency_s: 250e-6,
+            fault_plan: None,
+            record_telemetry: true,
+        }
+    }
+}
+
+/// One request's in-flight state (queued or active).
+#[derive(Clone, Debug)]
+struct Job {
+    req: ServingRequest,
+    tokens: Vec<i64>,
+    kv: Option<KvState>,
+    ttft: Option<Nanos>,
+    enqueued_at: Nanos,
+    last_step: u64,
+    lane: u32,
+}
+
+impl Job {
+    fn new(req: ServingRequest) -> Self {
+        let enqueued_at = req.arrival;
+        Job {
+            req,
+            tokens: Vec::new(),
+            kv: None,
+            ttft: None,
+            enqueued_at,
+            last_step: 0,
+            lane: 0,
+        }
+    }
+
+    /// Resident KV tokens this job will hold after its next step: a
+    /// resident job grows by one; a non-resident one (re)prefills over
+    /// prompt + all-but-the-last generated token (the last token is the
+    /// next decode input, its KV not yet written).
+    fn next_resident_tokens(&self, resident_now: u64) -> u64 {
+        if resident_now > 0 {
+            resident_now + 1
+        } else {
+            (self.req.prompt.len() + self.tokens.len().saturating_sub(1)) as u64
+        }
+    }
+}
+
+/// The serving engine: construct once, [`run`](Self::run) a trace.
+pub struct ServingLoop {
+    model: ServingModel,
+    config: ServingConfig,
+}
+
+impl ServingLoop {
+    /// Build a loop for `model` under `config`.
+    pub fn new(model: ServingModel, config: ServingConfig) -> Self {
+        assert!(config.lanes >= 1, "need at least one lane");
+        assert!(config.max_batch >= 1, "need batch capacity of at least 1");
+        assert!(config.max_queue >= 1, "need queue capacity of at least 1");
+        ServingLoop { model, config }
+    }
+
+    /// The configured model.
+    pub fn model(&self) -> &ServingModel {
+        &self.model
+    }
+
+    /// Drive `requests` (any order; sorted internally) to completion and
+    /// return the full report. Every request ends with exactly one
+    /// terminal outcome: completed or shed with a typed reason.
+    pub fn run(&self, requests: &[ServingRequest]) -> ServingReport {
+        let cfg = self.model.config().clone();
+        let kv_bytes = cfg.kv_bytes_per_token();
+        let lanes = self.config.lanes as usize;
+
+        let mut pending: Vec<ServingRequest> = requests.to_vec();
+        pending.sort_by_key(|r| (r.arrival, r.id));
+        for r in &pending {
+            assert!(!r.prompt.is_empty(), "request {} has empty prompt", r.id);
+            assert!(r.total_tokens >= 1, "request {} asks for 0 tokens", r.id);
+        }
+        {
+            let mut ids: Vec<u64> = pending.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), pending.len(), "request ids must be unique");
+        }
+        let mut pending: VecDeque<ServingRequest> = pending.into();
+
+        let mut ledger = KvLedger::new(lanes, self.config.kv_capacity_bytes, kv_bytes);
+        let mut queue: VecDeque<Job> = VecDeque::new();
+        let mut active: BTreeMap<u64, Job> = BTreeMap::new();
+        let mut report = ServingReport::default();
+        let mut now = Nanos::ZERO;
+        let mut steps = 0u64;
+        let mut span_id = 1u64;
+        let mut chaos_rng = XorShift64::new(
+            self.config
+                .fault_plan
+                .as_ref()
+                .map_or(1, |p| p.seed ^ 0x5e21_1a7e),
+        );
+
+        loop {
+            // 1. Pump arrivals due by `now` into the queue (or shed on a
+            //    full queue).
+            while pending.front().is_some_and(|r| r.arrival <= now) {
+                let req = pending.pop_front().expect("front checked");
+                push_event(&mut report, req.arrival, req.id, EventKind::Arrive, &ledger);
+                if queue.len() >= self.config.max_queue {
+                    self.shed(&mut report, &ledger, req.id, ShedReason::QueueFull, now);
+                } else {
+                    queue.push_back(Job::new(req));
+                }
+            }
+
+            // 2. Shed queued requests that already blew the SLO budget —
+            //    *before* admission, so no admitted request has waited
+            //    longer than the budget.
+            let budget = self.config.queue_budget;
+            let mut kept: VecDeque<Job> = VecDeque::new();
+            while let Some(job) = queue.pop_front() {
+                if now.saturating_sub(job.enqueued_at) > budget {
+                    self.shed(&mut report, &ledger, job.req.id, ShedReason::QueueOverSlo, now);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            queue = kept;
+
+            // 3. Admit FIFO onto the emptiest lane with batch headroom.
+            while let Some(front) = queue.front() {
+                let need = front.next_resident_tokens(0);
+                if need * kv_bytes > self.config.kv_capacity_bytes {
+                    let job = queue.pop_front().expect("front checked");
+                    self.shed(&mut report, &ledger, job.req.id, ShedReason::KvCapacity, now);
+                    continue;
+                }
+                let mut best: Option<(usize, u32)> = None;
+                for lane in 0..self.config.lanes {
+                    let members = active.values().filter(|j| j.lane == lane).count();
+                    if members < self.config.max_batch
+                        && best.is_none_or(|(m, _)| members < m)
+                    {
+                        best = Some((members, lane));
+                    }
+                }
+                let Some((_, lane)) = best else { break };
+                let mut job = queue.pop_front().expect("front checked");
+                job.lane = lane;
+                push_event(
+                    &mut report,
+                    now,
+                    job.req.id,
+                    EventKind::Admit { lane },
+                    &ledger,
+                );
+                active.insert(job.req.id, job);
+            }
+
+            // 4. Idle: jump the clock to the next arrival, or drain out.
+            if active.is_empty() {
+                if let Some(next) = pending.front() {
+                    now = next.arrival;
+                    continue;
+                }
+                // Unreachable in practice (an empty fleet always admits or
+                // sheds the whole queue above), but guarantee termination
+                // with a terminal outcome for every request regardless.
+                while let Some(job) = queue.pop_front() {
+                    self.shed(&mut report, &ledger, job.req.id, ShedReason::QueueOverSlo, now);
+                }
+                break;
+            }
+
+            // 5. Enforce per-lane KV capacity for the upcoming step: LRU
+            //    eviction (least-recently-stepped, ties by id) until the
+            //    after-step working set fits; a lone member that can
+            //    never fit is shed.
+            for lane in 0..self.config.lanes {
+                loop {
+                    let mut needed = 0u64;
+                    let mut members = 0usize;
+                    for j in active.values().filter(|j| j.lane == lane) {
+                        needed += j.next_resident_tokens(ledger.resident_tokens(lane as usize, j.req.id));
+                        members += 1;
+                    }
+                    if needed * kv_bytes <= self.config.kv_capacity_bytes || members == 0 {
+                        break;
+                    }
+                    if members == 1 {
+                        let id = active
+                            .values()
+                            .find(|j| j.lane == lane)
+                            .expect("counted above")
+                            .req
+                            .id;
+                        active.remove(&id);
+                        ledger.evict(lane as usize, id);
+                        self.shed(&mut report, &ledger, id, ShedReason::KvCapacity, now);
+                        break;
+                    }
+                    let victim = active
+                        .values()
+                        .filter(|j| j.lane == lane)
+                        .min_by_key(|j| (j.last_step, j.req.id))
+                        .expect("members >= 2")
+                        .req
+                        .id;
+                    let mut job = active.remove(&victim).expect("victim is active");
+                    ledger.evict(lane as usize, victim);
+                    job.kv = None;
+                    job.enqueued_at = now;
+                    report.preemptions += 1;
+                    push_event(&mut report, now, victim, EventKind::Preempt, &ledger);
+                    if self.config.record_telemetry {
+                        genie_telemetry::global()
+                            .metrics
+                            .counter("genie_serving_preempt_total", &[])
+                            .inc();
+                    }
+                    queue.push_back(job);
+                }
+            }
+
+            // Rosters: member ids per lane, ascending (BTreeMap order).
+            let rosters: Vec<Vec<u64>> = (0..self.config.lanes)
+                .map(|lane| {
+                    active
+                        .values()
+                        .filter(|j| j.lane == lane)
+                        .map(|j| j.req.id)
+                        .collect()
+                })
+                .collect();
+            if rosters.iter().all(|r| r.is_empty()) {
+                continue; // everything shed under KV pressure; re-admit
+            }
+
+            // 6. Price each lane's batched step on the roofline model,
+            //    then degrade through the fault schedule: derates slow
+            //    the wire, jitter adds seeded latency, and a severed link
+            //    stalls the lane until its outage window closes.
+            let mut lane_secs = vec![0.0f64; lanes];
+            for (lane, roster) in rosters.iter().enumerate() {
+                if roster.is_empty() {
+                    continue;
+                }
+                let mut prefill_members = 0u64;
+                let mut prefill_tokens = 0u64;
+                let mut decode_members = 0u64;
+                let mut kv_resident_tokens = 0u64;
+                for id in roster {
+                    let job = &active[id];
+                    let resident = ledger.resident_tokens(lane, *id);
+                    if resident > 0 {
+                        decode_members += 1;
+                        kv_resident_tokens += resident;
+                    } else {
+                        prefill_members += 1;
+                        prefill_tokens += job.next_resident_tokens(0);
+                    }
+                }
+                let work = StepWork {
+                    prefill_members,
+                    prefill_tokens,
+                    decode_members,
+                    kv_resident_tokens,
+                };
+                let cost = batched_step_time(
+                    &cfg,
+                    &work,
+                    &self.config.gpu,
+                    self.config.link_bandwidth_bps,
+                    self.config.link_latency_s,
+                    self.config.batched,
+                );
+                let mut secs = cost.total_s();
+                if let Some(plan) = &self.config.fault_plan {
+                    let host = 1 + lane as u32;
+                    let mut derate = 1.0f64;
+                    let mut jitter = 0.0f64;
+                    for fault in plan.faults_for(0, host) {
+                        match fault {
+                            FaultSpec::Derate { factor, .. } => derate *= factor.max(1e-3),
+                            FaultSpec::Jitter { max, .. } => {
+                                jitter += chaos_rng.next_f64() * max.as_secs_f64();
+                            }
+                            _ => {}
+                        }
+                    }
+                    secs = cost.compute_s + cost.network_s / derate + jitter;
+                    // A severed link stalls the lane until every outage
+                    // window containing the stall point has closed.
+                    let mut resume = now;
+                    loop {
+                        let mut blocked: Option<Nanos> = None;
+                        for fault in plan.faults_for(0, host) {
+                            if let Some((from, until)) = fault.window() {
+                                if resume >= from && resume < until {
+                                    blocked =
+                                        Some(blocked.map_or(until, |b: Nanos| b.max(until)));
+                                }
+                            }
+                        }
+                        match blocked {
+                            Some(until) => resume = until,
+                            None => break,
+                        }
+                    }
+                    secs += resume.saturating_sub(now).as_secs_f64();
+                }
+                lane_secs[lane] = secs;
+            }
+
+            // Lanes step in parallel; the loop ticks at the slowest lane.
+            let step_secs = lane_secs.iter().copied().fold(0.0f64, f64::max);
+            let step_dur = Nanos::from_secs_f64(step_secs);
+            let step_end = now + step_dur;
+
+            // 7. Execute every member: prefill (fresh or re-prefill) or
+            //    one incremental decode step, in ascending request id.
+            let mut finished: Vec<(u64, usize)> = Vec::new();
+            for (lane, roster) in rosters.iter().enumerate() {
+                for id in roster {
+                    let resident = ledger.resident_tokens(lane, *id);
+                    let job = active.get_mut(id).expect("rostered");
+                    if resident == 0 {
+                        let generated = job.tokens.len();
+                        let mut seq = job.req.prompt.clone();
+                        if generated > 0 {
+                            seq.extend_from_slice(&job.tokens[..generated - 1]);
+                            report.reprefills += 1;
+                            push_event(&mut report, now, *id, EventKind::Reprefill, &ledger);
+                            if self.config.record_telemetry {
+                                genie_telemetry::global()
+                                    .metrics
+                                    .counter("genie_serving_reprefill_total", &[])
+                                    .inc();
+                            }
+                        }
+                        match &self.model {
+                            ServingModel::Functional(m) => {
+                                let (token, kv) = prefill_exec(m, &seq);
+                                job.kv = Some(kv);
+                                if generated == 0 {
+                                    job.tokens.push(token);
+                                }
+                                // A re-prefill's sampled token reproduces
+                                // the already-generated prefix tail; the
+                                // differential suite catches divergence.
+                            }
+                            ServingModel::Spec(_) => {
+                                if generated == 0 {
+                                    job.tokens.push(synth_token(&cfg, *id, 0));
+                                }
+                            }
+                        }
+                        ledger.set(lane, *id, seq.len() as u64);
+                        if generated == 0 {
+                            let ttft = step_end.saturating_sub(job.req.arrival);
+                            job.ttft = Some(ttft);
+                            let value = *job.tokens.last().expect("first token pushed");
+                            push_event(
+                                &mut report,
+                                step_end,
+                                *id,
+                                EventKind::Token { value },
+                                &ledger,
+                            );
+                            self.record_token(ttft.as_secs_f64(), step_secs, true);
+                        }
+                    } else {
+                        let last = *job.tokens.last().expect("resident implies generated");
+                        let token = match &self.model {
+                            ServingModel::Functional(m) => {
+                                let kv = job.kv.as_ref().expect("functional resident KV");
+                                let (token, kv_next) = decode_exec(m, last, kv);
+                                job.kv = Some(kv_next);
+                                token
+                            }
+                            ServingModel::Spec(_) => synth_token(&cfg, *id, job.tokens.len()),
+                        };
+                        job.tokens.push(token);
+                        ledger.set(lane, *id, resident + 1);
+                        push_event(
+                            &mut report,
+                            step_end,
+                            *id,
+                            EventKind::Token { value: token },
+                            &ledger,
+                        );
+                        self.record_token(0.0, step_secs, false);
+                    }
+                    job.last_step = steps + 1;
+                    if job.tokens.len() >= job.req.total_tokens {
+                        finished.push((*id, lane));
+                    }
+                }
+            }
+
+            // 8. Retire completions: free KV, record outcomes.
+            for (id, lane) in finished {
+                let job = active.remove(&id).expect("finished job is active");
+                ledger.evict(lane, id);
+                report.outcomes.insert(
+                    id,
+                    Outcome::Completed {
+                        tokens: job.tokens,
+                        ttft: job.ttft.expect("completed implies first token"),
+                        finished: step_end,
+                    },
+                );
+                push_event(&mut report, step_end, id, EventKind::Complete, &ledger);
+                if self.config.record_telemetry {
+                    genie_telemetry::global()
+                        .metrics
+                        .counter("genie_serving_requests_total", &[("outcome", "completed")])
+                        .inc();
+                }
+            }
+
+            // 9. Emit one serving span per busy lane with deterministic
+            //    ids on the lane's device track.
+            for (lane, roster) in rosters.iter().enumerate() {
+                if roster.is_empty() {
+                    continue;
+                }
+                let record = SpanRecord {
+                    id: span_id,
+                    parent: None,
+                    name: "serving.step".into(),
+                    category: "serving".into(),
+                    kind: SpanKind::Span,
+                    track: Track::Device(lane as u32),
+                    start_ns: now.0,
+                    dur_ns: step_dur.0,
+                    attrs: SemAttrs::new()
+                        .phase("llm_decode")
+                        .device(lane as u32)
+                        .with("members", roster.len().to_string())
+                        .with("step", steps.to_string()),
+                    thread: 1,
+                    seq: span_id,
+                };
+                span_id += 1;
+                if self.config.record_telemetry {
+                    genie_telemetry::global().collector.push(record.clone());
+                }
+                report.spans.push(record);
+            }
+            if self.config.record_telemetry {
+                genie_telemetry::global()
+                    .metrics
+                    .counter("genie_serving_steps_total", &[])
+                    .inc();
+            }
+
+            now = step_end;
+            steps += 1;
+            assert!(steps < 10_000_000, "serving loop failed to converge");
+        }
+
+        report.makespan = now;
+        report.steps = steps;
+        report.peak_kv_bytes = ledger.peak_bytes();
+        report
+    }
+
+    fn shed(
+        &self,
+        report: &mut ServingReport,
+        ledger: &KvLedger,
+        id: u64,
+        reason: ShedReason,
+        at: Nanos,
+    ) {
+        report.outcomes.insert(id, Outcome::Shed { reason, at });
+        push_event(report, at, id, EventKind::Shed(reason), ledger);
+        if self.config.record_telemetry {
+            let t = genie_telemetry::global();
+            t.metrics
+                .counter("genie_serving_requests_total", &[("outcome", "shed")])
+                .inc();
+            t.metrics
+                .counter("genie_serving_shed_total", &[("reason", reason.as_str())])
+                .inc();
+        }
+    }
+
+    fn record_token(&self, ttft_s: f64, step_s: f64, first: bool) {
+        if !self.config.record_telemetry {
+            return;
+        }
+        let t = genie_telemetry::global();
+        t.metrics.counter("genie_serving_tokens_total", &[]).inc();
+        t.metrics
+            .histogram(
+                "genie_serving_token_latency_seconds",
+                &[],
+                &DEFAULT_TIME_BOUNDS,
+            )
+            .observe(step_s);
+        if first {
+            t.metrics
+                .histogram("genie_serving_ttft_seconds", &[], &DEFAULT_TIME_BOUNDS)
+                .observe(ttft_s);
+        }
+    }
+}
+
+fn push_event(report: &mut ServingReport, at: Nanos, request: u64, kind: EventKind, ledger: &KvLedger) {
+    report.events.push(LogEvent {
+        at,
+        request,
+        kind,
+        kv_resident_bytes: ledger.total_bytes(),
+    });
+}
+
+/// Deterministic synthetic token for the spec plane: a fixed mix of
+/// request id and position, reduced into the vocabulary.
+fn synth_token(cfg: &TransformerConfig, id: u64, position: usize) -> i64 {
+    let mixed = id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(position as u64 * 31 + 7);
+    (mixed % cfg.vocab as u64) as i64
+}
+
+/// Execute one prefill over `seq`: capture, run the interpreter, return
+/// the sampled token and the materialized KV cache. Mirrors the capture
+/// discipline of [`TransformerLm::generate`] exactly so the serving
+/// loop's numerics are pinned to the sequential oracle.
+fn prefill_exec(m: &TransformerLm, seq: &[i64]) -> (i64, KvState) {
+    let ctx = CaptureCtx::new("serving.prefill");
+    let cap = m.capture_prefill(&ctx, seq);
+    let sampled = cap.logits.sample();
+    sampled.mark_output();
+    for (k, v) in cap.k_caches.iter().zip(&cap.v_caches) {
+        k.mark_output();
+        v.mark_output();
+    }
+    let captured = ctx.finish();
+    let values = genie_frontend::interp::execute(&captured.srg, &captured.values)
+        .expect("serving prefill executes");
+    let token = values[&sampled.node].as_i("sampled token").data()[0];
+    let kv = KvState {
+        k: cap
+            .k_caches
+            .iter()
+            .map(|lt| values[&lt.node].as_f("k cache").clone())
+            .collect(),
+        v: cap
+            .v_caches
+            .iter()
+            .map(|lt| values[&lt.node].as_f("v cache").clone())
+            .collect(),
+    };
+    (token, kv)
+}
+
+/// Execute one incremental decode step for `token` against `kv`,
+/// returning the next token and the grown KV cache.
+fn decode_exec(m: &TransformerLm, token: i64, kv: &KvState) -> (i64, KvState) {
+    let ctx = CaptureCtx::new("serving.decode");
+    let cap = m.capture_decode_step(&ctx, token, kv);
+    let sampled = cap.logits.sample();
+    sampled.mark_output();
+    let captured = ctx.finish();
+    let values = genie_frontend::interp::execute(&captured.srg, &captured.values)
+        .expect("serving decode executes");
+    let next = values[&sampled.node].as_i("sampled token").data()[0];
+    let kv_next = KvState {
+        k: cap
+            .k_caches
+            .iter()
+            .map(|lt| values[&lt.node].as_f("k cache").clone())
+            .collect(),
+        v: cap
+            .v_caches
+            .iter()
+            .map(|lt| values[&lt.node].as_f("v cache").clone())
+            .collect(),
+    };
+    (next, kv_next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalConfig;
+
+    fn burst(n: u64, prompt_len: usize, total: usize) -> Vec<ServingRequest> {
+        (1..=n)
+            .map(|id| ServingRequest {
+                id,
+                tenant: 0,
+                arrival: Nanos::ZERO,
+                prompt: (0..prompt_len).map(|i| (id as i64 + i as i64) % 32).collect(),
+                total_tokens: total,
+            })
+            .collect()
+    }
+
+    fn spec_config() -> ServingConfig {
+        let mut c = ServingConfig::paper_testbed();
+        c.record_telemetry = false;
+        c
+    }
+
+    #[test]
+    fn spec_burst_completes_everyone() {
+        let cfg = TransformerConfig::gptj_6b();
+        let reqs = burst(6, 16, 8);
+        let report = ServingLoop::new(ServingModel::Spec(cfg), spec_config()).run(&reqs);
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.shed(), 0);
+        assert_eq!(report.tokens_generated(), 6 * 8);
+        assert!(report.makespan > Nanos::ZERO);
+        assert!(report.steps >= 8, "8 decode rounds minimum");
+        for id in 1..=6 {
+            assert_eq!(report.tokens_for(id).map(<[i64]>::len), Some(8));
+        }
+    }
+
+    #[test]
+    fn batched_pricing_beats_sequential() {
+        let cfg = TransformerConfig::gptj_6b();
+        let reqs = burst(8, 16, 16);
+        let batched = ServingLoop::new(ServingModel::Spec(cfg.clone()), spec_config()).run(&reqs);
+        let mut seq_cfg = spec_config();
+        seq_cfg.batched = false;
+        let sequential = ServingLoop::new(ServingModel::Spec(cfg), seq_cfg).run(&reqs);
+        assert!(
+            batched.tokens_per_s() > 2.0 * sequential.tokens_per_s(),
+            "batching must amortize weight reads: {} vs {}",
+            batched.tokens_per_s(),
+            sequential.tokens_per_s()
+        );
+    }
+
+    #[test]
+    fn queue_full_and_slo_shedding_are_typed() {
+        let cfg = TransformerConfig::gptj_6b();
+        let mut conf = spec_config();
+        conf.max_batch = 1;
+        conf.max_queue = 2;
+        conf.queue_budget = Nanos::from_millis(1);
+        let reqs = burst(8, 16, 64);
+        let report = ServingLoop::new(ServingModel::Spec(cfg), conf).run(&reqs);
+        assert_eq!(report.outcomes.len(), 8, "every request terminal");
+        assert!(report.shed() >= 5, "overload must shed: {}", report.shed());
+        let reasons: Vec<ShedReason> = report
+            .outcomes
+            .values()
+            .filter_map(|o| match o {
+                Outcome::Shed { reason, .. } => Some(*reason),
+                Outcome::Completed { .. } => None,
+            })
+            .collect();
+        assert!(reasons.contains(&ShedReason::QueueFull));
+    }
+
+    #[test]
+    fn oversized_request_sheds_for_kv_capacity() {
+        let cfg = TransformerConfig::gptj_6b();
+        let mut conf = spec_config();
+        // Capacity below even one request's prompt KV.
+        conf.kv_capacity_bytes = cfg.kv_bytes_per_token() * 4;
+        let reqs = burst(2, 16, 4);
+        let report = ServingLoop::new(ServingModel::Spec(cfg), conf).run(&reqs);
+        assert_eq!(report.completed(), 0);
+        assert!(report
+            .outcomes
+            .values()
+            .all(|o| matches!(o, Outcome::Shed { reason: ShedReason::KvCapacity, .. })));
+    }
+
+    #[test]
+    fn kv_pressure_preempts_and_recovers_in_spec_plane() {
+        let cfg = TransformerConfig::gptj_6b();
+        let mut conf = spec_config();
+        conf.max_batch = 2;
+        // Both requests fit at admission, but their KV grows past the
+        // capacity mid-decode: the LRU evictor must preempt one *after*
+        // it has generated tokens, forcing a genuine re-prefill later.
+        conf.kv_capacity_bytes = cfg.kv_bytes_per_token() * 20;
+        conf.queue_budget = Nanos::from_secs_f64(30.0);
+        let capacity = conf.kv_capacity_bytes;
+        let reqs = burst(2, 4, 16);
+        let report = ServingLoop::new(ServingModel::Spec(cfg), conf).run(&reqs);
+        assert_eq!(report.completed(), 2, "{:?}", report.outcomes);
+        assert!(report.preemptions >= 1, "pressure must evict");
+        assert!(report.reprefills >= 1, "evictees must re-prefill");
+        assert!(report.peak_kv_bytes <= capacity, "ledger bound");
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let arr = ArrivalConfig {
+            seed: 11,
+            rate_per_s: 40.0,
+            horizon: Nanos::from_secs_f64(0.5),
+            prompt_len: (4, 12),
+            decode_tokens: (2, 8),
+            vocab: 50400,
+            tenants: 3,
+        };
+        let cfg = TransformerConfig::gptj_6b();
+        let reqs = arr.generate();
+        let a = ServingLoop::new(ServingModel::Spec(cfg.clone()), spec_config()).run(&reqs);
+        let b = ServingLoop::new(ServingModel::Spec(cfg), spec_config()).run(&reqs);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.spans.len(), b.spans.len());
+    }
+
+    #[test]
+    fn functional_matches_generate_for_a_solo_request() {
+        let m = TransformerLm::new_functional(TransformerConfig::tiny(), 42);
+        let prompt = vec![1, 2, 3];
+        let oracle = m.generate(&prompt, 5);
+        let reqs = vec![ServingRequest {
+            id: 1,
+            tenant: 0,
+            arrival: Nanos::ZERO,
+            prompt,
+            total_tokens: 5,
+        }];
+        let report =
+            ServingLoop::new(ServingModel::Functional(m), spec_config()).run(&reqs);
+        assert_eq!(report.tokens_for(1), Some(oracle.as_slice()));
+    }
+}

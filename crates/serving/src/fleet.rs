@@ -1,0 +1,122 @@
+//! Fleet admission glue: binding a serving tenant through the global
+//! scheduler before its loop starts.
+//!
+//! The serving loop itself is fleet-agnostic (lanes + capacities); this
+//! module asks [`GlobalScheduler`] — memory admission control included —
+//! which devices a tenant may occupy, and converts the answer into lane
+//! count and per-lane KV budget (device memory minus resident weights).
+//! A refused tenant sheds its whole trace with
+//! [`ShedReason::AdmissionRejected`](crate::ShedReason::AdmissionRejected).
+
+use genie_cluster::{DevId, Topology};
+use genie_models::TransformerConfig;
+use genie_netsim::Nanos;
+use genie_scheduler::global::tenant::TenantRequest;
+use genie_scheduler::global::{FleetEvent, GlobalScheduler};
+
+/// The fleet's answer for one serving tenant.
+#[derive(Clone, Debug)]
+pub struct FleetBinding {
+    /// Whether admission control accepted the tenant.
+    pub admitted: bool,
+    /// Devices assigned (empty when refused).
+    pub devices: Vec<DevId>,
+    /// Serving lanes — one per assigned device.
+    pub lanes: u32,
+    /// Per-lane KV byte budget: the tightest assigned device's memory
+    /// after the model's weights are resident.
+    pub kv_capacity_bytes: u64,
+}
+
+/// Admit `tenant` through the global scheduler at virtual time `now` and
+/// derive the serving-loop geometry from its device assignment.
+pub fn bind_tenant(
+    sched: &mut GlobalScheduler,
+    topo: &Topology,
+    model: &TransformerConfig,
+    tenant: TenantRequest,
+    now: Nanos,
+) -> FleetBinding {
+    let id = tenant.id;
+    let plan = sched.step(now, vec![FleetEvent::Admit(tenant)]);
+    match plan.assignments.get(&id) {
+        Some(devices) if !devices.is_empty() && !plan.rejected.contains_key(&id) => {
+            let per_lane = devices
+                .iter()
+                .map(|d| {
+                    topo.device(*d)
+                        .spec
+                        .mem_capacity
+                        .saturating_sub(model.weight_bytes())
+                })
+                .min()
+                .unwrap_or(0);
+            FleetBinding {
+                admitted: per_lane > 0,
+                lanes: devices.len() as u32,
+                devices: devices.clone(),
+                kv_capacity_bytes: per_lane,
+            }
+        }
+        _ => FleetBinding {
+            admitted: false,
+            devices: Vec::new(),
+            lanes: 0,
+            kv_capacity_bytes: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ServingReport;
+    use crate::request::{Outcome, ServingRequest, ShedReason};
+    use genie_models::Workload;
+    use genie_scheduler::global::tenant::Slo;
+    use genie_scheduler::CostModel;
+
+    #[test]
+    fn llm_tenant_binds_with_kv_headroom() {
+        let topo = Topology::heterogeneous_fleet(2, 25e9);
+        let mut sched = GlobalScheduler::new(topo.clone(), CostModel::paper_stack());
+        let cfg = TransformerConfig::gptj_6b();
+        let tenant = TenantRequest {
+            id: 1,
+            name: "llm".into(),
+            srg: Workload::LlmServing.spec_graph(),
+            slo: Slo::Interactive,
+            model_fingerprint: 7,
+        };
+        let binding = bind_tenant(&mut sched, &topo, &cfg, tenant, Nanos::ZERO);
+        assert!(binding.admitted, "roomy fleet must admit one LLM tenant");
+        assert!(binding.lanes >= 1);
+        assert_eq!(binding.lanes as usize, binding.devices.len());
+        // Every fleet device keeps >10 GiB of KV headroom beyond the
+        // ~12.1 GB of GPT-J weights (the smallest part is the 24 GiB L4).
+        assert!(
+            binding.kv_capacity_bytes > 10 << 30,
+            "kv budget {}",
+            binding.kv_capacity_bytes
+        );
+    }
+
+    #[test]
+    fn refused_tenant_sheds_whole_trace_with_typed_reason() {
+        let reqs = vec![ServingRequest {
+            id: 9,
+            tenant: 1,
+            arrival: Nanos::ZERO,
+            prompt: vec![1],
+            total_tokens: 1,
+        }];
+        let shed = ServingReport::all_shed(&reqs, ShedReason::AdmissionRejected);
+        assert!(matches!(
+            shed.outcomes[&9],
+            Outcome::Shed {
+                reason: ShedReason::AdmissionRejected,
+                ..
+            }
+        ));
+    }
+}

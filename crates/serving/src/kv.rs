@@ -1,0 +1,101 @@
+//! Per-lane KV-residency ledger.
+//!
+//! The ledger is the engine's single source of truth for "whose KV cache
+//! is resident where". It accounts in *tokens* (bytes = tokens ×
+//! [`kv_bytes_per_token`](genie_models::TransformerConfig::kv_bytes_per_token))
+//! and enforces one invariant the property suite re-checks from the
+//! event log: no lane's resident bytes ever exceed its capacity.
+
+use std::collections::BTreeMap;
+
+/// Tracks resident KV tokens per (lane, request) against a fixed
+/// per-lane byte capacity.
+#[derive(Clone, Debug)]
+pub struct KvLedger {
+    capacity_bytes: u64,
+    bytes_per_token: u64,
+    lanes: Vec<BTreeMap<u64, u64>>,
+    peak_bytes: u64,
+}
+
+impl KvLedger {
+    /// A ledger for `lanes` lanes of `capacity_bytes` each, with the
+    /// model's per-token KV footprint.
+    pub fn new(lanes: usize, capacity_bytes: u64, bytes_per_token: u64) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        assert!(bytes_per_token >= 1, "KV bytes per token must be positive");
+        KvLedger {
+            capacity_bytes,
+            bytes_per_token,
+            lanes: vec![BTreeMap::new(); lanes],
+            peak_bytes: 0,
+        }
+    }
+
+    /// Per-lane capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Resident tokens for `request` on `lane` (0 if absent).
+    pub fn resident_tokens(&self, lane: usize, request: u64) -> u64 {
+        self.lanes[lane].get(&request).copied().unwrap_or(0)
+    }
+
+    /// Bytes resident on one lane.
+    pub fn lane_bytes(&self, lane: usize) -> u64 {
+        self.lanes[lane].values().sum::<u64>() * self.bytes_per_token
+    }
+
+    /// Bytes resident across all lanes.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.lanes.len()).map(|l| self.lane_bytes(l)).sum()
+    }
+
+    /// High-water mark of [`total_bytes`](Self::total_bytes).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Would `extra_tokens` more tokens still fit on `lane`?
+    pub fn fits(&self, lane: usize, extra_tokens: u64) -> bool {
+        self.lane_bytes(lane) + extra_tokens * self.bytes_per_token <= self.capacity_bytes
+    }
+
+    /// Set `request`'s resident token count on `lane`, updating the peak.
+    pub fn set(&mut self, lane: usize, request: u64, tokens: u64) {
+        self.lanes[lane].insert(request, tokens);
+        let total = self.total_bytes();
+        if total > self.peak_bytes {
+            self.peak_bytes = total;
+        }
+    }
+
+    /// Drop `request`'s residency on `lane`, returning the freed tokens.
+    pub fn evict(&mut self, lane: usize, request: u64) -> u64 {
+        self.lanes[lane].remove(&request).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_and_peak() {
+        let mut led = KvLedger::new(2, 1000, 100);
+        led.set(0, 1, 3);
+        led.set(1, 2, 5);
+        assert_eq!(led.lane_bytes(0), 300);
+        assert_eq!(led.lane_bytes(1), 500);
+        assert_eq!(led.total_bytes(), 800);
+        assert_eq!(led.peak_bytes(), 800);
+        assert!(led.fits(0, 7));
+        assert!(!led.fits(0, 8));
+        assert_eq!(led.evict(1, 2), 5);
+        assert_eq!(led.total_bytes(), 300);
+        assert_eq!(led.peak_bytes(), 800, "peak is sticky");
+        assert_eq!(led.resident_tokens(1, 2), 0);
+        assert_eq!(led.evict(1, 2), 0, "double evict is a no-op");
+    }
+}

@@ -1,0 +1,42 @@
+//! # genie-serving — the continuous-batching serving runtime
+//!
+//! The paper's LLM-serving story (§3.6, Table 1) is ultimately about a
+//! *loop*: requests arrive, share a model, and decode together, with KV
+//! caches pinned near the accelerator. This crate builds that loop as a
+//! deterministic discrete-event engine over the repo's existing planes:
+//!
+//! - [`ArrivalConfig`] — seeded open-loop (Poisson) arrival traces on
+//!   the virtual clock; a `u64` seed replays the whole offered load.
+//! - [`ServingLoop`] — the engine: SLO-budgeted admission queue,
+//!   continuous batching across lanes, per-lane KV residency with LRU
+//!   eviction and lineage-style re-prefill, typed shedding
+//!   ([`ShedReason`]) under overload, and optional fault schedules
+//!   ([`genie_netsim::FaultPlan`]) that degrade throughput instead of
+//!   wedging the loop.
+//! - [`ServingModel`] — functional (tiny, bit-exact against the
+//!   sequential [`generate`](genie_models::TransformerLm::generate)
+//!   oracle) or spec (GPT-J scale, roofline-priced batched steps via
+//!   [`genie_backend::batched_step_time`]).
+//! - [`ServingReport`] — outcomes, the deterministic event log the
+//!   property suite replays, TTFT percentiles, and serving spans ready
+//!   for the Perfetto exporter; `genie_serving_*` metrics flow into the
+//!   process-global registry when enabled.
+//! - [`fleet::bind_tenant`] — admission through the global scheduler
+//!   (memory admission control included) to derive lanes and KV budget.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod engine;
+pub mod fleet;
+pub mod kv;
+pub mod report;
+pub mod request;
+
+pub use arrivals::ArrivalConfig;
+pub use engine::{ServingConfig, ServingLoop, ServingModel};
+pub use fleet::{bind_tenant, FleetBinding};
+pub use kv::KvLedger;
+pub use report::{percentile, ServingReport};
+pub use request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};

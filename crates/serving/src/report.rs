@@ -1,0 +1,176 @@
+//! The serving run report: outcomes, event log, SLO statistics, spans.
+
+use crate::request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
+use genie_netsim::Nanos;
+use genie_telemetry::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Everything a serving run produced, keyed for deterministic replay.
+#[derive(Clone, Debug, Default)]
+pub struct ServingReport {
+    /// Terminal outcome per request id (covers every offered request).
+    pub outcomes: BTreeMap<u64, Outcome>,
+    /// The full deterministic event log, in virtual-time order.
+    pub events: Vec<LogEvent>,
+    /// Virtual time when the loop drained.
+    pub makespan: Nanos,
+    /// Batched decode/prefill steps executed.
+    pub steps: u64,
+    /// Evictions that later re-ran prefill to restore KV.
+    pub reprefills: u64,
+    /// LRU evictions performed under KV pressure.
+    pub preemptions: u64,
+    /// High-water mark of resident KV bytes across lanes.
+    pub peak_kv_bytes: u64,
+    /// Serving spans (one per lane per step, plus lifecycle instants),
+    /// with deterministic ids — feed these to a `ChromeTrace` for a
+    /// stable Perfetto export.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl ServingReport {
+    /// A report that sheds every offered request with one reason — used
+    /// when fleet admission refuses the tenant before any serving runs.
+    pub fn all_shed(requests: &[ServingRequest], reason: ShedReason) -> Self {
+        let mut report = ServingReport::default();
+        for r in requests {
+            report.outcomes.insert(
+                r.id,
+                Outcome::Shed {
+                    reason,
+                    at: r.arrival,
+                },
+            );
+            report.events.push(LogEvent {
+                at: r.arrival,
+                request: r.id,
+                kind: EventKind::Shed(reason),
+                kv_resident_bytes: 0,
+            });
+            if r.arrival > report.makespan {
+                report.makespan = r.arrival;
+            }
+        }
+        report
+    }
+
+    /// Requests that completed.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .values()
+            .filter(|o| matches!(o, Outcome::Completed { .. }))
+            .count()
+    }
+
+    /// Requests that were shed.
+    pub fn shed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+
+    /// Fraction of offered requests shed (0 when none offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.shed() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Generated tokens across completed requests.
+    pub fn tokens_generated(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Token { .. }))
+            .count() as u64
+    }
+
+    /// Aggregate decode throughput over the whole run.
+    pub fn tokens_per_s(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.tokens_generated() as f64 / secs
+        }
+    }
+
+    /// Completed tokens for one request, if it completed.
+    pub fn tokens_for(&self, id: u64) -> Option<&[i64]> {
+        match self.outcomes.get(&id) {
+            Some(Outcome::Completed { tokens, .. }) => Some(tokens),
+            _ => None,
+        }
+    }
+
+    /// Sorted TTFT samples (seconds) over completed requests.
+    pub fn ttfts(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .outcomes
+            .values()
+            .filter_map(|o| match o {
+                Outcome::Completed { ttft, .. } => Some(ttft.as_secs_f64()),
+                Outcome::Shed { .. } => None,
+            })
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    /// Median TTFT in seconds (0 when nothing completed).
+    pub fn ttft_p50(&self) -> f64 {
+        percentile(&self.ttfts(), 0.50)
+    }
+
+    /// 99th-percentile TTFT in seconds (0 when nothing completed).
+    pub fn ttft_p99(&self) -> f64 {
+        percentile(&self.ttfts(), 0.99)
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample (0 for an empty one).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.50), 2.0);
+        assert_eq!(percentile(&s, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn all_shed_covers_every_request() {
+        let reqs = vec![
+            ServingRequest {
+                id: 1,
+                tenant: 0,
+                arrival: Nanos::from_millis(1),
+                prompt: vec![1],
+                total_tokens: 2,
+            },
+            ServingRequest {
+                id: 2,
+                tenant: 0,
+                arrival: Nanos::from_millis(5),
+                prompt: vec![2],
+                total_tokens: 2,
+            },
+        ];
+        let r = ServingReport::all_shed(&reqs, ShedReason::AdmissionRejected);
+        assert_eq!(r.outcomes.len(), 2);
+        assert_eq!(r.shed(), 2);
+        assert_eq!(r.shed_rate(), 1.0);
+        assert_eq!(r.makespan, Nanos::from_millis(5));
+        assert_eq!(r.tokens_generated(), 0);
+    }
+}

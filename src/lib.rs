@@ -22,6 +22,7 @@
 //! | [`scheduler`] | cost model, policies, rewrites, global scheduling |
 //! | [`telemetry`] | cross-layer spans, metrics registry, Perfetto export |
 //! | [`backend`] | local / simulated / remote-over-TCP execution |
+//! | [`serving`] | continuous-batching serving loop: SLO queue, KV residency |
 //! | [`lineage`] | lineage log, replay cuts, commit points |
 //! | [`bench`](mod@bench) | regeneration of every table and figure in the paper |
 //!
@@ -64,6 +65,7 @@ pub use genie_lineage as lineage;
 pub use genie_models as models;
 pub use genie_netsim as netsim;
 pub use genie_scheduler as scheduler;
+pub use genie_serving as serving;
 pub use genie_srg as srg;
 pub use genie_telemetry as telemetry;
 pub use genie_tensor as tensor;
@@ -81,5 +83,6 @@ pub mod prelude {
         schedule, CostModel, DataAware, ExecutionPlan, LeastLoaded, Policy, RoundRobin,
         SemanticsAware,
     };
+    pub use genie_serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel};
     pub use genie_srg::{ElemType, Modality, Phase, Residency, Srg};
 }

@@ -291,3 +291,79 @@ fn derate_schedule_counts_injections_and_slows_the_run() {
     // The scheduler saw it too: its estimate degrades alongside.
     assert!(run.plan.estimate.transfer_s > run.oracle_plan.estimate.transfer_s * 2.0);
 }
+
+/// Serving plane: a seeded fault schedule drives the continuous-batching
+/// loop — derates and jitter stretch steps, outage windows stall lanes —
+/// and every offered request still ends in exactly one typed outcome.
+/// The loop degrades (slower than its fault-free oracle, or shedding
+/// under the SLO budget); it never panics, hangs, or loses a request.
+#[test]
+fn serving_loop_survives_seeded_fault_schedules() {
+    use genie::models::TransformerConfig;
+    use genie::netsim::Nanos;
+    use genie::serving::{ArrivalConfig, Outcome, ServingConfig, ServingLoop, ServingModel};
+
+    let _gate = metrics_gate();
+    let model = TransformerConfig::gptj_6b();
+    for seed in chaos_seeds() {
+        let chaos = ChaosConfig::for_testbed(seed);
+        let requests = ArrivalConfig {
+            seed,
+            rate_per_s: 20.0,
+            horizon: Nanos::from_secs_f64(2.0),
+            prompt_len: (8, 16),
+            decode_tokens: (4, 8),
+            vocab: model.vocab,
+            tenants: 4,
+        }
+        .generate();
+        let mut conf = ServingConfig::paper_testbed();
+        conf.max_batch = 4;
+        conf.max_queue = 256;
+        conf.queue_budget = Nanos::from_secs_f64(2.0);
+        conf.fault_plan = Some(chaos.fault_plan());
+
+        let faulty =
+            ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+        assert_eq!(
+            faulty.outcomes.len(),
+            requests.len(),
+            "seed {seed}: every request needs a terminal outcome"
+        );
+        for (id, outcome) in &faulty.outcomes {
+            match outcome {
+                Outcome::Completed { tokens, .. } => {
+                    assert!(!tokens.is_empty(), "seed {seed} req {id}: empty completion")
+                }
+                Outcome::Shed { at, .. } => {
+                    assert!(*at <= faulty.makespan, "seed {seed} req {id}: shed late")
+                }
+            }
+        }
+        assert!(
+            faulty.makespan.as_secs_f64() < 120.0,
+            "seed {seed}: loop failed to drain ({:?})",
+            faulty.makespan
+        );
+
+        // Replay: the chaotic serving story is a pure function of seed.
+        let again = ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+        assert_eq!(faulty.events, again.events, "seed {seed}: replay diverged");
+
+        // Fault-free oracle on the same arrivals: amply provisioned, it
+        // completes everyone; the chaotic run can only be no faster.
+        conf.fault_plan = None;
+        let oracle = ServingLoop::new(ServingModel::Spec(model.clone()), conf).run(&requests);
+        assert_eq!(
+            oracle.completed(),
+            requests.len(),
+            "seed {seed}: fault-free oracle must complete all"
+        );
+        assert!(
+            faulty.makespan >= oracle.makespan,
+            "seed {seed}: chaos made serving faster ({:?} < {:?})",
+            faulty.makespan,
+            oracle.makespan
+        );
+    }
+}
