@@ -8,7 +8,10 @@ use std::fmt;
 
 /// Every lint the engine knows, numbered like compiler diagnostics:
 /// `GA0xx` are SRG-level (checkable on a captured graph alone), `GA1xx`
-/// are plan-level (need placements, transfers, and cluster state).
+/// are plan-level (need placements, transfers, and cluster state),
+/// `GA2xx` are schedule-timeline safety passes (liveness, transfer
+/// ordering, deadlock), and `GA3xx` are precision/criticality
+/// consistency passes (error-interval propagation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// GA001 — an op's input tensor shapes are mutually inconsistent
@@ -48,11 +51,32 @@ pub enum LintCode {
     /// GA104 — a stateful KV cache crosses a location boundary, forcing a
     /// per-step re-ship of growing state.
     KvCacheNotColocated,
+    /// GA201 — a transfer is queued behind another transfer on the same
+    /// channel whose consumer runs later, so FIFO delivery lands it after
+    /// its own consumer's start.
+    TransferOrderHazard,
+    /// GA202 — the same (tensor, device) buffer is pinned more than once,
+    /// double-charging device memory for one logical object.
+    DoublePinnedBuffer,
+    /// GA203 — the waits-for graph of node steps and channel-FIFO
+    /// transfers contains a cycle: the plan deadlocks before any dynamic
+    /// scheduler can help.
+    TransferDependencyCycle,
+    /// GA301 — a criticality/tolerance annotation demands a tighter
+    /// numerical error bound than the scheduled kernel tier / device
+    /// class statically delivers.
+    CriticalityToleranceExceeded,
+    /// GA302 — a node downcasts to a lossier element type on a path that
+    /// feeds a `Criticality::Critical` edge.
+    PrecisionLossyCriticalPath,
+    /// GA303 — an op with no static error model (fused/custom kernels)
+    /// makes the error interval unbounded from that point on.
+    ErrorIntervalUnknown,
 }
 
 impl LintCode {
     /// Every code, in report order.
-    pub const ALL: [LintCode; 12] = [
+    pub const ALL: [LintCode; 18] = [
         LintCode::ShapeMismatch,
         LintCode::DtypeMismatch,
         LintCode::PhaseIncoherence,
@@ -65,6 +89,12 @@ impl LintCode {
         LintCode::TransferEndpointMismatch,
         LintCode::WeightReshippedByValue,
         LintCode::KvCacheNotColocated,
+        LintCode::TransferOrderHazard,
+        LintCode::DoublePinnedBuffer,
+        LintCode::TransferDependencyCycle,
+        LintCode::CriticalityToleranceExceeded,
+        LintCode::PrecisionLossyCriticalPath,
+        LintCode::ErrorIntervalUnknown,
     ];
 
     /// The stable `GAnnn` identifier.
@@ -82,6 +112,12 @@ impl LintCode {
             LintCode::TransferEndpointMismatch => "GA102",
             LintCode::WeightReshippedByValue => "GA103",
             LintCode::KvCacheNotColocated => "GA104",
+            LintCode::TransferOrderHazard => "GA201",
+            LintCode::DoublePinnedBuffer => "GA202",
+            LintCode::TransferDependencyCycle => "GA203",
+            LintCode::CriticalityToleranceExceeded => "GA301",
+            LintCode::PrecisionLossyCriticalPath => "GA302",
+            LintCode::ErrorIntervalUnknown => "GA303",
         }
     }
 
@@ -99,24 +135,54 @@ impl LintCode {
             | LintCode::KvResidencyViolation
             | LintCode::ZeroFlopCompute
             | LintCode::DeviceOvercommit
-            | LintCode::TransferEndpointMismatch => Severity::Deny,
+            | LintCode::TransferEndpointMismatch
+            | LintCode::TransferOrderHazard
+            | LintCode::DoublePinnedBuffer
+            | LintCode::TransferDependencyCycle
+            | LintCode::CriticalityToleranceExceeded => Severity::Deny,
             LintCode::CostHintInconsistent
             | LintCode::RateInconsistent
             | LintCode::WeightReshippedByValue
-            | LintCode::KvCacheNotColocated => Severity::Warn,
-            LintCode::AnnotationGap => Severity::Info,
+            | LintCode::KvCacheNotColocated
+            | LintCode::PrecisionLossyCriticalPath => Severity::Warn,
+            LintCode::AnnotationGap | LintCode::ErrorIntervalUnknown => Severity::Info,
         }
     }
 
-    /// Whether the code lints plans (GA1xx) rather than raw SRGs (GA0xx).
+    /// Whether the code needs a plan (placements, transfers, pins) rather
+    /// than a raw SRG. `GA3xx` codes are graph-checkable — a plan only
+    /// sharpens them with device classes — so they report `false`.
     pub fn is_plan_level(self) -> bool {
         matches!(
-            self,
-            LintCode::DeviceOvercommit
-                | LintCode::TransferEndpointMismatch
-                | LintCode::WeightReshippedByValue
-                | LintCode::KvCacheNotColocated
+            self.family(),
+            LintFamily::Plan | LintFamily::Schedule
         )
+    }
+
+    /// The pass family (`GA0xx` / `GA1xx` / `GA2xx` / `GA3xx`) this code
+    /// belongs to, the granularity at which [`LintConfig`] can switch
+    /// whole pass families off.
+    pub fn family(self) -> LintFamily {
+        match self {
+            LintCode::ShapeMismatch
+            | LintCode::DtypeMismatch
+            | LintCode::PhaseIncoherence
+            | LintCode::KvResidencyViolation
+            | LintCode::ZeroFlopCompute
+            | LintCode::CostHintInconsistent
+            | LintCode::RateInconsistent
+            | LintCode::AnnotationGap => LintFamily::Graph,
+            LintCode::DeviceOvercommit
+            | LintCode::TransferEndpointMismatch
+            | LintCode::WeightReshippedByValue
+            | LintCode::KvCacheNotColocated => LintFamily::Plan,
+            LintCode::TransferOrderHazard
+            | LintCode::DoublePinnedBuffer
+            | LintCode::TransferDependencyCycle => LintFamily::Schedule,
+            LintCode::CriticalityToleranceExceeded
+            | LintCode::PrecisionLossyCriticalPath
+            | LintCode::ErrorIntervalUnknown => LintFamily::Precision,
+        }
     }
 
     /// One-line statement of the invariant this code protects.
@@ -136,7 +202,63 @@ impl LintCode {
             LintCode::TransferEndpointMismatch => "transfers must match node placements",
             LintCode::WeightReshippedByValue => "persistent weights ship once, then by handle",
             LintCode::KvCacheNotColocated => "decode-state KV caches stay with their consumer",
+            LintCode::TransferOrderHazard => "a transfer must land before its consumer starts",
+            LintCode::DoublePinnedBuffer => "one logical buffer pins at most once per device",
+            LintCode::TransferDependencyCycle => "the waits-for graph must stay acyclic",
+            LintCode::CriticalityToleranceExceeded => {
+                "scheduled precision must meet the demanded tolerance"
+            }
+            LintCode::PrecisionLossyCriticalPath => {
+                "critical-path data should not silently downcast"
+            }
+            LintCode::ErrorIntervalUnknown => "every op should have a static error model",
         }
+    }
+}
+
+/// A family of lint passes, switchable as a unit via
+/// [`LintConfig::disable_family`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LintFamily {
+    /// `GA0xx` — SRG-level semantic checks (capture-time gate).
+    Graph,
+    /// `GA1xx` — plan-level placement/transfer checks.
+    Plan,
+    /// `GA2xx` — schedule-timeline safety (liveness watermark, transfer
+    /// ordering, static deadlock).
+    Schedule,
+    /// `GA3xx` — precision/criticality consistency (error intervals).
+    Precision,
+}
+
+impl LintFamily {
+    /// Every family, in code order.
+    pub const ALL: [LintFamily; 4] = [
+        LintFamily::Graph,
+        LintFamily::Plan,
+        LintFamily::Schedule,
+        LintFamily::Precision,
+    ];
+
+    /// The stable range label used in configs and reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            LintFamily::Graph => "GA0xx",
+            LintFamily::Plan => "GA1xx",
+            LintFamily::Schedule => "GA2xx",
+            LintFamily::Precision => "GA3xx",
+        }
+    }
+
+    /// Parse a range label back to a family.
+    pub fn parse(s: &str) -> Option<LintFamily> {
+        LintFamily::ALL.into_iter().find(|f| f.key() == s)
+    }
+}
+
+impl fmt::Display for LintFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
     }
 }
 
@@ -238,15 +360,22 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Per-graph lint policy: severity overrides and outright suppression.
+/// Per-graph lint policy: severity overrides, outright suppression, and
+/// whole-pass-family selection — all from one builder.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LintConfig {
     overrides: std::collections::BTreeMap<String, Severity>,
     allowed: std::collections::BTreeSet<String>,
+    /// Families (by [`LintFamily::key`]) whose diagnostics are dropped
+    /// wholesale. `serde(default)` keeps configs serialized before this
+    /// field existed deserializable.
+    #[serde(default)]
+    disabled_families: std::collections::BTreeSet<String>,
 }
 
 impl LintConfig {
-    /// The default policy: every code at its built-in severity.
+    /// The default policy: every family enabled, every code at its
+    /// built-in severity.
     pub fn new() -> Self {
         LintConfig::default()
     }
@@ -272,9 +401,32 @@ impl LintConfig {
         self
     }
 
-    /// Whether a code is suppressed.
+    /// Override a code to an arbitrary severity.
+    pub fn with_severity(mut self, code: LintCode, severity: Severity) -> Self {
+        self.overrides.insert(code.code().to_string(), severity);
+        self
+    }
+
+    /// Drop every diagnostic of a pass family (`GA0xx`..`GA3xx`).
+    pub fn disable_family(mut self, family: LintFamily) -> Self {
+        self.disabled_families.insert(family.key().to_string());
+        self
+    }
+
+    /// Re-enable a previously disabled pass family.
+    pub fn enable_family(mut self, family: LintFamily) -> Self {
+        self.disabled_families.remove(family.key());
+        self
+    }
+
+    /// Whether a whole pass family is disabled.
+    pub fn is_family_disabled(&self, family: LintFamily) -> bool {
+        self.disabled_families.contains(family.key())
+    }
+
+    /// Whether a code is suppressed (individually or via its family).
     pub fn is_allowed(&self, code: LintCode) -> bool {
-        self.allowed.contains(code.code())
+        self.allowed.contains(code.code()) || self.is_family_disabled(code.family())
     }
 
     /// The effective severity of a code under this config.
@@ -314,6 +466,28 @@ impl Report {
         self.diagnostics.push(Diagnostic {
             code,
             severity: cfg.severity(code),
+            anchor,
+            message,
+        });
+    }
+
+    /// [`push`](Self::push) with the effective severity capped at
+    /// `cap`. Used by fallback passes that must never gate (e.g. the
+    /// pessimistic GA101 sum when liveness is unavailable).
+    pub fn push_capped(
+        &mut self,
+        cfg: &LintConfig,
+        code: LintCode,
+        cap: Severity,
+        anchor: Anchor,
+        message: String,
+    ) {
+        if cfg.is_allowed(code) {
+            return;
+        }
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: cfg.severity(code).min(cap),
             anchor,
             message,
         });
@@ -384,6 +558,30 @@ impl Report {
     pub fn to_json(&self) -> serde_json::Value {
         serde_json::to_value(self).expect("report serializes")
     }
+
+    /// Bump the `genie_lint_findings_total{code}` counter once per
+    /// finding, so fleet dashboards see which lints fire how often.
+    /// Returns `self` for call chaining from pass runners.
+    pub fn record_metrics(self) -> Self {
+        let metrics = &genie_telemetry::global().metrics;
+        for d in &self.diagnostics {
+            metrics
+                .counter("genie_lint_findings_total", &[("code", d.code.code())])
+                .inc();
+        }
+        self
+    }
+}
+
+/// Run one lint pass under a timing span (`lint.<name>` in the `lint`
+/// category), so per-pass cost shows up in trace exports.
+pub(crate) fn timed_pass(name: &str, f: impl FnOnce()) {
+    let _span = genie_telemetry::global().collector.span_with(
+        format!("lint.{name}"),
+        "lint",
+        genie_telemetry::SemAttrs::new().with("pass", name),
+    );
+    f();
 }
 
 impl fmt::Display for Report {
@@ -464,6 +662,81 @@ mod tests {
         let text = r.render();
         assert!(text.contains("GA001[deny] n1: shape"), "{text}");
         assert!(text.contains("1 deny, 1 warn"), "{text}");
+    }
+
+    #[test]
+    fn families_partition_the_namespace() {
+        for code in LintCode::ALL {
+            let fam = code.family();
+            assert!(
+                code.code().starts_with(&fam.key()[..3]),
+                "{code} sits in family {fam}"
+            );
+            assert_eq!(LintFamily::parse(fam.key()), Some(fam));
+        }
+        assert_eq!(LintCode::parse("GA201"), Some(LintCode::TransferOrderHazard));
+        assert_eq!(
+            LintCode::parse("GA301"),
+            Some(LintCode::CriticalityToleranceExceeded)
+        );
+        assert!(LintCode::TransferOrderHazard.is_plan_level());
+        assert!(
+            !LintCode::CriticalityToleranceExceeded.is_plan_level(),
+            "GA3xx is graph-checkable"
+        );
+    }
+
+    #[test]
+    fn family_disable_drops_diagnostics() {
+        let cfg = LintConfig::new().disable_family(LintFamily::Schedule);
+        assert!(cfg.is_allowed(LintCode::TransferOrderHazard));
+        assert!(cfg.is_allowed(LintCode::DoublePinnedBuffer));
+        assert!(!cfg.is_allowed(LintCode::DeviceOvercommit));
+
+        let mut r = Report::new("g");
+        r.push(
+            &cfg,
+            LintCode::TransferOrderHazard,
+            Anchor::Graph,
+            "hidden".into(),
+        );
+        assert!(r.is_empty(), "disabled family is dropped");
+
+        let cfg = cfg.enable_family(LintFamily::Schedule);
+        assert!(!cfg.is_allowed(LintCode::TransferOrderHazard));
+    }
+
+    #[test]
+    fn config_serde_roundtrip_with_families() {
+        let cfg = LintConfig::new()
+            .disable_family(LintFamily::Precision)
+            .with_severity(LintCode::TransferOrderHazard, Severity::Warn)
+            .allow(LintCode::AnnotationGap);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: LintConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.is_family_disabled(LintFamily::Precision));
+        assert_eq!(back.severity(LintCode::TransferOrderHazard), Severity::Warn);
+
+        // Configs serialized before the family field existed still load.
+        let legacy = r#"{"overrides":{},"allowed":[]}"#;
+        let back: LintConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back, LintConfig::new());
+    }
+
+    #[test]
+    fn push_capped_never_exceeds_cap() {
+        let cfg = LintConfig::new();
+        let mut r = Report::new("g");
+        r.push_capped(
+            &cfg,
+            LintCode::DeviceOvercommit,
+            Severity::Warn,
+            Anchor::Device(DevId(0)),
+            "fallback estimate".into(),
+        );
+        assert_eq!(r.diagnostics[0].severity, Severity::Warn);
+        assert!(!r.has_deny());
     }
 
     #[test]

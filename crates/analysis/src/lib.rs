@@ -9,7 +9,8 @@
 //! memory — is checked here, as a multi-pass static analyzer with
 //! compiler-style diagnostics.
 //!
-//! Two pass families share one [`diag`] framework:
+//! Four pass families share one [`diag`] framework and the generic
+//! fixpoint solver in [`dataflow`]:
 //!
 //! - **SRG passes** ([`srg_passes`], codes `GA0xx`) run at capture time —
 //!   `genie-frontend` fails fast when a finished capture carries
@@ -18,10 +19,20 @@
 //!   `genie-scheduler::schedule` as a post-gate over placements and
 //!   transfers, reported through the scheduler-neutral
 //!   [`plan_passes::PlanFacts`] trait.
+//! - **Schedule-timeline passes** ([`schedule_passes`], codes `GA2xx`)
+//!   reason over the plan's step timeline: the liveness-based memory
+//!   watermark, channel-FIFO transfer-ordering hazards, double pinning,
+//!   and static transfer-deadlock detection.
+//! - **Precision passes** ([`precision_passes`], codes `GA3xx`)
+//!   propagate worst-case error intervals through the graph and deny
+//!   plans whose `Criticality`/tolerance annotations demand tighter
+//!   bounds than the scheduled kernel tier or device class delivers.
 //!
-//! Severities are per-graph configurable via [`LintConfig`]; reports
-//! render both human-readable and as JSON (`cargo run -p genie-bench
-//! --bin lint_report` emits one per model-zoo workload).
+//! Severities and whole families are per-graph configurable via
+//! [`LintConfig`]; reports render both human-readable and as JSON
+//! (`cargo run -p genie-bench --bin lint_report` emits one per
+//! model-zoo workload). Pass runners emit per-pass timing spans and a
+//! `genie_lint_findings_total{code}` counter through `genie-telemetry`.
 //!
 //! ```
 //! use genie_analysis::{run_srg_passes, LintConfig};
@@ -40,10 +51,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dataflow;
 pub mod diag;
 pub mod plan_passes;
+pub mod precision_passes;
+pub mod schedule_passes;
 pub mod srg_passes;
 
-pub use diag::{Anchor, Diagnostic, LintCode, LintConfig, Report, Severity};
+pub use diag::{Anchor, Diagnostic, LintCode, LintConfig, LintFamily, Report, Severity};
 pub use plan_passes::{run_plan_passes, PlanFacts, TransferFact};
+pub use precision_passes::{
+    check_precision_consistency, device_class_error_factor, elem_eps, error_bounds,
+    error_bounds_with, ErrorBounds, KernelTier, CRITICALITY_SLACK, TOLERANCE_ATTR,
+};
+pub use schedule_passes::{check_cross_plan_pinning, live_value_sets};
 pub use srg_passes::run_srg_passes;

@@ -6,10 +6,9 @@
 //! implements the trait for its `ExecutionPlan`, and the passes here see
 //! only neutral facts (devices, bytes, handles).
 
-use crate::diag::{Anchor, LintCode, LintConfig, Report};
+use crate::diag::{timed_pass, Anchor, LintCode, LintConfig, Report};
 use genie_cluster::{ClusterState, DevId, Topology};
 use genie_srg::{EdgeId, NodeId, Phase, Residency, Srg, TensorId};
-use std::collections::BTreeMap;
 
 /// One scheduled data movement, reduced to what the lints need.
 /// `None` locations mean the client CPU.
@@ -43,71 +42,46 @@ pub trait PlanFacts {
     fn pinned_uploads(&self) -> Vec<(TensorId, DevId, u64)>;
 }
 
-/// Run every plan pass under `cfg` and return the merged report.
+/// Run every plan pass under `cfg` — the GA1xx local checks, the GA2xx
+/// timeline passes from [`crate::schedule_passes`], and the plan-level
+/// GA3xx precision passes — and return the merged report.
 pub fn run_plan_passes(
     facts: &dyn PlanFacts,
     topo: &Topology,
     state: &ClusterState,
     cfg: &LintConfig,
 ) -> Report {
+    use crate::precision_passes::check_precision_plan;
+    use crate::schedule_passes::{
+        check_double_pinning, check_memory_watermark, check_transfer_deadlock,
+        check_transfer_ordering,
+    };
     let mut report = Report::new(facts.subject());
-    check_device_capacity(facts, topo, state, cfg, &mut report);
-    check_transfer_endpoints(facts, cfg, &mut report);
-    check_weight_shipping(facts, cfg, &mut report);
-    check_kv_colocation(facts, cfg, &mut report);
-    report.finish()
-}
-
-/// GA101 — device capacity: pinned uploads plus the largest transient
-/// activation per device must fit in that device's *free* memory.
-pub fn check_device_capacity(
-    facts: &dyn PlanFacts,
-    topo: &Topology,
-    state: &ClusterState,
-    cfg: &LintConfig,
-    report: &mut Report,
-) {
-    let srg = facts.srg();
-    let mut demand: BTreeMap<DevId, u64> = BTreeMap::new();
-    for (_, dev, bytes) in facts.pinned_uploads() {
-        *demand.entry(dev).or_insert(0) += bytes;
-    }
-    let mut transient: BTreeMap<DevId, u64> = BTreeMap::new();
-    for node in srg.nodes() {
-        if let Some(dev) = facts.node_device(node.id) {
-            let out_bytes = srg
-                .out_edges(node.id)
-                .map(|e| e.meta.size_bytes() as u64)
-                .max()
-                .unwrap_or(0)
-                .max(node.cost.bytes_written as u64);
-            let e = transient.entry(dev).or_insert(0);
-            *e = (*e).max(out_bytes);
-        }
-    }
-    for (dev, peak) in transient {
-        *demand.entry(dev).or_insert(0) += peak;
-    }
-    for (dev, required) in demand {
-        if dev.0 as usize >= topo.devices().len() {
-            report.push(
-                cfg,
-                LintCode::TransferEndpointMismatch,
-                Anchor::Device(dev),
-                format!("plan references device {dev} absent from the topology"),
-            );
-            continue;
-        }
-        let free = state.mem_free(topo, dev);
-        if required > free {
-            report.push(
-                cfg,
-                LintCode::DeviceOvercommit,
-                Anchor::Device(dev),
-                format!("plan needs {required} B on {dev} but only {free} B are free"),
-            );
-        }
-    }
+    timed_pass("memory_watermark", || {
+        check_memory_watermark(facts, topo, state, cfg, &mut report)
+    });
+    timed_pass("transfer_endpoints", || {
+        check_transfer_endpoints(facts, cfg, &mut report)
+    });
+    timed_pass("weight_shipping", || {
+        check_weight_shipping(facts, cfg, &mut report)
+    });
+    timed_pass("kv_colocation", || {
+        check_kv_colocation(facts, cfg, &mut report)
+    });
+    timed_pass("transfer_ordering", || {
+        check_transfer_ordering(facts, cfg, &mut report)
+    });
+    timed_pass("double_pinning", || {
+        check_double_pinning(facts, cfg, &mut report)
+    });
+    timed_pass("transfer_deadlock", || {
+        check_transfer_deadlock(facts, cfg, &mut report)
+    });
+    timed_pass("precision_plan", || {
+        check_precision_plan(facts, topo, cfg, &mut report)
+    });
+    report.finish().record_metrics()
 }
 
 /// GA102 — transfer endpoints: each transfer's `from`/`to` must equal the
@@ -215,6 +189,7 @@ mod tests {
     use genie_cluster::GpuSpec;
     use genie_cluster::NicSpec;
     use genie_srg::{ElemType, Node, OpKind, TensorMeta};
+    use std::collections::BTreeMap;
 
     /// A hand-built plan for tests: the scheduler-free implementation of
     /// [`PlanFacts`].

@@ -1,0 +1,625 @@
+//! Precision/criticality consistency passes (GA3xx).
+//!
+//! The SRG carries `Criticality` annotations and element types; the
+//! scheduler picks kernel tiers and device classes. This module closes
+//! the loop statically: an *error-interval abstract domain* propagates
+//! a per-node worst-case relative error bound forward through the graph
+//! (a [`MaxLattice`] instance of the fixpoint framework), and the
+//! GA3xx passes compare what the schedule *delivers* against what the
+//! annotations *demand*:
+//!
+//! - **GA301** `criticality-tolerance-exceeded` — a node's explicit
+//!   `tolerance_rel` attribute is tighter than the delivered bound, or
+//!   a `Critical` edge's source exceeds [`CRITICALITY_SLACK`] times its
+//!   unit-factor baseline bound (the schedule degraded a critical
+//!   value's precision, not the math itself).
+//! - **GA302** `precision-lossy-critical-path` — a node downcasts its
+//!   floating-point inputs to a wider-epsilon type on a path that
+//!   feeds a `Critical` edge downstream.
+//! - **GA303** `error-interval-unknown` — `Fused`/`CustomKernel` ops
+//!   have no static error model; their (and their consumers') bounds
+//!   are `+∞`.
+//!
+//! The bound is the classic first-order model: each element type
+//! contributes a unit roundoff ε, each arithmetic op amplifies the
+//! joined input error by its fan-in and adds a local term proportional
+//! to its reduction length (k·ε for a length-k dot product). That
+//! local term is what kernel tiers and device classes scale; the k·ε
+//! worst case holds for *any* summation order, which is why the CPU
+//! reference tiers (scalar/blocked/threaded — see
+//! [`KernelTier::error_factor`]) all carry factor 1. The differential
+//! test in `tests/precision_consistency.rs` executes the functional
+//! plane on two tiers and asserts the observed divergence sits inside
+//! the static bound.
+
+use crate::dataflow::{solve, BoolOrLattice, Direction, MaxLattice, SrgFlow};
+use crate::diag::{Anchor, LintCode, LintConfig, Report};
+use crate::plan_passes::PlanFacts;
+use genie_cluster::{GpuClass, Topology};
+use genie_srg::traverse::CycleError;
+use genie_srg::{Criticality, Edge, ElemType, NodeId, OpKind, Srg};
+use std::collections::BTreeMap;
+
+/// Node attribute carrying an explicit relative-tolerance demand, e.g.
+/// `"tolerance_rel" = "1e-5"`. Checked by GA301.
+pub const TOLERANCE_ATTR: &str = "tolerance_rel";
+
+/// How much looser than its unit-factor baseline a `Critical` value's
+/// delivered bound may be before GA301 fires. Device classes today
+/// scale local error by at most 2×, so a healthy heterogeneous
+/// schedule always sits inside this slack.
+pub const CRITICALITY_SLACK: f64 = 4.0;
+
+/// Unit roundoff of one element type: the relative error introduced by
+/// rounding a real to the nearest representable value. Integer and
+/// boolean types are exact; `I8` carries its quantization step.
+pub fn elem_eps(elem: ElemType) -> f64 {
+    match elem {
+        ElemType::F32 => (2.0f64).powi(-24),
+        ElemType::F16 => (2.0f64).powi(-11),
+        ElemType::Bf16 => (2.0f64).powi(-8),
+        ElemType::I8 => (2.0f64).powi(-8),
+        ElemType::I32 | ElemType::I64 | ElemType::Bool => 0.0,
+    }
+}
+
+/// The CPU reference kernel tiers, mirroring the dispatch thresholds in
+/// `genie-tensor` (`matmul` picks scalar / blocked / threaded by flop
+/// count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelTier {
+    /// Naive triple loop.
+    Scalar,
+    /// Cache-blocked single-thread kernel.
+    Blocked,
+    /// Blocked kernel fanned across worker threads.
+    Threaded,
+}
+
+impl KernelTier {
+    /// The tier `genie-tensor`'s dispatchers would pick for an op of
+    /// this flop count (thread availability permitting).
+    pub fn for_flops(flops: f64) -> KernelTier {
+        if flops < genie_tensor::ops::MATMUL_BLOCK_MIN_FLOPS as f64 {
+            KernelTier::Scalar
+        } else if flops >= genie_tensor::ops::MATMUL_PAR_MIN_FLOPS as f64 {
+            KernelTier::Threaded
+        } else {
+            KernelTier::Blocked
+        }
+    }
+
+    /// Multiplier on a node's local error term when run on this tier.
+    ///
+    /// All three CPU tiers carry factor 1: the k·ε local term already
+    /// bounds a length-k reduction under *any* summation order, so
+    /// re-blocking or splitting the accumulation across threads cannot
+    /// exceed it. The factor exists so future backends with genuinely
+    /// lossier kernels (reduced-precision accumulators, approximate
+    /// exp) can widen their delivered bounds.
+    pub fn error_factor(self) -> f64 {
+        match self {
+            KernelTier::Scalar | KernelTier::Blocked | KernelTier::Threaded => 1.0,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Blocked => "blocked",
+            KernelTier::Threaded => "threaded",
+        }
+    }
+}
+
+/// Multiplier on a node's local error term when scheduled onto a
+/// device of this class. Inference-class parts model reduced-precision
+/// accumulate paths (tensor-core style) as a 2× widening.
+pub fn device_class_error_factor(class: GpuClass) -> f64 {
+    match class {
+        GpuClass::Flagship | GpuClass::BandwidthOptimized => 1.0,
+        GpuClass::Inference => 2.0,
+    }
+}
+
+/// Worst-case relative error bound per node output, from a forward
+/// [`MaxLattice`] solve. `+∞` means "no static bound" (downstream of a
+/// fused or custom kernel).
+#[derive(Clone, Debug)]
+pub struct ErrorBounds {
+    bounds: BTreeMap<NodeId, f64>,
+}
+
+impl ErrorBounds {
+    /// The bound for one node (`+∞` if the node is unknown).
+    pub fn bound(&self, node: NodeId) -> f64 {
+        self.bounds.get(&node).copied().unwrap_or(f64::INFINITY)
+    }
+
+    /// All (node, bound) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.bounds.iter().map(|(&n, &b)| (n, b))
+    }
+
+    /// The largest finite bound, if any node has one.
+    pub fn max_finite(&self) -> Option<f64> {
+        self.bounds
+            .values()
+            .copied()
+            .filter(|b| b.is_finite())
+            .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
+    }
+}
+
+/// Error bounds with unit kernel-tier/device factors: what the graph's
+/// math delivers on an exact-dispatch backend.
+pub fn error_bounds(srg: &Srg) -> Result<ErrorBounds, CycleError> {
+    error_bounds_with(srg, |_| 1.0)
+}
+
+/// Error bounds with a per-node multiplier on the local error term
+/// (kernel tier × device class). The multiplier scales only the error
+/// *introduced at* the node, not the error flowing through it, so the
+/// delivered/baseline ratio is bounded by the largest single factor.
+pub fn error_bounds_with<F>(srg: &Srg, factor: F) -> Result<ErrorBounds, CycleError>
+where
+    F: Fn(NodeId) -> f64,
+{
+    let flow = SrgFlow::new(srg)?;
+    let fx = solve(&MaxLattice, &flow, Direction::Forward, |v, joined| {
+        let id = flow.node_at(v);
+        node_bound(srg, id, *joined, factor(id))
+    });
+    debug_assert!(fx.converged, "error propagation is monotone over a DAG");
+    let bounds = flow
+        .order()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, fx.outputs[i]))
+        .collect();
+    Ok(ErrorBounds { bounds })
+}
+
+/// Epsilon of the value a node produces: widest outgoing element type,
+/// falling back to the widest incoming one for sink nodes.
+fn output_eps(srg: &Srg, id: NodeId) -> f64 {
+    let out = srg
+        .out_edges(id)
+        .map(|e| elem_eps(e.meta.elem))
+        .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))));
+    out.unwrap_or_else(|| {
+        srg.in_edges(id)
+            .map(|e| elem_eps(e.meta.elem))
+            .fold(0.0, f64::max)
+    })
+}
+
+/// Length of the reduction a node performs, from its input shapes: the
+/// `k` in the k·ε local error term.
+fn reduction_len(op: &OpKind, ins: &[&Edge]) -> f64 {
+    let last_dim = |e: &Edge| e.meta.shape.last().copied().unwrap_or(1).max(1) as f64;
+    match op {
+        // Dot products of length k (the contracted dimension).
+        OpKind::MatMul => ins.first().map(|e| last_dim(e)).unwrap_or(16.0),
+        // QKᵀ (length d) + softmax (length seq) + AV (length seq).
+        OpKind::Attention => ins
+            .first()
+            .map(|e| {
+                let shape = &e.meta.shape;
+                let d = shape.last().copied().unwrap_or(1).max(1) as f64;
+                let seq = if shape.len() >= 2 {
+                    shape[shape.len() - 2].max(1) as f64
+                } else {
+                    1.0
+                };
+                d + 2.0 * seq
+            })
+            .unwrap_or(64.0),
+        // One output accumulates C_in·kh·kw products (weight shape
+        // [C_out, C_in, kh, kw]).
+        OpKind::Conv2d => ins
+            .get(1)
+            .map(|e| {
+                e.meta.shape[1..]
+                    .iter()
+                    .copied()
+                    .map(|d| d.max(1) as f64)
+                    .product::<f64>()
+                    .max(1.0)
+            })
+            .unwrap_or(64.0),
+        // A length-n reduction plus a division/rescale pass.
+        OpKind::LayerNorm
+        | OpKind::RmsNorm
+        | OpKind::Softmax
+        | OpKind::BatchNorm
+        | OpKind::Reduce => ins.first().map(|e| 2.0 * last_dim(e)).unwrap_or(16.0),
+        // One rounding each.
+        OpKind::Add | OpKind::Mul => 1.0,
+        // Polynomial/rational approximations: a few ulps.
+        OpKind::Gelu | OpKind::Silu | OpKind::Pool2d => 4.0,
+        _ => 0.0,
+    }
+}
+
+/// One step of the error transfer function: the bound on a node's
+/// output given the join (max) of its inputs' bounds.
+fn node_bound(srg: &Srg, id: NodeId, joined: f64, factor: f64) -> f64 {
+    let node = srg.node(id);
+    let ins: Vec<&Edge> = srg.in_edges(id).collect();
+    match node.op {
+        // No static model: poison downstream bounds.
+        OpKind::Fused(_) | OpKind::CustomKernel(_) => f64::INFINITY,
+        // Sources contribute only their representation roundoff.
+        OpKind::Input | OpKind::Parameter => output_eps(srg, id),
+        // Pure data movement / monotone selection: error flows through.
+        OpKind::Relu
+        | OpKind::Concat
+        | OpKind::Slice
+        | OpKind::Reshape
+        | OpKind::Transpose
+        | OpKind::EmbeddingGather
+        | OpKind::KvAppend
+        | OpKind::Sample
+        | OpKind::Output => joined,
+        // Arithmetic: fan-in errors add (bounded by count × max), plus
+        // the local reduction term scaled by the schedule factor.
+        _ => {
+            let fan_in = ins.len().max(1) as f64;
+            let local = reduction_len(&node.op, &ins) * output_eps(srg, id);
+            fan_in * joined + factor * local
+        }
+    }
+}
+
+/// Per-node "does a `Critical` edge sit downstream of here" flags, via
+/// a backward [`BoolOrLattice`] reachability solve.
+fn critical_downstream(srg: &Srg, flow: &SrgFlow<'_>) -> Vec<bool> {
+    let seeds: Vec<bool> = (0..flow.len())
+        .map(|v| {
+            srg.out_edges(flow.node_at(v))
+                .any(|e| e.criticality == Criticality::Critical)
+        })
+        .collect();
+    let fx = solve(&BoolOrLattice, flow, Direction::Backward, |v, down| {
+        *down || seeds[v]
+    });
+    fx.outputs
+}
+
+/// GA301/GA302/GA303 at graph level, with unit schedule factors.
+pub fn check_precision_consistency(srg: &Srg, cfg: &LintConfig, report: &mut Report) {
+    check_precision_with_factors(srg, |_| 1.0, cfg, report);
+}
+
+/// GA301/GA302/GA303 against a plan: the local-error multiplier per
+/// node is its kernel tier (from the cost hints) times its device's
+/// class factor.
+pub fn check_precision_plan(
+    facts: &dyn PlanFacts,
+    topo: &Topology,
+    cfg: &LintConfig,
+    report: &mut Report,
+) {
+    let srg = facts.srg();
+    let ndev = topo.devices().len();
+    check_precision_with_factors(
+        srg,
+        |id| {
+            let mut f = KernelTier::for_flops(srg.node(id).cost.flops).error_factor();
+            if let Some(dev) = facts.node_device(id) {
+                if (dev.0 as usize) < ndev {
+                    f *= device_class_error_factor(topo.device(dev).spec.class);
+                }
+            }
+            f
+        },
+        cfg,
+        report,
+    );
+}
+
+/// The full GA3xx pass with an explicit per-node local-error factor.
+pub fn check_precision_with_factors<F>(srg: &Srg, factor: F, cfg: &LintConfig, report: &mut Report)
+where
+    F: Fn(NodeId) -> f64,
+{
+    let Ok(flow) = SrgFlow::new(srg) else {
+        return; // cyclic graphs are a GA0xx problem
+    };
+    let delivered = error_bounds_with(srg, &factor).expect("flow already built");
+    let baseline = error_bounds_with(srg, |_| 1.0).expect("flow already built");
+    let downstream = critical_downstream(srg, &flow);
+
+    for node in srg.nodes() {
+        // GA303 — ops with no static error model.
+        match &node.op {
+            OpKind::Fused(k) => report.push(
+                cfg,
+                LintCode::ErrorIntervalUnknown,
+                Anchor::Node(node.id),
+                format!(
+                    "fused region {} ({k} ops) has no static error model; \
+                     downstream bounds are unbounded",
+                    node.name
+                ),
+            ),
+            OpKind::CustomKernel(name) => report.push(
+                cfg,
+                LintCode::ErrorIntervalUnknown,
+                Anchor::Node(node.id),
+                format!(
+                    "custom kernel {} ({name}) has no static error model; \
+                     downstream bounds are unbounded",
+                    node.name
+                ),
+            ),
+            _ => {}
+        }
+
+        // GA301 (absolute) — explicit tolerance demand vs delivered bound.
+        if let Some(tol) = node
+            .attrs
+            .get(TOLERANCE_ATTR)
+            .and_then(|s| s.parse::<f64>().ok())
+        {
+            let got = delivered.bound(node.id);
+            if got > tol {
+                report.push(
+                    cfg,
+                    LintCode::CriticalityToleranceExceeded,
+                    Anchor::Node(node.id),
+                    format!(
+                        "node {} demands relative tolerance {tol:.3e} but the \
+                         scheduled kernels deliver a worst-case bound of {got:.3e}",
+                        node.name
+                    ),
+                );
+            }
+        }
+
+        // GA302 — float downcast feeding a Critical edge downstream.
+        let Some(v) = flow.index_of(node.id) else {
+            continue;
+        };
+        if !downstream[v] {
+            continue;
+        }
+        let in_eps = srg
+            .in_edges(node.id)
+            .map(|e| elem_eps(e.meta.elem))
+            .filter(|&e| e > 0.0)
+            .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))));
+        let out_eps = srg
+            .out_edges(node.id)
+            .map(|e| elem_eps(e.meta.elem))
+            .filter(|&e| e > 0.0)
+            .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))));
+        if let (Some(ie), Some(oe)) = (in_eps, out_eps) {
+            if oe > ie {
+                report.push(
+                    cfg,
+                    LintCode::PrecisionLossyCriticalPath,
+                    Anchor::Node(node.id),
+                    format!(
+                        "node {} downcasts its inputs (output ε {oe:.1e} > input \
+                         ε {ie:.1e}) on a path feeding a Critical edge",
+                        node.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // GA301 (relative) — the schedule degraded a Critical value's bound
+    // past the slack, even without an explicit tolerance demand. One
+    // finding per offending source node.
+    let mut flagged: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+    for edge in srg.edges() {
+        if edge.criticality != Criticality::Critical || !flagged.insert(edge.src) {
+            continue;
+        }
+        let d = delivered.bound(edge.src);
+        let b = baseline.bound(edge.src);
+        if d > CRITICALITY_SLACK * b {
+            report.push(
+                cfg,
+                LintCode::CriticalityToleranceExceeded,
+                Anchor::Edge(edge.id),
+                format!(
+                    "critical value from {} is delivered at a worst-case bound of \
+                     {d:.3e}, more than {CRITICALITY_SLACK}× its baseline {b:.3e}: \
+                     the schedule, not the math, degraded it",
+                    srg.node(edge.src).name
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_srg::{Node, TensorMeta};
+
+    fn chain() -> (Srg, NodeId, NodeId, NodeId) {
+        let mut g = Srg::new("prec");
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
+        let w = g.add_node(Node::new(NodeId::new(0), OpKind::Parameter, "w"));
+        let mm = g.add_node(
+            Node::new(NodeId::new(0), OpKind::MatMul, "mm")
+                .with_cost(genie_srg::CostHints::new(2.0 * 8.0 * 64.0 * 8.0, 1.0, 1.0)),
+        );
+        g.connect(x, mm, TensorMeta::new([8, 64], ElemType::F32));
+        g.connect(w, mm, TensorMeta::new([64, 8], ElemType::F32));
+        let out = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "out"));
+        g.connect(mm, out, TensorMeta::new([8, 8], ElemType::F32));
+        (g, x, mm, out)
+    }
+
+    #[test]
+    fn bounds_are_finite_and_monotone_along_the_chain() {
+        let (g, x, mm, out) = chain();
+        let b = error_bounds(&g).unwrap();
+        assert!(b.bound(x) > 0.0 && b.bound(x).is_finite());
+        assert!(b.bound(mm) > b.bound(x), "matmul adds a k·ε local term");
+        assert!(b.bound(out) >= b.bound(mm), "output only propagates");
+        assert!(b.max_finite().unwrap() >= b.bound(out));
+        // k = 64 contracted elements: local term alone is 64·ε.
+        assert!(b.bound(mm) >= 64.0 * elem_eps(ElemType::F32));
+    }
+
+    #[test]
+    fn clean_f32_graph_has_no_findings() {
+        let (g, ..) = chain();
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r.finish().is_empty());
+    }
+
+    #[test]
+    fn ga301_tolerance_attr_tighter_than_bound_denied() {
+        let (mut g, _, mm, _) = chain();
+        g.node_mut(mm).attrs.insert(TOLERANCE_ATTR.into(), "1e-12".into());
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        assert_eq!(
+            r.with_code(LintCode::CriticalityToleranceExceeded).len(),
+            1,
+            "{r}"
+        );
+        assert!(r.has_deny());
+
+        // A loose demand is satisfied.
+        let (mut g, _, mm, _) = chain();
+        g.node_mut(mm).attrs.insert(TOLERANCE_ATTR.into(), "0.1".into());
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r.finish().is_empty());
+    }
+
+    #[test]
+    fn ga301_relative_fires_when_schedule_inflates_critical_value() {
+        let (mut g, _, mm, out) = chain();
+        let e = g.out_edges(mm).next().unwrap().id;
+        let _ = out;
+        g.edge_mut(e).criticality = Criticality::Critical;
+
+        // Unit factors: inside the slack.
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r.finish().is_empty());
+
+        // A hypothetical 8× lossier kernel on the critical producer
+        // blows past the 4× slack.
+        let mut r = Report::new("t");
+        check_precision_with_factors(
+            &g,
+            |id| if id == mm { 8.0 } else { 1.0 },
+            &LintConfig::new(),
+            &mut r,
+        );
+        let r = r.finish();
+        assert_eq!(
+            r.with_code(LintCode::CriticalityToleranceExceeded).len(),
+            1,
+            "{r}"
+        );
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn ga302_downcast_on_critical_path_warns() {
+        let mut g = Srg::new("down");
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
+        let mm = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
+        g.connect(x, mm, TensorMeta::new([8, 8], ElemType::F32));
+        let out = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "out"));
+        let e = g.connect(mm, out, TensorMeta::new([8, 8], ElemType::F16));
+
+        // Not critical: quiet.
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r
+            .finish()
+            .with_code(LintCode::PrecisionLossyCriticalPath)
+            .is_empty());
+
+        g.edge_mut(e).criticality = Criticality::Critical;
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        let hits = r.with_code(LintCode::PrecisionLossyCriticalPath);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert!(!r.has_deny(), "GA302 warns");
+    }
+
+    #[test]
+    fn uniform_f16_critical_graph_is_quiet() {
+        // Zoo spec graphs are uniformly F16 with Critical edges from
+        // the critical-path marker; neither GA301 nor GA302 may fire.
+        let mut g = Srg::new("f16");
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
+        let mm = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
+        g.connect(x, mm, TensorMeta::new([8, 4096], ElemType::F16));
+        let out = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "out"));
+        let e = g.connect(mm, out, TensorMeta::new([8, 8], ElemType::F16));
+        g.edge_mut(e).criticality = Criticality::Critical;
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r.finish().is_empty());
+    }
+
+    #[test]
+    fn ga303_unknown_op_is_info_and_poisons_bounds() {
+        let mut g = Srg::new("fused");
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
+        let f = g.add_node(Node::new(NodeId::new(0), OpKind::Fused(3), "blk"));
+        g.connect(x, f, TensorMeta::new([8, 8], ElemType::F32));
+        let out = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "out"));
+        g.connect(f, out, TensorMeta::new([8, 8], ElemType::F32));
+
+        let b = error_bounds(&g).unwrap();
+        assert!(b.bound(f).is_infinite());
+        assert!(b.bound(out).is_infinite(), "poison flows downstream");
+
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        assert_eq!(r.with_code(LintCode::ErrorIntervalUnknown).len(), 1, "{r}");
+        assert!(!r.has_deny(), "GA303 is informational");
+    }
+
+    #[test]
+    fn kernel_tiers_mirror_dispatch_thresholds() {
+        use genie_tensor::ops::{MATMUL_BLOCK_MIN_FLOPS, MATMUL_PAR_MIN_FLOPS};
+        assert_eq!(
+            KernelTier::for_flops(MATMUL_BLOCK_MIN_FLOPS as f64 - 1.0),
+            KernelTier::Scalar
+        );
+        assert_eq!(
+            KernelTier::for_flops(MATMUL_BLOCK_MIN_FLOPS as f64),
+            KernelTier::Blocked
+        );
+        assert_eq!(
+            KernelTier::for_flops(MATMUL_PAR_MIN_FLOPS as f64),
+            KernelTier::Threaded
+        );
+        for t in [KernelTier::Scalar, KernelTier::Blocked, KernelTier::Threaded] {
+            assert_eq!(t.error_factor(), 1.0, "CPU tiers share the k·ε bound");
+        }
+    }
+
+    #[test]
+    fn integer_values_are_exact() {
+        let mut g = Srg::new("ids");
+        let ids = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "ids"));
+        let sink = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "sink"));
+        g.connect(ids, sink, TensorMeta::new([16], ElemType::I32));
+        let b = error_bounds(&g).unwrap();
+        assert_eq!(b.bound(ids), 0.0);
+        assert_eq!(b.bound(sink), 0.0);
+    }
+}

@@ -1,0 +1,807 @@
+//! Schedule-timeline safety passes (GA2xx) and the liveness-based
+//! GA101 re-anchor.
+//!
+//! Where `plan_passes` checks each placement/transfer locally, the
+//! passes here reason about the plan's *timeline*: which values are
+//! simultaneously live (memory watermark), in which order a channel
+//! delivers its transfers (FIFO ordering hazards), and whether the
+//! waits-for relation induced by channel FIFO order plus data
+//! dependencies is acyclic (static deadlock). All three are instances
+//! of the fixpoint framework in [`crate::dataflow`] or of a plain
+//! topological sweep over the same structures.
+
+use crate::dataflow::{solve, Direction, SetLattice, SrgFlow, Timeline};
+use crate::diag::{Anchor, LintCode, LintConfig, Report, Severity};
+use crate::plan_passes::{PlanFacts, TransferFact};
+use genie_cluster::{ClusterState, DevId, Topology};
+use genie_srg::traverse::CycleError;
+use genie_srg::{NodeId, Srg, TensorId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-step live-value sets over the SRG's deterministic topological
+/// order, computed by a backward liveness solve on the step [`Timeline`].
+///
+/// Step `i` executes the `i`-th node of the topological order; the
+/// value produced by node `n` is live from the step that runs `n`
+/// through the last step that consumes it. Entry `i` of the result is
+/// the set of producer nodes whose values must be resident *while*
+/// step `i` runs (including step `i`'s own output).
+pub fn live_value_sets(srg: &Srg) -> Result<Vec<BTreeSet<NodeId>>, CycleError> {
+    let flow = SrgFlow::new(srg)?;
+    let steps = flow.len();
+    let lat = SetLattice::<NodeId>::new();
+    let fx = solve(&lat, &Timeline::new(steps), Direction::Backward, |i, live_out| {
+        let node = flow.node_at(i);
+        let mut live_in = live_out.clone();
+        live_in.remove(&node); // defined here, dead before this step
+        for p in srg.predecessors(node) {
+            live_in.insert(p); // used here, live from its producer on
+        }
+        live_in
+    });
+    debug_assert!(fx.converged, "liveness is monotone over a finite lattice");
+    Ok((0..steps)
+        .map(|i| {
+            let mut during = fx.outputs[i].clone();
+            during.insert(flow.node_at(i));
+            during
+        })
+        .collect())
+}
+
+/// The bytes held by a node's output value: the widest outgoing edge,
+/// or the node's own write-footprint hint if larger.
+fn value_bytes(srg: &Srg, node: NodeId) -> u64 {
+    srg.out_edges(node)
+        .map(|e| e.meta.size_bytes() as u64)
+        .max()
+        .unwrap_or(0)
+        .max(srg.node(node).cost.bytes_written as u64)
+}
+
+/// GA101 — memory watermark: pinned uploads plus the *liveness-based*
+/// peak of simultaneously-live values per device must fit in that
+/// device's free memory.
+///
+/// This replaces the old pessimistic `pinned + largest transient` sum:
+/// a value is charged only for the steps on which it is actually live,
+/// to the device of its producer and of each consumer, and values that
+/// are backed by a pinned upload are excluded from the sweep (they are
+/// already counted once, on the pinned side). When the graph has no
+/// topological order the old sum runs instead, capped at warn level.
+pub fn check_memory_watermark(
+    facts: &dyn PlanFacts,
+    topo: &Topology,
+    state: &ClusterState,
+    cfg: &LintConfig,
+    report: &mut Report,
+) {
+    let srg = facts.srg();
+    let mut demand: BTreeMap<DevId, u64> = BTreeMap::new();
+    let mut pinned_tensors: BTreeSet<TensorId> = BTreeSet::new();
+    for (tensor, dev, bytes) in facts.pinned_uploads() {
+        *demand.entry(dev).or_insert(0) += bytes;
+        pinned_tensors.insert(tensor);
+    }
+
+    let live = match live_value_sets(srg) {
+        Ok(live) => live,
+        Err(_) => {
+            check_device_capacity_pessimistic(facts, topo, state, cfg, report);
+            return;
+        }
+    };
+
+    // Byte weight and charged devices per producer node. A value
+    // occupies memory on the device that computes it and on the device
+    // of every consumer it is copied to; `None` (the client CPU) is
+    // not capacity-checked.
+    let mut charges: BTreeMap<NodeId, (u64, BTreeSet<DevId>)> = BTreeMap::new();
+    for node in srg.nodes() {
+        if srg
+            .out_edges(node.id)
+            .any(|e| pinned_tensors.contains(&e.tensor))
+        {
+            continue; // backed by a pinned upload, charged once above
+        }
+        let bytes = value_bytes(srg, node.id);
+        if bytes == 0 {
+            continue;
+        }
+        let mut devs = BTreeSet::new();
+        if let Some(d) = facts.node_device(node.id) {
+            devs.insert(d);
+        }
+        for consumer in srg.successors(node.id) {
+            if let Some(d) = facts.node_device(consumer) {
+                devs.insert(d);
+            }
+        }
+        if !devs.is_empty() {
+            charges.insert(node.id, (bytes, devs));
+        }
+    }
+
+    // High watermark per device across the step timeline.
+    let mut peak: BTreeMap<DevId, u64> = BTreeMap::new();
+    for step in &live {
+        let mut here: BTreeMap<DevId, u64> = BTreeMap::new();
+        for node in step {
+            if let Some((bytes, devs)) = charges.get(node) {
+                for d in devs {
+                    *here.entry(*d).or_insert(0) += bytes;
+                }
+            }
+        }
+        for (d, b) in here {
+            let e = peak.entry(d).or_insert(0);
+            *e = (*e).max(b);
+        }
+    }
+    for (d, b) in peak {
+        *demand.entry(d).or_insert(0) += b;
+    }
+
+    for (dev, required) in demand {
+        if dev.0 as usize >= topo.devices().len() {
+            report.push(
+                cfg,
+                LintCode::TransferEndpointMismatch,
+                Anchor::Device(dev),
+                format!("plan references device {dev} absent from the topology"),
+            );
+            continue;
+        }
+        let free = state.mem_free(topo, dev);
+        if required > free {
+            report.push(
+                cfg,
+                LintCode::DeviceOvercommit,
+                Anchor::Device(dev),
+                format!("plan needs {required} B on {dev} but only {free} B are free"),
+            );
+        }
+    }
+}
+
+/// The pre-liveness GA101: pinned uploads plus the single largest
+/// transient per device. Pessimistic (ignores live ranges), so findings
+/// are capped at [`Severity::Warn`]; used only when the graph is cyclic
+/// and no topological timeline exists.
+pub fn check_device_capacity_pessimistic(
+    facts: &dyn PlanFacts,
+    topo: &Topology,
+    state: &ClusterState,
+    cfg: &LintConfig,
+    report: &mut Report,
+) {
+    let srg = facts.srg();
+    let mut demand: BTreeMap<DevId, u64> = BTreeMap::new();
+    for (_, dev, bytes) in facts.pinned_uploads() {
+        *demand.entry(dev).or_insert(0) += bytes;
+    }
+    let mut transient: BTreeMap<DevId, u64> = BTreeMap::new();
+    for node in srg.nodes() {
+        if let Some(dev) = facts.node_device(node.id) {
+            let out_bytes = value_bytes(srg, node.id);
+            let e = transient.entry(dev).or_insert(0);
+            *e = (*e).max(out_bytes);
+        }
+    }
+    for (dev, b) in transient {
+        *demand.entry(dev).or_insert(0) += b;
+    }
+    for (dev, required) in demand {
+        if dev.0 as usize >= topo.devices().len() {
+            report.push(
+                cfg,
+                LintCode::TransferEndpointMismatch,
+                Anchor::Device(dev),
+                format!("plan references device {dev} absent from the topology"),
+            );
+            continue;
+        }
+        let free = state.mem_free(topo, dev);
+        if required > free {
+            report.push_capped(
+                cfg,
+                LintCode::DeviceOvercommit,
+                Severity::Warn,
+                Anchor::Device(dev),
+                format!(
+                    "plan needs {required} B on {dev} but only {free} B are free \
+                     (pessimistic bound: graph is cyclic, liveness unavailable)"
+                ),
+            );
+        }
+    }
+}
+
+/// GA201 — transfer ordering: each channel (source, destination pair)
+/// delivers its transfers in the order the plan lists them. A transfer
+/// queued behind one whose consumer runs *later* in the topological
+/// order arrives after its own consumer's start.
+pub fn check_transfer_ordering(facts: &dyn PlanFacts, cfg: &LintConfig, report: &mut Report) {
+    let srg = facts.srg();
+    let Ok(flow) = SrgFlow::new(srg) else {
+        return; // no step order to compare against
+    };
+    let mut channels: BTreeMap<(Option<DevId>, Option<DevId>), Vec<TransferFact>> = BTreeMap::new();
+    for t in facts.transfers() {
+        if t.edge.index() >= srg.edge_count() {
+            continue; // GA102 reports dangling edges
+        }
+        channels.entry((t.from, t.to)).or_default().push(t);
+    }
+    let show = |d: Option<DevId>| d.map_or("client".to_string(), |d| d.to_string());
+    for ((from, to), list) in channels {
+        let mut latest: Option<(usize, genie_srg::EdgeId)> = None;
+        for t in list {
+            let consumer = srg.edge(t.edge).dst;
+            let Some(step) = flow.index_of(consumer) else {
+                continue;
+            };
+            if let Some((blocker_step, blocker)) = latest {
+                if step < blocker_step {
+                    report.push(
+                        cfg,
+                        LintCode::TransferOrderHazard,
+                        Anchor::Edge(t.edge),
+                        format!(
+                            "transfer for {} is queued on channel {}→{} behind the \
+                             transfer for {} whose consumer runs later (step {step} < \
+                             step {blocker_step}): FIFO delivery lands it after its \
+                             consumer starts",
+                            t.edge,
+                            show(from),
+                            show(to),
+                            blocker
+                        ),
+                    );
+                }
+            }
+            let advance = match latest {
+                Some((blocker_step, _)) => step > blocker_step,
+                None => true,
+            };
+            if advance {
+                latest = Some((step, t.edge));
+            }
+        }
+    }
+}
+
+/// GA202 — double pinning: the same tensor pinned twice onto the same
+/// device within one plan double-counts (and double-occupies) device
+/// memory.
+pub fn check_double_pinning(facts: &dyn PlanFacts, cfg: &LintConfig, report: &mut Report) {
+    let mut seen: BTreeMap<(TensorId, DevId), u64> = BTreeMap::new();
+    for (tensor, dev, bytes) in facts.pinned_uploads() {
+        if let Some(prev) = seen.insert((tensor, dev), bytes) {
+            report.push(
+                cfg,
+                LintCode::DoublePinnedBuffer,
+                Anchor::Device(dev),
+                format!(
+                    "tensor {tensor} pinned twice on {dev} ({prev} B and {bytes} B): \
+                     the duplicate upload double-counts device memory"
+                ),
+            );
+        }
+    }
+}
+
+/// GA202 across plans: two plans that each pin the same tensor onto the
+/// same device will fight over one resident buffer (or silently hold
+/// two copies). Cross-plan the intent may be legitimate sharing, so the
+/// severity is capped at [`Severity::Warn`].
+pub fn check_cross_plan_pinning(plans: &[&dyn PlanFacts], cfg: &LintConfig) -> Report {
+    let mut report = Report::new("cross-plan pinning");
+    let mut owners: BTreeMap<(TensorId, DevId), String> = BTreeMap::new();
+    for plan in plans {
+        let subject = plan.subject();
+        let mut mine: BTreeSet<(TensorId, DevId)> = BTreeSet::new();
+        for (tensor, dev, bytes) in plan.pinned_uploads() {
+            if !mine.insert((tensor, dev)) {
+                continue; // in-plan duplicate: GA202's own finding
+            }
+            if let Some(owner) = owners.get(&(tensor, dev)) {
+                report.push_capped(
+                    cfg,
+                    LintCode::DoublePinnedBuffer,
+                    Severity::Warn,
+                    Anchor::Device(dev),
+                    format!(
+                        "tensor {tensor} ({bytes} B) pinned on {dev} by both \
+                         {owner} and {subject}"
+                    ),
+                );
+            } else {
+                owners.insert((tensor, dev), subject.clone());
+            }
+        }
+    }
+    report.finish()
+}
+
+/// GA203 — static deadlock: build the waits-for graph over compute
+/// steps and transfers (data dependencies, transfer issue/landing, and
+/// per-channel FIFO delivery order) and reject plans whose waits-for
+/// relation is cyclic — at runtime every participant would block
+/// forever on the others.
+pub fn check_transfer_deadlock(facts: &dyn PlanFacts, cfg: &LintConfig, report: &mut Report) {
+    let srg = facts.srg();
+    let node_ids = srg.node_ids();
+    let n = node_ids.len();
+    let index: BTreeMap<NodeId, usize> = node_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let transfers: Vec<TransferFact> = facts
+        .transfers()
+        .into_iter()
+        .filter(|t| t.edge.index() < srg.edge_count())
+        .collect();
+    if transfers.is_empty() {
+        return;
+    }
+    let total = n + transfers.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut indeg = vec![0usize; total];
+    let mut connect = |succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
+        succs[a].push(b);
+        indeg[b] += 1;
+    };
+    // Data dependencies: a consumer waits for each of its producers.
+    for edge in srg.edges() {
+        if let (Some(&s), Some(&d)) = (index.get(&edge.src), index.get(&edge.dst)) {
+            connect(&mut succs, &mut indeg, s, d);
+        }
+    }
+    // A transfer waits for its source node; its destination node waits
+    // for the transfer to land. Channel FIFO: each transfer also waits
+    // for the previously-issued transfer on the same channel.
+    let mut channel_last: BTreeMap<(Option<DevId>, Option<DevId>), usize> = BTreeMap::new();
+    for (k, t) in transfers.iter().enumerate() {
+        let v = n + k;
+        let edge = srg.edge(t.edge);
+        if let Some(&s) = index.get(&edge.src) {
+            connect(&mut succs, &mut indeg, s, v);
+        }
+        if let Some(&d) = index.get(&edge.dst) {
+            connect(&mut succs, &mut indeg, v, d);
+        }
+        if let Some(&prev) = channel_last.get(&(t.from, t.to)) {
+            connect(&mut succs, &mut indeg, prev, v);
+        }
+        channel_last.insert((t.from, t.to), v);
+    }
+    // Kahn's algorithm; anything left unprocessed sits on or behind a
+    // waits-for cycle.
+    let mut ready: Vec<usize> = (0..total).filter(|&v| indeg[v] == 0).collect();
+    let mut processed = 0usize;
+    while let Some(v) = ready.pop() {
+        processed += 1;
+        for &s in &succs[v] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if processed == total {
+        return;
+    }
+    // Trim downstream tails so the witness names only the cycle core:
+    // repeatedly drop leftovers with no leftover successor.
+    let mut leftover: BTreeSet<usize> = (0..total).filter(|&v| indeg[v] > 0).collect();
+    loop {
+        let tail: Vec<usize> = leftover
+            .iter()
+            .copied()
+            .filter(|&v| succs[v].iter().all(|s| !leftover.contains(s)))
+            .collect();
+        if tail.is_empty() {
+            break;
+        }
+        for v in tail {
+            leftover.remove(&v);
+        }
+    }
+    let involved: Vec<String> = leftover
+        .iter()
+        .filter_map(|&v| v.checked_sub(n).map(|k| transfers[k].edge.to_string()))
+        .collect();
+    if involved.is_empty() {
+        return; // a cycle purely in the SRG is a graph-level problem
+    }
+    let anchor = leftover
+        .iter()
+        .find_map(|&v| v.checked_sub(n).map(|k| Anchor::Edge(transfers[k].edge)))
+        .unwrap_or(Anchor::Graph);
+    report.push(
+        cfg,
+        LintCode::TransferDependencyCycle,
+        anchor,
+        format!(
+            "transfer dependency cycle: channel FIFO order contradicts data \
+             dependencies (transfers for {} wait on each other)",
+            involved.join(", ")
+        ),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie_cluster::{GpuSpec, NicSpec};
+    use genie_srg::{EdgeId, ElemType, Node, OpKind, Residency, TensorMeta};
+
+    struct FakePlan {
+        srg: Srg,
+        placements: BTreeMap<NodeId, Option<DevId>>,
+        transfers: Vec<TransferFact>,
+        pinned: Vec<(TensorId, DevId, u64)>,
+    }
+
+    impl PlanFacts for FakePlan {
+        fn subject(&self) -> String {
+            format!("{}@fake", self.srg.name)
+        }
+        fn srg(&self) -> &Srg {
+            &self.srg
+        }
+        fn node_device(&self, node: NodeId) -> Option<DevId> {
+            self.placements.get(&node).copied().flatten()
+        }
+        fn transfers(&self) -> Vec<TransferFact> {
+            self.transfers.clone()
+        }
+        fn pinned_uploads(&self) -> Vec<(TensorId, DevId, u64)> {
+            self.pinned.clone()
+        }
+    }
+
+    fn two_dev_topo(mem_capacity: u64) -> (Topology, DevId, DevId) {
+        let mut t = Topology::new();
+        let h = t.add_host("s", NicSpec::rnic_100g());
+        let spec = GpuSpec {
+            mem_capacity,
+            ..GpuSpec::a100_80gb()
+        };
+        let d0 = t.add_device(h, spec.clone());
+        let d1 = t.add_device(h, spec);
+        (t, d0, d1)
+    }
+
+    fn xfer(edge: EdgeId, tensor: u64, from: Option<DevId>, to: Option<DevId>) -> TransferFact {
+        TransferFact {
+            edge,
+            tensor: TensorId::new(tensor),
+            from,
+            to,
+            bytes: 64,
+            via_handle: false,
+        }
+    }
+
+    /// A chain `a → b → c` where each value dies as soon as its consumer
+    /// runs: the liveness watermark is one value + its consumer's
+    /// output, never the sum of all three.
+    #[test]
+    fn watermark_uses_live_ranges_not_sum() {
+        let mut g = Srg::new("chain");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b"));
+        let c = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "c"));
+        let m = TensorMeta::new([250, 1000], ElemType::F32); // 1 MB each
+        g.connect(a, b, m.clone());
+        g.connect(b, c, m.clone());
+        let d = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "d"));
+        g.connect(c, d, m);
+
+        // 2.5 MB device: any two adjacent 1 MB values fit, all three
+        // would not. The liveness peak (2 MB: a value plus its
+        // consumer's output) fits, while a naive all-values sum (3 MB)
+        // would not.
+        let (topo, d0, _) = two_dev_topo(2_500_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: [(a, Some(d0)), (b, Some(d0)), (c, Some(d0)), (d, Some(d0))]
+                .into_iter()
+                .collect(),
+            transfers: Vec::new(),
+            pinned: Vec::new(),
+        };
+        let state = ClusterState::new();
+        let mut r = Report::new("t");
+        check_memory_watermark(&plan, &topo, &state, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        assert!(
+            r.with_code(LintCode::DeviceOvercommit).is_empty(),
+            "live ranges never overlap more than 2 MB: {r}"
+        );
+    }
+
+    #[test]
+    fn watermark_counts_overlapping_lives() {
+        // A fan-out where `a` stays live across both consumers: peak is
+        // a + b + c alive together at step c.
+        let mut g = Srg::new("fan");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b"));
+        let c = g.add_node(Node::new(NodeId::new(0), OpKind::Add, "c"));
+        let m = TensorMeta::new([250, 1000], ElemType::F32); // 1 MB each
+        g.connect(a, b, m.clone());
+        g.connect(a, c, m.clone());
+        g.connect(b, c, m.clone());
+        let d = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "d"));
+        g.connect(c, d, m);
+
+        let (topo, d0, _) = two_dev_topo(2_500_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: [(a, Some(d0)), (b, Some(d0)), (c, Some(d0)), (d, Some(d0))]
+                .into_iter()
+                .collect(),
+            transfers: Vec::new(),
+            pinned: Vec::new(),
+        };
+        let state = ClusterState::new();
+        let mut r = Report::new("t");
+        check_memory_watermark(&plan, &topo, &state, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        let hits = r.with_code(LintCode::DeviceOvercommit);
+        assert_eq!(hits.len(), 1, "a+b+c live together = 3 MB > 2.5 MB: {r}");
+        assert!(hits[0].message.contains("only 2500000 B are free"), "{r}");
+    }
+
+    /// The GA101 pessimism fix: the old sum double-counted a pinned
+    /// weight — once as a pinned upload and again as the producing
+    /// node's transient — and flagged plans that actually fit.
+    #[test]
+    fn pinned_backed_value_not_double_counted() {
+        let mut g = Srg::new("pin");
+        let w = g.add_node(
+            Node::new(NodeId::new(0), OpKind::Parameter, "w")
+                .with_residency(Residency::PersistentWeight),
+        );
+        let mm = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
+        let e = g.connect(w, mm, TensorMeta::new([1000, 2000], ElemType::F32)); // 8 MB
+        let tensor = g.edge(e).tensor;
+
+        // 10 MB free: pinned 8 MB fits; the old 8 MB + 8 MB = 16 MB
+        // double count would have flagged it.
+        let (topo, d0, _) = two_dev_topo(10_000_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: [(w, Some(d0)), (mm, Some(d0))].into_iter().collect(),
+            transfers: Vec::new(),
+            pinned: vec![(tensor, d0, 8_000_000)],
+        };
+        let state = ClusterState::new();
+
+        let mut old = Report::new("old");
+        check_device_capacity_pessimistic(&plan, &topo, &state, &LintConfig::new(), &mut old);
+        assert_eq!(
+            old.finish().with_code(LintCode::DeviceOvercommit).len(),
+            1,
+            "the pessimistic sum double-counts the pinned weight"
+        );
+
+        let mut new = Report::new("new");
+        check_memory_watermark(&plan, &topo, &state, &LintConfig::new(), &mut new);
+        let new = new.finish();
+        assert!(
+            new.with_code(LintCode::DeviceOvercommit).is_empty(),
+            "liveness charges the pinned weight once: {new}"
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_falls_back_to_warn_level_sum() {
+        let mut g = Srg::new("cyc");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "b"));
+        let m = TensorMeta::new([250, 1000], ElemType::F32);
+        g.connect(a, b, m.clone());
+        g.connect(b, a, m); // cycle: no topological timeline
+        let (topo, d0, _) = two_dev_topo(500_000); // 0.5 MB: 1 MB transient overcommits
+        let plan = FakePlan {
+            srg: g,
+            placements: [(a, Some(d0)), (b, Some(d0))].into_iter().collect(),
+            transfers: Vec::new(),
+            pinned: Vec::new(),
+        };
+        let state = ClusterState::new();
+        let mut r = Report::new("t");
+        check_memory_watermark(&plan, &topo, &state, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        let hits = r.with_code(LintCode::DeviceOvercommit);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert_eq!(hits[0].severity, Severity::Warn, "fallback is warn-capped");
+        assert!(!r.has_deny());
+    }
+
+    fn ordering_fixture() -> (Srg, NodeId, NodeId, NodeId, EdgeId, EdgeId) {
+        // a → early (consumed at step 1), a → late-chain (consumed last).
+        let mut g = Srg::new("ord");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let early = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "early"));
+        let mid = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "mid"));
+        let late = g.add_node(Node::new(NodeId::new(0), OpKind::Add, "late"));
+        let m = TensorMeta::new([4, 4], ElemType::F32);
+        let e_early = g.connect(a, early, m.clone());
+        g.connect(early, mid, m.clone());
+        g.connect(mid, late, m.clone());
+        let e_late = g.connect(a, late, m);
+        (g, a, early, late, e_early, e_late)
+    }
+
+    #[test]
+    fn ga201_inverted_channel_order_flagged() {
+        let (g, a, early, late, e_early, e_late) = ordering_fixture();
+        let (topo, d0, _) = two_dev_topo(80_000_000_000);
+        let _ = topo;
+        // Channel client→d0 lists the late consumer's transfer FIRST:
+        // FIFO delivery parks the early consumer's payload behind it.
+        let plan = FakePlan {
+            srg: g,
+            placements: [(a, None), (early, Some(d0)), (late, Some(d0))]
+                .into_iter()
+                .collect(),
+            transfers: vec![xfer(e_late, 1, None, Some(d0)), xfer(e_early, 0, None, Some(d0))],
+            pinned: Vec::new(),
+        };
+        let mut r = Report::new("t");
+        check_transfer_ordering(&plan, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        let hits = r.with_code(LintCode::TransferOrderHazard);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert_eq!(hits[0].anchor, Anchor::Edge(e_early), "{r}");
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn ga201_consumer_order_is_clean() {
+        let (g, a, early, late, e_early, e_late) = ordering_fixture();
+        let (_, d0, _) = two_dev_topo(80_000_000_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: [(a, None), (early, Some(d0)), (late, Some(d0))]
+                .into_iter()
+                .collect(),
+            transfers: vec![xfer(e_early, 0, None, Some(d0)), xfer(e_late, 1, None, Some(d0))],
+            pinned: Vec::new(),
+        };
+        let mut r = Report::new("t");
+        check_transfer_ordering(&plan, &LintConfig::new(), &mut r);
+        assert!(r.finish().with_code(LintCode::TransferOrderHazard).is_empty());
+    }
+
+    #[test]
+    fn ga202_in_plan_double_pin_denied() {
+        let (g, ..) = ordering_fixture();
+        let (_, d0, _) = two_dev_topo(80_000_000_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: BTreeMap::new(),
+            transfers: Vec::new(),
+            pinned: vec![
+                (TensorId::new(7), d0, 1024),
+                (TensorId::new(7), d0, 1024),
+            ],
+        };
+        let mut r = Report::new("t");
+        check_double_pinning(&plan, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        assert_eq!(r.with_code(LintCode::DoublePinnedBuffer).len(), 1, "{r}");
+        assert!(r.has_deny());
+    }
+
+    #[test]
+    fn ga202_cross_plan_double_pin_warns() {
+        let (g, ..) = ordering_fixture();
+        let (_, d0, d1) = two_dev_topo(80_000_000_000);
+        let mk = |name: &str, dev: DevId| {
+            let mut srg = g.clone();
+            srg.name = name.into();
+            FakePlan {
+                srg,
+                placements: BTreeMap::new(),
+                transfers: Vec::new(),
+                pinned: vec![(TensorId::new(7), dev, 1024)],
+            }
+        };
+        let p1 = mk("p1", d0);
+        let p2 = mk("p2", d0);
+        let p3 = mk("p3", d1); // same tensor, different device: fine
+        let r = check_cross_plan_pinning(&[&p1, &p2, &p3], &LintConfig::new());
+        let hits = r.with_code(LintCode::DoublePinnedBuffer);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert_eq!(hits[0].severity, Severity::Warn, "{r}");
+        assert!(hits[0].message.contains("p1") && hits[0].message.contains("p2"), "{r}");
+    }
+
+    #[test]
+    fn ga203_fifo_against_dataflow_deadlocks() {
+        // x → y (cross-device, e2), y → z local, z → w (cross-device,
+        // e1). Listing e1's transfer before e2's on the same channel
+        // makes e2 wait behind e1, but e1's source z needs e2's payload
+        // first: a waits-for cycle.
+        let mut g = Srg::new("dl");
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
+        let y = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "y"));
+        let z = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "z"));
+        let w = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "w"));
+        let m = TensorMeta::new([4, 4], ElemType::F32);
+        let e2 = g.connect(x, y, m.clone());
+        g.connect(y, z, m.clone());
+        let e1 = g.connect(z, w, m);
+        let (_, d0, d1) = two_dev_topo(80_000_000_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: [(x, Some(d0)), (y, Some(d1)), (z, Some(d1)), (w, Some(d0))]
+                .into_iter()
+                .collect(),
+            // Both transfers share one declared channel (d0→d1), FIFO
+            // order [e1, e2]: e2 waits behind e1, while e1's source z
+            // transitively needs e2's payload.
+            transfers: vec![xfer(e1, 2, Some(d0), Some(d1)), xfer(e2, 0, Some(d0), Some(d1))],
+            pinned: Vec::new(),
+        };
+        let mut r = Report::new("t");
+        check_transfer_deadlock(&plan, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        let hits = r.with_code(LintCode::TransferDependencyCycle);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert!(r.has_deny());
+        assert!(hits[0].message.contains("cycle"), "{r}");
+    }
+
+    #[test]
+    fn ga203_consistent_order_is_clean() {
+        let mut g = Srg::new("dl-ok");
+        let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
+        let y = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "y"));
+        let z = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "z"));
+        let w = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "w"));
+        let m = TensorMeta::new([4, 4], ElemType::F32);
+        let e2 = g.connect(x, y, m.clone());
+        g.connect(y, z, m.clone());
+        let e1 = g.connect(z, w, m);
+        let (_, d0, d1) = two_dev_topo(80_000_000_000);
+        let plan = FakePlan {
+            srg: g,
+            placements: [(x, Some(d0)), (y, Some(d1)), (z, Some(d1)), (w, Some(d0))]
+                .into_iter()
+                .collect(),
+            transfers: vec![xfer(e2, 0, Some(d0), Some(d1)), xfer(e1, 2, Some(d0), Some(d1))],
+            pinned: Vec::new(),
+        };
+        let mut r = Report::new("t");
+        check_transfer_deadlock(&plan, &LintConfig::new(), &mut r);
+        assert!(r
+            .finish()
+            .with_code(LintCode::TransferDependencyCycle)
+            .is_empty());
+    }
+
+    #[test]
+    fn live_sets_match_interval_definition() {
+        // Brute force: node n is live at step i iff pos(n) ≤ i ≤
+        // last-use(n); the dataflow answer must agree exactly.
+        let (g, ..) = ordering_fixture();
+        let flow = SrgFlow::new(&g).unwrap();
+        let live = live_value_sets(&g).unwrap();
+        for (i, set) in live.iter().enumerate() {
+            for (pos, &n) in flow.order().iter().enumerate() {
+                let last_use = g
+                    .successors(n)
+                    .into_iter()
+                    .filter_map(|s| flow.index_of(s))
+                    .max()
+                    .unwrap_or(pos);
+                let expect = pos <= i && i <= last_use;
+                assert_eq!(set.contains(&n), expect, "node {n} at step {i}");
+            }
+        }
+    }
+}

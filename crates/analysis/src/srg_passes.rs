@@ -2,22 +2,29 @@
 //! any scheduler may plan on it (the capture-time gate).
 //!
 //! Each pass is independently callable; [`run_srg_passes`] runs them all
-//! and returns one canonical [`Report`].
+//! (plus the graph-level GA3xx precision passes from
+//! [`crate::precision_passes`]) under per-pass timing spans and returns
+//! one canonical [`Report`].
 
-use crate::diag::{Anchor, LintCode, LintConfig, Report};
+use crate::diag::{timed_pass, Anchor, LintCode, LintConfig, Report};
 use genie_srg::{Edge, ElemType, OpKind, Phase, Residency, Srg};
 
 /// Run every SRG pass under `cfg` and return the merged report.
 pub fn run_srg_passes(srg: &Srg, cfg: &LintConfig) -> Report {
     let mut report = Report::new(srg.name.clone());
-    check_shapes(srg, cfg, &mut report);
-    check_dtypes(srg, cfg, &mut report);
-    check_phases(srg, cfg, &mut report);
-    check_residency(srg, cfg, &mut report);
-    check_cost_hints(srg, cfg, &mut report);
-    check_rates(srg, cfg, &mut report);
-    check_annotation_gaps(srg, cfg, &mut report);
-    report.finish()
+    timed_pass("shapes", || check_shapes(srg, cfg, &mut report));
+    timed_pass("dtypes", || check_dtypes(srg, cfg, &mut report));
+    timed_pass("phases", || check_phases(srg, cfg, &mut report));
+    timed_pass("residency", || check_residency(srg, cfg, &mut report));
+    timed_pass("cost_hints", || check_cost_hints(srg, cfg, &mut report));
+    timed_pass("rates", || check_rates(srg, cfg, &mut report));
+    timed_pass("annotation_gaps", || {
+        check_annotation_gaps(srg, cfg, &mut report)
+    });
+    timed_pass("precision", || {
+        crate::precision_passes::check_precision_consistency(srg, cfg, &mut report)
+    });
+    report.finish().record_metrics()
 }
 
 fn data_inputs<'a>(srg: &'a Srg, node: genie_srg::NodeId) -> Vec<&'a Edge> {

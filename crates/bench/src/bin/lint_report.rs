@@ -1,17 +1,25 @@
-//! Runs the full semantic lint suite (`GA0xx` graph passes + `GA1xx` plan
-//! passes) over every workload family of the model zoo and emits a summary
-//! table plus a machine-readable artifact.
+//! Runs the full semantic lint suite — `GA0xx` graph passes, `GA1xx`
+//! plan passes, `GA2xx` schedule-timeline passes, and `GA3xx` precision
+//! passes — over every workload family of the model zoo and emits a
+//! per-family summary table plus a machine-readable artifact.
 //!
 //! Run with: `cargo run -p genie-bench --bin lint_report`
 
-use genie_analysis::{run_srg_passes, LintConfig, Severity};
+use genie_analysis::{run_srg_passes, LintConfig, LintFamily, Report, Severity};
 use genie_bench::report::{render_table, write_artifact};
 use genie_cluster::{ClusterState, Topology};
 use genie_models::Workload;
 use genie_scheduler::{schedule, CostModel, SemanticsAware};
 
+const FAMILIES: [LintFamily; 4] = [
+    LintFamily::Graph,
+    LintFamily::Plan,
+    LintFamily::Schedule,
+    LintFamily::Precision,
+];
+
 fn main() {
-    println!("Semantic lint report — GA0xx graph passes + GA1xx plan passes\n");
+    println!("Semantic lint report — GA0xx graph / GA1xx plan / GA2xx schedule / GA3xx precision\n");
     let cfg = LintConfig::new();
     let topo = Topology::rack(4, 25e9);
     let state = ClusterState::new();
@@ -25,12 +33,14 @@ fn main() {
         let plan = schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
         let plan_report = genie_scheduler::lint_plan(&plan, &topo, &state, &cfg);
 
-        rows.push(vec![
+        let mut row = vec![
             w.name().to_string(),
             format!("{} nodes / {} edges", srg.node_count(), srg.edge_count()),
-            summarize(&graph_report),
-            summarize(&plan_report),
-        ]);
+        ];
+        for fam in FAMILIES {
+            row.push(family_summary(fam, &[&graph_report, &plan_report]));
+        }
+        rows.push(row);
         artifacts.push(serde_json::json!({
             "workload": w.name(),
             "nodes": srg.node_count(),
@@ -46,8 +56,10 @@ fn main() {
             &[
                 "Workload",
                 "Graph size",
-                "SRG lints (GA0xx)",
-                "Plan lints (GA1xx)"
+                "Graph (GA0xx)",
+                "Plan (GA1xx)",
+                "Schedule (GA2xx)",
+                "Precision (GA3xx)"
             ],
             &rows
         )
@@ -59,11 +71,19 @@ fn main() {
     println!("have aborted capture (finish) or scheduling (schedule_checked).");
 }
 
-fn summarize(report: &genie_analysis::Report) -> String {
+/// `deny/warn/info` counts for one family, summed over `reports`.
+fn family_summary(fam: LintFamily, reports: &[&Report]) -> String {
+    let count = |sev: Severity| -> usize {
+        reports
+            .iter()
+            .flat_map(|r| r.diagnostics.iter())
+            .filter(|d| d.code.family() == fam && d.severity == sev)
+            .count()
+    };
     format!(
         "{} deny / {} warn / {} info",
-        report.count(Severity::Deny),
-        report.count(Severity::Warn),
-        report.count(Severity::Info),
+        count(Severity::Deny),
+        count(Severity::Warn),
+        count(Severity::Info),
     )
 }

@@ -7,7 +7,13 @@
 //! count and per-lane KV budget (device memory minus resident weights).
 //! A refused tenant sheds its whole trace with
 //! [`ShedReason::AdmissionRejected`](crate::ShedReason::AdmissionRejected).
+//!
+//! Before the scheduler ever sees the tenant, its spec graph runs through
+//! the full `genie-analysis` SRG pass stack (shape/phase/residency GA0xx
+//! plus the GA3xx precision family): a graph with deny-level findings is
+//! refused outright rather than scheduled onto the fleet.
 
+use genie_analysis::{run_srg_passes, LintConfig};
 use genie_cluster::{DevId, Topology};
 use genie_models::TransformerConfig;
 use genie_netsim::Nanos;
@@ -38,6 +44,16 @@ pub fn bind_tenant(
     now: Nanos,
 ) -> FleetBinding {
     let id = tenant.id;
+    // Static gate first: a tenant whose spec graph carries deny-level
+    // lint findings never reaches the scheduler.
+    if run_srg_passes(&tenant.srg, &LintConfig::new()).has_deny() {
+        return FleetBinding {
+            admitted: false,
+            devices: Vec::new(),
+            lanes: 0,
+            kv_capacity_bytes: 0,
+        };
+    }
     let plan = sched.step(now, vec![FleetEvent::Admit(tenant)]);
     match plan.assignments.get(&id) {
         Some(devices) if !devices.is_empty() && !plan.rejected.contains_key(&id) => {
@@ -99,6 +115,34 @@ mod tests {
             "kv budget {}",
             binding.kv_capacity_bytes
         );
+    }
+
+    #[test]
+    fn deny_level_lint_findings_refuse_admission() {
+        use genie_srg::{ElemType, Node, NodeId, OpKind, Srg, TensorMeta};
+        // Shape-incompatible matmul: GA001 denies at the static gate, so
+        // the tenant must be refused before the scheduler is consulted.
+        let mut g = Srg::new("bad-tenant");
+        let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+        let b = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "b"));
+        let mm = g.add_node(Node::new(NodeId::new(0), OpKind::MatMul, "mm"));
+        g.connect(a, mm, TensorMeta::new([2, 3], ElemType::F32));
+        g.connect(b, mm, TensorMeta::new([5, 7], ElemType::F32));
+
+        let topo = Topology::heterogeneous_fleet(2, 25e9);
+        let mut sched = GlobalScheduler::new(topo.clone(), CostModel::paper_stack());
+        let cfg = TransformerConfig::gptj_6b();
+        let tenant = TenantRequest {
+            id: 2,
+            name: "bad".into(),
+            srg: g,
+            slo: Slo::Interactive,
+            model_fingerprint: 8,
+        };
+        let binding = bind_tenant(&mut sched, &topo, &cfg, tenant, Nanos::ZERO);
+        assert!(!binding.admitted, "deny-level graph must be refused");
+        assert!(binding.devices.is_empty());
+        assert_eq!(binding.lanes, 0);
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub fn multi_head_attention(
 ) -> Tensor {
     let (tq, dm) = (q.dims()[0], q.dims()[1]);
     let tk = k.dims()[0];
+    // A forced non-parallel path maps to the sequential reference:
+    // attention has no distinct blocked kernel.
+    match stats::forced_path() {
+        Some(Path::Parallel) => return multi_head_attention_parallel(q, k, v, heads, causal),
+        Some(_) => return multi_head_attention_sequential(q, k, v, heads, causal),
+        None => {}
+    }
     // QK^T plus weights·V, both 2·tq·tk·dh per head, over all heads.
     let flops = 4 * tq * tk * dm;
     if heads > 1 && flops >= ATTENTION_PAR_MIN_FLOPS && par::worker_count(heads) > 1 {

@@ -93,6 +93,13 @@ fn conv_plane(
 /// Dispatches between the scalar reference and the parallel kernel.
 pub fn conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
     let g = conv_geom(x, w, bias, stride, padding);
+    // A forced non-parallel path maps to the scalar reference: conv has
+    // no distinct blocked kernel.
+    match stats::forced_path() {
+        Some(Path::Parallel) => return conv2d_parallel(x, w, bias, stride, padding),
+        Some(_) => return conv2d_scalar(x, w, bias, stride, padding),
+        None => {}
+    }
     let macs = g.n * g.cout * g.oh * g.ow * g.cin * g.kh * g.kw;
     let planes = g.n * g.cout;
     if g.oh * g.ow > 0 && macs >= CONV_PAR_MIN_MACS && par::worker_count(planes) > 1 {

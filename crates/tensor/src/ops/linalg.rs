@@ -104,6 +104,12 @@ fn matmul_blocked_rows(
 /// all three produce bit-identical results.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = matmul_dims(a, b);
+    match stats::forced_path() {
+        Some(Path::Scalar) => return matmul_scalar(a, b),
+        Some(Path::Blocked) => return matmul_blocked(a, b),
+        Some(Path::Parallel) => return matmul_parallel(a, b),
+        None => {}
+    }
     let flops = 2 * m * k * n;
     if flops < MATMUL_BLOCK_MIN_FLOPS || m == 0 || k == 0 || n == 0 {
         return matmul_scalar(a, b);
@@ -164,6 +170,12 @@ fn batched_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
 /// parallelism across batches.
 pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (ba, m, k, n) = batched_dims(a, b);
+    match stats::forced_path() {
+        Some(Path::Scalar) => return batched_matmul_scalar(a, b),
+        Some(Path::Blocked) => return batched_matmul_blocked(a, b),
+        Some(Path::Parallel) => return batched_matmul_parallel(a, b),
+        None => {}
+    }
     let flops = 2 * ba * m * k * n;
     if flops < MATMUL_BLOCK_MIN_FLOPS || ba * m * k * n == 0 {
         return batched_matmul_scalar(a, b);

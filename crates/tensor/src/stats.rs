@@ -7,7 +7,7 @@
 //! `genie-frontend` publishes deltas into the telemetry registry as
 //! `genie_tensor_kernel_dispatch_total{op,path}`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Which implementation served a kernel call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +57,36 @@ fn op_index(op: &str) -> usize {
 
 pub(crate) fn note(op: &str, path: Path) {
     COUNTS[op_index(op)][path.index()].fetch_add(1, Ordering::Relaxed);
+}
+
+// 0 = no override; 1..=3 = Path::index() + 1.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Override kernel dispatch process-wide: every instrumented kernel
+/// takes `path` regardless of problem size until cleared with `None`.
+///
+/// Exists for differential testing — running the same graph on two
+/// tiers and comparing outputs against the static error bounds from
+/// `genie-analysis` — and for benchmarking a single tier in isolation.
+/// Callers must reset to `None` afterwards; tests that force a path
+/// cannot run concurrently with tests asserting the natural dispatch
+/// mix.
+pub fn force_path(path: Option<Path>) {
+    let raw = match path {
+        None => 0,
+        Some(p) => p.index() as u8 + 1,
+    };
+    FORCED.store(raw, Ordering::Relaxed);
+}
+
+/// The currently-forced dispatch path, if any.
+pub fn forced_path() -> Option<Path> {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => Some(Path::Scalar),
+        2 => Some(Path::Blocked),
+        3 => Some(Path::Parallel),
+        _ => None,
+    }
 }
 
 /// A point-in-time copy of the dispatch counters.
@@ -116,6 +146,19 @@ pub fn snapshot() -> Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn forced_path_round_trips() {
+        // The only test in this crate touching the override, so no
+        // parallel-test interference; dispatch results are identical
+        // across paths regardless.
+        force_path(Some(Path::Scalar));
+        assert_eq!(forced_path(), Some(Path::Scalar));
+        force_path(Some(Path::Parallel));
+        assert_eq!(forced_path(), Some(Path::Parallel));
+        force_path(None);
+        assert_eq!(forced_path(), None);
+    }
 
     #[test]
     fn note_increments_the_right_cell() {

@@ -44,12 +44,37 @@ fn main() {
     let plan = genie::scheduler::schedule(&srg, &topo, &state, &cost, &SemanticsAware::new());
     println!("\n{}", plan.summary());
 
-    // Lint both the graph and the plan (GA0xx + GA1xx).
+    // Lint both the graph and the plan: GA0xx/GA3xx at graph level,
+    // GA1xx/GA2xx/GA3xx over the scheduled plan.
     let cfg = genie::analysis::LintConfig::new();
     let graph_report = genie::analysis::run_srg_passes(&srg, &cfg);
     let plan_report = genie::scheduler::lint_plan(&plan, &topo, &state, &cfg);
     println!("\n{}", graph_report.render());
     println!("{}", plan_report.render());
+    println!("findings by family:");
+    for fam in [
+        genie::analysis::LintFamily::Graph,
+        genie::analysis::LintFamily::Plan,
+        genie::analysis::LintFamily::Schedule,
+        genie::analysis::LintFamily::Precision,
+    ] {
+        let n = graph_report
+            .diagnostics
+            .iter()
+            .chain(&plan_report.diagnostics)
+            .filter(|d| d.code.family() == fam)
+            .count();
+        println!("  {:<6} {n}", fam.key());
+    }
+
+    // The static error interval the GA3xx passes reason over: the
+    // worst-case relative error the graph can accumulate end to end.
+    if let Ok(bounds) = genie::analysis::error_bounds(&srg) {
+        match bounds.max_finite() {
+            Some(b) => println!("worst-case relative error bound: {b:.3e}"),
+            None => println!("worst-case relative error bound: unbounded"),
+        }
+    }
 
     let dir = std::path::Path::new("target/inspect");
     std::fs::create_dir_all(dir).expect("mkdir");

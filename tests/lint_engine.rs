@@ -55,6 +55,135 @@ fn every_zoo_family_is_deny_clean_end_to_end() {
     }
 }
 
+/// Hand-built GA2xx violations must survive the JSON round trip with
+/// their stable code strings, so fleet tooling can key on them.
+#[test]
+fn ga2xx_findings_render_to_json() {
+    use genie::analysis::{run_plan_passes, PlanFacts, TransferFact};
+    use genie::cluster::DevId;
+    use genie::srg::{ElemType, Node, NodeId, OpKind, Srg, TensorId, TensorMeta};
+    use std::collections::BTreeMap;
+
+    struct FakePlan {
+        srg: Srg,
+        devices: BTreeMap<NodeId, DevId>,
+        transfers: Vec<TransferFact>,
+        pinned: Vec<(TensorId, DevId, u64)>,
+    }
+    impl PlanFacts for FakePlan {
+        fn subject(&self) -> String {
+            "fixture@test".into()
+        }
+        fn srg(&self) -> &Srg {
+            &self.srg
+        }
+        fn node_device(&self, node: NodeId) -> Option<DevId> {
+            self.devices.get(&node).copied()
+        }
+        fn transfers(&self) -> Vec<TransferFact> {
+            self.transfers.clone()
+        }
+        fn pinned_uploads(&self) -> Vec<(TensorId, DevId, u64)> {
+            self.pinned.clone()
+        }
+    }
+
+    // a on d0 feeds both the first and the last step of a chain on d1.
+    // Shipping the later consumer's payload first inverts the channel
+    // FIFO against consumption order (GA201); pinning one buffer twice
+    // double-charges device memory (GA202).
+    let mut g = Srg::new("fixture");
+    let meta = TensorMeta::new([4], ElemType::F32);
+    let a = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "a"));
+    let early = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "early"));
+    let mid = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "mid"));
+    let late = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "late"));
+    let e_early = g.connect(a, early, meta.clone());
+    g.connect(early, mid, meta.clone());
+    g.connect(mid, late, meta.clone());
+    let e_late = g.connect(a, late, meta);
+
+    let (d0, d1) = (DevId(0), DevId(1));
+    let xfer = |edge, tensor| TransferFact {
+        edge,
+        tensor,
+        from: Some(d0),
+        to: Some(d1),
+        bytes: 16,
+        via_handle: false,
+    };
+    let plan = FakePlan {
+        devices: [(a, d0), (early, d1), (mid, d1), (late, d1)].into(),
+        transfers: vec![
+            xfer(e_late, g.edge(e_late).tensor),
+            xfer(e_early, g.edge(e_early).tensor),
+        ],
+        pinned: vec![
+            (TensorId::new(99), d1, 1024),
+            (TensorId::new(99), d1, 1024),
+        ],
+        srg: g,
+    };
+
+    let topo = Topology::rack(2, 25e9);
+    let report = run_plan_passes(&plan, &topo, &ClusterState::new(), &LintConfig::new());
+    let json = report.to_json();
+    let codes: Vec<&str> = json["diagnostics"]
+        .as_array()
+        .expect("diagnostics array")
+        .iter()
+        .map(|d| d["code"].as_str().expect("code string"))
+        .collect();
+    assert!(codes.contains(&"GA201"), "{json}");
+    assert!(codes.contains(&"GA202"), "{json}");
+    assert_eq!(json["subject"], "fixture@test");
+    for d in json["diagnostics"].as_array().unwrap() {
+        assert!(d["severity"].is_string(), "{d}");
+        assert!(!d["message"].as_str().unwrap().is_empty(), "{d}");
+    }
+}
+
+/// GA3xx violations — an unmeetable tolerance and an unmodeled fused
+/// op — must also surface through `Report::to_json` with stable codes.
+#[test]
+fn ga3xx_findings_render_to_json() {
+    use genie::srg::{ElemType as El, Node, NodeId, OpKind, TensorMeta};
+    use genie::tensor::init;
+
+    let ctx = CaptureCtx::new("precision-fixture");
+    let x = ctx.input("x", [4, 16], El::F32, Some(init::randn([4, 16], 1)));
+    let w = ctx.parameter("w", [16, 16], El::F32, Some(init::randn([16, 16], 2)));
+    let y = x.matmul(&w);
+    y.mark_output();
+    let mm = y.node;
+    let mut cap = ctx.finish();
+    // 2^-24 per element over a k=16 reduction can never meet 1e-12.
+    cap.srg
+        .node_mut(mm)
+        .attrs
+        .insert("tolerance_rel".into(), "1e-12".into());
+    // A fused region has no static error model: GA303, and every bound
+    // downstream of it is unbounded.
+    let fx = cap
+        .srg
+        .add_node(Node::new(NodeId::new(0), OpKind::Fused(2), "fx"));
+    cap.srg.connect(mm, fx, TensorMeta::new([4, 16], El::F32));
+
+    let report = run_srg_passes(&cap.srg, &LintConfig::new());
+    let json = report.to_json();
+    let codes: Vec<&str> = json["diagnostics"]
+        .as_array()
+        .expect("diagnostics array")
+        .iter()
+        .map(|d| d["code"].as_str().expect("code string"))
+        .collect();
+    assert!(codes.contains(&"GA301"), "{json}");
+    assert!(codes.contains(&"GA303"), "{json}");
+    // The JSON must round-trip back into an identical report.
+    let back: genie::analysis::Report = serde_json::from_value(json).expect("round trip");
+    assert_eq!(back, report);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -1,0 +1,192 @@
+//! Differential validation of the GA3xx precision lints: the static
+//! worst-case error interval computed by `genie-analysis` must cover the
+//! divergence actually observed when the functional plane executes the
+//! same graph on two kernel tiers (forced scalar vs forced parallel).
+//! Also pins the denial side: a `tolerance_rel` annotation tighter than
+//! the delivered bound is refused both at graph level and at schedule
+//! time.
+
+use genie::analysis::{error_bounds, run_srg_passes, LintCode, LintConfig};
+use genie::frontend::capture::{CaptureCtx, CapturedGraph};
+use genie::frontend::interp;
+use genie::frontend::value::Value;
+use genie::models::{
+    CnnConfig, Dlrm, DlrmConfig, KvState, Multimodal, MultimodalConfig, SimpleCnn,
+    TransformerConfig, TransformerLm,
+};
+use genie::prelude::*;
+use genie::srg::NodeId;
+use genie::tensor::init;
+use genie::tensor::stats::{force_path, Path};
+use std::collections::HashMap;
+
+/// Execute `captured` sequentially with every instrumented kernel forced
+/// onto `path`, restoring natural dispatch before returning.
+fn run_forced(captured: &CapturedGraph, path: Path) -> HashMap<NodeId, Value> {
+    force_path(Some(path));
+    let out = interp::execute_sequential(&captured.srg, &captured.values);
+    force_path(None);
+    out.expect("forced execution succeeds")
+}
+
+/// Assert the scalar-tier and parallel-tier executions of `captured`
+/// diverge by no more than the static per-node error bound, and that
+/// the bound at `output` is finite (the graph is fully modeled).
+fn assert_divergence_within_bounds(name: &str, captured: &CapturedGraph, output: NodeId) {
+    let bounds = error_bounds(&captured.srg).expect("captures are acyclic");
+    let out_bound = bounds.bound(output);
+    assert!(
+        out_bound.is_finite(),
+        "{name}: output bound must be finite, got {out_bound}"
+    );
+
+    let scalar = run_forced(captured, Path::Scalar);
+    let parallel = run_forced(captured, Path::Parallel);
+    assert_eq!(scalar.len(), parallel.len(), "{name}: same nodes evaluated");
+
+    for (id, sv) in &scalar {
+        let (Value::F(a), Some(Value::F(b))) = (sv, parallel.get(id)) else {
+            continue; // index tensors are exact by construction
+        };
+        let bound = bounds.bound(*id);
+        for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+            let denom = x.abs().max(y.abs()).max(f32::MIN_POSITIVE) as f64;
+            let rel = (x - y).abs() as f64 / denom;
+            assert!(
+                rel <= bound,
+                "{name}: node {id:?} elem {i}: observed divergence {rel:e} \
+                 exceeds static bound {bound:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_divergence_is_covered_by_static_bounds() {
+    // One test walks every zoo model: `force_path` is process-global, so
+    // the forced sections must not interleave with each other.
+    let model = TransformerLm::new_functional(TransformerConfig::tiny(), 11);
+    let prompt: Vec<i64> = (0..12).map(|i| i % 32).collect();
+    let ctx = CaptureCtx::new("llm.prefill");
+    let cap = model.capture_prefill(&ctx, &prompt);
+    cap.logits.mark_output();
+    let out = cap.logits.node;
+    assert_divergence_within_bounds("llm.prefill", &ctx.finish(), out);
+
+    let cfg = &model.config;
+    let kv = KvState {
+        k: (0..cfg.layers)
+            .map(|l| init::randn([4, cfg.d_model], 100 + l as u64))
+            .collect(),
+        v: (0..cfg.layers)
+            .map(|l| init::randn([4, cfg.d_model], 200 + l as u64))
+            .collect(),
+    };
+    let ctx = CaptureCtx::new("llm.decode");
+    let cap = model.capture_decode_step(&ctx, 3, &kv);
+    cap.logits.mark_output();
+    let out = cap.logits.node;
+    assert_divergence_within_bounds("llm.decode", &ctx.finish(), out);
+
+    let cfg = CnnConfig::tiny();
+    let model = SimpleCnn::new_functional(cfg.clone(), 5);
+    let pixels = init::randn([2, 3, cfg.image_size, cfg.image_size], 42);
+    let ctx = CaptureCtx::new("cnn.inference");
+    let scores = model.capture_inference(&ctx, 2, Some(pixels));
+    scores.mark_output();
+    let out = scores.node;
+    assert_divergence_within_bounds("cnn.inference", &ctx.finish(), out);
+
+    let cfg = DlrmConfig::tiny();
+    let model = Dlrm::new_functional(cfg.clone(), 9);
+    let ids: Vec<Vec<i64>> = (0..cfg.tables)
+        .map(|t| {
+            (0..cfg.lookups_per_table)
+                .map(|i| ((t * 17 + i * 5) % cfg.rows_per_table) as i64)
+                .collect()
+        })
+        .collect();
+    let dense = init::randn([1, cfg.dense_features], 8);
+    let ctx = CaptureCtx::new("dlrm.inference");
+    let logit = model.capture_inference(&ctx, &ids, Some(dense));
+    logit.mark_output();
+    let out = logit.node;
+    assert_divergence_within_bounds("dlrm.inference", &ctx.finish(), out);
+
+    let cfg = MultimodalConfig::tiny();
+    let model = Multimodal::new_functional(cfg.clone(), 13);
+    let question: Vec<i64> = (0..6).map(|i| i % cfg.text.vocab as i64).collect();
+    let pixels = init::randn([1, 3, cfg.vision.image_size, cfg.vision.image_size], 21);
+    let ctx = CaptureCtx::new("vqa.inference");
+    let scores = model.capture_inference(&ctx, &question, Some(pixels));
+    scores.mark_output();
+    let out = scores.node;
+    assert_divergence_within_bounds("vqa.inference", &ctx.finish(), out);
+}
+
+/// A small matmul capture whose matmul node carries `tolerance_rel`.
+fn toleranced_capture(tol: &str) -> CapturedGraph {
+    let ctx = CaptureCtx::new("tolerance");
+    let x = ctx.input("x", [4, 16], ElemType::F32, Some(init::randn([4, 16], 1)));
+    let w = ctx.parameter("w", [16, 16], ElemType::F32, Some(init::randn([16, 16], 2)));
+    let y = x.matmul(&w);
+    y.mark_output();
+    let mm = y.node;
+    let mut cap = ctx.finish();
+    cap.srg
+        .node_mut(mm)
+        .attrs
+        .insert("tolerance_rel".into(), tol.into());
+    cap
+}
+
+#[test]
+fn unmeetable_tolerance_is_denied_at_graph_and_schedule_time() {
+    // 2^-24 per element over a k=16 reduction can never satisfy 1e-12.
+    let cap = toleranced_capture("1e-12");
+    let report = run_srg_passes(&cap.srg, &LintConfig::new());
+    assert!(report.has_deny(), "{report}");
+    assert!(
+        !report
+            .with_code(LintCode::CriticalityToleranceExceeded)
+            .is_empty(),
+        "GA301 must carry the denial: {report}"
+    );
+
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    let cost = CostModel::ideal_25g();
+    let err = genie::scheduler::schedule_checked(
+        &cap.srg,
+        &topo,
+        &state,
+        &cost,
+        &SemanticsAware::new(),
+        &LintConfig::new(),
+    )
+    .expect_err("unmeetable tolerance must be refused at schedule time");
+    assert!(
+        !err.with_code(LintCode::CriticalityToleranceExceeded).is_empty(),
+        "{err}"
+    );
+}
+
+#[test]
+fn loose_tolerance_schedules_cleanly() {
+    let cap = toleranced_capture("0.5");
+    let report = run_srg_passes(&cap.srg, &LintConfig::new());
+    assert!(!report.has_deny(), "{report}");
+
+    let topo = Topology::paper_testbed();
+    let state = ClusterState::new();
+    let cost = CostModel::ideal_25g();
+    genie::scheduler::schedule_checked(
+        &cap.srg,
+        &topo,
+        &state,
+        &cost,
+        &SemanticsAware::new(),
+        &LintConfig::new(),
+    )
+    .expect("loose tolerance schedules");
+}
