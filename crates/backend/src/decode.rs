@@ -50,6 +50,13 @@ pub struct StepCost {
     pub compute_s: f64,
     /// Network seconds (RPC rounds plus token/ID payloads).
     pub network_s: f64,
+    /// Fixed round-trip component of `network_s` (RPC rounds × 2 ×
+    /// one-way latency) — unaffected by link bandwidth.
+    pub net_latency_s: f64,
+    /// Serialization component of `network_s` (payload bytes over the
+    /// link) — scales inversely with bandwidth, which is what causal
+    /// what-if replays need to estimate a faster link.
+    pub net_payload_s: f64,
 }
 
 impl StepCost {
@@ -96,11 +103,14 @@ pub fn batched_step_time(
     // batched step folds every member into one RPC round trip.
     let rpc_rounds = if batched { 1 } else { work.members() };
     let payload_bytes = (work.prefill_tokens + work.decode_members + work.members()) as f64 * 8.0;
-    let network_s = rpc_rounds as f64 * 2.0 * link_latency_s + payload_bytes / link_bandwidth_bps;
+    let net_latency_s = rpc_rounds as f64 * 2.0 * link_latency_s;
+    let net_payload_s = payload_bytes / link_bandwidth_bps;
 
     StepCost {
         compute_s,
-        network_s,
+        network_s: net_latency_s + net_payload_s,
+        net_latency_s,
+        net_payload_s,
     }
 }
 
@@ -135,6 +145,16 @@ mod tests {
             eight.compute_s
         );
         assert!(eight_unbatched.network_s > eight.network_s * 6.0);
+    }
+
+    #[test]
+    fn network_split_sums_to_network_total() {
+        let c = gptj_step(8, true);
+        assert!(
+            (c.net_latency_s + c.net_payload_s - c.network_s).abs() < 1e-12,
+            "{c:?}"
+        );
+        assert!(c.net_latency_s > 0.0 && c.net_payload_s > 0.0);
     }
 
     #[test]

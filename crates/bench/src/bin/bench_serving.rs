@@ -27,6 +27,7 @@ fn serving_config(lanes: u32, batched: bool) -> ServingConfig {
         link_bandwidth_bps: 25e9,
         link_latency_s: 250e-6,
         fault_plan: None,
+        slo: genie_serving::SloConfig::paper_default(),
         record_telemetry: false,
     }
 }
@@ -61,6 +62,22 @@ fn main() {
                 let report =
                     ServingLoop::new(ServingModel::Spec(model.clone()), serving_config(lanes, batched))
                         .run(&requests);
+                // Bucket-interpolated p99 alongside the exact
+                // nearest-rank one: the histogram path is what live
+                // metrics collection would report.
+                let reg = genie_telemetry::MetricsRegistry::new();
+                let hist = reg.histogram(
+                    "ttft_seconds",
+                    &[],
+                    &genie_telemetry::DEFAULT_TIME_BOUNDS,
+                );
+                for t in report.ttfts() {
+                    hist.observe(t);
+                }
+                let ttft_p99_hist = reg
+                    .snapshot()
+                    .histogram("ttft_seconds", &[])
+                    .map_or(0.0, |h| h.quantile(0.99));
                 per_mode.push(json!({
                     "batched": batched,
                     "requests": requests.len(),
@@ -68,6 +85,7 @@ fn main() {
                     "shed_rate": report.shed_rate(),
                     "ttft_p50_s": report.ttft_p50(),
                     "ttft_p99_s": report.ttft_p99(),
+                    "ttft_p99_hist_s": ttft_p99_hist,
                     "tokens_per_s": report.tokens_per_s(),
                     "makespan_s": report.makespan.as_secs_f64(),
                     "preemptions": report.preemptions,

@@ -1,0 +1,220 @@
+//! Regenerate `BENCH_blame.json`: per-request critical-path blame for a
+//! pinned-seed serving run, with and without a chaos fault schedule,
+//! plus what-if speedup bounds (2x link bandwidth, zero faults,
+//! infinite lanes).
+//!
+//! This is the "where did my latency go?" harness: every completed
+//! request's lifetime is tiled into queue / compute / transfer / fault /
+//! re-prefill nanoseconds that sum to its TTLT *exactly*, and the
+//! artifact fails loudly (asserts) if any invariant breaks:
+//!
+//! - blame fractions sum to 1 ± 1e-6 for every request;
+//! - the critical path tiles `[arrival, finished]` with no gaps;
+//! - the zero-fault what-if never predicts slower than observed;
+//! - same-seed reruns produce a byte-identical blame report.
+//!
+//! Entirely on the virtual clock (spec plane): milliseconds of wall
+//! time, bit-deterministic output.
+
+use genie_bench::report::{render_table, write_artifact};
+use genie_models::TransformerConfig;
+use genie_netsim::{FaultPlan, FaultSchedule, FaultSpec, Nanos};
+use genie_serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel, ServingReport};
+use genie_telemetry::causal::{self, BlameReport, WhatIf};
+use serde_json::json;
+
+const SEED: u64 = 42;
+const CHAOS_SEED: u64 = 7;
+
+fn config(fault_plan: Option<FaultPlan>) -> ServingConfig {
+    let mut c = ServingConfig::paper_testbed();
+    c.max_batch = 4;
+    c.fault_plan = fault_plan;
+    c.record_telemetry = false;
+    c
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(
+        CHAOS_SEED,
+        FaultSchedule {
+            specs: vec![
+                FaultSpec::Derate {
+                    a: 0,
+                    b: 1,
+                    factor: 0.25,
+                },
+                FaultSpec::Jitter {
+                    a: 0,
+                    b: 1,
+                    max: Nanos::from_millis(2),
+                },
+            ],
+        },
+    )
+}
+
+fn run(plan: Option<FaultPlan>) -> ServingReport {
+    let model = TransformerConfig::gptj_6b();
+    let requests = ArrivalConfig {
+        seed: SEED,
+        rate_per_s: 4.0,
+        horizon: Nanos::from_secs_f64(4.0),
+        prompt_len: (16, 48),
+        decode_tokens: (16, 48),
+        vocab: model.vocab,
+        tenants: 4,
+    }
+    .generate();
+    ServingLoop::new(ServingModel::Spec(model), config(plan)).run(&requests)
+}
+
+/// Analyze one scenario and enforce every blame invariant.
+fn analyze_checked(label: &str, report: &ServingReport) -> BlameReport {
+    let blame = causal::analyze(&report.causal_doc());
+    for r in &blame.requests {
+        let sum = r.fractions.sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "{label}: request {} blame fractions sum to {sum}, not 1",
+            r.request
+        );
+        assert_eq!(
+            r.blame.total_ns(),
+            r.ttlt_ns,
+            "{label}: request {} blamed ns must equal TTLT",
+            r.request
+        );
+        let first = r.critical_path.first().expect("non-empty path");
+        let last = r.critical_path.last().expect("non-empty path");
+        assert_eq!(first.start_ns, r.arrival_ns, "{label}: path starts at arrival");
+        assert_eq!(last.end_ns, r.finished_ns, "{label}: path ends at completion");
+        for w in r.critical_path.windows(2) {
+            assert_eq!(
+                w[0].end_ns, w[1].start_ns,
+                "{label}: request {} critical path has a gap",
+                r.request
+            );
+        }
+        assert!(
+            WhatIf::zero_faults().replay(r) <= r.ttlt_ns,
+            "{label}: zero-fault replay must not predict slower than observed"
+        );
+    }
+    blame
+}
+
+/// Aggregate mean fractions over a blame report (by total ns, so long
+/// requests weigh more — this is "where did the *time* go").
+fn mean_fractions(blame: &BlameReport) -> (f64, f64, f64, f64, f64) {
+    let total: u64 = blame.requests.iter().map(|r| r.ttlt_ns).sum();
+    if total == 0 {
+        return (0.0, 0.0, 0.0, 0.0, 0.0);
+    }
+    let t = total as f64;
+    let sum = |f: &dyn Fn(&causal::BlameBreakdown) -> u64| -> f64 {
+        blame.requests.iter().map(|r| f(&r.blame)).sum::<u64>() as f64 / t
+    };
+    (
+        sum(&|b| b.queue_ns),
+        sum(&|b| b.compute_prefill_ns + b.compute_decode_ns),
+        sum(&|b| b.transfer_ns()),
+        sum(&|b| b.fault_ns),
+        sum(&|b| b.reprefill_ns),
+    )
+}
+
+fn scenario_json(blame: &BlameReport, report: &ServingReport) -> serde_json::Value {
+    let what_ifs = vec![
+        causal::what_if(blame, "observed", &WhatIf::observed()),
+        causal::what_if(blame, "link_bandwidth_2x", &WhatIf::link_bandwidth(2.0)),
+        causal::what_if(blame, "zero_faults", &WhatIf::zero_faults()),
+        causal::what_if(blame, "infinite_lanes", &WhatIf::infinite_lanes()),
+    ];
+    json!({
+        "completed": blame.requests.len(),
+        "shed": blame.shed,
+        "profile_p50": blame.profile_p50,
+        "profile_p99": blame.profile_p99,
+        "what_if": what_ifs,
+        "slo": report.slo,
+    })
+}
+
+fn main() {
+    let baseline = run(None);
+    let chaos = run(Some(chaos_plan()));
+
+    let baseline_blame = analyze_checked("baseline", &baseline);
+    let chaos_blame = analyze_checked("chaos", &chaos);
+
+    // Determinism: a same-seed rerun must reproduce the blame report
+    // byte for byte.
+    let rerun = analyze_checked("chaos-rerun", &run(Some(chaos_plan())));
+    assert_eq!(
+        serde_json::to_string(&chaos_blame).expect("serializes"),
+        serde_json::to_string(&rerun).expect("serializes"),
+        "same-seed blame reports must be bit-identical"
+    );
+
+    // The chaos schedule must actually surface as fault blame.
+    let chaos_fault_ns: u64 = chaos_blame.requests.iter().map(|r| r.blame.fault_ns).sum();
+    assert!(
+        chaos_fault_ns > 0,
+        "chaos run produced no fault-attributed time"
+    );
+
+    let mut table = Vec::new();
+    for (label, blame) in [("baseline", &baseline_blame), ("chaos", &chaos_blame)] {
+        let (queue, compute, transfer, fault, reprefill) = mean_fractions(blame);
+        let zero_faults = causal::what_if(blame, "zero_faults", &WhatIf::zero_faults());
+        let bw2 = causal::what_if(blame, "bw2x", &WhatIf::link_bandwidth(2.0));
+        table.push(vec![
+            label.to_string(),
+            blame.requests.len().to_string(),
+            format!("{:.1}", queue * 100.0),
+            format!("{:.1}", compute * 100.0),
+            format!("{:.1}", transfer * 100.0),
+            format!("{:.1}", fault * 100.0),
+            format!("{:.1}", reprefill * 100.0),
+            format!("{:.2}x", zero_faults.speedup),
+            format!("{:.2}x", bw2.speedup),
+        ]);
+    }
+
+    let artifact = json!({
+        "bench": "blame",
+        "seed": SEED,
+        "chaos_seed": CHAOS_SEED,
+        "model": "gptj_6b",
+        // Per-request blame for the chaos run: the CI schema gate
+        // checks these fractions sum to 1 ± 1e-6.
+        "requests": chaos_blame.requests.iter().map(|r| json!({
+            "request": r.request,
+            "ttlt_ns": r.ttlt_ns,
+            "fractions": r.fractions,
+        })).collect::<Vec<_>>(),
+        "baseline": scenario_json(&baseline_blame, &baseline),
+        "chaos": scenario_json(&chaos_blame, &chaos),
+    });
+    let path = write_artifact("BENCH_blame", &artifact).expect("artifact written");
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "completed",
+                "queue %",
+                "compute %",
+                "transfer %",
+                "fault %",
+                "reprefill %",
+                "zero-fault",
+                "2x link"
+            ],
+            &table,
+        )
+    );
+    println!("artifact: {}", path.display());
+}

@@ -30,6 +30,9 @@ pub enum TraceEvent {
         /// Execution-plan label (`<graph>@<policy>`) this ran under.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         plan: Option<String>,
+        /// Serving-request id this kernel is causally attributed to.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request: Option<u64>,
     },
     /// A network transfer completed.
     Transfer {
@@ -53,6 +56,9 @@ pub enum TraceEvent {
         /// before the first byte hit the wire.
         #[serde(default)]
         queue_delay: Nanos,
+        /// Serving-request id this transfer is causally attributed to.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request: Option<u64>,
     },
     /// An RPC round-trip completed.
     Rpc {
@@ -83,6 +89,7 @@ impl TraceEvent {
             end,
             node: None,
             plan: None,
+            request: None,
         }
     }
 
@@ -97,6 +104,7 @@ impl TraceEvent {
             node: None,
             plan: None,
             queue_delay: Nanos::ZERO,
+            request: None,
         }
     }
 
@@ -128,6 +136,25 @@ impl TraceEvent {
             *queue_delay = delay;
         }
         self
+    }
+
+    /// Attach the causing serving request (no-op on `Rpc`/`Mark`).
+    pub fn with_request(mut self, id: u64) -> Self {
+        match &mut self {
+            TraceEvent::Kernel { request, .. } | TraceEvent::Transfer { request, .. } => {
+                *request = Some(id);
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// The attributed serving request, when present.
+    pub fn request(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Kernel { request, .. } | TraceEvent::Transfer { request, .. } => *request,
+            _ => None,
+        }
     }
 
     /// The attributed SRG node, when present.
@@ -306,11 +333,13 @@ mod tests {
 
         let t = TraceEvent::transfer(0, 1, 64, Nanos(5), Nanos(20))
             .with_node(NodeId::new(3))
-            .with_queue_delay(Nanos(4));
+            .with_queue_delay(Nanos(4))
+            .with_request(17);
         match &t {
             TraceEvent::Transfer { queue_delay, .. } => assert_eq!(*queue_delay, Nanos(4)),
             _ => unreachable!(),
         }
+        assert_eq!(t.request(), Some(17));
         // No-op on events without those fields.
         let m = TraceEvent::Mark {
             label: "m".into(),
@@ -318,9 +347,11 @@ mod tests {
         }
         .with_node(NodeId::new(1))
         .with_plan("p")
-        .with_queue_delay(Nanos(1));
+        .with_queue_delay(Nanos(1))
+        .with_request(9);
         assert_eq!(m.node(), None);
         assert_eq!(m.plan(), None);
+        assert_eq!(m.request(), None);
     }
 
     #[test]
@@ -356,9 +387,13 @@ mod tests {
         let e = TraceEvent::transfer(0, 1, 64, Nanos(5), Nanos(20))
             .with_node(NodeId::new(3))
             .with_plan("vision@local")
-            .with_queue_delay(Nanos(4));
+            .with_queue_delay(Nanos(4))
+            .with_request(41);
         let json = serde_json::to_string(&e).unwrap();
         let back: TraceEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+        // Unattributed events omit the request key entirely.
+        let bare = serde_json::to_string(&TraceEvent::kernel(0, "k", Nanos(0), Nanos(1))).unwrap();
+        assert!(!bare.contains("\"request\""), "{bare}");
     }
 }

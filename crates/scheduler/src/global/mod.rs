@@ -164,6 +164,16 @@ impl GlobalScheduler {
 
         for t in &pending {
             let class = t.classify();
+            // Request-scoped causal breadcrumb: one instant per planned
+            // tenant, attributed to the tenant id so the causal analyzer
+            // can tie fleet scheduling work back to the request.
+            telemetry.collector.instant(
+                "fleet.plan_tenant",
+                "scheduler",
+                genie_telemetry::SemAttrs::new()
+                    .request(t.id)
+                    .with("class", format!("{class:?}")),
+            );
             let devices = hetero::affinity_devices(&self.topo, class);
             // Build a filtered sub-topology view by masking queue state:
             // we bias placement by loading non-affine devices heavily.

@@ -32,6 +32,8 @@
 use crate::kv::KvLedger;
 use crate::report::ServingReport;
 use crate::request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
+use crate::slo::{SloConfig, SloTracker};
+use genie_telemetry::causal::{MemberPhase, StepMember, StepSlice};
 use genie_backend::{batched_step_time, StepWork};
 use genie_cluster::GpuSpec;
 use genie_frontend::capture::CaptureCtx;
@@ -89,6 +91,9 @@ pub struct ServingConfig {
     /// Optional fault schedule; lane `l` maps to the link between host 0
     /// (client) and host `1 + l` (its server).
     pub fault_plan: Option<FaultPlan>,
+    /// Per-tenant SLO policy for burn-rate accounting (TTFT target,
+    /// error budget, rolling window, sampling).
+    pub slo: SloConfig,
     /// Record `genie_serving_*` metrics and spans into the process-global
     /// telemetry sinks (the report always carries its own copies).
     pub record_telemetry: bool,
@@ -109,6 +114,7 @@ impl ServingConfig {
             link_bandwidth_bps: 25e9,
             link_latency_s: 250e-6,
             fault_plan: None,
+            slo: SloConfig::paper_default(),
             record_telemetry: true,
         }
     }
@@ -208,6 +214,7 @@ impl ServingLoop {
                 .as_ref()
                 .map_or(1, |p| p.seed ^ 0x5e21_1a7e),
         );
+        let mut slo = SloTracker::new(self.config.slo.clone());
 
         loop {
             // 1. Pump arrivals due by `now` into the queue (or shed on a
@@ -216,7 +223,15 @@ impl ServingLoop {
                 let req = pending.pop_front().expect("front checked");
                 push_event(&mut report, req.arrival, req.id, EventKind::Arrive, &ledger);
                 if queue.len() >= self.config.max_queue {
-                    self.shed(&mut report, &ledger, req.id, ShedReason::QueueFull, now);
+                    self.shed(
+                        &mut report,
+                        &ledger,
+                        &mut slo,
+                        req.id,
+                        req.tenant,
+                        ShedReason::QueueFull,
+                        now,
+                    );
                 } else {
                     queue.push_back(Job::new(req));
                 }
@@ -229,7 +244,15 @@ impl ServingLoop {
             let mut kept: VecDeque<Job> = VecDeque::new();
             while let Some(job) = queue.pop_front() {
                 if now.saturating_sub(job.enqueued_at) > budget {
-                    self.shed(&mut report, &ledger, job.req.id, ShedReason::QueueOverSlo, now);
+                    self.shed(
+                        &mut report,
+                        &ledger,
+                        &mut slo,
+                        job.req.id,
+                        job.req.tenant,
+                        ShedReason::QueueOverSlo,
+                        now,
+                    );
                 } else {
                     kept.push_back(job);
                 }
@@ -241,7 +264,15 @@ impl ServingLoop {
                 let need = front.next_resident_tokens(0);
                 if need * kv_bytes > self.config.kv_capacity_bytes {
                     let job = queue.pop_front().expect("front checked");
-                    self.shed(&mut report, &ledger, job.req.id, ShedReason::KvCapacity, now);
+                    self.shed(
+                        &mut report,
+                        &ledger,
+                        &mut slo,
+                        job.req.id,
+                        job.req.tenant,
+                        ShedReason::KvCapacity,
+                        now,
+                    );
                     continue;
                 }
                 let mut best: Option<(usize, u32)> = None;
@@ -276,7 +307,15 @@ impl ServingLoop {
                 // sheds the whole queue above), but guarantee termination
                 // with a terminal outcome for every request regardless.
                 while let Some(job) = queue.pop_front() {
-                    self.shed(&mut report, &ledger, job.req.id, ShedReason::QueueOverSlo, now);
+                    self.shed(
+                        &mut report,
+                        &ledger,
+                        &mut slo,
+                        job.req.id,
+                        job.req.tenant,
+                        ShedReason::QueueOverSlo,
+                        now,
+                    );
                 }
                 break;
             }
@@ -297,15 +336,24 @@ impl ServingLoop {
                         break;
                     }
                     if members == 1 {
-                        let id = active
-                            .values()
-                            .find(|j| j.lane == lane)
-                            .expect("counted above")
-                            .req
-                            .id;
+                        let (id, tenant) = {
+                            let j = active
+                                .values()
+                                .find(|j| j.lane == lane)
+                                .expect("counted above");
+                            (j.req.id, j.req.tenant)
+                        };
                         active.remove(&id);
                         ledger.evict(lane as usize, id);
-                        self.shed(&mut report, &ledger, id, ShedReason::KvCapacity, now);
+                        self.shed(
+                            &mut report,
+                            &ledger,
+                            &mut slo,
+                            id,
+                            tenant,
+                            ShedReason::KvCapacity,
+                            now,
+                        );
                         break;
                     }
                     let victim = active
@@ -350,6 +398,12 @@ impl ServingLoop {
             //    the wire, jitter adds seeded latency, and a severed link
             //    stalls the lane until its outage window closes.
             let mut lane_secs = vec![0.0f64; lanes];
+            // Per-lane causal decomposition of this step: (compute,
+            // net-latency, net-payload, fault) seconds plus the member
+            // roster with phases, recorded as [`StepSlice`]s for blame
+            // analysis.
+            let mut lane_parts = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); lanes];
+            let mut lane_members: Vec<Vec<StepMember>> = vec![Vec::new(); lanes];
             for (lane, roster) in rosters.iter().enumerate() {
                 if roster.is_empty() {
                     continue;
@@ -361,13 +415,23 @@ impl ServingLoop {
                 for id in roster {
                     let job = &active[id];
                     let resident = ledger.resident_tokens(lane, *id);
-                    if resident > 0 {
+                    let phase = if resident > 0 {
                         decode_members += 1;
                         kv_resident_tokens += resident;
+                        MemberPhase::Decode
                     } else {
                         prefill_members += 1;
                         prefill_tokens += job.next_resident_tokens(0);
-                    }
+                        if job.tokens.is_empty() {
+                            MemberPhase::Prefill
+                        } else {
+                            MemberPhase::Reprefill
+                        }
+                    };
+                    lane_members[lane].push(StepMember {
+                        request: *id,
+                        phase,
+                    });
                 }
                 let work = StepWork {
                     prefill_members,
@@ -418,6 +482,16 @@ impl ServingLoop {
                     }
                     secs += resume.saturating_sub(now).as_secs_f64();
                 }
+                // Everything the fault schedule added over the clean
+                // roofline cost (derate inflation, jitter, outage
+                // stall) is fault-attributable time.
+                let fault_s = (secs - cost.total_s()).max(0.0);
+                lane_parts[lane] = (
+                    cost.compute_s,
+                    cost.net_latency_s,
+                    cost.net_payload_s,
+                    fault_s,
+                );
                 lane_secs[lane] = secs;
             }
 
@@ -425,6 +499,28 @@ impl ServingLoop {
             let step_secs = lane_secs.iter().copied().fold(0.0f64, f64::max);
             let step_dur = Nanos::from_secs_f64(step_secs);
             let step_end = now + step_dur;
+
+            // Record each busy lane's causal slice against the *global*
+            // barrier end: the unassigned residue inside a faster lane's
+            // slice is synchronization wait, which blame analysis
+            // charges to queue.
+            for (lane, members) in lane_members.iter_mut().enumerate() {
+                if members.is_empty() {
+                    continue;
+                }
+                let (compute_s, net_latency_s, net_payload_s, fault_s) = lane_parts[lane];
+                report.slices.push(StepSlice::from_secs(
+                    lane as u32,
+                    steps,
+                    now.0,
+                    step_end.0,
+                    compute_s,
+                    net_latency_s,
+                    net_payload_s,
+                    fault_s,
+                    std::mem::take(members),
+                ));
+            }
 
             // 7. Execute every member: prefill (fresh or re-prefill) or
             //    one incremental decode step, in ascending request id.
@@ -511,11 +607,13 @@ impl ServingLoop {
             for (id, lane) in finished {
                 let job = active.remove(&id).expect("finished job is active");
                 ledger.evict(lane, id);
+                let ttft = job.ttft.expect("completed implies first token");
+                slo.observe(job.req.tenant, ttft > self.config.slo.ttft_target);
                 report.outcomes.insert(
                     id,
                     Outcome::Completed {
                         tokens: job.tokens,
-                        ttft: job.ttft.expect("completed implies first token"),
+                        ttft,
                         finished: step_end,
                     },
                 );
@@ -572,17 +670,75 @@ impl ServingLoop {
         report.makespan = now;
         report.steps = steps;
         report.peak_kv_bytes = ledger.peak_bytes();
+        report.slo = slo.stats();
+
+        // Causal lifecycle instants: one per non-token event, each
+        // carrying its request id and a `cause` edge to the request's
+        // previous lifecycle instant. Category "causal" keeps them out
+        // of the per-step serving-span contract.
+        let mut last_causal: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut causal_spans: Vec<SpanRecord> = Vec::new();
+        for ev in &report.events {
+            let name = match &ev.kind {
+                EventKind::Arrive => "request.arrive",
+                EventKind::Admit { .. } => "request.admit",
+                EventKind::Reprefill => "request.reprefill",
+                EventKind::Preempt => "request.preempt",
+                EventKind::Complete => "request.complete",
+                EventKind::Shed(_) => "request.shed",
+                EventKind::Token { .. } => continue,
+            };
+            let mut attrs = SemAttrs::new().request(ev.request);
+            if let EventKind::Admit { lane } = &ev.kind {
+                attrs = attrs.device(*lane);
+            }
+            if let Some(&prev) = last_causal.get(&ev.request) {
+                attrs = attrs.cause(prev);
+            }
+            causal_spans.push(SpanRecord {
+                id: span_id,
+                parent: None,
+                name: name.into(),
+                category: "causal".into(),
+                kind: SpanKind::Instant,
+                track: Track::Runtime,
+                start_ns: ev.at.0,
+                dur_ns: 0,
+                attrs,
+                thread: 1,
+                seq: span_id,
+            });
+            last_causal.insert(ev.request, span_id);
+            span_id += 1;
+        }
+        if self.config.record_telemetry {
+            let t = genie_telemetry::global();
+            for r in &causal_spans {
+                t.collector.push(r.clone());
+            }
+            for (tenant, s) in &report.slo.per_tenant {
+                let label = tenant.to_string();
+                t.metrics
+                    .gauge("genie_slo_burn_rate", &[("tenant", label.as_str())])
+                    .set(s.burn_rate);
+            }
+        }
+        report.spans.extend(causal_spans);
         report
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn shed(
         &self,
         report: &mut ServingReport,
         ledger: &KvLedger,
+        slo: &mut SloTracker,
         id: u64,
+        tenant: u64,
         reason: ShedReason,
         at: Nanos,
     ) {
+        slo.observe(tenant, true);
         report.outcomes.insert(id, Outcome::Shed { reason, at });
         push_event(report, at, id, EventKind::Shed(reason), ledger);
         if self.config.record_telemetry {
@@ -729,6 +885,32 @@ mod tests {
         for id in 1..=6 {
             assert_eq!(report.tokens_for(id).map(<[i64]>::len), Some(8));
         }
+    }
+
+    #[test]
+    fn causal_slices_and_slo_are_recorded() {
+        let cfg = TransformerConfig::gptj_6b();
+        let reqs = burst(4, 16, 8);
+        let report = ServingLoop::new(ServingModel::Spec(cfg), spec_config()).run(&reqs);
+        assert!(!report.slices.is_empty(), "busy lanes record slices");
+        let blame = genie_telemetry::causal::analyze(&report.causal_doc());
+        assert_eq!(blame.requests.len(), 4);
+        for r in &blame.requests {
+            assert!(
+                (r.fractions.sum() - 1.0).abs() < 1e-6,
+                "blame fractions tile: {:?}",
+                r.fractions
+            );
+        }
+        let slo = &report.slo.per_tenant[&0];
+        assert_eq!(slo.observed, 4, "every completion observed");
+        assert!(
+            report
+                .spans
+                .iter()
+                .any(|s| s.category == "causal" && s.attrs.request.is_some()),
+            "lifecycle instants attributed to requests"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod fleet;
 pub mod kv;
 pub mod report;
 pub mod request;
+pub mod slo;
 
 pub use arrivals::ArrivalConfig;
 pub use engine::{ServingConfig, ServingLoop, ServingModel};
@@ -40,3 +41,4 @@ pub use fleet::{bind_tenant, FleetBinding};
 pub use kv::KvLedger;
 pub use report::{percentile, ServingReport};
 pub use request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
+pub use slo::{SloConfig, SloStats, SloTracker, TenantSlo};

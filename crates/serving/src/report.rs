@@ -1,7 +1,9 @@
 //! The serving run report: outcomes, event log, SLO statistics, spans.
 
 use crate::request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
+use crate::slo::SloStats;
 use genie_netsim::Nanos;
+use genie_telemetry::causal::{CausalEvent, CausalEventKind, CausalTraceDoc, StepSlice};
 use genie_telemetry::SpanRecord;
 use std::collections::BTreeMap;
 
@@ -26,6 +28,11 @@ pub struct ServingReport {
     /// with deterministic ids — feed these to a `ChromeTrace` for a
     /// stable Perfetto export.
     pub spans: Vec<SpanRecord>,
+    /// Per-lane causal step decompositions (compute / link latency /
+    /// payload / fault, with member phases) for blame analysis.
+    pub slices: Vec<StepSlice>,
+    /// Per-tenant SLO burn-rate snapshot at the end of the run.
+    pub slo: SloStats,
 }
 
 impl ServingReport {
@@ -52,6 +59,33 @@ impl ServingReport {
             }
         }
         report
+    }
+
+    /// The causal trace document for this run: lifecycle events
+    /// (tokens elided) plus per-step slices, ready for
+    /// [`genie_telemetry::causal::analyze`].
+    pub fn causal_doc(&self) -> CausalTraceDoc {
+        let mut events = Vec::new();
+        for ev in &self.events {
+            let kind = match &ev.kind {
+                EventKind::Arrive => CausalEventKind::Arrive,
+                EventKind::Admit { lane } => CausalEventKind::Admit { lane: *lane },
+                EventKind::Reprefill => CausalEventKind::Reprefill,
+                EventKind::Preempt => CausalEventKind::Preempt,
+                EventKind::Complete => CausalEventKind::Complete,
+                EventKind::Shed(_) => CausalEventKind::Shed,
+                EventKind::Token { .. } => continue,
+            };
+            events.push(CausalEvent {
+                at_ns: ev.at.0,
+                request: ev.request,
+                kind,
+            });
+        }
+        CausalTraceDoc {
+            events,
+            slices: self.slices.clone(),
+        }
     }
 
     /// Requests that completed.

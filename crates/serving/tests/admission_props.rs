@@ -31,6 +31,7 @@ fn config(lanes: u32, max_batch: usize, kv_tokens: u64, budget_ms: u64) -> Servi
         link_bandwidth_bps: 25e9,
         link_latency_s: 250e-6,
         fault_plan: None,
+        slo: genie_serving::SloConfig::paper_default(),
         record_telemetry: false,
     }
 }

@@ -1,0 +1,808 @@
+//! Causal request tracing and critical-path blame analysis.
+//!
+//! This module is the "why was it slow?" layer on top of the span
+//! collector. It has three parts:
+//!
+//! 1. **[`TraceCtx`]** — a request-scoped trace context (request id +
+//!    causal parent span) carried in a thread-local and propagated in
+//!    the transport wire envelope, so spans and sim-trace events
+//!    recorded anywhere in the stack can be attributed to the serving
+//!    request that caused them.
+//! 2. **A neutral causal trace document** ([`CausalTraceDoc`]) —
+//!    request lifecycle events plus per-lane [`StepSlice`] time
+//!    decompositions on the virtual clock. The serving engine emits
+//!    it; this module only consumes it, so the dependency arrow stays
+//!    `serving -> telemetry`.
+//! 3. **[`analyze`]** — reconstructs each request's causal chain,
+//!    extracts its critical path, and produces an exact integer-ns
+//!    blame breakdown (queue / compute / transfer / fault /
+//!    re-prefill) whose segments tile `[arrival, finished]` with no
+//!    gaps, so blamed time sums to the observed TTLT *exactly*.
+//!    [`WhatIf`] replays a critical path under hypothetical changes
+//!    (faster link, zero faults, infinite lanes) to bound speedup.
+//!
+//! The blame taxonomy: every nanosecond of a request's lifetime is in
+//! exactly one bucket. Queue-wait covers both pre-admission waiting
+//! and intra-step synchronization residue (time a lane spent waiting
+//! for the slowest lane of a barrier step, plus integer-rounding
+//! residue). Fault covers derate inflation, jitter, and outage stalls.
+//! A re-prefill step's compute *and* transfer are blamed to
+//! `reprefill`: that work exists only because an eviction destroyed
+//! KV state.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Trace context propagation
+// ---------------------------------------------------------------------------
+
+/// Request-scoped causal context, propagated across layer boundaries
+/// (and serialized into the transport wire envelope).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// Serving-request id this work is performed on behalf of.
+    pub request: u64,
+    /// Span id of the causal parent, or 0 when unknown.
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// Context for `request` with no known parent span.
+    pub fn for_request(request: u64) -> Self {
+        TraceCtx {
+            request,
+            parent_span: 0,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The ambient trace context of the calling thread, if any.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Replace the calling thread's ambient trace context, returning the
+/// previous one (pass it back to restore, or use [`with_ctx`]).
+pub fn set_current(ctx: Option<TraceCtx>) -> Option<TraceCtx> {
+    CURRENT.with(|c| c.replace(ctx))
+}
+
+/// RAII guard restoring the previous ambient context on drop.
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        set_current(self.prev.take());
+    }
+}
+
+/// Install `ctx` as the calling thread's ambient context for the
+/// lifetime of the returned guard.
+pub fn with_ctx(ctx: TraceCtx) -> CtxGuard {
+    CtxGuard {
+        prev: set_current(Some(ctx)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Causal trace document
+// ---------------------------------------------------------------------------
+
+/// Request lifecycle transition kinds, mirrored (dependency-free) from
+/// the serving engine's event log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CausalEventKind {
+    /// Request entered the admission queue.
+    Arrive,
+    /// Request was admitted onto a lane.
+    Admit {
+        /// Lane index the request was admitted onto.
+        lane: u32,
+    },
+    /// Request was evicted mid-decode and re-queued.
+    Preempt,
+    /// Request rebuilt evicted KV state from prompt + prefix.
+    Reprefill,
+    /// Request finished its final token.
+    Complete,
+    /// Request was shed without completing.
+    Shed,
+}
+
+/// A single request lifecycle transition on the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalEvent {
+    /// Virtual-clock timestamp in nanoseconds.
+    pub at_ns: u64,
+    /// Serving-request id.
+    pub request: u64,
+    /// What happened.
+    pub kind: CausalEventKind,
+}
+
+/// The phase a batch member was in during one engine step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberPhase {
+    /// First KV build over the prompt.
+    Prefill,
+    /// KV rebuild after eviction (prompt + generated prefix).
+    Reprefill,
+    /// Steady-state single-token decode.
+    Decode,
+}
+
+/// One request's participation in one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepMember {
+    /// Serving-request id.
+    pub request: u64,
+    /// The phase this member was in for this step.
+    pub phase: MemberPhase,
+}
+
+/// Per-lane time decomposition of one barrier step, in integer
+/// nanoseconds on the virtual clock.
+///
+/// `end_ns - start_ns` is the *global* step duration (all lanes sync
+/// at the barrier); `compute_ns + net_latency_ns + net_payload_ns +
+/// fault_ns <= end_ns - start_ns`, and the residue is synchronization
+/// wait (blamed to queue). Produced via [`StepSlice::from_secs`],
+/// which clamps so the invariant holds bit-stably.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepSlice {
+    /// Lane (device) index this slice describes.
+    pub lane: u32,
+    /// Engine step index (0-based).
+    pub step: u64,
+    /// Step start on the virtual clock, ns.
+    pub start_ns: u64,
+    /// Global (barrier) step end on the virtual clock, ns.
+    pub end_ns: u64,
+    /// Roofline compute time of this lane's batch, ns.
+    pub compute_ns: u64,
+    /// Fixed per-RPC link latency (rounds x 2 x one-way), ns.
+    pub net_latency_ns: u64,
+    /// Serialization time of the step payload on the link, ns.
+    pub net_payload_ns: u64,
+    /// Fault-induced time: derate inflation + jitter + outage stall, ns.
+    pub fault_ns: u64,
+    /// Batch members resident on this lane for this step.
+    pub members: Vec<StepMember>,
+}
+
+impl StepSlice {
+    /// Build a slice from f64 second components, converting to integer
+    /// ns with deterministic clamping: components are rounded in a
+    /// fixed order (compute, latency, payload, fault) and each is
+    /// capped by the nanoseconds still unassigned inside the step, so
+    /// the sum can never exceed the step duration regardless of
+    /// float rounding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_secs(
+        lane: u32,
+        step: u64,
+        start_ns: u64,
+        end_ns: u64,
+        compute_s: f64,
+        net_latency_s: f64,
+        net_payload_s: f64,
+        fault_s: f64,
+        members: Vec<StepMember>,
+    ) -> Self {
+        let dur = end_ns.saturating_sub(start_ns);
+        let mut left = dur;
+        let mut take = |secs: f64| -> u64 {
+            let ns = ((secs.max(0.0)) * 1e9).round() as u64;
+            let got = ns.min(left);
+            left -= got;
+            got
+        };
+        let compute_ns = take(compute_s);
+        let net_latency_ns = take(net_latency_s);
+        let net_payload_ns = take(net_payload_s);
+        let fault_ns = take(fault_s);
+        StepSlice {
+            lane,
+            step,
+            start_ns,
+            end_ns,
+            compute_ns,
+            net_latency_ns,
+            net_payload_ns,
+            fault_ns,
+            members,
+        }
+    }
+
+    /// Synchronization residue: step time not assigned to any
+    /// component (waiting for the slowest lane at the barrier).
+    pub fn sync_ns(&self) -> u64 {
+        (self.end_ns - self.start_ns)
+            - self.compute_ns
+            - self.net_latency_ns
+            - self.net_payload_ns
+            - self.fault_ns
+    }
+}
+
+/// The full causal record of one serving run: lifecycle events plus
+/// per-step slices. Everything [`analyze`] needs, nothing more.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalTraceDoc {
+    /// Request lifecycle transitions, in virtual-clock order.
+    pub events: Vec<CausalEvent>,
+    /// Per-lane step decompositions, in step order.
+    pub slices: Vec<StepSlice>,
+}
+
+// ---------------------------------------------------------------------------
+// Blame analysis
+// ---------------------------------------------------------------------------
+
+/// Exact integer-ns blame totals for one request. The six buckets
+/// tile `[arrival, finished]`: their sum equals the observed TTLT.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlameBreakdown {
+    /// Admission-queue wait + barrier synchronization wait, ns.
+    pub queue_ns: u64,
+    /// Compute in prefill-phase steps, ns.
+    pub compute_prefill_ns: u64,
+    /// Compute in decode-phase steps, ns.
+    pub compute_decode_ns: u64,
+    /// Fixed link latency in non-reprefill steps, ns.
+    pub net_latency_ns: u64,
+    /// Payload serialization in non-reprefill steps, ns.
+    pub net_payload_ns: u64,
+    /// Fault-induced time (derate, jitter, outage stall), ns.
+    pub fault_ns: u64,
+    /// Compute + transfer of re-prefill steps (work that exists only
+    /// because an eviction destroyed KV state), ns.
+    pub reprefill_ns: u64,
+}
+
+impl BlameBreakdown {
+    /// Total blamed nanoseconds (equals TTLT by construction).
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns
+            + self.compute_prefill_ns
+            + self.compute_decode_ns
+            + self.net_latency_ns
+            + self.net_payload_ns
+            + self.fault_ns
+            + self.reprefill_ns
+    }
+
+    /// Link-transfer nanoseconds (latency + payload).
+    pub fn transfer_ns(&self) -> u64 {
+        self.net_latency_ns + self.net_payload_ns
+    }
+
+    /// Collapse to the five headline fractions (summing to 1 ± a few
+    /// float ulps). A zero-duration request is all queue by fiat.
+    pub fn fractions(&self) -> BlameFractions {
+        let total = self.total_ns();
+        if total == 0 {
+            return BlameFractions {
+                queue: 1.0,
+                compute: 0.0,
+                transfer: 0.0,
+                fault: 0.0,
+                reprefill: 0.0,
+            };
+        }
+        let t = total as f64;
+        BlameFractions {
+            queue: self.queue_ns as f64 / t,
+            compute: (self.compute_prefill_ns + self.compute_decode_ns) as f64 / t,
+            transfer: self.transfer_ns() as f64 / t,
+            fault: self.fault_ns as f64 / t,
+            reprefill: self.reprefill_ns as f64 / t,
+        }
+    }
+}
+
+/// Headline blame fractions of one request (or an aggregate profile).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlameFractions {
+    /// Queue-wait share (admission queue + barrier sync).
+    pub queue: f64,
+    /// Compute share (prefill + decode roofline time).
+    pub compute: f64,
+    /// Link-transfer share (latency + payload).
+    pub transfer: f64,
+    /// Fault-induced share (derate, jitter, outage stall).
+    pub fault: f64,
+    /// KV re-prefill share (eviction-induced rework).
+    pub reprefill: f64,
+}
+
+impl BlameFractions {
+    /// Sum of the five fractions (should be ~1.0 for a real request).
+    pub fn sum(&self) -> f64 {
+        self.queue + self.compute + self.transfer + self.fault + self.reprefill
+    }
+}
+
+/// What a critical-path segment was doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// Waiting in the admission queue (or re-queued after eviction).
+    Wait,
+    /// Member of a prefill-phase step.
+    Prefill,
+    /// Member of a decode-phase step.
+    Decode,
+    /// Member of a re-prefill step (eviction recovery).
+    Reprefill,
+}
+
+/// One contiguous span of a request's critical path. Segments tile
+/// `[arrival, finished]` in order with no gaps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalSegment {
+    /// What the request was doing.
+    pub kind: SegmentKind,
+    /// Segment start, virtual-clock ns.
+    pub start_ns: u64,
+    /// Segment end, virtual-clock ns.
+    pub end_ns: u64,
+    /// Lane the step ran on (None for queue waits).
+    pub lane: Option<u32>,
+}
+
+/// Full per-request analysis: critical path + exact blame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestBlame {
+    /// Serving-request id.
+    pub request: u64,
+    /// Arrival on the virtual clock, ns.
+    pub arrival_ns: u64,
+    /// Final-token completion on the virtual clock, ns.
+    pub finished_ns: u64,
+    /// Time-to-last-token: `finished_ns - arrival_ns`.
+    pub ttlt_ns: u64,
+    /// Exact integer-ns blame totals (sum == `ttlt_ns`).
+    pub blame: BlameBreakdown,
+    /// Headline fractions of `blame`.
+    pub fractions: BlameFractions,
+    /// The request's critical path, tiling `[arrival, finished]`.
+    pub critical_path: Vec<CriticalSegment>,
+}
+
+/// Aggregate result of [`analyze`]: per-request blame plus p50/p99
+/// blame profiles across all completed requests.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlameReport {
+    /// Completed requests in id order.
+    pub requests: Vec<RequestBlame>,
+    /// Requests shed without completing (no blame assigned).
+    pub shed: u64,
+    /// Per-dimension median of request fractions. Dimensions are
+    /// ranked independently, so a profile row need not sum to 1.
+    pub profile_p50: BlameFractions,
+    /// Per-dimension p99 of request fractions.
+    pub profile_p99: BlameFractions,
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in [0,1]).
+fn percentile(values: &mut [f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("blame fractions are finite"));
+    let idx = ((p * (values.len() as f64 - 1.0)).round() as usize).min(values.len() - 1);
+    values[idx]
+}
+
+fn profile(requests: &[RequestBlame], p: f64) -> BlameFractions {
+    let mut dim = |f: &dyn Fn(&BlameFractions) -> f64| -> f64 {
+        let mut vs: Vec<f64> = requests.iter().map(|r| f(&r.fractions)).collect();
+        percentile(&mut vs, p)
+    };
+    BlameFractions {
+        queue: dim(&|f| f.queue),
+        compute: dim(&|f| f.compute),
+        transfer: dim(&|f| f.transfer),
+        fault: dim(&|f| f.fault),
+        reprefill: dim(&|f| f.reprefill),
+    }
+}
+
+/// Reconstruct every completed request's causal chain from `doc`,
+/// extract its critical path, and compute exact blame.
+///
+/// Panics if the document is internally inconsistent (a request's
+/// step slices overlap or extend past its completion): the engine
+/// emits contiguous barrier steps, so any gap is a bug worth
+/// surfacing loudly rather than absorbing.
+pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
+    // Arrival / completion / shed per request.
+    let mut arrival: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut finished: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut shed = 0u64;
+    for ev in &doc.events {
+        match ev.kind {
+            CausalEventKind::Arrive => {
+                arrival.entry(ev.request).or_insert(ev.at_ns);
+            }
+            CausalEventKind::Complete => {
+                finished.insert(ev.request, ev.at_ns);
+            }
+            CausalEventKind::Shed => shed += 1,
+            _ => {}
+        }
+    }
+
+    // Per-request step participation, in step order.
+    let mut steps: BTreeMap<u64, Vec<(&StepSlice, MemberPhase)>> = BTreeMap::new();
+    for slice in &doc.slices {
+        for m in &slice.members {
+            steps.entry(m.request).or_default().push((slice, m.phase));
+        }
+    }
+
+    let mut requests = Vec::new();
+    for (&request, &finished_ns) in &finished {
+        let arrival_ns = *arrival
+            .get(&request)
+            .unwrap_or_else(|| panic!("request {request} completed without arriving"));
+        let mut blame = BlameBreakdown::default();
+        let mut path: Vec<CriticalSegment> = Vec::new();
+        let mut cursor = arrival_ns;
+        let mut chain = steps.remove(&request).unwrap_or_default();
+        chain.sort_by_key(|(s, _)| s.start_ns);
+        for (slice, phase) in chain {
+            assert!(
+                slice.start_ns >= cursor && slice.end_ns <= finished_ns,
+                "request {request}: step slice [{}, {}] escapes [{cursor}, {finished_ns}]",
+                slice.start_ns,
+                slice.end_ns,
+            );
+            if slice.start_ns > cursor {
+                blame.queue_ns += slice.start_ns - cursor;
+                path.push(CriticalSegment {
+                    kind: SegmentKind::Wait,
+                    start_ns: cursor,
+                    end_ns: slice.start_ns,
+                    lane: None,
+                });
+            }
+            blame.queue_ns += slice.sync_ns();
+            blame.fault_ns += slice.fault_ns;
+            let kind = match phase {
+                MemberPhase::Reprefill => {
+                    blame.reprefill_ns +=
+                        slice.compute_ns + slice.net_latency_ns + slice.net_payload_ns;
+                    SegmentKind::Reprefill
+                }
+                MemberPhase::Prefill => {
+                    blame.compute_prefill_ns += slice.compute_ns;
+                    blame.net_latency_ns += slice.net_latency_ns;
+                    blame.net_payload_ns += slice.net_payload_ns;
+                    SegmentKind::Prefill
+                }
+                MemberPhase::Decode => {
+                    blame.compute_decode_ns += slice.compute_ns;
+                    blame.net_latency_ns += slice.net_latency_ns;
+                    blame.net_payload_ns += slice.net_payload_ns;
+                    SegmentKind::Decode
+                }
+            };
+            path.push(CriticalSegment {
+                kind,
+                start_ns: slice.start_ns,
+                end_ns: slice.end_ns,
+                lane: Some(slice.lane),
+            });
+            cursor = slice.end_ns;
+        }
+        if cursor < finished_ns {
+            // Trailing wait (only possible if completion was recorded
+            // after the last step barrier; engines that complete at
+            // the barrier never hit this).
+            blame.queue_ns += finished_ns - cursor;
+            path.push(CriticalSegment {
+                kind: SegmentKind::Wait,
+                start_ns: cursor,
+                end_ns: finished_ns,
+                lane: None,
+            });
+        }
+        let ttlt_ns = finished_ns - arrival_ns;
+        assert_eq!(
+            blame.total_ns(),
+            ttlt_ns,
+            "request {request}: blamed time must tile TTLT exactly"
+        );
+        requests.push(RequestBlame {
+            request,
+            arrival_ns,
+            finished_ns,
+            ttlt_ns,
+            fractions: blame.fractions(),
+            blame,
+            critical_path: path,
+        });
+    }
+
+    let profile_p50 = profile(&requests, 0.50);
+    let profile_p99 = profile(&requests, 0.99);
+    BlameReport {
+        requests,
+        shed,
+        profile_p50,
+        profile_p99,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// What-if estimation
+// ---------------------------------------------------------------------------
+
+/// A hypothetical deployment change to replay a critical path under.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WhatIf {
+    /// Multiply link bandwidth by this factor (payload time divides).
+    pub link_bandwidth_x: f64,
+    /// Remove all fault-induced time (derate, jitter, outage stall).
+    pub zero_faults: bool,
+    /// Remove all queue-wait (admission queue + barrier sync), as if
+    /// every request had a dedicated lane.
+    pub infinite_lanes: bool,
+}
+
+impl Default for WhatIf {
+    fn default() -> Self {
+        WhatIf {
+            link_bandwidth_x: 1.0,
+            zero_faults: false,
+            infinite_lanes: false,
+        }
+    }
+}
+
+impl WhatIf {
+    /// The identity scenario (predicts the observed latency).
+    pub fn observed() -> Self {
+        WhatIf::default()
+    }
+
+    /// Scale link bandwidth by `x`.
+    pub fn link_bandwidth(x: f64) -> Self {
+        WhatIf {
+            link_bandwidth_x: x,
+            ..WhatIf::default()
+        }
+    }
+
+    /// Remove all fault-induced time.
+    pub fn zero_faults() -> Self {
+        WhatIf {
+            zero_faults: true,
+            ..WhatIf::default()
+        }
+    }
+
+    /// Remove all queue-wait.
+    pub fn infinite_lanes() -> Self {
+        WhatIf {
+            infinite_lanes: true,
+            ..WhatIf::default()
+        }
+    }
+
+    /// Replay `r`'s critical path under this scenario, returning the
+    /// predicted TTLT in ns. Monotone: removing time can only shrink
+    /// the prediction, so `zero_faults` always predicts `<= ttlt_ns`.
+    pub fn replay(&self, r: &RequestBlame) -> u64 {
+        let b = &r.blame;
+        let queue = if self.infinite_lanes { 0 } else { b.queue_ns };
+        let fault = if self.zero_faults { 0 } else { b.fault_ns };
+        let x = self.link_bandwidth_x.max(1e-9);
+        let payload = (b.net_payload_ns as f64 / x).round() as u64;
+        queue + b.compute_prefill_ns + b.compute_decode_ns + b.net_latency_ns + payload
+            + fault
+            + b.reprefill_ns
+    }
+}
+
+/// One scenario's aggregate prediction across a blame report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfDelta {
+    /// Human-readable scenario label.
+    pub scenario: String,
+    /// Mean observed TTLT across requests, ns.
+    pub observed_mean_ns: u64,
+    /// Mean predicted TTLT across requests, ns.
+    pub predicted_mean_ns: u64,
+    /// `observed_mean_ns / predicted_mean_ns` (>= 1 for time-removing
+    /// scenarios; the achievable-speedup bound).
+    pub speedup: f64,
+}
+
+/// Replay every request in `report` under `w` and aggregate.
+pub fn what_if(report: &BlameReport, label: &str, w: &WhatIf) -> WhatIfDelta {
+    let n = report.requests.len().max(1) as u64;
+    let observed: u64 = report.requests.iter().map(|r| r.ttlt_ns).sum::<u64>() / n;
+    let predicted: u64 = report.requests.iter().map(|r| w.replay(r)).sum::<u64>() / n;
+    WhatIfDelta {
+        scenario: label.to_string(),
+        observed_mean_ns: observed,
+        predicted_mean_ns: predicted,
+        speedup: observed as f64 / predicted.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_one_request() -> CausalTraceDoc {
+        // arrive at 0, admitted at 100 (queue 100), prefill step
+        // [100, 300] (compute 120, lat 20, pay 30, fault 10, sync 20),
+        // decode step [300, 400] (compute 80, lat 10, pay 5, fault 0,
+        // sync 5), complete at 400.
+        CausalTraceDoc {
+            events: vec![
+                CausalEvent {
+                    at_ns: 0,
+                    request: 1,
+                    kind: CausalEventKind::Arrive,
+                },
+                CausalEvent {
+                    at_ns: 100,
+                    request: 1,
+                    kind: CausalEventKind::Admit { lane: 0 },
+                },
+                CausalEvent {
+                    at_ns: 400,
+                    request: 1,
+                    kind: CausalEventKind::Complete,
+                },
+            ],
+            slices: vec![
+                StepSlice {
+                    lane: 0,
+                    step: 0,
+                    start_ns: 100,
+                    end_ns: 300,
+                    compute_ns: 120,
+                    net_latency_ns: 20,
+                    net_payload_ns: 30,
+                    fault_ns: 10,
+                    members: vec![StepMember {
+                        request: 1,
+                        phase: MemberPhase::Prefill,
+                    }],
+                },
+                StepSlice {
+                    lane: 0,
+                    step: 1,
+                    start_ns: 300,
+                    end_ns: 400,
+                    compute_ns: 80,
+                    net_latency_ns: 10,
+                    net_payload_ns: 5,
+                    fault_ns: 0,
+                    members: vec![StepMember {
+                        request: 1,
+                        phase: MemberPhase::Decode,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn blame_tiles_ttlt_exactly() {
+        let report = analyze(&doc_one_request());
+        assert_eq!(report.requests.len(), 1);
+        let r = &report.requests[0];
+        assert_eq!(r.ttlt_ns, 400);
+        assert_eq!(r.blame.total_ns(), 400);
+        // queue = 100 (wait) + 20 + 5 (sync) = 125
+        assert_eq!(r.blame.queue_ns, 125);
+        assert_eq!(r.blame.compute_prefill_ns, 120);
+        assert_eq!(r.blame.compute_decode_ns, 80);
+        assert_eq!(r.blame.transfer_ns(), 65);
+        assert_eq!(r.blame.fault_ns, 10);
+        assert_eq!(r.blame.reprefill_ns, 0);
+        assert!((r.fractions.sum() - 1.0).abs() < 1e-9);
+        // Critical path tiles [arrival, finished].
+        assert_eq!(r.critical_path.first().unwrap().start_ns, 0);
+        assert_eq!(r.critical_path.last().unwrap().end_ns, 400);
+        for w in r.critical_path.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns, "no gaps on the path");
+        }
+    }
+
+    #[test]
+    fn reprefill_steps_are_blamed_to_reprefill_not_compute() {
+        let mut doc = doc_one_request();
+        doc.slices[1].members[0].phase = MemberPhase::Reprefill;
+        let report = analyze(&doc);
+        let r = &report.requests[0];
+        assert_eq!(r.blame.compute_decode_ns, 0);
+        assert_eq!(r.blame.reprefill_ns, 80 + 10 + 5);
+        assert_eq!(r.blame.total_ns(), r.ttlt_ns);
+    }
+
+    #[test]
+    fn what_if_replay_is_monotone_and_exact() {
+        let report = analyze(&doc_one_request());
+        let r = &report.requests[0];
+        assert_eq!(WhatIf::observed().replay(r), r.ttlt_ns);
+        assert_eq!(WhatIf::zero_faults().replay(r), r.ttlt_ns - 10);
+        assert_eq!(WhatIf::infinite_lanes().replay(r), r.ttlt_ns - 125);
+        // 2x bandwidth halves payload time (35 -> 18 after rounding).
+        assert_eq!(WhatIf::link_bandwidth(2.0).replay(r), r.ttlt_ns - 17);
+        for w in [
+            WhatIf::zero_faults(),
+            WhatIf::infinite_lanes(),
+            WhatIf::link_bandwidth(4.0),
+        ] {
+            assert!(w.replay(r) <= r.ttlt_ns);
+        }
+    }
+
+    #[test]
+    fn from_secs_clamps_rounding_into_the_step() {
+        // Components that round to more ns than the step holds must be
+        // clamped, never overflow.
+        let s = StepSlice::from_secs(0, 0, 0, 100, 60e-9, 30e-9, 30e-9, 30e-9, vec![]);
+        assert_eq!(
+            s.compute_ns + s.net_latency_ns + s.net_payload_ns + s.fault_ns,
+            100
+        );
+        assert_eq!(s.compute_ns, 60);
+        assert_eq!(s.net_latency_ns, 30);
+        assert_eq!(s.net_payload_ns, 10);
+        assert_eq!(s.fault_ns, 0);
+        assert_eq!(s.sync_ns(), 0);
+    }
+
+    #[test]
+    fn ctx_guard_restores_previous_context() {
+        assert_eq!(current(), None);
+        {
+            let _a = with_ctx(TraceCtx::for_request(7));
+            assert_eq!(current().unwrap().request, 7);
+            {
+                let _b = with_ctx(TraceCtx {
+                    request: 9,
+                    parent_span: 3,
+                });
+                assert_eq!(current().unwrap().request, 9);
+            }
+            assert_eq!(current().unwrap().request, 7);
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn shed_requests_are_counted_but_not_blamed() {
+        let mut doc = doc_one_request();
+        doc.events.push(CausalEvent {
+            at_ns: 50,
+            request: 2,
+            kind: CausalEventKind::Arrive,
+        });
+        doc.events.push(CausalEvent {
+            at_ns: 90,
+            request: 2,
+            kind: CausalEventKind::Shed,
+        });
+        let report = analyze(&doc);
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.requests.len(), 1);
+    }
+}

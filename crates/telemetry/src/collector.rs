@@ -7,11 +7,14 @@
 //! recorders contend only when they hash to the same shard, and a drain
 //! can still prove losslessness by checking the sequence.
 
+use crate::metrics::Counter;
 use crate::span::{SemAttrs, SpanKind, SpanRecord, Track};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 const SHARDS: usize = 16;
@@ -38,7 +41,8 @@ pub struct Collector {
     len: AtomicUsize,
     dropped: AtomicU64,
     max_events: usize,
-    shards: Vec<Mutex<Vec<SpanRecord>>>,
+    shards: Vec<Mutex<VecDeque<SpanRecord>>>,
+    drop_metric: OnceLock<Counter>,
     epoch: Instant,
 }
 
@@ -54,9 +58,13 @@ impl Collector {
         Collector::with_capacity(1 << 20)
     }
 
-    /// New collector retaining at most `max_events` records; further
-    /// records are counted in [`dropped`](Self::dropped) instead of
-    /// growing without bound.
+    /// New collector retaining at most `max_events` records with ring
+    /// semantics: once the cap is reached, each new record evicts the
+    /// oldest buffered one, and every eviction is counted in
+    /// [`dropped`](Self::dropped) (and mirrored to an attached
+    /// `genie_telemetry_dropped_total` counter). Chaos and capacity
+    /// sweeps therefore keep the *newest* window of events in bounded
+    /// memory instead of growing without bound or going blind.
     pub fn with_capacity(max_events: usize) -> Self {
         Collector {
             enabled: AtomicBool::new(true),
@@ -64,9 +72,17 @@ impl Collector {
             len: AtomicUsize::new(0),
             dropped: AtomicU64::new(0),
             max_events,
-            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            drop_metric: OnceLock::new(),
             epoch: Instant::now(),
         }
+    }
+
+    /// Mirror ring-buffer evictions to a metrics counter (the global
+    /// telemetry handle attaches `genie_telemetry_dropped_total` here).
+    /// The first attachment wins; later calls are ignored.
+    pub fn attach_drop_counter(&self, counter: Counter) {
+        let _ = self.drop_metric.set(counter);
     }
 
     /// Turn recording on or off. Disabled collectors make span guards
@@ -96,7 +112,7 @@ impl Collector {
         self.len() == 0
     }
 
-    /// Records discarded because the cap was reached.
+    /// Records evicted because the cap was reached (ring overwrites).
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
@@ -159,12 +175,10 @@ impl Collector {
 
     /// Record a fully-formed event (used to ingest simulation traces,
     /// whose times come from the event queue rather than the wall clock).
+    /// At capacity the collector behaves as a ring: the new record is
+    /// kept and the oldest buffered record is evicted and counted.
     pub fn push(&self, mut record: SpanRecord) {
         if !self.is_enabled() {
-            return;
-        }
-        if self.len.load(Ordering::Relaxed) >= self.max_events {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         record.seq = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -172,7 +186,29 @@ impl Collector {
             record.thread = thread_hash();
         }
         let shard = (record.thread as usize) % SHARDS;
-        self.shards[shard].lock().push(record);
+        if self.len.load(Ordering::Relaxed) >= self.max_events {
+            // Evict the oldest reachable record: this thread's shard
+            // first (cheap, already locked for the push), else the
+            // first non-empty shard. `len` is unchanged on eviction.
+            let evicted_here = {
+                let mut own = self.shards[shard].lock();
+                let e = own.pop_front().is_some();
+                own.push_back(record);
+                e
+            };
+            let evicted = evicted_here
+                || (1..SHARDS).any(|i| self.shards[(shard + i) % SHARDS].lock().pop_front().is_some());
+            if evicted {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = self.drop_metric.get() {
+                    c.inc();
+                }
+            } else {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        self.shards[shard].lock().push_back(record);
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -180,7 +216,7 @@ impl Collector {
     pub fn drain(&self) -> Vec<SpanRecord> {
         let mut all = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            all.append(&mut shard.lock());
+            all.extend(shard.lock().drain(..));
         }
         self.len.store(0, Ordering::Relaxed);
         all.sort_by_key(|r| r.seq);
@@ -299,6 +335,21 @@ mod tests {
         }
         assert_eq!(c.len(), 3);
         assert_eq!(c.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_mirrors_drop_counter() {
+        let c = Collector::with_capacity(3);
+        let counter = Counter::default();
+        c.attach_drop_counter(counter.clone());
+        for i in 0..5 {
+            c.instant(format!("i{i}"), "c", SemAttrs::new());
+        }
+        assert_eq!(c.dropped(), 2);
+        assert_eq!(counter.get(), 2, "metric mirrors ring evictions");
+        let recs = c.drain();
+        let names: Vec<String> = recs.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(names, vec!["i2", "i3", "i4"], "oldest were evicted");
     }
 
     #[test]

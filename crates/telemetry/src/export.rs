@@ -137,6 +137,12 @@ impl ChromeTrace {
             if let Some(p) = &r.attrs.plan {
                 args.insert("plan".into(), serde_json::json!(p));
             }
+            if let Some(req) = r.attrs.request {
+                args.insert("request".into(), serde_json::json!(req));
+            }
+            if let Some(c) = r.attrs.cause {
+                args.insert("cause".into(), serde_json::json!(c));
+            }
             for (k, v) in &r.attrs.extra {
                 args.insert(k.clone(), serde_json::json!(v));
             }
@@ -183,11 +189,15 @@ impl ChromeTrace {
                     end,
                     node,
                     plan: ev_plan,
+                    request,
                 } => {
                     if !devices.contains(device) {
                         devices.push(*device);
                     }
                     let mut args = BTreeMap::new();
+                    if let Some(req) = request {
+                        args.insert("request".into(), serde_json::json!(req));
+                    }
                     if let Some(id) = node {
                         args.insert("node".into(), serde_json::json!(id.index() as u64));
                         if let Some(n) = srg.and_then(|g| g.try_node(*id)) {
@@ -222,11 +232,15 @@ impl ChromeTrace {
                     node,
                     plan: ev_plan,
                     queue_delay,
+                    request,
                 } => {
                     if !links.contains(&(*from, *to)) {
                         links.push((*from, *to));
                     }
                     let mut args = BTreeMap::new();
+                    if let Some(req) = request {
+                        args.insert("request".into(), serde_json::json!(req));
+                    }
                     args.insert("bytes".into(), serde_json::json!(bytes));
                     args.insert(
                         "queue_delay_us".into(),

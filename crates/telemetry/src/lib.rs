@@ -38,12 +38,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod collector;
 pub mod export;
 pub mod metrics;
 pub mod span;
 pub mod summary;
 
+pub use causal::{
+    BlameBreakdown, BlameFractions, BlameReport, CausalTraceDoc, RequestBlame, StepSlice, TraceCtx,
+    WhatIf,
+};
 pub use collector::{Collector, SpanGuard};
 pub use export::{ChromeEvent, ChromeTrace};
 pub use metrics::{
@@ -64,11 +69,16 @@ pub struct Telemetry {
 
 static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
 
-/// The process-global telemetry instance (created on first use).
+/// The process-global telemetry instance (created on first use). The
+/// collector's ring-buffer evictions are mirrored to the
+/// `genie_telemetry_dropped_total` counter so capacity pressure is
+/// visible in every metrics snapshot.
 pub fn global() -> &'static Telemetry {
-    GLOBAL.get_or_init(|| Telemetry {
-        collector: Collector::new(),
-        metrics: MetricsRegistry::new(),
+    GLOBAL.get_or_init(|| {
+        let collector = Collector::new();
+        let metrics = MetricsRegistry::new();
+        collector.attach_drop_counter(metrics.counter("genie_telemetry_dropped_total", &[]));
+        Telemetry { collector, metrics }
     })
 }
 

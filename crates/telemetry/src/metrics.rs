@@ -345,6 +345,37 @@ impl HistogramSample {
             self.sum / self.count as f64
         }
     }
+
+    /// Bucket-interpolated quantile, `q` in `[0, 1]` (Prometheus
+    /// `histogram_quantile` semantics): locate the cumulative bucket
+    /// containing the q-th observation and linearly interpolate
+    /// between the previous bound (0 for the first bucket) and the
+    /// bucket's upper bound. Returns 0 when empty; a rank landing in
+    /// the `+Inf` bucket returns the highest finite bound, the best
+    /// statement the histogram can make.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut prev_bound = 0.0_f64;
+        let mut prev_count = 0u64;
+        for b in &self.buckets {
+            let in_bucket = b.count.saturating_sub(prev_count) as f64;
+            if (b.count as f64) >= rank && in_bucket > 0.0 {
+                if b.le.is_infinite() {
+                    return prev_bound;
+                }
+                let frac = (rank - prev_count as f64).max(0.0) / in_bucket;
+                return prev_bound + (b.le - prev_bound) * frac;
+            }
+            if !b.le.is_infinite() {
+                prev_bound = b.le;
+            }
+            prev_count = b.count;
+        }
+        prev_bound
+    }
 }
 
 /// A point-in-time copy of the whole registry.
@@ -505,6 +536,34 @@ mod tests {
         assert_eq!(counts, vec![1, 3, 4, 5]);
         assert!(hs.buckets.last().unwrap().le.is_infinite());
         assert!((hs.mean() - 56.05 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("genie_q_seconds", &[], &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("genie_q_seconds", &[]).unwrap();
+        // rank 2.5 of cumulative [1, 3, 4, 5] lands in (0.1, 1.0]:
+        // 0.1 + (1.0 - 0.1) * (2.5 - 1) / 2 = 0.775.
+        assert!((hs.quantile(0.5) - 0.775).abs() < 1e-9);
+        // rank 4.95 lands in the +Inf bucket: clamp to the last finite
+        // bound instead of inventing a number.
+        assert!((hs.quantile(0.99) - 10.0).abs() < 1e-9);
+        // Degenerate cases stay finite and ordered.
+        assert_eq!(hs.quantile(-1.0), hs.quantile(0.0));
+        assert!(hs.quantile(0.25) <= hs.quantile(0.75));
+        let empty = HistogramSample {
+            name: "e".into(),
+            labels: vec![],
+            buckets: vec![],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.99), 0.0);
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct SemAttrs {
     /// Plan label (`<graph>@<policy>`) this event executed under.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub plan: Option<String>,
+    /// Serving-request id this event is causally attributed to.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub request: Option<u64>,
+    /// Span id of the causal parent *across* threads or layers (the
+    /// `parent` field on [`SpanRecord`] only links same-thread nesting).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cause: Option<u64>,
     /// Free-form key/value attributes.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub extra: Vec<(String, String)>,
@@ -103,6 +110,18 @@ impl SemAttrs {
     /// Attach the plan label.
     pub fn plan(mut self, plan: impl Into<String>) -> Self {
         self.plan = Some(plan.into());
+        self
+    }
+
+    /// Attach the causing serving request.
+    pub fn request(mut self, request: u64) -> Self {
+        self.request = Some(request);
+        self
+    }
+
+    /// Attach the cross-layer causal parent span id.
+    pub fn cause(mut self, span_id: u64) -> Self {
+        self.cause = Some(span_id);
         self
     }
 
@@ -203,6 +222,18 @@ mod tests {
         let back: SpanRecord = serde_json::from_str(min).unwrap();
         assert_eq!(back.kind, SpanKind::Span);
         assert_eq!(back.track, Track::Runtime);
+    }
+
+    #[test]
+    fn request_attribution_roundtrips_and_is_omitted_when_absent() {
+        let attrs = SemAttrs::new().request(42).cause(7);
+        let json = serde_json::to_string(&attrs).unwrap();
+        let back: SemAttrs = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.request, Some(42));
+        assert_eq!(back.cause, Some(7));
+        let bare = serde_json::to_string(&SemAttrs::new()).unwrap();
+        assert!(!bare.contains("\"request\""), "{bare}");
+        assert!(!bare.contains("\"cause\""), "{bare}");
     }
 
     #[test]

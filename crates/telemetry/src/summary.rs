@@ -97,17 +97,19 @@ pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String 
         if !any_hist {
             let _ = writeln!(
                 out,
-                "\n{:<36} {:>8} {:>12} {:>12}",
-                "HISTOGRAM", "COUNT", "MEAN", "SUM"
+                "\n{:<36} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "HISTOGRAM", "COUNT", "MEAN", "P50", "P99", "SUM"
             );
             any_hist = true;
         }
         let _ = writeln!(
             out,
-            "{:<36} {:>8} {:>12.6} {:>12.6}",
+            "{:<36} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
             h.name,
             h.count,
             h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.99),
             h.sum
         );
     }
@@ -183,6 +185,9 @@ mod tests {
         assert!(top.contains("cost-model cache hit rate:  87.5%"), "{top}");
         assert!(top.contains("genie_schedule_seconds"), "{top}");
         assert!(top.contains("schedule"), "{top}");
+        // The histogram row carries interpolated quantiles, not proxies.
+        assert!(top.contains("P50"), "{top}");
+        assert!(top.contains("P99"), "{top}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::error::{Result, TransportError};
 use crate::wire;
 use bytes::{Bytes, BytesMut};
+use genie_telemetry::causal::TraceCtx;
 
 /// Element kind of a tensor payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,6 +155,9 @@ pub enum ResponseBody {
 pub struct Request {
     /// Correlation id.
     pub id: u64,
+    /// Causal trace context (serving request + parent span), carried
+    /// in the envelope so request attribution survives the wire.
+    pub trace: Option<TraceCtx>,
     /// Body.
     pub body: RequestBody,
 }
@@ -174,6 +178,16 @@ impl Request {
     pub fn encode(&self) -> Result<Bytes> {
         let mut buf = BytesMut::new();
         wire::put_u64(&mut buf, self.id);
+        // Trace context rides between the id and the body tag: one
+        // presence byte, then (request, parent_span) when present.
+        match &self.trace {
+            Some(ctx) => {
+                wire::put_u8(&mut buf, 1);
+                wire::put_u64(&mut buf, ctx.request);
+                wire::put_u64(&mut buf, ctx.parent_span);
+            }
+            None => wire::put_u8(&mut buf, 0),
+        }
         match &self.body {
             RequestBody::Ping => wire::put_u8(&mut buf, 0),
             RequestBody::Upload { key, tensor } => {
@@ -227,6 +241,18 @@ impl Request {
     /// Decode from a frame payload.
     pub fn decode(mut raw: Bytes) -> Result<Self> {
         let id = wire::get_u64(&mut raw)?;
+        let trace = match wire::get_u8(&mut raw)? {
+            0 => None,
+            1 => Some(TraceCtx {
+                request: wire::get_u64(&mut raw)?,
+                parent_span: wire::get_u64(&mut raw)?,
+            }),
+            other => {
+                return Err(TransportError::Codec(format!(
+                    "bad trace-context presence byte {other}"
+                )))
+            }
+        };
         let tag = wire::get_u8(&mut raw)?;
         let body = match tag {
             0 => RequestBody::Ping,
@@ -278,7 +304,7 @@ impl Request {
             5 => RequestBody::Crash,
             other => return Err(TransportError::Codec(format!("bad request tag {other}"))),
         };
-        Ok(Request { id, body })
+        Ok(Request { id, trace, body })
     }
 }
 
@@ -368,9 +394,29 @@ mod tests {
     use super::*;
 
     fn roundtrip_req(body: RequestBody) {
-        let req = Request { id: 42, body };
+        let req = Request {
+            id: 42,
+            trace: None,
+            body,
+        };
         let decoded = Request::decode(req.encode().unwrap()).unwrap();
         assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope() {
+        let req = Request {
+            id: 42,
+            trace: Some(TraceCtx {
+                request: 1337,
+                parent_span: 55,
+            }),
+            body: RequestBody::Fetch { key: 1 },
+        };
+        let decoded = Request::decode(req.encode().unwrap()).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(decoded.trace.unwrap().request, 1337);
+        assert_eq!(decoded.trace.unwrap().parent_span, 55);
     }
 
     #[test]
@@ -417,6 +463,7 @@ mod tests {
     fn oversize_tensor_rank_propagates_from_encode() {
         let req = Request {
             id: 1,
+            trace: None,
             body: RequestBody::Upload {
                 key: 0,
                 tensor: TensorPayload {

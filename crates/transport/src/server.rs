@@ -236,7 +236,19 @@ fn serve_connection(
             }
             None => {
                 let body = {
-                    let _span = telemetry.collector.span("transport.serve", "transport");
+                    let mut span = telemetry.collector.span("transport.serve", "transport");
+                    // Adopt the caller's causal context for the duration of
+                    // the handler so spans and trace events emitted inside
+                    // it carry the originating request id.
+                    let _ctx = request.trace.map(genie_telemetry::causal::with_ctx);
+                    if let Some(ctx) = request.trace {
+                        span.annotate(|a| {
+                            a.request = Some(ctx.request);
+                            if ctx.parent_span != 0 {
+                                a.cause = Some(ctx.parent_span);
+                            }
+                        });
+                    }
                     handler.handle(request.body)
                 };
                 let response = Response {
@@ -388,6 +400,30 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_context_reaches_the_handler() {
+        use genie_telemetry::causal::{self, TraceCtx};
+        let seen: Arc<Mutex<Option<TraceCtx>>> = Arc::new(Mutex::new(None));
+        let seen2 = seen.clone();
+        let mut server = Server::spawn(move || {
+            let seen = seen2.clone();
+            move |_body: RequestBody| {
+                *seen.lock() = causal::current();
+                ResponseBody::Pong
+            }
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let ctx = TraceCtx {
+            request: 77,
+            parent_span: 3,
+        };
+        let _guard = causal::with_ctx(ctx);
+        assert_eq!(client.call(RequestBody::Ping).unwrap(), ResponseBody::Pong);
+        assert_eq!(*seen.lock(), Some(ctx));
         server.shutdown();
     }
 

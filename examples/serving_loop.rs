@@ -70,6 +70,7 @@ fn main() {
             link_bandwidth_bps: 25e9,
             link_latency_s: 250e-6,
             fault_plan: None,
+            slo: genie::serving::SloConfig::paper_default(),
             record_telemetry: false,
         };
         let report = ServingLoop::new(ServingModel::Spec(model.clone()), config).run(&requests);

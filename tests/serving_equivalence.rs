@@ -26,6 +26,7 @@ fn roomy_config(max_batch: usize) -> ServingConfig {
         link_bandwidth_bps: 25e9,
         link_latency_s: 250e-6,
         fault_plan: None,
+        slo: genie::serving::SloConfig::paper_default(),
         record_telemetry: false,
     }
 }
