@@ -185,7 +185,12 @@ pub struct Fixpoint<E> {
 /// transfer functions over finite-height lattices always converge; a
 /// fuel cap of `64 · len + 64` evaluations bounds pathological inputs,
 /// reported via [`Fixpoint::converged`].
-pub fn solve<L, G, F>(lattice: &L, graph: &G, direction: Direction, mut transfer: F) -> Fixpoint<L::Elem>
+pub fn solve<L, G, F>(
+    lattice: &L,
+    graph: &G,
+    direction: Direction,
+    mut transfer: F,
+) -> Fixpoint<L::Elem>
 where
     L: Lattice,
     G: FlowGraph,

@@ -153,10 +153,7 @@ impl LintCode {
     /// than a raw SRG. `GA3xx` codes are graph-checkable — a plan only
     /// sharpens them with device classes — so they report `false`.
     pub fn is_plan_level(self) -> bool {
-        matches!(
-            self.family(),
-            LintFamily::Plan | LintFamily::Schedule
-        )
+        matches!(self.family(), LintFamily::Plan | LintFamily::Schedule)
     }
 
     /// The pass family (`GA0xx` / `GA1xx` / `GA2xx` / `GA3xx`) this code
@@ -674,7 +671,10 @@ mod tests {
             );
             assert_eq!(LintFamily::parse(fam.key()), Some(fam));
         }
-        assert_eq!(LintCode::parse("GA201"), Some(LintCode::TransferOrderHazard));
+        assert_eq!(
+            LintCode::parse("GA201"),
+            Some(LintCode::TransferOrderHazard)
+        );
         assert_eq!(
             LintCode::parse("GA301"),
             Some(LintCode::CriticalityToleranceExceeded)

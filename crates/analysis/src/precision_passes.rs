@@ -25,9 +25,11 @@
 //! joined input error by its fan-in and adds a local term proportional
 //! to its reduction length (k·ε for a length-k dot product). That
 //! local term is what kernel tiers and device classes scale; the k·ε
-//! worst case holds for *any* summation order, which is why the CPU
-//! reference tiers (scalar/blocked/threaded — see
-//! [`KernelTier::error_factor`]) all carry factor 1. The differential
+//! worst case holds for *any* summation order, which is why the f32
+//! tiers (scalar/blocked/simd/threaded — see
+//! [`KernelTier::error_factor`]) all carry factor 1 while the
+//! quantized int8/fp16 tiers widen it to their per-MAC error. The
+//! differential
 //! test in `tests/precision_consistency.rs` executes the functional
 //! plane on two tiers and asserts the observed divergence sits inside
 //! the static bound.
@@ -43,6 +45,14 @@ use std::collections::BTreeMap;
 /// Node attribute carrying an explicit relative-tolerance demand, e.g.
 /// `"tolerance_rel" = "1e-5"`. Checked by GA301.
 pub const TOLERANCE_ATTR: &str = "tolerance_rel";
+
+/// Node attribute naming the kernel tier a plan assigns to the node,
+/// e.g. `"kernel_tier" = "int8"` (any [`KernelTier::label`]). Overrides
+/// the flop-threshold tier in the GA3xx passes — this is how a
+/// quantization-aware planner exposes its choice to GA301, and how
+/// GA301 denies a quantized plan whose `tolerance_rel` the tier's error
+/// model cannot meet.
+pub const KERNEL_TIER_ATTR: &str = "kernel_tier";
 
 /// How much looser than its unit-factor baseline a `Critical` value's
 /// delivered bound may be before GA301 fires. Device classes today
@@ -63,54 +73,100 @@ pub fn elem_eps(elem: ElemType) -> f64 {
     }
 }
 
-/// The CPU reference kernel tiers, mirroring the dispatch thresholds in
-/// `genie-tensor` (`matmul` picks scalar / blocked / threaded by flop
-/// count).
+/// The CPU kernel tiers, mirroring the dispatch paths in `genie-tensor`
+/// (`matmul` picks scalar / simd / threaded by flop count; blocked is a
+/// forced-only tier; int8 and fp16 are quantized tiers a planner must
+/// opt into via [`KERNEL_TIER_ATTR`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelTier {
     /// Naive triple loop.
     Scalar,
     /// Cache-blocked single-thread kernel.
     Blocked,
-    /// Blocked kernel fanned across worker threads.
+    /// Lane-unrolled (8-wide f32) single-thread kernel.
+    Simd,
+    /// Simd rows fanned across worker threads.
     Threaded,
+    /// int8 storage with per-row/per-column absmax scales, i32
+    /// accumulate.
+    Int8,
+    /// fp16 (binary16) storage round-trip, f32 accumulate.
+    Fp16,
 }
 
 impl KernelTier {
     /// The tier `genie-tensor`'s dispatchers would pick for an op of
-    /// this flop count (thread availability permitting).
+    /// this flop count (thread availability permitting). Quantized
+    /// tiers are never picked by flop count — a planner has to ask for
+    /// them explicitly.
     pub fn for_flops(flops: f64) -> KernelTier {
         if flops < genie_tensor::ops::MATMUL_BLOCK_MIN_FLOPS as f64 {
             KernelTier::Scalar
         } else if flops >= genie_tensor::ops::MATMUL_PAR_MIN_FLOPS as f64 {
             KernelTier::Threaded
         } else {
-            KernelTier::Blocked
+            KernelTier::Simd
         }
     }
 
     /// Multiplier on a node's local error term when run on this tier.
     ///
-    /// All three CPU tiers carry factor 1: the k·ε local term already
-    /// bounds a length-k reduction under *any* summation order, so
-    /// re-blocking or splitting the accumulation across threads cannot
-    /// exceed it. The factor exists so future backends with genuinely
-    /// lossier kernels (reduced-precision accumulators, approximate
-    /// exp) can widen their delivered bounds.
+    /// The f32 tiers carry factor 1: the k·ε local term already bounds
+    /// a length-k reduction under *any* summation order, so lane
+    /// unrolling, re-blocking, or splitting the accumulation across
+    /// threads cannot exceed it. The quantized tiers scale ε up to
+    /// their per-MAC relative error: `factor · ε_f32` must dominate the
+    /// bound `genie-tensor`'s quantized kernels advertise —
+    /// 2¹⁸·2⁻²⁴ = 2⁻⁶ ≥ `quant::INT8_MAC_RELERR` and
+    /// 2¹⁵·2⁻²⁴ = 2⁻⁹ ≥ `quant::FP16_MAC_RELERR` — which the
+    /// `quant_error` proptest suite checks empirically against the
+    /// scalar oracle.
     pub fn error_factor(self) -> f64 {
         match self {
-            KernelTier::Scalar | KernelTier::Blocked | KernelTier::Threaded => 1.0,
+            KernelTier::Scalar | KernelTier::Blocked | KernelTier::Simd | KernelTier::Threaded => {
+                1.0
+            }
+            KernelTier::Int8 => (2.0f64).powi(18),
+            KernelTier::Fp16 => (2.0f64).powi(15),
         }
     }
 
-    /// Short label for reports.
+    /// Short label for reports; matches the dispatch-path labels in
+    /// `genie-tensor::stats`.
     pub fn label(self) -> &'static str {
         match self {
             KernelTier::Scalar => "scalar",
             KernelTier::Blocked => "blocked",
+            KernelTier::Simd => "simd",
             KernelTier::Threaded => "threaded",
+            KernelTier::Int8 => "int8",
+            KernelTier::Fp16 => "fp16",
         }
     }
+
+    /// Parse a [`KernelTier::label`] back to the tier (also accepts the
+    /// dispatch-path spelling `"parallel"` for the threaded tier).
+    pub fn from_label(label: &str) -> Option<KernelTier> {
+        Some(match label {
+            "scalar" => KernelTier::Scalar,
+            "blocked" => KernelTier::Blocked,
+            "simd" => KernelTier::Simd,
+            "threaded" | "parallel" => KernelTier::Threaded,
+            "int8" => KernelTier::Int8,
+            "fp16" => KernelTier::Fp16,
+            _ => return None,
+        })
+    }
+}
+
+/// The kernel tier assigned to a node: an explicit [`KERNEL_TIER_ATTR`]
+/// attribute wins, else the flop-threshold natural dispatch.
+pub fn tier_for_node(srg: &Srg, id: NodeId) -> KernelTier {
+    let node = srg.node(id);
+    node.attrs
+        .get(KERNEL_TIER_ATTR)
+        .and_then(|s| KernelTier::from_label(s))
+        .unwrap_or_else(|| KernelTier::for_flops(node.cost.flops))
 }
 
 /// Multiplier on a node's local error term when scheduled onto a
@@ -187,7 +243,9 @@ fn output_eps(srg: &Srg, id: NodeId) -> f64 {
     let out = srg
         .out_edges(id)
         .map(|e| elem_eps(e.meta.elem))
-        .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))));
+        .fold(None, |acc: Option<f64>, e| {
+            Some(acc.map_or(e, |a| a.max(e)))
+        });
     out.unwrap_or_else(|| {
         srg.in_edges(id)
             .map(|e| elem_eps(e.meta.elem))
@@ -288,9 +346,22 @@ fn critical_downstream(srg: &Srg, flow: &SrgFlow<'_>) -> Vec<bool> {
     fx.outputs
 }
 
-/// GA301/GA302/GA303 at graph level, with unit schedule factors.
+/// GA301/GA302/GA303 at graph level. Factors are unit except where a
+/// node carries an explicit [`KERNEL_TIER_ATTR`] — a quantized tier
+/// request widens that node's local term even before any plan exists.
 pub fn check_precision_consistency(srg: &Srg, cfg: &LintConfig, report: &mut Report) {
-    check_precision_with_factors(srg, |_| 1.0, cfg, report);
+    check_precision_with_factors(
+        srg,
+        |id| {
+            srg.node(id)
+                .attrs
+                .get(KERNEL_TIER_ATTR)
+                .and_then(|s| KernelTier::from_label(s))
+                .map_or(1.0, KernelTier::error_factor)
+        },
+        cfg,
+        report,
+    );
 }
 
 /// GA301/GA302/GA303 against a plan: the local-error multiplier per
@@ -307,7 +378,7 @@ pub fn check_precision_plan(
     check_precision_with_factors(
         srg,
         |id| {
-            let mut f = KernelTier::for_flops(srg.node(id).cost.flops).error_factor();
+            let mut f = tier_for_node(srg, id).error_factor();
             if let Some(dev) = facts.node_device(id) {
                 if (dev.0 as usize) < ndev {
                     f *= device_class_error_factor(topo.device(dev).spec.class);
@@ -390,12 +461,16 @@ where
             .in_edges(node.id)
             .map(|e| elem_eps(e.meta.elem))
             .filter(|&e| e > 0.0)
-            .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))));
+            .fold(None, |acc: Option<f64>, e| {
+                Some(acc.map_or(e, |a| a.max(e)))
+            });
         let out_eps = srg
             .out_edges(node.id)
             .map(|e| elem_eps(e.meta.elem))
             .filter(|&e| e > 0.0)
-            .fold(None, |acc: Option<f64>, e| Some(acc.map_or(e, |a| a.max(e))));
+            .fold(None, |acc: Option<f64>, e| {
+                Some(acc.map_or(e, |a| a.max(e)))
+            });
         if let (Some(ie), Some(oe)) = (in_eps, out_eps) {
             if oe > ie {
                 report.push(
@@ -447,10 +522,11 @@ mod tests {
         let mut g = Srg::new("prec");
         let x = g.add_node(Node::new(NodeId::new(0), OpKind::Input, "x"));
         let w = g.add_node(Node::new(NodeId::new(0), OpKind::Parameter, "w"));
-        let mm = g.add_node(
-            Node::new(NodeId::new(0), OpKind::MatMul, "mm")
-                .with_cost(genie_srg::CostHints::new(2.0 * 8.0 * 64.0 * 8.0, 1.0, 1.0)),
-        );
+        let mm =
+            g.add_node(
+                Node::new(NodeId::new(0), OpKind::MatMul, "mm")
+                    .with_cost(genie_srg::CostHints::new(2.0 * 8.0 * 64.0 * 8.0, 1.0, 1.0)),
+            );
         g.connect(x, mm, TensorMeta::new([8, 64], ElemType::F32));
         g.connect(w, mm, TensorMeta::new([64, 8], ElemType::F32));
         let out = g.add_node(Node::new(NodeId::new(0), OpKind::Output, "out"));
@@ -481,7 +557,9 @@ mod tests {
     #[test]
     fn ga301_tolerance_attr_tighter_than_bound_denied() {
         let (mut g, _, mm, _) = chain();
-        g.node_mut(mm).attrs.insert(TOLERANCE_ATTR.into(), "1e-12".into());
+        g.node_mut(mm)
+            .attrs
+            .insert(TOLERANCE_ATTR.into(), "1e-12".into());
         let mut r = Report::new("t");
         check_precision_consistency(&g, &LintConfig::new(), &mut r);
         let r = r.finish();
@@ -494,7 +572,9 @@ mod tests {
 
         // A loose demand is satisfied.
         let (mut g, _, mm, _) = chain();
-        g.node_mut(mm).attrs.insert(TOLERANCE_ATTR.into(), "0.1".into());
+        g.node_mut(mm)
+            .attrs
+            .insert(TOLERANCE_ATTR.into(), "0.1".into());
         let mut r = Report::new("t");
         check_precision_consistency(&g, &LintConfig::new(), &mut r);
         assert!(r.finish().is_empty());
@@ -601,15 +681,81 @@ mod tests {
         );
         assert_eq!(
             KernelTier::for_flops(MATMUL_BLOCK_MIN_FLOPS as f64),
-            KernelTier::Blocked
+            KernelTier::Simd
         );
         assert_eq!(
             KernelTier::for_flops(MATMUL_PAR_MIN_FLOPS as f64),
             KernelTier::Threaded
         );
-        for t in [KernelTier::Scalar, KernelTier::Blocked, KernelTier::Threaded] {
-            assert_eq!(t.error_factor(), 1.0, "CPU tiers share the k·ε bound");
+        for t in [
+            KernelTier::Scalar,
+            KernelTier::Blocked,
+            KernelTier::Simd,
+            KernelTier::Threaded,
+        ] {
+            assert_eq!(t.error_factor(), 1.0, "f32 tiers share the k·ε bound");
         }
+        // factor · ε_f32 must dominate the advertised per-MAC error.
+        let eps = elem_eps(ElemType::F32);
+        assert!(KernelTier::Int8.error_factor() * eps >= genie_tensor::quant::INT8_MAC_RELERR);
+        assert!(KernelTier::Fp16.error_factor() * eps >= genie_tensor::quant::FP16_MAC_RELERR);
+        // Labels round-trip, including the dispatch-path alias.
+        for t in [
+            KernelTier::Scalar,
+            KernelTier::Blocked,
+            KernelTier::Simd,
+            KernelTier::Threaded,
+            KernelTier::Int8,
+            KernelTier::Fp16,
+        ] {
+            assert_eq!(KernelTier::from_label(t.label()), Some(t));
+        }
+        assert_eq!(
+            KernelTier::from_label("parallel"),
+            Some(KernelTier::Threaded)
+        );
+        assert_eq!(KernelTier::from_label("fp4"), None);
+    }
+
+    #[test]
+    fn ga301_denies_overtight_int8_plan() {
+        // 1e-3 is comfortable for any f32 tier (the 64-wide matmul's
+        // bound is ~66·2⁻²⁴ ≈ 4e-6) but far tighter than the int8
+        // tier's widened local term (2¹⁸·64·2⁻²⁴ = 1.0) — requesting
+        // the quantized tier must flip the plan from clean to denied.
+        let (mut g, _, mm, _) = chain();
+        g.node_mut(mm)
+            .attrs
+            .insert(TOLERANCE_ATTR.into(), "1e-3".into());
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r.finish().is_empty(), "f32 dispatch meets 1e-3");
+
+        g.node_mut(mm)
+            .attrs
+            .insert(KERNEL_TIER_ATTR.into(), "int8".into());
+        assert_eq!(tier_for_node(&g, mm), KernelTier::Int8);
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        assert_eq!(
+            r.with_code(LintCode::CriticalityToleranceExceeded).len(),
+            1,
+            "{r}"
+        );
+        assert!(r.has_deny(), "GA301 denies the int8 plan");
+
+        // A demand the int8 error model can meet is allowed through.
+        let (mut g, _, mm, _) = chain();
+        g.node_mut(mm)
+            .attrs
+            .insert(TOLERANCE_ATTR.into(), "8.0".into());
+        g.node_mut(mm)
+            .attrs
+            .insert(KERNEL_TIER_ATTR.into(), "int8".into());
+        let mut r = Report::new("t");
+        check_precision_consistency(&g, &LintConfig::new(), &mut r);
+        assert!(r.finish().is_empty(), "loose tolerance admits int8");
     }
 
     #[test]

@@ -30,15 +30,20 @@ pub fn live_value_sets(srg: &Srg) -> Result<Vec<BTreeSet<NodeId>>, CycleError> {
     let flow = SrgFlow::new(srg)?;
     let steps = flow.len();
     let lat = SetLattice::<NodeId>::new();
-    let fx = solve(&lat, &Timeline::new(steps), Direction::Backward, |i, live_out| {
-        let node = flow.node_at(i);
-        let mut live_in = live_out.clone();
-        live_in.remove(&node); // defined here, dead before this step
-        for p in srg.predecessors(node) {
-            live_in.insert(p); // used here, live from its producer on
-        }
-        live_in
-    });
+    let fx = solve(
+        &lat,
+        &Timeline::new(steps),
+        Direction::Backward,
+        |i, live_out| {
+            let node = flow.node_at(i);
+            let mut live_in = live_out.clone();
+            live_in.remove(&node); // defined here, dead before this step
+            for p in srg.predecessors(node) {
+                live_in.insert(p); // used here, live from its producer on
+            }
+            live_in
+        },
+    );
     debug_assert!(fx.converged, "liveness is monotone over a finite lattice");
     Ok((0..steps)
         .map(|i| {
@@ -333,7 +338,11 @@ pub fn check_transfer_deadlock(facts: &dyn PlanFacts, cfg: &LintConfig, report: 
     let srg = facts.srg();
     let node_ids = srg.node_ids();
     let n = node_ids.len();
-    let index: BTreeMap<NodeId, usize> = node_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let index: BTreeMap<NodeId, usize> = node_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
     let transfers: Vec<TransferFact> = facts
         .transfers()
         .into_iter()
@@ -647,7 +656,10 @@ mod tests {
             placements: [(a, None), (early, Some(d0)), (late, Some(d0))]
                 .into_iter()
                 .collect(),
-            transfers: vec![xfer(e_late, 1, None, Some(d0)), xfer(e_early, 0, None, Some(d0))],
+            transfers: vec![
+                xfer(e_late, 1, None, Some(d0)),
+                xfer(e_early, 0, None, Some(d0)),
+            ],
             pinned: Vec::new(),
         };
         let mut r = Report::new("t");
@@ -668,12 +680,18 @@ mod tests {
             placements: [(a, None), (early, Some(d0)), (late, Some(d0))]
                 .into_iter()
                 .collect(),
-            transfers: vec![xfer(e_early, 0, None, Some(d0)), xfer(e_late, 1, None, Some(d0))],
+            transfers: vec![
+                xfer(e_early, 0, None, Some(d0)),
+                xfer(e_late, 1, None, Some(d0)),
+            ],
             pinned: Vec::new(),
         };
         let mut r = Report::new("t");
         check_transfer_ordering(&plan, &LintConfig::new(), &mut r);
-        assert!(r.finish().with_code(LintCode::TransferOrderHazard).is_empty());
+        assert!(r
+            .finish()
+            .with_code(LintCode::TransferOrderHazard)
+            .is_empty());
     }
 
     #[test]
@@ -684,10 +702,7 @@ mod tests {
             srg: g,
             placements: BTreeMap::new(),
             transfers: Vec::new(),
-            pinned: vec![
-                (TensorId::new(7), d0, 1024),
-                (TensorId::new(7), d0, 1024),
-            ],
+            pinned: vec![(TensorId::new(7), d0, 1024), (TensorId::new(7), d0, 1024)],
         };
         let mut r = Report::new("t");
         check_double_pinning(&plan, &LintConfig::new(), &mut r);
@@ -717,7 +732,10 @@ mod tests {
         let hits = r.with_code(LintCode::DoublePinnedBuffer);
         assert_eq!(hits.len(), 1, "{r}");
         assert_eq!(hits[0].severity, Severity::Warn, "{r}");
-        assert!(hits[0].message.contains("p1") && hits[0].message.contains("p2"), "{r}");
+        assert!(
+            hits[0].message.contains("p1") && hits[0].message.contains("p2"),
+            "{r}"
+        );
     }
 
     #[test]
@@ -744,7 +762,10 @@ mod tests {
             // Both transfers share one declared channel (d0→d1), FIFO
             // order [e1, e2]: e2 waits behind e1, while e1's source z
             // transitively needs e2's payload.
-            transfers: vec![xfer(e1, 2, Some(d0), Some(d1)), xfer(e2, 0, Some(d0), Some(d1))],
+            transfers: vec![
+                xfer(e1, 2, Some(d0), Some(d1)),
+                xfer(e2, 0, Some(d0), Some(d1)),
+            ],
             pinned: Vec::new(),
         };
         let mut r = Report::new("t");
@@ -773,7 +794,10 @@ mod tests {
             placements: [(x, Some(d0)), (y, Some(d1)), (z, Some(d1)), (w, Some(d0))]
                 .into_iter()
                 .collect(),
-            transfers: vec![xfer(e2, 0, Some(d0), Some(d1)), xfer(e1, 2, Some(d0), Some(d1))],
+            transfers: vec![
+                xfer(e2, 0, Some(d0), Some(d1)),
+                xfer(e1, 2, Some(d0), Some(d1)),
+            ],
             pinned: Vec::new(),
         };
         let mut r = Report::new("t");

@@ -135,7 +135,10 @@ mod tests {
         let eight = gptj_step(8, true);
         // Eight tenants decode in barely more time than one: the weight
         // stream dominates and is shared.
-        assert!(eight.total_s() < one.total_s() * 1.5, "{eight:?} vs {one:?}");
+        assert!(
+            eight.total_s() < one.total_s() * 1.5,
+            "{eight:?} vs {one:?}"
+        );
         // The unbatched baseline pays the stream per member.
         let eight_unbatched = gptj_step(8, false);
         assert!(

@@ -122,11 +122,15 @@ impl<'a> SimBackend<'a> {
             network_bytes += *bytes;
             transfers_n += 1;
             queue_hist.observe(timing.queue_delay.as_secs_f64());
-            trace.push(tag(
-                TraceEvent::transfer(client.0, host.0, *bytes, session_ready, delivered)
-                    .with_plan(plan_label.clone())
-                    .with_queue_delay(timing.queue_delay),
-            ));
+            trace.push(tag(TraceEvent::transfer(
+                client.0,
+                host.0,
+                *bytes,
+                session_ready,
+                delivered,
+            )
+            .with_plan(plan_label.clone())
+            .with_queue_delay(timing.queue_delay)));
             let _ = state.register_resident(
                 self.topo,
                 ResidentObject {
@@ -191,11 +195,14 @@ impl<'a> SimBackend<'a> {
                         kernel_hist.observe(dur.as_secs_f64());
                         *kernel_estimate.entry(dev).or_insert(0.0) +=
                             self.cost.kernel_time(node, gpu);
-                        trace.push(tag(
-                            TraceEvent::kernel(dev.0, node.name.clone(), begin, end)
-                                .with_node(id)
-                                .with_plan(plan_label.clone()),
-                        ));
+                        trace.push(tag(TraceEvent::kernel(
+                            dev.0,
+                            node.name.clone(),
+                            begin,
+                            end,
+                        )
+                        .with_node(id)
+                        .with_plan(plan_label.clone())));
                         end
                     }
                 }
@@ -220,11 +227,14 @@ impl<'a> SimBackend<'a> {
                     device_free.insert(dev, rend);
                     kernels_n += 1;
                     kernel_hist.observe(dur.as_secs_f64());
-                    trace.push(tag(
-                        TraceEvent::kernel(dev.0, format!("recompute:{}", node.name), begin, rend)
-                            .with_node(id)
-                            .with_plan(plan_label.clone()),
-                    ));
+                    trace.push(tag(TraceEvent::kernel(
+                        dev.0,
+                        format!("recompute:{}", node.name),
+                        begin,
+                        rend,
+                    )
+                    .with_node(id)
+                    .with_plan(plan_label.clone())));
                     recompute_finish.insert((id, dev), rend);
                 }
             }
@@ -255,12 +265,16 @@ impl<'a> SimBackend<'a> {
                 network_bytes += t.bytes;
                 transfers_n += 1;
                 queue_hist.observe(timing.queue_delay.as_secs_f64());
-                trace.push(tag(
-                    TraceEvent::transfer(from_host.0, to_host.0, t.bytes, end, timing.delivered)
-                        .with_node(id)
-                        .with_plan(plan_label.clone())
-                        .with_queue_delay(timing.queue_delay),
-                ));
+                trace.push(tag(TraceEvent::transfer(
+                    from_host.0,
+                    to_host.0,
+                    t.bytes,
+                    end,
+                    timing.delivered,
+                )
+                .with_node(id)
+                .with_plan(plan_label.clone())
+                .with_queue_delay(timing.queue_delay)));
                 delivered_at.insert(t.edge, timing.delivered);
             }
         }

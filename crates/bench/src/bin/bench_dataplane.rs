@@ -132,6 +132,105 @@ fn interp_section(quick: bool) -> serde_json::Value {
     })
 }
 
+fn decode_section(quick: bool) -> serde_json::Value {
+    // Decode-throughput workload: a functional transformer sized so the
+    // per-step kernels land in the SIMD tier (d_model=64, ffn=256), run
+    // through greedy generation — per-step capture plus wavefront
+    // interpretation, i.e. the full eager data plane.
+    let mut config = TransformerConfig::tiny();
+    config.layers = 2;
+    config.d_model = 64;
+    config.heads = 4;
+    config.vocab = 512;
+    config.ffn_mult = 4;
+    let model = TransformerLm::new_functional(config, 11);
+    let prompt: Vec<i64> = (1..9).collect();
+    let steps = if quick { 12 } else { 48 };
+    let reps = if quick { 3 } else { 5 };
+
+    // Best-of-N wall clock: the max over reps approximates uncontended
+    // speed on a loaded host better than the median does, and throughput
+    // gates care about what the machine *can* do.
+    let mut tokens_per_s = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(model.generate(&prompt, steps).len());
+        tokens_per_s = tokens_per_s.max(steps as f64 / t0.elapsed().as_secs_f64());
+    }
+
+    // Machine calibration: a fixed scalar matmul timed the same way.
+    // `normalized_tokens_per_calib` (tokens per calibration-matmul-time)
+    // cancels host speed to first order, so the committed baseline
+    // transfers across machines.
+    let ca = init::randn([96, 96], 21);
+    let cb = init::randn([96, 96], 22);
+    let mut calibration_s = f64::INFINITY;
+    for _ in 0..reps.max(3) {
+        let t0 = Instant::now();
+        std::hint::black_box(ops::matmul_scalar(&ca, &cb).len());
+        calibration_s = calibration_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    json!({
+        "workload": "greedy decode: layers=2 d_model=64 heads=4 ffn=256 vocab=512",
+        "quick": quick,
+        "steps": steps,
+        "tokens_per_s": tokens_per_s,
+        "calibration_scalar_matmul96_s": calibration_s,
+        "normalized_tokens_per_calib": tokens_per_s * calibration_s,
+    })
+}
+
+/// Compare this run's decode throughput against the committed baseline
+/// (`BENCH_dataplane.baseline.json`, overridable via
+/// `GENIE_BENCH_BASELINE`). Fails on a >10% regression of the
+/// calibration-normalized tokens/s.
+fn check_baseline(decode: &serde_json::Value) -> Result<String, String> {
+    let path = std::env::var("GENIE_BENCH_BASELINE")
+        .unwrap_or_else(|_| "BENCH_dataplane.baseline.json".to_string());
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("baseline {path} unreadable: {e} (run --update-baseline to pin)"))?;
+    let base: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("baseline {path} unparsable: {e}"))?;
+    if base["decode"]["quick"] != decode["quick"] {
+        return Err(format!(
+            "baseline {path} was pinned in quick={} mode but this run is quick={}; \
+             re-run in the matching mode",
+            base["decode"]["quick"], decode["quick"]
+        ));
+    }
+    let base_norm = base["decode"]["normalized_tokens_per_calib"]
+        .as_f64()
+        .ok_or_else(|| format!("baseline {path} lacks decode.normalized_tokens_per_calib"))?;
+    let norm = decode["normalized_tokens_per_calib"]
+        .as_f64()
+        .unwrap_or(0.0);
+    if norm < base_norm * 0.9 {
+        return Err(format!(
+            "decode throughput regressed: normalized {norm:.4} < 90% of baseline {base_norm:.4} \
+             ({path})"
+        ));
+    }
+    Ok(format!(
+        "baseline gate OK: normalized {norm:.4} vs baseline {base_norm:.4} (floor {:.4})",
+        base_norm * 0.9
+    ))
+}
+
+/// Rewrite the committed baseline from this run's numbers.
+fn update_baseline(decode: &serde_json::Value) -> std::io::Result<()> {
+    let path = std::env::var("GENIE_BENCH_BASELINE")
+        .unwrap_or_else(|_| "BENCH_dataplane.baseline.json".to_string());
+    let baseline = json!({
+        "bench": "dataplane",
+        "method": "best-of-N greedy-decode tokens/s, normalized by a scalar 96x96x96 \
+                   matmul timed in the same process; gate fails below 90% of \
+                   normalized_tokens_per_calib. Re-pin with --update-baseline.",
+        "decode": decode,
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&baseline)? + "\n")
+}
+
 fn cost_cache_section(quick: bool) -> serde_json::Value {
     // GPT-J decode-step graph: the per-request planning workload.
     let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
@@ -174,19 +273,28 @@ fn cost_cache_section(quick: bool) -> serde_json::Value {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--check-baseline");
+    let pin = args.iter().any(|a| a == "--update-baseline");
     let before = stats::snapshot();
 
     let (matmul, matmul_table) = matmul_section(quick);
     let zero_copy = zero_copy_section(quick);
     let interp_cmp = interp_section(quick);
+    let decode = decode_section(quick);
     let cost_cache = cost_cache_section(quick);
 
-    let dispatch: Vec<serde_json::Value> = stats::snapshot()
-        .since(&before)
+    let after = stats::snapshot().since(&before);
+    let dispatch: Vec<serde_json::Value> = after
         .cells()
         .into_iter()
         .map(|(op, path, n)| json!({ "op": op, "path": path, "calls": n }))
+        .collect();
+    let by_tier: Vec<serde_json::Value> = after
+        .by_path()
+        .into_iter()
+        .map(|(path, n)| json!({ "tier": path, "calls": n }))
         .collect();
 
     let artifact = json!({
@@ -195,8 +303,15 @@ fn main() {
         "matmul": matmul,
         "zero_copy": zero_copy,
         "interp": interp_cmp,
+        "decode": decode,
         "cost_cache": cost_cache,
         "kernel_dispatch": dispatch,
+        "dispatch_by_tier": by_tier,
+        "worker_pool": {
+            "size": genie_tensor::pool::size(),
+            "threads_spawned": genie_tensor::pool::threads_spawned(),
+            "busy_peak": genie_tensor::pool::busy_peak_take(),
+        },
     });
     let path = write_artifact("BENCH_dataplane", &artifact).expect("artifact written");
 
@@ -227,5 +342,36 @@ fn main() {
         cost_cache["warm_speedup"].as_f64().unwrap_or(0.0),
         cost_cache["cache_hit_rate"].as_f64().unwrap_or(0.0) * 100.0,
     );
+    println!(
+        "decode: {:.0} tokens/s (normalized {:.4}), pool {} threads",
+        decode["tokens_per_s"].as_f64().unwrap_or(0.0),
+        decode["normalized_tokens_per_calib"]
+            .as_f64()
+            .unwrap_or(0.0),
+        genie_tensor::pool::size(),
+    );
+    let tier_mix: Vec<String> = artifact["dispatch_by_tier"]
+        .as_array()
+        .map(|rows| {
+            rows.iter()
+                .map(|r| format!("{}={}", r["tier"].as_str().unwrap_or("?"), r["calls"]))
+                .collect()
+        })
+        .unwrap_or_default();
+    println!("dispatch tiers: {}", tier_mix.join(" "));
     println!("artifact: {}", path.display());
+
+    if pin {
+        update_baseline(&decode).expect("baseline written");
+        println!("baseline pinned to BENCH_dataplane.baseline.json");
+    }
+    if gate {
+        match check_baseline(&decode) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -59,18 +59,17 @@ fn main() {
             .generate();
             let mut per_mode = Vec::new();
             for batched in [true, false] {
-                let report =
-                    ServingLoop::new(ServingModel::Spec(model.clone()), serving_config(lanes, batched))
-                        .run(&requests);
+                let report = ServingLoop::new(
+                    ServingModel::Spec(model.clone()),
+                    serving_config(lanes, batched),
+                )
+                .run(&requests);
                 // Bucket-interpolated p99 alongside the exact
                 // nearest-rank one: the histogram path is what live
                 // metrics collection would report.
                 let reg = genie_telemetry::MetricsRegistry::new();
-                let hist = reg.histogram(
-                    "ttft_seconds",
-                    &[],
-                    &genie_telemetry::DEFAULT_TIME_BOUNDS,
-                );
+                let hist =
+                    reg.histogram("ttft_seconds", &[], &genie_telemetry::DEFAULT_TIME_BOUNDS);
                 for t in report.ttfts() {
                     hist.observe(t);
                 }

@@ -19,7 +19,9 @@ const FAMILIES: [LintFamily; 4] = [
 ];
 
 fn main() {
-    println!("Semantic lint report — GA0xx graph / GA1xx plan / GA2xx schedule / GA3xx precision\n");
+    println!(
+        "Semantic lint report — GA0xx graph / GA1xx plan / GA2xx schedule / GA3xx precision\n"
+    );
     let cfg = LintConfig::new();
     let topo = Topology::rack(4, 25e9);
     let state = ClusterState::new();

@@ -87,8 +87,14 @@ fn analyze_checked(label: &str, report: &ServingReport) -> BlameReport {
         );
         let first = r.critical_path.first().expect("non-empty path");
         let last = r.critical_path.last().expect("non-empty path");
-        assert_eq!(first.start_ns, r.arrival_ns, "{label}: path starts at arrival");
-        assert_eq!(last.end_ns, r.finished_ns, "{label}: path ends at completion");
+        assert_eq!(
+            first.start_ns, r.arrival_ns,
+            "{label}: path starts at arrival"
+        );
+        assert_eq!(
+            last.end_ns, r.finished_ns,
+            "{label}: path ends at completion"
+        );
         for w in r.critical_path.windows(2) {
             assert_eq!(
                 w[0].end_ns, w[1].start_ns,

@@ -10,18 +10,20 @@
 //! dependency levels (via [`genie_srg::traverse::levels`]) and every node
 //! in a level is evaluated before the next level starts. Nodes within a
 //! level are mutually independent, so wide levels are fanned out over
-//! cores. Because each node's kernel is deterministic and level order
-//! respects every edge, the wavefront engine produces bit-identical values
-//! to the sequential reference ([`execute_sequential`]), which is kept as
-//! the oracle the wavefront path is tested against.
+//! the process-wide persistent worker pool ([`genie_tensor::pool`] — no
+//! per-level thread spawning). Because each node's kernel is
+//! deterministic and level order respects every edge, the wavefront
+//! engine produces bit-identical values to the sequential reference
+//! ([`execute_sequential`]), which is kept as the oracle the wavefront
+//! path is tested against. Dead intermediates dropped by
+//! [`execute_outputs`] return their buffers to the tensor arena for the
+//! next allocation to reuse.
 
 use crate::value::Value;
 use genie_srg::{NodeId, OpKind, Srg};
 use genie_tensor::ops;
-use genie_tensor::Tensor;
+use genie_tensor::{pool, Tensor};
 use std::collections::{HashMap, HashSet};
-use std::num::NonZeroUsize;
-use std::thread;
 
 /// Interpretation failure.
 #[derive(Debug)]
@@ -179,9 +181,9 @@ fn eval_level(
             .collect();
         eval_node(srg, id, &node.op, &inputs, bindings)
     };
-    let cores = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    // Pool workers plus the helping scope owner; 1 means single-core —
+    // stay sequential instead of paying a queue round-trip.
+    let cores = pool::size() + 1;
     if group.len() < 2 || cores < 2 {
         return group.iter().copied().map(eval_one).collect();
     }
@@ -189,7 +191,7 @@ fn eval_level(
     let per = group.len().div_ceil(workers);
     let mut slots: Vec<Option<Result<Value, InterpError>>> =
         (0..group.len()).map(|_| None).collect();
-    thread::scope(|scope| {
+    pool::scope(|scope| {
         let mut rest = slots.as_mut_slice();
         let mut base = 0;
         while !rest.is_empty() {
@@ -213,7 +215,8 @@ fn eval_level(
 }
 
 /// Publish kernel-dispatch counts accumulated since `before` as
-/// `genie_tensor_kernel_dispatch_total{op,path}` counters.
+/// `genie_tensor_kernel_dispatch_total{op,path}` counters, plus the
+/// worker-pool occupancy high-water mark as `genie_worker_pool_busy`.
 fn publish_dispatch_delta(before: &genie_tensor::stats::Snapshot) {
     let delta = genie_tensor::stats::snapshot().since(before);
     if delta.total() == 0 {
@@ -227,6 +230,12 @@ fn publish_dispatch_delta(before: &genie_tensor::stats::Snapshot) {
                 &[("op", op), ("path", path)],
             )
             .add(n);
+    }
+    let peak = pool::busy_peak_take();
+    if peak > 0 {
+        metrics
+            .gauge("genie_worker_pool_busy", &[])
+            .set(peak as f64);
     }
 }
 

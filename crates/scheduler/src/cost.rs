@@ -142,23 +142,53 @@ impl CostModel {
         }
     }
 
+    /// Per-tier derating of the roofline inputs: `(flops_scale,
+    /// bytes_scale)` for a [`genie_analysis::KernelTier`] label. The
+    /// quantized tiers move fewer bytes (int8 = ¼, fp16 = ½ of f32
+    /// traffic) and ride the device's higher low-precision MAC
+    /// throughput (modeled as 4×/2× effective FLOP rate); every f32
+    /// tier is the reference. Unknown labels are priced as f32 so a
+    /// malformed attribute can only over-estimate, never hide cost.
+    pub fn tier_factors(tier: &str) -> (f64, f64) {
+        match tier {
+            "int8" => (0.25, 0.25),
+            "fp16" => (0.5, 0.5),
+            _ => (1.0, 1.0),
+        }
+    }
+
     /// Roofline kernel-time estimate for `node` on `gpu`, with efficiency
-    /// derating applied to whichever side binds. Memoized: repeated calls
-    /// with the same (flops, bytes, derated device) are served from the
-    /// model's cache.
+    /// derating applied to whichever side binds. A `kernel_tier` node
+    /// attribute (see `genie_analysis::KERNEL_TIER_ATTR`) scales the
+    /// roofline inputs by [`CostModel::tier_factors`], so quantized
+    /// plans are priced cheaper exactly where GA3xx prices them looser.
+    /// Memoized: repeated calls with the same (flops, bytes, derated
+    /// device) are served from the model's cache.
     pub fn kernel_time(&self, node: &Node, gpu: &GpuSpec) -> f64 {
+        let tier = node
+            .attrs
+            .get(genie_analysis::KERNEL_TIER_ATTR)
+            .map(String::as_str)
+            .unwrap_or("");
+        let (fs, bs) = Self::tier_factors(tier);
+        let flops = node.cost.flops * fs;
+        let bytes = node.cost.bytes_total() * bs;
         let key = (
-            node.cost.flops.to_bits(),
-            node.cost.bytes_total().to_bits(),
+            flops.to_bits(),
+            bytes.to_bits(),
             (gpu.peak_flops * self.compute_efficiency).to_bits(),
             (gpu.mem_bandwidth * self.memory_efficiency).to_bits(),
             gpu.kernel_launch_overhead.to_bits(),
         );
-        self.cache
-            .lookup(key, || self.kernel_time_uncached(node, gpu))
+        self.cache.lookup(key, || {
+            let compute = flops / (gpu.peak_flops * self.compute_efficiency);
+            let memory = bytes / (gpu.mem_bandwidth * self.memory_efficiency);
+            gpu.kernel_launch_overhead + compute.max(memory)
+        })
     }
 
-    /// The un-memoized roofline estimate (reference for the cached path).
+    /// The un-memoized roofline estimate at the f32 reference tier
+    /// (reference for the cached path).
     pub fn kernel_time_uncached(&self, node: &Node, gpu: &GpuSpec) -> f64 {
         let compute = node.cost.flops / (gpu.peak_flops * self.compute_efficiency);
         let memory = node.cost.bytes_total() / (gpu.mem_bandwidth * self.memory_efficiency);
@@ -353,6 +383,30 @@ mod tests {
         let back: CostModel = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.cache_stats(), CostCacheStats::default());
+    }
+
+    #[test]
+    fn quantized_tiers_are_priced_cheaper() {
+        let m = CostModel::ideal_25g();
+        let gpu = GpuSpec::a100_80gb();
+        let f32_time = m.kernel_time(&node(1e12, 1e12), &gpu);
+        for (tier, scale) in [("int8", 0.25), ("fp16", 0.5)] {
+            let mut n = node(1e12, 1e12);
+            n.attrs
+                .insert(genie_analysis::KERNEL_TIER_ATTR.into(), tier.into());
+            let t = m.kernel_time(&n, &gpu);
+            let expected =
+                gpu.kernel_launch_overhead + (f32_time - gpu.kernel_launch_overhead) * scale;
+            assert!(
+                (t - expected).abs() < 1e-9,
+                "{tier}: {t} vs expected {expected}"
+            );
+        }
+        // An unknown tier label falls back to f32 pricing.
+        let mut n = node(1e12, 1e12);
+        n.attrs
+            .insert(genie_analysis::KERNEL_TIER_ATTR.into(), "fp4".into());
+        assert_eq!(m.kernel_time(&n, &gpu), f32_time);
     }
 
     #[test]

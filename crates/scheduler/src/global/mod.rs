@@ -362,7 +362,10 @@ mod tests {
         };
         let forward = plan_with_order(&[1, 2, 3, 4, 5]);
         let shuffled = plan_with_order(&[4, 2, 5, 1, 3]);
-        assert_eq!(forward, shuffled, "admission must not depend on arrival order");
+        assert_eq!(
+            forward, shuffled,
+            "admission must not depend on arrival order"
+        );
         assert!(!forward.1.is_empty(), "the fixture must actually overflow");
     }
 

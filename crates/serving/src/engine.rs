@@ -33,12 +33,12 @@ use crate::kv::KvLedger;
 use crate::report::ServingReport;
 use crate::request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
 use crate::slo::{SloConfig, SloTracker};
-use genie_telemetry::causal::{MemberPhase, StepMember, StepSlice};
 use genie_backend::{batched_step_time, StepWork};
 use genie_cluster::GpuSpec;
 use genie_frontend::capture::CaptureCtx;
 use genie_models::{KvState, TransformerConfig, TransformerLm};
 use genie_netsim::{FaultPlan, FaultSpec, Nanos, XorShift64};
+use genie_telemetry::causal::{MemberPhase, StepMember, StepSlice};
 use genie_telemetry::{SemAttrs, SpanKind, SpanRecord, Track, DEFAULT_TIME_BOUNDS};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -278,9 +278,7 @@ impl ServingLoop {
                 let mut best: Option<(usize, u32)> = None;
                 for lane in 0..self.config.lanes {
                     let members = active.values().filter(|j| j.lane == lane).count();
-                    if members < self.config.max_batch
-                        && best.is_none_or(|(m, _)| members < m)
-                    {
+                    if members < self.config.max_batch && best.is_none_or(|(m, _)| members < m) {
                         best = Some((members, lane));
                     }
                 }
@@ -329,7 +327,8 @@ impl ServingLoop {
                     let mut needed = 0u64;
                     let mut members = 0usize;
                     for j in active.values().filter(|j| j.lane == lane) {
-                        needed += j.next_resident_tokens(ledger.resident_tokens(lane as usize, j.req.id));
+                        needed +=
+                            j.next_resident_tokens(ledger.resident_tokens(lane as usize, j.req.id));
                         members += 1;
                     }
                     if needed * kv_bytes <= self.config.kv_capacity_bytes || members == 0 {
@@ -470,8 +469,7 @@ impl ServingLoop {
                         for fault in plan.faults_for(0, host) {
                             if let Some((from, until)) = fault.window() {
                                 if resume >= from && resume < until {
-                                    blocked =
-                                        Some(blocked.map_or(until, |b: Nanos| b.max(until)));
+                                    blocked = Some(blocked.map_or(until, |b: Nanos| b.max(until)));
                                 }
                             }
                         }
@@ -773,7 +771,13 @@ impl ServingLoop {
     }
 }
 
-fn push_event(report: &mut ServingReport, at: Nanos, request: u64, kind: EventKind, ledger: &KvLedger) {
+fn push_event(
+    report: &mut ServingReport,
+    at: Nanos,
+    request: u64,
+    kind: EventKind,
+    ledger: &KvLedger,
+) {
     report.events.push(LogEvent {
         at,
         request,
@@ -860,7 +864,9 @@ mod tests {
                 id,
                 tenant: 0,
                 arrival: Nanos::ZERO,
-                prompt: (0..prompt_len).map(|i| (id as i64 + i as i64) % 32).collect(),
+                prompt: (0..prompt_len)
+                    .map(|i| (id as i64 + i as i64) % 32)
+                    .collect(),
                 total_tokens: total,
             })
             .collect()
@@ -960,10 +966,13 @@ mod tests {
         let reqs = burst(2, 16, 4);
         let report = ServingLoop::new(ServingModel::Spec(cfg), conf).run(&reqs);
         assert_eq!(report.completed(), 0);
-        assert!(report
-            .outcomes
-            .values()
-            .all(|o| matches!(o, Outcome::Shed { reason: ShedReason::KvCapacity, .. })));
+        assert!(report.outcomes.values().all(|o| matches!(
+            o,
+            Outcome::Shed {
+                reason: ShedReason::KvCapacity,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1017,8 +1026,7 @@ mod tests {
             prompt,
             total_tokens: 5,
         }];
-        let report =
-            ServingLoop::new(ServingModel::Functional(m), spec_config()).run(&reqs);
+        let report = ServingLoop::new(ServingModel::Functional(m), spec_config()).run(&reqs);
         assert_eq!(report.tokens_for(1), Some(oracle.as_slice()));
     }
 }

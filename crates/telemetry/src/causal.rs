@@ -609,7 +609,11 @@ impl WhatIf {
         let fault = if self.zero_faults { 0 } else { b.fault_ns };
         let x = self.link_bandwidth_x.max(1e-9);
         let payload = (b.net_payload_ns as f64 / x).round() as u64;
-        queue + b.compute_prefill_ns + b.compute_decode_ns + b.net_latency_ns + payload
+        queue
+            + b.compute_prefill_ns
+            + b.compute_decode_ns
+            + b.net_latency_ns
+            + payload
             + fault
             + b.reprefill_ns
     }

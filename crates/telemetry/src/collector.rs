@@ -197,7 +197,12 @@ impl Collector {
                 e
             };
             let evicted = evicted_here
-                || (1..SHARDS).any(|i| self.shards[(shard + i) % SHARDS].lock().pop_front().is_some());
+                || (1..SHARDS).any(|i| {
+                    self.shards[(shard + i) % SHARDS]
+                        .lock()
+                        .pop_front()
+                        .is_some()
+                });
             if evicted {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 if let Some(c) = self.drop_metric.get() {

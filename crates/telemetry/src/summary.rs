@@ -77,6 +77,25 @@ pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String 
         let _ = writeln!(out, "{:<44} {:>14}", format!("{}{labels}", c.name), c.value);
     }
 
+    // --- Kernel dispatch tiers -------------------------------------------
+    // Roll the per-(op,path) dispatch counters up by path so the tier
+    // mix (scalar/blocked/parallel/simd/int8/fp16) reads at a glance.
+    let mut tiers: BTreeMap<&str, u64> = BTreeMap::new();
+    for c in &snapshot.counters {
+        if c.name != "genie_tensor_kernel_dispatch_total" || c.value == 0 {
+            continue;
+        }
+        if let Some((_, path)) = c.labels.iter().find(|(k, _)| k == "path") {
+            *tiers.entry(path.as_str()).or_insert(0) += c.value;
+        }
+    }
+    if !tiers.is_empty() {
+        let _ = writeln!(out, "\n{:<12} {:>14}", "TIER", "DISPATCHES");
+        for (path, n) in &tiers {
+            let _ = writeln!(out, "{path:<12} {n:>14}");
+        }
+    }
+
     // --- Scalar gauges worth a line --------------------------------------
     for g in &snapshot.gauges {
         if g.name == "genie_cost_cache_hit_rate" {
@@ -85,6 +104,9 @@ pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String 
                 "\ncost-model cache hit rate: {:>5.1}%",
                 g.value * 100.0
             );
+        }
+        if g.name == "genie_worker_pool_busy" {
+            let _ = writeln!(out, "\nworker pool busy (peak jobs): {:.0}", g.value);
         }
     }
 
@@ -157,7 +179,18 @@ mod tests {
             &[("op", "matmul"), ("path", "blocked")],
         )
         .add(3);
+        reg.counter(
+            "genie_tensor_kernel_dispatch_total",
+            &[("op", "attention"), ("path", "simd")],
+        )
+        .add(5);
+        reg.counter(
+            "genie_tensor_kernel_dispatch_total",
+            &[("op", "matmul"), ("path", "simd")],
+        )
+        .add(2);
         reg.gauge("genie_cost_cache_hit_rate", &[]).set(0.875);
+        reg.gauge("genie_worker_pool_busy", &[]).set(3.0);
         reg.histogram("genie_schedule_seconds", &[], &[0.1, 1.0])
             .observe(0.05);
         let records = vec![SpanRecord {
@@ -183,6 +216,10 @@ mod tests {
             "{top}"
         );
         assert!(top.contains("cost-model cache hit rate:  87.5%"), "{top}");
+        assert!(top.contains("worker pool busy (peak jobs): 3"), "{top}");
+        // Tier rollup sums per-op counters that share a path label.
+        assert!(top.contains("TIER"), "{top}");
+        assert!(top.contains(&format!("{:<12} {:>14}", "simd", 7)), "{top}");
         assert!(top.contains("genie_schedule_seconds"), "{top}");
         assert!(top.contains("schedule"), "{top}");
         // The histogram row carries interpolated quantiles, not proxies.

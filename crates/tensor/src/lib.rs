@@ -22,12 +22,19 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the worker pool's scoped-spawn lifetime erasure
+// is the one documented `#[allow(unsafe_code)]` in the crate; everything
+// else stays unsafe-free.
+#![deny(unsafe_code)]
 
+pub mod arena;
 pub mod init;
 pub mod ops;
 mod par;
+pub mod pool;
+pub mod quant;
 pub mod shape;
+mod simd;
 pub mod stats;
 pub mod tensor;
 

@@ -30,25 +30,29 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
     assert!(!dims.is_empty(), "softmax requires rank >= 1");
     let inner = *dims.last().expect("non-empty dims");
     let rows = x.len() / inner;
-    let mut out = vec![0.0f32; x.len()];
-    for r in 0..rows {
-        let row = &x.data()[r * inner..(r + 1) * inner];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for (o, &v) in out[r * inner..(r + 1) * inner].iter_mut().zip(row) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += e;
+    Tensor::build(dims, |out| {
+        for r in 0..rows {
+            let row = &x.data()[r * inner..(r + 1) * inner];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &v) in out[r * inner..(r + 1) * inner].iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *o = e;
+                sum += e;
+            }
+            for o in &mut out[r * inner..(r + 1) * inner] {
+                *o /= sum;
+            }
         }
-        for o in &mut out[r * inner..(r + 1) * inner] {
-            *o /= sum;
-        }
-    }
-    Tensor::from_vec(dims, out)
+    })
 }
 
 fn map(x: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    Tensor::from_vec(x.dims().to_vec(), x.data().iter().map(|&v| f(v)).collect())
+    Tensor::build(x.dims().to_vec(), |out| {
+        for (o, &v) in out.iter_mut().zip(x.data()) {
+            *o = f(v);
+        }
+    })
 }
 
 #[cfg(test)]

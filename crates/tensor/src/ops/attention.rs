@@ -5,7 +5,7 @@
 //! Heads are independent, so both orders produce bit-identical output.
 
 use crate::ops::activation::softmax_lastdim;
-use crate::ops::linalg::{matmul, transpose2d};
+use crate::ops::linalg::{matmul, transpose2d, MATMUL_BLOCK_MIN_FLOPS, MATMUL_PAR_MIN_FLOPS};
 use crate::par;
 use crate::stats::{self, Path};
 use crate::tensor::Tensor;
@@ -30,7 +30,14 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, causal: bool) -> Tensor {
     assert_eq!(v.dims()[0], tk, "k/v length mismatch");
 
     let scale = 1.0 / (d as f32).sqrt();
-    let mut scores = matmul(q, &transpose2d(k));
+    // Decode steps (tq == 1) compute QK^T straight off the row-major K
+    // cache; everything else goes through the transposed matmul.
+    let forced = stats::forced_path();
+    let mut scores = if tq == 1 && tk > 0 && !forced.map_or(false, Path::is_quantized) {
+        qk_decode_scores(q, k, forced)
+    } else {
+        matmul(q, &transpose2d(k))
+    };
     for s in scores.data_mut() {
         *s *= scale;
     }
@@ -48,6 +55,56 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, causal: bool) -> Tensor {
     matmul(&weights, v)
 }
 
+/// Decode-shape (`tq == 1`) QK^T scores computed without materializing
+/// `transpose2d(k)`. Every score keeps one f32 accumulator walking the
+/// depth axis in ascending order with the same `av == 0.0` skip as the
+/// matmul kernels, so the result is bit-identical to
+/// `matmul(q, transpose2d(k))` on every non-quantized tier — which is
+/// why a forced scalar/blocked/parallel/simd path may all take it.
+fn qk_decode_scores(q: &Tensor, k: &Tensor, forced: Option<Path>) -> Tensor {
+    let (tk, d) = (k.dims()[0], k.dims()[1]);
+    let flops = 2 * tk * d;
+    let path = forced.unwrap_or(if flops < MATMUL_BLOCK_MIN_FLOPS {
+        Path::Scalar
+    } else if flops >= MATMUL_PAR_MIN_FLOPS && par::worker_count(tk) > 1 {
+        Path::Parallel
+    } else {
+        Path::Simd
+    });
+    stats::note("matmul", path);
+    let qd = q.data();
+    let kd = k.data();
+    Tensor::build([1usize, tk], |out| {
+        let mut j = 0;
+        // Eight scores at a time: eight independent accumulators, each
+        // still strictly `p`-ascending.
+        while j + 8 <= tk {
+            let mut acc = [0.0f32; 8];
+            for (p, &av) in qd.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (l, a) in acc.iter_mut().enumerate() {
+                    *a += av * kd[(j + l) * d + p];
+                }
+            }
+            out[j..j + 8].copy_from_slice(&acc);
+            j += 8;
+        }
+        for (jj, o) in out.iter_mut().enumerate().skip(j) {
+            let row = &kd[jj * d..(jj + 1) * d];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in qd.iter().zip(row) {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    })
+}
+
 /// Multi-head attention over packed `[t, heads*dh]` projections. Splits
 /// heads, runs [`attention`] per head, and re-packs. Dispatches between
 /// the sequential reference loop and a head-parallel variant.
@@ -60,9 +117,17 @@ pub fn multi_head_attention(
 ) -> Tensor {
     let (tq, dm) = (q.dims()[0], q.dims()[1]);
     let tk = k.dims()[0];
-    // A forced non-parallel path maps to the sequential reference:
-    // attention has no distinct blocked kernel.
-    match stats::forced_path() {
+    // Single-query (decode) calls take the fused head loop, which reads
+    // straight out of the packed projections — bit-identical to the
+    // slice-per-head reference on every non-quantized tier.
+    let forced = stats::forced_path();
+    if tq == 1 && tk > 0 && !forced.map_or(false, Path::is_quantized) {
+        return mha_decode(q, k, v, heads, forced);
+    }
+    // A forced non-parallel path maps to the sequential head loop; the
+    // inner QK^T and weights·V matmuls dispatch through the same forced
+    // path, which is how the simd and quantized attention tiers run.
+    match forced {
         Some(Path::Parallel) => return multi_head_attention_parallel(q, k, v, heads, causal),
         Some(_) => return multi_head_attention_sequential(q, k, v, heads, causal),
         None => {}
@@ -74,6 +139,84 @@ pub fn multi_head_attention(
     } else {
         multi_head_attention_sequential(q, k, v, heads, causal)
     }
+}
+
+/// Fused single-query multi-head attention: heads read their `dh`-wide
+/// column bands straight out of the packed `[1, dm]` / `[tk, dm]`
+/// projections, skipping the per-head `slice_head` copies and the
+/// transposed-K materialization. Per score, the depth axis is walked
+/// ascending with the matmul kernels' `av == 0.0` skip; per output
+/// element, keys are walked ascending with the `w == 0.0` skip — the
+/// exact accumulation orders of the sliced reference, so the result is
+/// bit-for-bit identical on every non-quantized tier. Causal masking is
+/// a no-op for a single query attending over its whole cache.
+fn mha_decode(q: &Tensor, k: &Tensor, v: &Tensor, heads: usize, forced: Option<Path>) -> Tensor {
+    let (_, tk, dm, dh) = head_geometry(q, k, heads);
+    assert_eq!(v.dims(), k.dims(), "k/v shape mismatch");
+    let path = forced.unwrap_or(Path::Simd);
+    stats::note("attention", path);
+    let qd = q.data();
+    let kd = k.data();
+    let vd = v.data();
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut scores = vec![0.0f32; tk];
+    Tensor::build([1usize, dm], |out| {
+        for h in 0..heads {
+            let off = h * dh;
+            let qh = &qd[off..off + dh];
+            // QK^T for this head, eight keys at a time.
+            let mut j = 0;
+            while j + 8 <= tk {
+                let mut acc = [0.0f32; 8];
+                for (p, &av) in qh.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        *a += av * kd[(j + l) * dm + off + p];
+                    }
+                }
+                scores[j..j + 8].copy_from_slice(&acc);
+                j += 8;
+            }
+            for (jj, s) in scores.iter_mut().enumerate().skip(j) {
+                let row = &kd[jj * dm + off..jj * dm + off + dh];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in qh.iter().zip(row) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    acc += av * bv;
+                }
+                *s = acc;
+            }
+            // Scale + softmax over the single row.
+            for s in scores.iter_mut() {
+                *s *= scale;
+            }
+            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for s in scores.iter_mut() {
+                let e = (*s - max).exp();
+                *s = e;
+                sum += e;
+            }
+            for s in scores.iter_mut() {
+                *s /= sum;
+            }
+            // weights · V straight into the packed output band.
+            let oh = &mut out[off..off + dh];
+            for (j, &w) in scores.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let row = &vd[j * dm + off..j * dm + off + dh];
+                for (o, &bv) in oh.iter_mut().zip(row) {
+                    *o += w * bv;
+                }
+            }
+        }
+    })
 }
 
 fn head_geometry(q: &Tensor, k: &Tensor, heads: usize) -> (usize, usize, usize, usize) {
@@ -96,17 +239,20 @@ fn head_output(q: &Tensor, k: &Tensor, v: &Tensor, h: usize, dh: usize, causal: 
 }
 
 fn pack_heads(head_outs: &[Tensor], tq: usize, dm: usize, dh: usize) -> Tensor {
-    let mut out = vec![0.0f32; tq * dm];
-    for (h, oh) in head_outs.iter().enumerate() {
-        for t in 0..tq {
-            out[t * dm + h * dh..t * dm + h * dh + dh]
-                .copy_from_slice(&oh.data()[t * dh..(t + 1) * dh]);
+    Tensor::build([tq, dm], |out| {
+        for (h, oh) in head_outs.iter().enumerate() {
+            for t in 0..tq {
+                out[t * dm + h * dh..t * dm + h * dh + dh]
+                    .copy_from_slice(&oh.data()[t * dh..(t + 1) * dh]);
+            }
         }
-    }
-    Tensor::from_vec([tq, dm], out)
+    })
 }
 
 /// Reference multi-head attention: heads computed one after another.
+/// Notes the forced path when one is set — under `force_path(Int8)` the
+/// inner matmuls really did run quantized, and the dispatch mix should
+/// say so.
 pub fn multi_head_attention_sequential(
     q: &Tensor,
     k: &Tensor,
@@ -115,7 +261,7 @@ pub fn multi_head_attention_sequential(
     causal: bool,
 ) -> Tensor {
     let (tq, _tk, dm, dh) = head_geometry(q, k, heads);
-    stats::note("attention", Path::Scalar);
+    stats::note("attention", stats::forced_path().unwrap_or(Path::Scalar));
     let outs: Vec<Tensor> = (0..heads)
         .map(|h| head_output(q, k, v, h, dh, causal))
         .collect();
@@ -139,12 +285,12 @@ pub fn multi_head_attention_parallel(
 
 fn slice_head(x: &Tensor, head: usize, dh: usize) -> Tensor {
     let (t, dm) = (x.dims()[0], x.dims()[1]);
-    let mut out = Vec::with_capacity(t * dh);
-    for row in 0..t {
-        let base = row * dm + head * dh;
-        out.extend_from_slice(&x.data()[base..base + dh]);
-    }
-    Tensor::from_vec([t, dh], out)
+    Tensor::build([t, dh], |out| {
+        for row in 0..t {
+            let base = row * dm + head * dh;
+            out[row * dh..(row + 1) * dh].copy_from_slice(&x.data()[base..base + dh]);
+        }
+    })
 }
 
 #[cfg(test)]

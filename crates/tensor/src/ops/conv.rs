@@ -1,16 +1,24 @@
 //! Convolution and pooling kernels (NCHW layout).
 //!
-//! [`conv2d`] dispatches between the scalar reference loop and a parallel
-//! variant that fans the `(n, cout)` output planes out over cores; both
-//! compute every output element identically, so results are bit-for-bit
-//! equal.
+//! [`conv2d`] dispatches between the scalar reference loop, a simd
+//! variant that register-blocks eight contiguous output columns, and a
+//! parallel variant that fans the `(n, cout)` output planes out over the
+//! worker pool; all compute every output element identically, so results
+//! are bit-for-bit equal. The quantized tiers do not cover convolution:
+//! forcing `int8`/`fp16` runs the exact scalar kernel.
 
 use crate::par;
 use crate::stats::{self, Path};
 use crate::tensor::Tensor;
 
 /// Multiply-accumulates below which conv2d stays on the scalar loop.
+pub const CONV_SIMD_MIN_MACS: usize = 1 << 12;
+
+/// Multiply-accumulates at which conv2d is worth spreading over cores.
 pub const CONV_PAR_MIN_MACS: usize = 1 << 19;
+
+/// Lane width of the simd conv kernel (one `[f32; 8]` register block).
+const LANES: usize = 8;
 
 struct ConvGeom {
     n: usize,
@@ -88,25 +96,116 @@ fn conv_plane(
     }
 }
 
+/// Simd variant of [`conv_plane`]: eight contiguous output columns share
+/// one `[f32; 8]` accumulator block held across the whole reduction.
+/// Per output element the accumulation order — bias first, then
+/// `(ci, ky, kx)` ascending with the same padding skips — is identical
+/// to [`conv_plane`], so results are bit-for-bit equal.
+fn conv_plane_simd(
+    plane: &mut [f32],
+    g: &ConvGeom,
+    xd: &[f32],
+    wdta: &[f32],
+    b: f32,
+    ni: usize,
+    co: usize,
+) {
+    for oy in 0..g.oh {
+        let full = g.ow - g.ow % LANES;
+        for ox0 in (0..full).step_by(LANES) {
+            let mut acc = [b; LANES];
+            for ci in 0..g.cin {
+                let xplane = ((ni * g.cin + ci) * g.h) * g.wd;
+                let wplane = ((co * g.cin + ci) * g.kh) * g.kw;
+                for ky in 0..g.kh {
+                    let iy = oy * g.stride + ky;
+                    if iy < g.padding || iy - g.padding >= g.h {
+                        continue;
+                    }
+                    let xrow = xplane + (iy - g.padding) * g.wd;
+                    for kx in 0..g.kw {
+                        let wv = wdta[wplane + ky * g.kw + kx];
+                        for (l, o) in acc.iter_mut().enumerate() {
+                            let ix = (ox0 + l) * g.stride + kx;
+                            if ix < g.padding || ix - g.padding >= g.wd {
+                                continue;
+                            }
+                            *o += xd[xrow + ix - g.padding] * wv;
+                        }
+                    }
+                }
+            }
+            plane[oy * g.ow + ox0..oy * g.ow + ox0 + LANES].copy_from_slice(&acc);
+        }
+        // Column tail: the scalar per-element loop, same order.
+        for ox in full..g.ow {
+            let mut acc = b;
+            for ci in 0..g.cin {
+                for ky in 0..g.kh {
+                    let iy = oy * g.stride + ky;
+                    if iy < g.padding || iy - g.padding >= g.h {
+                        continue;
+                    }
+                    let iy = iy - g.padding;
+                    for kx in 0..g.kw {
+                        let ix = ox * g.stride + kx;
+                        if ix < g.padding || ix - g.padding >= g.wd {
+                            continue;
+                        }
+                        let ix = ix - g.padding;
+                        let xv = xd[((ni * g.cin + ci) * g.h + iy) * g.wd + ix];
+                        let wv = wdta[((co * g.cin + ci) * g.kh + ky) * g.kw + kx];
+                        acc += xv * wv;
+                    }
+                }
+            }
+            plane[oy * g.ow + ox] = acc;
+        }
+    }
+}
+
 /// 2-D convolution: input `[N, Cin, H, W]`, weight `[Cout, Cin, Kh, Kw]`,
 /// bias `[Cout]`, with the given stride and symmetric zero padding.
 /// Dispatches between the scalar reference and the parallel kernel.
 pub fn conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
     let g = conv_geom(x, w, bias, stride, padding);
-    // A forced non-parallel path maps to the scalar reference: conv has
-    // no distinct blocked kernel.
+    // Forced `blocked` maps to the scalar reference (conv has no
+    // distinct blocked kernel); forced quantized tiers also fall back to
+    // the exact scalar kernel — quantization covers matmul/attention.
     match stats::forced_path() {
         Some(Path::Parallel) => return conv2d_parallel(x, w, bias, stride, padding),
+        Some(Path::Simd) => return conv2d_simd(x, w, bias, stride, padding),
         Some(_) => return conv2d_scalar(x, w, bias, stride, padding),
         None => {}
     }
     let macs = g.n * g.cout * g.oh * g.ow * g.cin * g.kh * g.kw;
     let planes = g.n * g.cout;
-    if g.oh * g.ow > 0 && macs >= CONV_PAR_MIN_MACS && par::worker_count(planes) > 1 {
+    if g.oh * g.ow == 0 || macs < CONV_SIMD_MIN_MACS {
+        conv2d_scalar(x, w, bias, stride, padding)
+    } else if macs >= CONV_PAR_MIN_MACS && par::worker_count(planes) > 1 {
         conv2d_parallel(x, w, bias, stride, padding)
     } else {
-        conv2d_scalar(x, w, bias, stride, padding)
+        conv2d_simd(x, w, bias, stride, padding)
     }
+}
+
+/// conv2d with eight output columns per `[f32; 8]` register block.
+/// Bit-identical to [`conv2d_scalar`].
+pub fn conv2d_simd(x: &Tensor, w: &Tensor, bias: &Tensor, stride: usize, padding: usize) -> Tensor {
+    let g = conv_geom(x, w, bias, stride, padding);
+    stats::note("conv2d", Path::Simd);
+    let xd = x.data();
+    let wdta = w.data();
+    let bd = bias.data();
+    let plane_len = g.oh * g.ow;
+    Tensor::build([g.n, g.cout, g.oh, g.ow], |out| {
+        if plane_len > 0 {
+            for (idx, plane) in out.chunks_mut(plane_len).enumerate() {
+                let (ni, co) = (idx / g.cout, idx % g.cout);
+                conv_plane_simd(plane, &g, xd, wdta, bd[co], ni, co);
+            }
+        }
+    })
 }
 
 /// Reference conv2d: the scalar loop over every output element.
@@ -121,15 +220,15 @@ pub fn conv2d_scalar(
     stats::note("conv2d", Path::Scalar);
     let xd = x.data();
     let wdta = w.data();
-    let mut out = vec![0.0f32; g.n * g.cout * g.oh * g.ow];
     let plane_len = g.oh * g.ow;
-    if plane_len > 0 {
-        for (idx, plane) in out.chunks_mut(plane_len).enumerate() {
-            let (ni, co) = (idx / g.cout, idx % g.cout);
-            conv_plane(plane, &g, xd, wdta, bias.data()[co], ni, co);
+    Tensor::build([g.n, g.cout, g.oh, g.ow], |out| {
+        if plane_len > 0 {
+            for (idx, plane) in out.chunks_mut(plane_len).enumerate() {
+                let (ni, co) = (idx / g.cout, idx % g.cout);
+                conv_plane(plane, &g, xd, wdta, bias.data()[co], ni, co);
+            }
         }
-    }
-    Tensor::from_vec([g.n, g.cout, g.oh, g.ow], out)
+    })
 }
 
 /// conv2d with `(n, cout)` output planes spread over cores (forced, for
@@ -146,18 +245,18 @@ pub fn conv2d_parallel(
     let xd = x.data();
     let wdta = w.data();
     let bd = bias.data();
-    let mut out = vec![0.0f32; g.n * g.cout * g.oh * g.ow];
     let plane_len = g.oh * g.ow;
-    if plane_len > 0 {
-        par::par_rows(&mut out, plane_len, |plane0, chunk| {
-            for (pi, plane) in chunk.chunks_mut(plane_len).enumerate() {
-                let idx = plane0 + pi;
-                let (ni, co) = (idx / g.cout, idx % g.cout);
-                conv_plane(plane, &g, xd, wdta, bd[co], ni, co);
-            }
-        });
-    }
-    Tensor::from_vec([g.n, g.cout, g.oh, g.ow], out)
+    Tensor::build([g.n, g.cout, g.oh, g.ow], |out| {
+        if plane_len > 0 {
+            par::par_rows(out, plane_len, |plane0, chunk| {
+                for (pi, plane) in chunk.chunks_mut(plane_len).enumerate() {
+                    let idx = plane0 + pi;
+                    let (ni, co) = (idx / g.cout, idx % g.cout);
+                    conv_plane_simd(plane, &g, xd, wdta, bd[co], ni, co);
+                }
+            });
+        }
+    })
 }
 
 /// Pooling mode.
@@ -279,8 +378,14 @@ mod tests {
         let bias = crate::init::randn([4], 9);
         let reference = conv2d_scalar(&x, &w, &bias, 2, 1);
         let par = conv2d_parallel(&x, &w, &bias, 2, 1);
+        let simd = conv2d_simd(&x, &w, &bias, 2, 1);
         assert_eq!(reference.dims(), par.dims());
         assert_eq!(reference.data(), par.data());
+        assert_eq!(reference.data(), simd.data());
+        // Stride 1 with padding hits the contiguous-row lane loads.
+        let r1 = conv2d_scalar(&x, &w, &bias, 1, 1);
+        let s1 = conv2d_simd(&x, &w, &bias, 1, 1);
+        assert_eq!(r1.data(), s1.data());
     }
 
     #[test]

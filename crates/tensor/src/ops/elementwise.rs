@@ -19,30 +19,31 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Multiply every element by a scalar.
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
-    Tensor::from_vec(a.dims().to_vec(), a.data().iter().map(|&v| v * s).collect())
+    Tensor::build(a.dims().to_vec(), |out| {
+        for (o, &v) in out.iter_mut().zip(a.data()) {
+            *o = v * s;
+        }
+    })
 }
 
 /// Add a rank-1 bias over the innermost dimension (broadcast).
 pub fn add_bias(a: &Tensor, bias: &Tensor) -> Tensor {
     let inner = *a.dims().last().expect("add_bias requires rank >= 1");
     assert_eq!(bias.dims(), &[inner], "bias must be [{inner}]");
-    let mut out = a.data().to_vec();
-    for (i, o) in out.iter_mut().enumerate() {
-        *o += bias.data()[i % inner];
-    }
-    Tensor::from_vec(a.dims().to_vec(), out)
+    Tensor::build(a.dims().to_vec(), |out| {
+        for (i, (o, &v)) in out.iter_mut().zip(a.data()).enumerate() {
+            *o = v + bias.data()[i % inner];
+        }
+    })
 }
 
 fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
-    Tensor::from_vec(
-        a.dims().to_vec(),
-        a.data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| f(x, y))
-            .collect(),
-    )
+    Tensor::build(a.dims().to_vec(), |out| {
+        for ((o, &x), &y) in out.iter_mut().zip(a.data()).zip(b.data()) {
+            *o = f(x, y);
+        }
+    })
 }
 
 #[cfg(test)]

@@ -9,16 +9,16 @@ pub fn gather_rows(table: &Tensor, indices: &IndexTensor) -> Tensor {
     assert_eq!(table.rank(), 2, "embedding table must be [vocab, dim]");
     let (vocab, dim) = (table.dims()[0], table.dims()[1]);
     let n = indices.len();
-    let mut out = Vec::with_capacity(n * dim);
-    for &idx in indices.data() {
-        assert!(
-            idx >= 0 && (idx as usize) < vocab,
-            "index {idx} out of range for vocab {vocab}"
-        );
-        let base = idx as usize * dim;
-        out.extend_from_slice(&table.data()[base..base + dim]);
-    }
-    Tensor::from_vec([n, dim], out)
+    Tensor::build([n, dim], |out| {
+        for (r, &idx) in indices.data().iter().enumerate() {
+            assert!(
+                idx >= 0 && (idx as usize) < vocab,
+                "index {idx} out of range for vocab {vocab}"
+            );
+            let base = idx as usize * dim;
+            out[r * dim..(r + 1) * dim].copy_from_slice(&table.data()[base..base + dim]);
+        }
+    })
 }
 
 /// Sum-pool a multi-hot bag of indices into one `[dim]` vector — the
@@ -27,13 +27,13 @@ pub fn gather_sum(table: &Tensor, indices: &IndexTensor) -> Tensor {
     assert_eq!(table.rank(), 2);
     let dim = table.dims()[1];
     let rows = gather_rows(table, indices);
-    let mut out = vec![0.0f32; dim];
-    for r in 0..indices.len() {
-        for (d, o) in out.iter_mut().enumerate() {
-            *o += rows.data()[r * dim + d];
+    Tensor::build([dim], |out| {
+        for r in 0..indices.len() {
+            for (d, o) in out.iter_mut().enumerate() {
+                *o += rows.data()[r * dim + d];
+            }
         }
-    }
-    Tensor::from_vec([dim], out)
+    })
 }
 
 #[cfg(test)]

@@ -1,29 +1,38 @@
 //! Dense linear algebra kernels.
 //!
-//! Each heavy kernel has three implementations that produce bit-identical
-//! results (accumulation order per output element is ascending `p` with a
-//! single accumulator in all of them):
+//! Each heavy kernel has four exact implementations that produce
+//! bit-identical results (accumulation order per output element is
+//! ascending `p` with a single accumulator in all of them):
 //!
 //! * `*_scalar` — the naive reference loop, kept as ground truth;
 //! * `*_blocked` — register/cache-blocked: 4 output rows × 64 output
 //!   columns per tile, so each loaded B row is reused 4× and C is written
 //!   exactly once;
-//! * `*_parallel` — the blocked kernel with output rows (or batches)
-//!   fanned out over cores via scoped threads.
+//! * `*_simd` — the `[f32; 8]` register-blocked tier in [`crate::simd`]:
+//!   the accumulator tile stays in vector registers for the whole
+//!   reduction;
+//! * `*_parallel` — the simd kernel with output rows (or batches)
+//!   fanned out over the persistent worker pool.
+//!
+//! Two further *approximate* tiers live in [`crate::quant`] (int8 and
+//! fp16) and are reachable here via [`crate::stats::force_path`]; their
+//! error is bounded by the GA3xx error model, not bit-identity.
 //!
 //! The public entry points ([`matmul`], [`batched_matmul`]) dispatch on
 //! problem size and record the chosen path in [`crate::stats`].
 
 use crate::par;
+use crate::quant;
+use crate::simd;
 use crate::stats::{self, Path};
 use crate::tensor::Tensor;
 
-/// Below this many FLOPs (`2·m·k·n`) the blocked kernel's tile overhead
-/// outweighs its reuse: stay on the scalar loop.
+/// Below this many FLOPs (`2·m·k·n`) the register-blocked kernel's tile
+/// overhead outweighs its reuse: stay on the scalar loop.
 pub const MATMUL_BLOCK_MIN_FLOPS: usize = 1 << 14;
 
 /// At or above this many FLOPs the kernel is worth spreading over cores
-/// (thread spawn is ~10 µs; a 2²⁰-FLOP matmul runs ~100 µs scalar).
+/// (a pool hand-off costs ~1 µs; a 2²⁰-FLOP matmul runs ~100 µs scalar).
 pub const MATMUL_PAR_MIN_FLOPS: usize = 1 << 20;
 
 /// Output-row tile height of the blocked kernel.
@@ -100,14 +109,18 @@ fn matmul_blocked_rows(
 }
 
 /// `C[m,n] = A[m,k] · B[k,n]`. Dispatches between the scalar reference,
-/// the blocked kernel, and the blocked+parallel kernel on problem size;
-/// all three produce bit-identical results.
+/// the simd kernel, and the simd+parallel kernel on problem size; all
+/// exact tiers produce bit-identical results. The blocked tier and the
+/// quantized tiers are reachable via [`stats::force_path`].
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = matmul_dims(a, b);
     match stats::forced_path() {
         Some(Path::Scalar) => return matmul_scalar(a, b),
         Some(Path::Blocked) => return matmul_blocked(a, b),
+        Some(Path::Simd) => return matmul_simd(a, b),
         Some(Path::Parallel) => return matmul_parallel(a, b),
+        Some(Path::Int8) => return quant::matmul_int8(a, b),
+        Some(Path::Fp16) => return quant::matmul_fp16(a, b),
         None => {}
     }
     let flops = 2 * m * k * n;
@@ -117,42 +130,53 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     if flops >= MATMUL_PAR_MIN_FLOPS && par::worker_count(m) > 1 {
         return matmul_parallel(a, b);
     }
-    matmul_blocked(a, b)
+    matmul_simd(a, b)
 }
 
 /// The naive reference matmul (always the scalar loop).
 pub fn matmul_scalar(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = matmul_dims(a, b);
     stats::note("matmul", Path::Scalar);
-    let mut out = vec![0.0f32; m * n];
-    matmul_scalar_into(&mut out, a.data(), b.data(), m, k, n);
-    Tensor::from_vec([m, n], out)
+    Tensor::build([m, n], |out| {
+        matmul_scalar_into(out, a.data(), b.data(), m, k, n);
+    })
 }
 
 /// The cache-blocked matmul on one thread (forced, for benches/tests).
 pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = matmul_dims(a, b);
     stats::note("matmul", Path::Blocked);
-    let mut out = vec![0.0f32; m * n];
-    if n > 0 {
-        matmul_blocked_rows(&mut out, 0, a.data(), b.data(), k, n);
-    }
-    Tensor::from_vec([m, n], out)
+    Tensor::build([m, n], |out| {
+        if n > 0 {
+            matmul_blocked_rows(out, 0, a.data(), b.data(), k, n);
+        }
+    })
 }
 
-/// The cache-blocked matmul with rows spread over cores (forced, for
+/// The `[f32; 8]` register-blocked matmul on one thread.
+pub fn matmul_simd(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    stats::note("matmul", Path::Simd);
+    Tensor::build([m, n], |out| {
+        if n > 0 {
+            simd::matmul_simd_rows(out, 0, a.data(), b.data(), k, n);
+        }
+    })
+}
+
+/// The simd matmul with rows spread over the worker pool (forced, for
 /// benches/tests).
 pub fn matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = matmul_dims(a, b);
     stats::note("matmul", Path::Parallel);
-    let mut out = vec![0.0f32; m * n];
-    if n > 0 {
-        let (ad, bd) = (a.data(), b.data());
-        par::par_rows(&mut out, n, |row0, chunk| {
-            matmul_blocked_rows(chunk, row0, ad, bd, k, n);
-        });
-    }
-    Tensor::from_vec([m, n], out)
+    Tensor::build([m, n], |out| {
+        if n > 0 {
+            let (ad, bd) = (a.data(), b.data());
+            par::par_rows(out, n, |row0, chunk| {
+                simd::matmul_simd_rows(chunk, row0, ad, bd, k, n);
+            });
+        }
+    })
 }
 
 fn batched_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize, usize) {
@@ -173,7 +197,10 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     match stats::forced_path() {
         Some(Path::Scalar) => return batched_matmul_scalar(a, b),
         Some(Path::Blocked) => return batched_matmul_blocked(a, b),
+        Some(Path::Simd) => return batched_matmul_simd(a, b),
         Some(Path::Parallel) => return batched_matmul_parallel(a, b),
+        Some(Path::Int8) => return quant::batched_matmul_int8(a, b),
+        Some(Path::Fp16) => return quant::batched_matmul_fp16(a, b),
         None => {}
     }
     let flops = 2 * ba * m * k * n;
@@ -183,62 +210,38 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     if flops >= MATMUL_PAR_MIN_FLOPS && par::worker_count(ba) > 1 {
         return batched_matmul_parallel(a, b);
     }
-    batched_matmul_blocked(a, b)
+    batched_matmul_simd(a, b)
 }
 
 /// Reference batched matmul: the scalar row-slice loop applied per batch.
 pub fn batched_matmul_scalar(a: &Tensor, b: &Tensor) -> Tensor {
     let (ba, m, k, n) = batched_dims(a, b);
     stats::note("batched_matmul", Path::Scalar);
-    let mut out = vec![0.0f32; ba * m * n];
     let (ad, bd) = (a.data(), b.data());
-    for batch in 0..ba {
-        matmul_scalar_into(
-            &mut out[batch * m * n..][..m * n],
-            &ad[batch * m * k..][..m * k],
-            &bd[batch * k * n..][..k * n],
-            m,
-            k,
-            n,
-        );
-    }
-    Tensor::from_vec([ba, m, n], out)
+    Tensor::build([ba, m, n], |out| {
+        for batch in 0..ba {
+            matmul_scalar_into(
+                &mut out[batch * m * n..][..m * n],
+                &ad[batch * m * k..][..m * k],
+                &bd[batch * k * n..][..k * n],
+                m,
+                k,
+                n,
+            );
+        }
+    })
 }
 
 /// Blocked batched matmul on one thread (forced, for benches/tests).
 pub fn batched_matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
     let (ba, m, k, n) = batched_dims(a, b);
     stats::note("batched_matmul", Path::Blocked);
-    let mut out = vec![0.0f32; ba * m * n];
-    if n > 0 {
-        let (ad, bd) = (a.data(), b.data());
-        for batch in 0..ba {
-            matmul_blocked_rows(
-                &mut out[batch * m * n..][..m * n],
-                0,
-                &ad[batch * m * k..][..m * k],
-                &bd[batch * k * n..][..k * n],
-                k,
-                n,
-            );
-        }
-    }
-    Tensor::from_vec([ba, m, n], out)
-}
-
-/// Blocked batched matmul with batches spread over cores (forced, for
-/// benches/tests).
-pub fn batched_matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
-    let (ba, m, k, n) = batched_dims(a, b);
-    stats::note("batched_matmul", Path::Parallel);
-    let mut out = vec![0.0f32; ba * m * n];
-    if m * n > 0 {
-        let (ad, bd) = (a.data(), b.data());
-        par::par_rows(&mut out, m * n, |b0, chunk| {
-            for (bi, osub) in chunk.chunks_mut(m * n).enumerate() {
-                let batch = b0 + bi;
+    let (ad, bd) = (a.data(), b.data());
+    Tensor::build([ba, m, n], |out| {
+        if n > 0 {
+            for batch in 0..ba {
                 matmul_blocked_rows(
-                    osub,
+                    &mut out[batch * m * n..][..m * n],
                     0,
                     &ad[batch * m * k..][..m * k],
                     &bd[batch * k * n..][..k * n],
@@ -246,9 +249,54 @@ pub fn batched_matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
                     n,
                 );
             }
-        });
-    }
-    Tensor::from_vec([ba, m, n], out)
+        }
+    })
+}
+
+/// Register-blocked batched matmul on one thread.
+pub fn batched_matmul_simd(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k, n) = batched_dims(a, b);
+    stats::note("batched_matmul", Path::Simd);
+    let (ad, bd) = (a.data(), b.data());
+    Tensor::build([ba, m, n], |out| {
+        if n > 0 {
+            for batch in 0..ba {
+                simd::matmul_simd_rows(
+                    &mut out[batch * m * n..][..m * n],
+                    0,
+                    &ad[batch * m * k..][..m * k],
+                    &bd[batch * k * n..][..k * n],
+                    k,
+                    n,
+                );
+            }
+        }
+    })
+}
+
+/// Simd batched matmul with batches spread over the worker pool (forced,
+/// for benches/tests).
+pub fn batched_matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k, n) = batched_dims(a, b);
+    stats::note("batched_matmul", Path::Parallel);
+    let (ad, bd) = (a.data(), b.data());
+    Tensor::build([ba, m, n], |out| {
+        if m * n > 0 {
+            par::par_rows(out, m * n, |b0, chunk| {
+                for (bi, osub) in chunk.chunks_mut(m * n).enumerate() {
+                    let batch = b0 + bi;
+                    simd::matmul_simd_rows(
+                        osub,
+                        0,
+                        &ad[batch * m * k..][..m * k],
+                        &bd[batch * k * n..][..k * n],
+                        k,
+                        n,
+                    );
+                }
+            });
+        }
+    })
 }
 
 /// Transpose a rank-2 tensor.
@@ -256,13 +304,13 @@ pub fn transpose2d(a: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2, "transpose2d requires rank-2");
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let ad = a.data();
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = ad[i * n + j];
+    Tensor::build([n, m], |out| {
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = ad[i * n + j];
+            }
         }
-    }
-    Tensor::from_vec([n, m], out)
+    })
 }
 
 /// `y[m] = A[m,k] · x[k]` as a rank-1 result.
@@ -318,11 +366,13 @@ mod tests {
 
     #[test]
     fn all_matmul_paths_agree_bitwise() {
-        // Ragged dims exercise partial MR/NR tiles.
+        // Ragged dims exercise partial MR/NR tiles and the simd column
+        // tail.
         let a = crate::init::randn([37, 53], 1);
         let b = crate::init::randn([53, 71], 2);
         let reference = matmul_scalar(&a, &b);
         assert_eq!(matmul_blocked(&a, &b), reference);
+        assert_eq!(matmul_simd(&a, &b), reference);
         assert_eq!(matmul_parallel(&a, &b), reference);
         assert_eq!(matmul(&a, &b), reference);
     }
@@ -333,6 +383,7 @@ mod tests {
         let b = crate::init::randn([3, 29, 19], 4);
         let reference = batched_matmul_scalar(&a, &b);
         assert_eq!(batched_matmul_blocked(&a, &b), reference);
+        assert_eq!(batched_matmul_simd(&a, &b), reference);
         assert_eq!(batched_matmul_parallel(&a, &b), reference);
         assert_eq!(batched_matmul(&a, &b), reference);
     }
@@ -352,10 +403,10 @@ mod tests {
         let before = crate::stats::snapshot();
         let a = crate::init::randn([64, 64], 5);
         let b = crate::init::randn([64, 64], 6);
-        let _ = matmul(&a, &b); // 512k FLOPs: blocked or parallel, not scalar
+        let _ = matmul(&a, &b); // 512k FLOPs: simd or parallel, not scalar
         let delta = crate::stats::snapshot().since(&before);
         assert!(
-            delta.get("matmul", Path::Blocked) + delta.get("matmul", Path::Parallel) >= 1,
+            delta.get("matmul", Path::Simd) + delta.get("matmul", Path::Parallel) >= 1,
             "large matmul must leave the scalar path"
         );
     }

@@ -10,21 +10,21 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
     assert_eq!(gamma.dims(), &[inner], "gamma must be [{inner}]");
     assert_eq!(beta.dims(), &[inner], "beta must be [{inner}]");
     let rows = x.len() / inner;
-    let mut out = vec![0.0f32; x.len()];
-    for r in 0..rows {
-        let row = &x.data()[r * inner..(r + 1) * inner];
-        let mean: f32 = row.iter().sum::<f32>() / inner as f32;
-        let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / inner as f32;
-        let denom = (var + eps).sqrt();
-        for (i, (o, &v)) in out[r * inner..(r + 1) * inner]
-            .iter_mut()
-            .zip(row)
-            .enumerate()
-        {
-            *o = (v - mean) / denom * gamma.data()[i] + beta.data()[i];
+    Tensor::build(dims, |out| {
+        for r in 0..rows {
+            let row = &x.data()[r * inner..(r + 1) * inner];
+            let mean: f32 = row.iter().sum::<f32>() / inner as f32;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / inner as f32;
+            let denom = (var + eps).sqrt();
+            for (i, (o, &v)) in out[r * inner..(r + 1) * inner]
+                .iter_mut()
+                .zip(row)
+                .enumerate()
+            {
+                *o = (v - mean) / denom * gamma.data()[i] + beta.data()[i];
+            }
         }
-    }
-    Tensor::from_vec(dims, out)
+    })
 }
 
 /// RMS normalization over the innermost dimension: `y = x / rms(x) * gamma`.
@@ -33,20 +33,20 @@ pub fn rms_norm(x: &Tensor, gamma: &Tensor, eps: f32) -> Tensor {
     let inner = *dims.last().expect("rms_norm requires rank >= 1");
     assert_eq!(gamma.dims(), &[inner]);
     let rows = x.len() / inner;
-    let mut out = vec![0.0f32; x.len()];
-    for r in 0..rows {
-        let row = &x.data()[r * inner..(r + 1) * inner];
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / inner as f32;
-        let denom = (ms + eps).sqrt();
-        for (i, (o, &v)) in out[r * inner..(r + 1) * inner]
-            .iter_mut()
-            .zip(row)
-            .enumerate()
-        {
-            *o = v / denom * gamma.data()[i];
+    Tensor::build(dims, |out| {
+        for r in 0..rows {
+            let row = &x.data()[r * inner..(r + 1) * inner];
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / inner as f32;
+            let denom = (ms + eps).sqrt();
+            for (i, (o, &v)) in out[r * inner..(r + 1) * inner]
+                .iter_mut()
+                .zip(row)
+                .enumerate()
+            {
+                *o = v / denom * gamma.data()[i];
+            }
         }
-    }
-    Tensor::from_vec(dims, out)
+    })
 }
 
 /// Inference-mode batch normalization for NCHW images with per-channel
@@ -64,21 +64,21 @@ pub fn batch_norm_2d(
     for t in [mean, var, gamma, beta] {
         assert_eq!(t.dims(), &[c], "per-channel stats must be [{c}]");
     }
-    let mut out = vec![0.0f32; x.len()];
     let plane = h * w;
-    for ni in 0..n {
-        for ci in 0..c {
-            let denom = (var.data()[ci] + eps).sqrt();
-            let g = gamma.data()[ci];
-            let b = beta.data()[ci];
-            let m = mean.data()[ci];
-            let base = (ni * c + ci) * plane;
-            for i in 0..plane {
-                out[base + i] = (x.data()[base + i] - m) / denom * g + b;
+    Tensor::build([n, c, h, w], |out| {
+        for ni in 0..n {
+            for ci in 0..c {
+                let denom = (var.data()[ci] + eps).sqrt();
+                let g = gamma.data()[ci];
+                let b = beta.data()[ci];
+                let m = mean.data()[ci];
+                let base = (ni * c + ci) * plane;
+                for i in 0..plane {
+                    out[base + i] = (x.data()[base + i] - m) / denom * g + b;
+                }
             }
         }
-    }
-    Tensor::from_vec([n, c, h, w], out)
+    })
 }
 
 #[cfg(test)]

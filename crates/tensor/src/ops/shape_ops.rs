@@ -24,12 +24,16 @@ pub fn concat(a: &Tensor, b: &Tensor, dim: usize) -> Tensor {
     let (outer, a_dim, inner) = a.shape().split_at_dim(dim);
     let b_dim = b.dims()[dim];
 
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    for o in 0..outer {
-        out.extend_from_slice(&a.data()[o * a_dim * inner..(o + 1) * a_dim * inner]);
-        out.extend_from_slice(&b.data()[o * b_dim * inner..(o + 1) * b_dim * inner]);
-    }
-    Tensor::from_vec(out_dims, out)
+    let a_chunk = a_dim * inner;
+    let b_chunk = b_dim * inner;
+    Tensor::build(out_dims, |out| {
+        for o in 0..outer {
+            let base = o * (a_chunk + b_chunk);
+            out[base..base + a_chunk].copy_from_slice(&a.data()[o * a_chunk..(o + 1) * a_chunk]);
+            out[base + a_chunk..base + a_chunk + b_chunk]
+                .copy_from_slice(&b.data()[o * b_chunk..(o + 1) * b_chunk]);
+        }
+    })
 }
 
 /// Narrow dimension `dim` to `[start, start + len)`.
@@ -41,14 +45,15 @@ pub fn narrow(x: &Tensor, dim: usize, start: usize, len: usize) -> Tensor {
         x.dims()[dim]
     );
     let (outer, d, inner) = x.shape().split_at_dim(dim);
-    let mut out = Vec::with_capacity(outer * len * inner);
-    for o in 0..outer {
-        let base = (o * d + start) * inner;
-        out.extend_from_slice(&x.data()[base..base + len * inner]);
-    }
     let mut dims = x.dims().to_vec();
     dims[dim] = len;
-    Tensor::from_vec(dims, out)
+    let chunk = len * inner;
+    Tensor::build(dims, |out| {
+        for o in 0..outer {
+            let base = (o * d + start) * inner;
+            out[o * chunk..(o + 1) * chunk].copy_from_slice(&x.data()[base..base + chunk]);
+        }
+    })
 }
 
 /// Select a single index along `dim`, dropping that dimension.

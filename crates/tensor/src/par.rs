@@ -1,21 +1,31 @@
-//! Minimal structured parallelism for kernels, built on scoped threads.
+//! Minimal structured parallelism for kernels, built on the persistent
+//! worker pool in [`crate::pool`].
 //!
-//! The functional plane cannot take a thread-pool dependency, so parallel
-//! kernels split their output into disjoint row ranges and fan those out
-//! over `std::thread::scope`. Work is only split when the host actually
-//! has spare cores and the task list is wide enough to amortize thread
-//! spawn (~10 µs each); callers gate on a FLOP threshold on top of this.
+//! The functional plane cannot take a thread-pool *dependency*, so it
+//! owns a tiny one: workers are spawned once per process and parallel
+//! kernels fan disjoint row ranges out over them through
+//! [`pool::scope`]. Work is only split when the host actually has spare
+//! cores and the task list is wide enough to amortize the queue
+//! hand-off; callers gate on a FLOP threshold on top of this. When
+//! `available_parallelism()` errors or reports a single core, every
+//! helper here degrades to a plain sequential call — no queue, no
+//! threads, no per-call setup cost at all.
 
-use std::num::NonZeroUsize;
-use std::thread;
+use crate::pool;
+use std::sync::OnceLock;
+
+/// Host core count (or the `GENIE_POOL_THREADS` override), probed once
+/// per process: `available_parallelism` can be a syscall, and the kernel
+/// hot path must not repeat it per call.
+fn cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(pool::capacity)
+}
 
 /// Number of worker threads worth using for `tasks` independent pieces of
 /// work: capped by available cores and by the task count itself.
 pub(crate) fn worker_count(tasks: usize) -> usize {
-    let cores = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(tasks).max(1)
+    cores().min(tasks).max(1)
 }
 
 /// Run `f(start_row, rows_chunk)` over `out` split into contiguous chunks
@@ -39,7 +49,7 @@ where
     }
     // Ceil-divide rows over workers; each chunk is a whole number of rows.
     let rows_per = rows.div_ceil(workers);
-    thread::scope(|scope| {
+    pool::scope(|scope| {
         let mut rest = out;
         let mut row0 = 0;
         while !rest.is_empty() {
@@ -67,7 +77,7 @@ where
     }
     let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
     let per = tasks.div_ceil(workers);
-    thread::scope(|scope| {
+    pool::scope(|scope| {
         let mut rest = slots.as_mut_slice();
         let mut base = 0;
         while !rest.is_empty() {
@@ -121,5 +131,19 @@ mod tests {
         let mut out: Vec<f32> = Vec::new();
         par_rows(&mut out, 4, |_, _| panic!("no work expected"));
         assert!(par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn repeated_calls_reuse_pool_threads() {
+        // The old implementation spawned OS threads per call; the pool
+        // must hold its thread count flat across many calls.
+        let mut out = vec![0.0f32; 64];
+        par_rows(&mut out, 8, |_, chunk| chunk.fill(1.0));
+        let spawned = pool::threads_spawned();
+        for _ in 0..16 {
+            let _ = par_map(8, |i| i);
+            par_rows(&mut out, 8, |_, chunk| chunk.fill(2.0));
+        }
+        assert_eq!(pool::threads_spawned(), spawned);
     }
 }

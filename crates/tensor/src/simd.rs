@@ -1,0 +1,187 @@
+//! Register-blocked SIMD-shaped kernels on stable Rust.
+//!
+//! The `simd` tier keeps the whole accumulator tile — up to 4 output rows
+//! × one `[f32; 8]` lane block — in registers for the entire reduction,
+//! where the cache-blocked kernel round-trips a 4×64 accumulator through
+//! the stack on every `p` step. The inner loops are written as unrolled
+//! mul-then-add over fixed `[f32; 8]` arrays so LLVM lowers them to
+//! packed vector instructions (no nightly `std::simd`, no intrinsics,
+//! no `unsafe`).
+//!
+//! Bit-for-bit equivalence with the scalar reference is a structural
+//! property, not an accident: every output element is produced by a
+//! single f32 accumulator walking `p` in ascending order with the same
+//! `a == 0.0` skip, and `mul` and `add` stay separate instructions (an
+//! actual FMA would round once instead of twice and diverge). Lanes
+//! vectorize across *independent* output columns, never across the
+//! reduction, so no reduction order changes.
+
+/// Lane width of one register block. Eight f32 = one 256-bit vector.
+pub const LANES: usize = 8;
+
+/// Output rows per micro-kernel tile (`[f32; 8]` blocks held live).
+const MR: usize = 4;
+
+/// Micro-kernel: `IR` rows × one 8-column strip, accumulators
+/// register-resident across the whole `k` reduction.
+#[inline(always)]
+fn micro<const IR: usize>(
+    out_rows: &mut [f32],
+    row0: usize,
+    i0: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+    jt: usize,
+) {
+    let mut acc = [[0.0f32; LANES]; IR];
+    for p in 0..k {
+        let bs = &bd[p * n + jt..p * n + jt + LANES];
+        let mut bv = [0.0f32; LANES];
+        bv.copy_from_slice(bs);
+        for (r, lanes) in acc.iter_mut().enumerate() {
+            let av = ad[(row0 + i0 + r) * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bvl) in lanes.iter_mut().zip(bv.iter()) {
+                *o += av * bvl;
+            }
+        }
+    }
+    for (r, lanes) in acc.iter().enumerate() {
+        let obase = (i0 + r) * n + jt;
+        out_rows[obase..obase + LANES].copy_from_slice(lanes);
+    }
+}
+
+/// Column tail (`n % 8` trailing columns) for one row, scalar
+/// per-element accumulation in the same ascending-`p` order.
+#[inline(always)]
+fn row_tail(
+    out_rows: &mut [f32],
+    row0: usize,
+    i: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+) {
+    for j in j0..n {
+        let mut acc = 0.0f32;
+        for p in 0..k {
+            let av = ad[(row0 + i) * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            acc += av * bd[p * n + j];
+        }
+        out_rows[i * n + j] = acc;
+    }
+}
+
+/// SIMD-tier kernel over a contiguous range of output rows; same
+/// contract as the blocked-kernel row worker so the parallel tier can
+/// fan this out unchanged: `out_rows` holds rows
+/// `[row0, row0 + out_rows.len()/n)` of C; `ad`/`bd` are the full A and
+/// B buffers.
+pub(crate) fn matmul_simd_rows(
+    out_rows: &mut [f32],
+    row0: usize,
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+) {
+    let rows = out_rows.len() / n;
+    let n8 = n - n % LANES;
+    let mut i0 = 0;
+    while i0 < rows {
+        let ir = (rows - i0).min(MR);
+        for jt in (0..n8).step_by(LANES) {
+            match ir {
+                4 => micro::<4>(out_rows, row0, i0, ad, bd, k, n, jt),
+                3 => micro::<3>(out_rows, row0, i0, ad, bd, k, n, jt),
+                2 => micro::<2>(out_rows, row0, i0, ad, bd, k, n, jt),
+                _ => micro::<1>(out_rows, row0, i0, ad, bd, k, n, jt),
+            }
+        }
+        if n8 < n {
+            for r in 0..ir {
+                row_tail(out_rows, row0, i0 + r, ad, bd, k, n, n8);
+            }
+        }
+        i0 += ir;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul_scalar_ref(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = ad[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * bd[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simd_rows_bit_identical_to_scalar() {
+        // Ragged dims hit every micro-kernel arity and the column tail.
+        for &(m, k, n) in &[(1, 1, 1), (4, 8, 8), (5, 7, 9), (13, 31, 17), (37, 53, 71)] {
+            let ad: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 2654435761usize) % 1000) as f32 / 500.0 - 1.0)
+                .collect();
+            let bd: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 40503usize) % 997) as f32 / 498.5 - 1.0)
+                .collect();
+            let want = matmul_scalar_ref(&ad, &bd, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            matmul_simd_rows(&mut got, 0, &ad, &bd, k, n);
+            assert_eq!(got, want, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn simd_rows_respects_row_offset() {
+        // Computing rows [2, 5) standalone must equal the same rows of
+        // the full product — the contract the parallel tier relies on.
+        let (m, k, n) = (7usize, 11usize, 19usize);
+        let ad: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let bd: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+        let full = matmul_scalar_ref(&ad, &bd, m, k, n);
+        let mut got = vec![0.0f32; 3 * n];
+        matmul_simd_rows(&mut got, 2, &ad, &bd, k, n);
+        assert_eq!(got, &full[2 * n..5 * n]);
+    }
+
+    #[test]
+    fn zero_skip_matches_scalar() {
+        // Exact zeros in A exercise the skip on both sides; with lanes
+        // across columns the skip stays per-(row, p), so bit-identity
+        // holds even with -0.0 and denormals nearby.
+        let (m, k, n) = (6usize, 9usize, 10usize);
+        let mut ad = vec![0.0f32; m * k];
+        for (i, v) in ad.iter_mut().enumerate() {
+            *v = if i % 3 == 0 { 0.0 } else { (i as f32) * 0.25 };
+        }
+        ad[4] = -0.0;
+        let bd: Vec<f32> = (0..k * n).map(|i| 1.0e-3 * i as f32).collect();
+        let want = matmul_scalar_ref(&ad, &bd, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        matmul_simd_rows(&mut got, 0, &ad, &bd, k, n);
+        assert_eq!(got, want);
+    }
+}

@@ -1,11 +1,12 @@
 //! Kernel-dispatch accounting.
 //!
 //! Every heavy kernel records which implementation served a call: the
-//! `scalar` reference loop, the cache-`blocked` single-thread kernel, or
-//! the `parallel` (blocked + multi-core) kernel. The counters are process
-//! globals so the interpreter and benches can report the dispatch mix —
-//! `genie-frontend` publishes deltas into the telemetry registry as
-//! `genie_tensor_kernel_dispatch_total{op,path}`.
+//! `scalar` reference loop, the cache-`blocked` single-thread kernel, the
+//! `simd` register-blocked kernel, the `parallel` (simd + multi-core)
+//! kernel, or one of the quantized tiers (`int8`, `fp16`). The counters
+//! are process globals so the interpreter and benches can report the
+//! dispatch mix — `genie-frontend` publishes deltas into the telemetry
+//! registry as `genie_tensor_kernel_dispatch_total{op,path}`.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
@@ -16,9 +17,21 @@ pub enum Path {
     Scalar,
     /// Cache-blocked, single thread.
     Blocked,
-    /// Cache-blocked and spread over cores.
+    /// Register-blocked and spread over cores.
     Parallel,
+    /// Register-blocked `[f32; 8]` lanes, single thread. Bit-identical
+    /// to the scalar reference (per-element reduction order preserved).
+    Simd,
+    /// Per-row/-column absmax int8 quantization with i32 accumulation.
+    /// Approximate: bounded by the GA3xx int8 error model.
+    Int8,
+    /// Half-precision storage with f32 accumulation. Approximate:
+    /// bounded by the GA3xx fp16 error model.
+    Fp16,
 }
+
+/// Number of dispatch paths (array width of the counter table).
+pub const PATH_COUNT: usize = 6;
 
 impl Path {
     /// Stable label used in metrics.
@@ -27,7 +40,21 @@ impl Path {
             Path::Scalar => "scalar",
             Path::Blocked => "blocked",
             Path::Parallel => "parallel",
+            Path::Simd => "simd",
+            Path::Int8 => "int8",
+            Path::Fp16 => "fp16",
         }
+    }
+
+    /// Parse a stable label back into a path (inverse of [`Path::label`]).
+    pub fn from_label(label: &str) -> Option<Path> {
+        PATHS.into_iter().find(|p| p.label() == label)
+    }
+
+    /// True for tiers that trade accuracy for speed; the GA3xx error
+    /// model prices these with a tier factor > 1.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, Path::Int8 | Path::Fp16)
     }
 
     fn index(self) -> usize {
@@ -35,6 +62,9 @@ impl Path {
             Path::Scalar => 0,
             Path::Blocked => 1,
             Path::Parallel => 2,
+            Path::Simd => 3,
+            Path::Int8 => 4,
+            Path::Fp16 => 5,
         }
     }
 }
@@ -42,14 +72,21 @@ impl Path {
 /// Instrumented kernel families.
 pub const OPS: [&str; 4] = ["matmul", "batched_matmul", "conv2d", "attention"];
 
-const PATHS: [Path; 3] = [Path::Scalar, Path::Blocked, Path::Parallel];
-
-static COUNTS: [[AtomicU64; 3]; 4] = [
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+/// All dispatch paths, in counter-index order.
+pub const PATHS: [Path; PATH_COUNT] = [
+    Path::Scalar,
+    Path::Blocked,
+    Path::Parallel,
+    Path::Simd,
+    Path::Int8,
+    Path::Fp16,
 ];
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ROW: [AtomicU64; PATH_COUNT] = [ZERO; PATH_COUNT];
+static COUNTS: [[AtomicU64; PATH_COUNT]; 4] = [ROW; 4];
 
 fn op_index(op: &str) -> usize {
     OPS.iter().position(|&o| o == op).expect("known op family")
@@ -59,7 +96,7 @@ pub(crate) fn note(op: &str, path: Path) {
     COUNTS[op_index(op)][path.index()].fetch_add(1, Ordering::Relaxed);
 }
 
-// 0 = no override; 1..=3 = Path::index() + 1.
+// 0 = no override; 1..=PATH_COUNT = Path::index() + 1.
 static FORCED: AtomicU8 = AtomicU8::new(0);
 
 /// Override kernel dispatch process-wide: every instrumented kernel
@@ -82,17 +119,15 @@ pub fn force_path(path: Option<Path>) {
 /// The currently-forced dispatch path, if any.
 pub fn forced_path() -> Option<Path> {
     match FORCED.load(Ordering::Relaxed) {
-        1 => Some(Path::Scalar),
-        2 => Some(Path::Blocked),
-        3 => Some(Path::Parallel),
-        _ => None,
+        0 => None,
+        raw => Some(PATHS[raw as usize - 1]),
     }
 }
 
 /// A point-in-time copy of the dispatch counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
-    counts: [[u64; 3]; 4],
+    counts: [[u64; PATH_COUNT]; 4],
 }
 
 impl Snapshot {
@@ -115,9 +150,21 @@ impl Snapshot {
         out
     }
 
+    /// Total calls per path label across all ops, in stable path order,
+    /// including zero cells — the per-tier mix benches print.
+    pub fn by_path(&self) -> Vec<(&'static str, u64)> {
+        PATHS
+            .into_iter()
+            .map(|p| {
+                let total = self.counts.iter().map(|row| row[p.index()]).sum();
+                (p.label(), total)
+            })
+            .collect()
+    }
+
     /// Per-cell difference versus an earlier snapshot (saturating).
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
-        let mut counts = [[0u64; 3]; 4];
+        let mut counts = [[0u64; PATH_COUNT]; 4];
         for (oi, row) in counts.iter_mut().enumerate() {
             for (pi, cell) in row.iter_mut().enumerate() {
                 *cell = self.counts[oi][pi].saturating_sub(earlier.counts[oi][pi]);
@@ -134,7 +181,7 @@ impl Snapshot {
 
 /// Read the current dispatch counters.
 pub fn snapshot() -> Snapshot {
-    let mut counts = [[0u64; 3]; 4];
+    let mut counts = [[0u64; PATH_COUNT]; 4];
     for (oi, row) in counts.iter_mut().enumerate() {
         for (pi, cell) in row.iter_mut().enumerate() {
             *cell = COUNTS[oi][pi].load(Ordering::Relaxed);
@@ -152,12 +199,22 @@ mod tests {
         // The only test in this crate touching the override, so no
         // parallel-test interference; dispatch results are identical
         // across paths regardless.
-        force_path(Some(Path::Scalar));
-        assert_eq!(forced_path(), Some(Path::Scalar));
-        force_path(Some(Path::Parallel));
-        assert_eq!(forced_path(), Some(Path::Parallel));
+        for p in PATHS {
+            force_path(Some(p));
+            assert_eq!(forced_path(), Some(p));
+        }
         force_path(None);
         assert_eq!(forced_path(), None);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in PATHS {
+            assert_eq!(Path::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Path::from_label("tpu"), None);
+        assert!(Path::Int8.is_quantized() && Path::Fp16.is_quantized());
+        assert!(!Path::Simd.is_quantized());
     }
 
     #[test]
@@ -168,12 +225,19 @@ mod tests {
         note("matmul", Path::Blocked);
         note("matmul", Path::Blocked);
         note("conv2d", Path::Parallel);
+        note("matmul", Path::Simd);
+        note("attention", Path::Int8);
         let delta = snapshot().since(&before);
         assert!(delta.get("matmul", Path::Blocked) >= 2);
         assert!(delta.get("conv2d", Path::Parallel) >= 1);
-        assert!(delta.total() >= 3);
+        assert!(delta.get("matmul", Path::Simd) >= 1);
+        assert!(delta.get("attention", Path::Int8) >= 1);
+        assert!(delta.total() >= 5);
         assert!(delta
             .cells()
             .contains(&("matmul", "blocked", delta.get("matmul", Path::Blocked))));
+        let by_path = delta.by_path();
+        assert_eq!(by_path.len(), PATH_COUNT);
+        assert!(by_path.contains(&("simd", delta.get("matmul", Path::Simd))));
     }
 }

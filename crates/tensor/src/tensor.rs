@@ -57,34 +57,39 @@ impl Tensor {
         Tensor { shape, data }
     }
 
+    /// Build a tensor by writing into a zeroed output buffer drawn from
+    /// the recycling arena. This is the kernel output path: it skips the
+    /// `Vec` → `Arc<[f32]>` copy of [`Tensor::from_vec`] and reuses dead
+    /// intermediates' allocations when the interpreter recycles them.
+    pub fn build(shape: impl Into<Shape>, f: impl FnOnce(&mut [f32])) -> Self {
+        let shape = shape.into();
+        let mut data = crate::arena::alloc_zeroed(shape.num_elements());
+        f(Arc::get_mut(&mut data).expect("freshly allocated buffer is unique"));
+        Tensor { shape, data }
+    }
+
+    /// Consume the tensor and return its backing buffer — the hand-off
+    /// the interpreter uses to recycle dead intermediates into the
+    /// arena.
+    pub fn into_storage(mut self) -> Arc<[f32]> {
+        std::mem::replace(&mut self.data, crate::arena::empty())
+    }
+
     /// All-zeros tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let n = shape.num_elements();
-        Tensor {
-            shape,
-            data: vec![0.0; n].into(),
-        }
+        let data = crate::arena::alloc_zeroed(shape.num_elements());
+        Tensor { shape, data }
     }
 
     /// All-ones tensor.
     pub fn ones(shape: impl Into<Shape>) -> Self {
-        let shape = shape.into();
-        let n = shape.num_elements();
-        Tensor {
-            shape,
-            data: vec![1.0; n].into(),
-        }
+        Tensor::full(shape, 1.0)
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
-        let shape = shape.into();
-        let n = shape.num_elements();
-        Tensor {
-            shape,
-            data: vec![value; n].into(),
-        }
+        Tensor::build(shape, |out| out.fill(value))
     }
 
     /// Scalar tensor.
@@ -236,6 +241,18 @@ impl<'de> Deserialize<'de> for Tensor {
             shape: raw.shape,
             data: raw.data.into(),
         })
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // A dying tensor with uniquely-owned storage hands its buffer
+        // back to the recycling arena, so the next kernel output of the
+        // same size skips the allocator entirely. Shared storage (live
+        // clones, reshapes) exits on the cheap refcount check.
+        if Arc::strong_count(&self.data) == 1 && Arc::weak_count(&self.data) == 0 {
+            crate::arena::recycle(std::mem::replace(&mut self.data, crate::arena::empty()));
+        }
     }
 }
 

@@ -41,7 +41,8 @@ fn main() {
     .generate();
     if !binding.admitted {
         // A refused tenant sheds its whole trace with a typed reason.
-        let shed = genie::serving::ServingReport::all_shed(&requests, ShedReason::AdmissionRejected);
+        let shed =
+            genie::serving::ServingReport::all_shed(&requests, ShedReason::AdmissionRejected);
         println!("tenant refused by admission control: {} shed", shed.shed());
         return;
     }
@@ -85,5 +86,7 @@ fn main() {
             report.tokens_per_s()
         );
     }
-    println!("\nthe gap is the weight read: one ~12 GB sweep per batched step, one per member otherwise");
+    println!(
+        "\nthe gap is the weight read: one ~12 GB sweep per batched step, one per member otherwise"
+    );
 }

@@ -36,11 +36,7 @@ fn run(fault_plan: Option<FaultPlan>) -> ServingReport {
     config.max_batch = 4;
     config.fault_plan = fault_plan;
     config.record_telemetry = false;
-    ServingLoop::new(
-        ServingModel::Spec(TransformerConfig::gptj_6b()),
-        config,
-    )
-    .run(&requests())
+    ServingLoop::new(ServingModel::Spec(TransformerConfig::gptj_6b()), config).run(&requests())
 }
 
 fn chaos_plan() -> FaultPlan {

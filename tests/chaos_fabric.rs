@@ -347,7 +347,8 @@ fn serving_loop_survives_seeded_fault_schedules() {
         );
 
         // Replay: the chaotic serving story is a pure function of seed.
-        let again = ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+        let again =
+            ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
         assert_eq!(faulty.events, again.events, "seed {seed}: replay diverged");
 
         // Fault-free oracle on the same arrivals: amply provisioned, it

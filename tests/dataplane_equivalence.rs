@@ -12,6 +12,7 @@ use genie::models::{
 };
 use genie::srg::NodeId;
 use genie::tensor::init;
+use genie::tensor::stats::{force_path, Path};
 
 /// Assert the three execution strategies agree exactly on `captured`.
 fn assert_wavefront_matches(captured: &CapturedGraph, output: NodeId) {
@@ -87,6 +88,88 @@ fn dlrm_inference_wavefront_matches_sequential() {
     logit.mark_output();
     let out = logit.node;
     assert_wavefront_matches(&ctx.finish(), out);
+}
+
+/// Build the full functional model zoo as named captures.
+fn zoo_captures() -> Vec<(&'static str, CapturedGraph)> {
+    let mut zoo = Vec::new();
+
+    let model = TransformerLm::new_functional(TransformerConfig::tiny(), 11);
+    let prompt: Vec<i64> = (0..12).map(|i| i % 32).collect();
+    let ctx = CaptureCtx::new("llm.prefill");
+    model.capture_prefill(&ctx, &prompt).logits.mark_output();
+    zoo.push(("llm.prefill", ctx.finish()));
+
+    let cfg = &model.config;
+    let kv = KvState {
+        k: (0..cfg.layers)
+            .map(|l| init::randn([4, cfg.d_model], 100 + l as u64))
+            .collect(),
+        v: (0..cfg.layers)
+            .map(|l| init::randn([4, cfg.d_model], 200 + l as u64))
+            .collect(),
+    };
+    let ctx = CaptureCtx::new("llm.decode");
+    model.capture_decode_step(&ctx, 3, &kv).logits.mark_output();
+    zoo.push(("llm.decode", ctx.finish()));
+
+    let cfg = CnnConfig::tiny();
+    let model = SimpleCnn::new_functional(cfg.clone(), 5);
+    let pixels = init::randn([2, 3, cfg.image_size, cfg.image_size], 42);
+    let ctx = CaptureCtx::new("cnn.inference");
+    model.capture_inference(&ctx, 2, Some(pixels)).mark_output();
+    zoo.push(("cnn.inference", ctx.finish()));
+
+    let cfg = DlrmConfig::tiny();
+    let model = Dlrm::new_functional(cfg.clone(), 9);
+    let ids: Vec<Vec<i64>> = (0..cfg.tables)
+        .map(|t| {
+            (0..cfg.lookups_per_table)
+                .map(|i| ((t * 17 + i * 5) % cfg.rows_per_table) as i64)
+                .collect()
+        })
+        .collect();
+    let dense = init::randn([1, cfg.dense_features], 8);
+    let ctx = CaptureCtx::new("dlrm.inference");
+    model
+        .capture_inference(&ctx, &ids, Some(dense))
+        .mark_output();
+    zoo.push(("dlrm.inference", ctx.finish()));
+
+    let cfg = MultimodalConfig::tiny();
+    let model = Multimodal::new_functional(cfg.clone(), 13);
+    let question: Vec<i64> = (0..6).map(|i| i % cfg.text.vocab as i64).collect();
+    let pixels = init::randn([1, 3, cfg.vision.image_size, cfg.vision.image_size], 21);
+    let ctx = CaptureCtx::new("vqa.inference");
+    model
+        .capture_inference(&ctx, &question, Some(pixels))
+        .mark_output();
+    zoo.push(("vqa.inference", ctx.finish()));
+
+    zoo
+}
+
+#[test]
+fn zoo_forced_simd_is_bitwise_identical_to_forced_scalar() {
+    // The SIMD tier keeps one f32 accumulator per output element and
+    // walks reductions in the scalar order, so forcing it must change
+    // nothing — bit for bit — across every zoo model. One test walks the
+    // whole zoo because `force_path` is process-global and the forced
+    // sections must not interleave.
+    let run = |captured: &CapturedGraph, path: Path| {
+        force_path(Some(path));
+        let out = interp::execute_sequential(&captured.srg, &captured.values);
+        force_path(None);
+        out.expect("forced execution succeeds")
+    };
+    for (name, captured) in &zoo_captures() {
+        let scalar = run(captured, Path::Scalar);
+        let simd = run(captured, Path::Simd);
+        assert_eq!(scalar.len(), simd.len(), "{name}: same nodes evaluated");
+        for (id, v) in &scalar {
+            assert_eq!(Some(v), simd.get(id), "{name}: node {id:?} diverged");
+        }
+    }
 }
 
 #[test]

@@ -118,10 +118,7 @@ fn ga2xx_findings_render_to_json() {
             xfer(e_late, g.edge(e_late).tensor),
             xfer(e_early, g.edge(e_early).tensor),
         ],
-        pinned: vec![
-            (TensorId::new(99), d1, 1024),
-            (TensorId::new(99), d1, 1024),
-        ],
+        pinned: vec![(TensorId::new(99), d1, 1024), (TensorId::new(99), d1, 1024)],
         srg: g,
     };
 

@@ -166,7 +166,8 @@ fn unmeetable_tolerance_is_denied_at_graph_and_schedule_time() {
     )
     .expect_err("unmeetable tolerance must be refused at schedule time");
     assert!(
-        !err.with_code(LintCode::CriticalityToleranceExceeded).is_empty(),
+        !err.with_code(LintCode::CriticalityToleranceExceeded)
+            .is_empty(),
         "{err}"
     );
 }

@@ -10,9 +10,7 @@
 use genie::cluster::GpuSpec;
 use genie::models::functional_transformers;
 use genie::netsim::Nanos;
-use genie::serving::{
-    ArrivalConfig, ServingConfig, ServingLoop, ServingModel, ServingRequest,
-};
+use genie::serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel, ServingRequest};
 
 fn roomy_config(max_batch: usize) -> ServingConfig {
     ServingConfig {
@@ -90,8 +88,7 @@ fn eviction_and_reprefill_preserve_oracle_tokens() {
                 total_tokens: 12,
             })
             .collect();
-        let report =
-            ServingLoop::new(ServingModel::Functional(m.clone()), conf).run(&requests);
+        let report = ServingLoop::new(ServingModel::Functional(m.clone()), conf).run(&requests);
         assert!(report.preemptions >= 1, "{name}: tight capacity must evict");
         assert!(report.reprefills >= 1, "{name}: evictee must re-prefill");
         for r in &requests {

@@ -193,14 +193,15 @@ fn serving_run_exports_spans_and_metrics() {
         chrome.push_records(&r.spans, None);
         chrome.to_json_string()
     };
-    assert_eq!(doc_of(&a), doc_of(&b), "serving trace export must be stable");
+    assert_eq!(
+        doc_of(&a),
+        doc_of(&b),
+        "serving trace export must be stable"
+    );
 
     let doc: serde_json::Value = serde_json::from_str(&doc_of(&a)).unwrap();
     let events = doc["traceEvents"].as_array().unwrap();
-    let steps: Vec<&serde_json::Value> = events
-        .iter()
-        .filter(|e| e["cat"] == "serving")
-        .collect();
+    let steps: Vec<&serde_json::Value> = events.iter().filter(|e| e["cat"] == "serving").collect();
     assert_eq!(
         steps.len() as u64,
         a.steps,
@@ -210,7 +211,10 @@ fn serving_run_exports_spans_and_metrics() {
         assert_eq!(s["name"], "serving.step");
         assert_eq!(s["ph"], "X", "steps are complete slices");
         assert_eq!(s["pid"], 2, "serving steps ride the simulated-device rows");
-        assert!(s["args"]["members"].is_string(), "batch size attributed: {s}");
+        assert!(
+            s["args"]["members"].is_string(),
+            "batch size attributed: {s}"
+        );
         assert_eq!(s["args"]["phase"], "llm_decode");
     }
 
