@@ -34,7 +34,7 @@
 //! plane on two tiers and asserts the observed divergence sits inside
 //! the static bound.
 
-use crate::dataflow::{solve, BoolOrLattice, Direction, MaxLattice, SrgFlow};
+use crate::dataflow::{solve, BoolOrLattice, Direction, FlowGraph, MaxLattice, SrgFlow};
 use crate::diag::{Anchor, LintCode, LintConfig, Report};
 use crate::plan_passes::PlanFacts;
 use genie_cluster::{GpuClass, Topology};

@@ -10,7 +10,7 @@
 //! of the fixpoint framework in [`crate::dataflow`] or of a plain
 //! topological sweep over the same structures.
 
-use crate::dataflow::{solve, Direction, SetLattice, SrgFlow, Timeline};
+use crate::dataflow::{solve, Direction, FlowGraph, SetLattice, SrgFlow, Timeline};
 use crate::diag::{Anchor, LintCode, LintConfig, Report, Severity};
 use crate::plan_passes::{PlanFacts, TransferFact};
 use genie_cluster::{ClusterState, DevId, Topology};
@@ -336,7 +336,7 @@ pub fn check_cross_plan_pinning(plans: &[&dyn PlanFacts], cfg: &LintConfig) -> R
 /// forever on the others.
 pub fn check_transfer_deadlock(facts: &dyn PlanFacts, cfg: &LintConfig, report: &mut Report) {
     let srg = facts.srg();
-    let node_ids = srg.node_ids();
+    let node_ids: Vec<NodeId> = srg.node_ids().collect();
     let n = node_ids.len();
     let index: BTreeMap<NodeId, usize> = node_ids
         .iter()

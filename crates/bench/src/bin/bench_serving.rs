@@ -7,12 +7,21 @@
 //! changes when the engine or the cost model does.
 //!
 //! Pass `--quick` (CI) for the 3-point load sweep on a single lane.
+//!
+//! Pass `--disagg` for the prefill/decode disaggregation frontier
+//! instead: colocated fleets vs. equal-total-lane disaggregated fleets
+//! (dedicated prefill lanes shipping KV prefixes over the 25 Gbps
+//! fabric under the planner policy), written to `BENCH_disagg.json`.
+//! The run asserts the disaggregated layout dominates the colocated one
+//! (lower p50 TTFT at no worse aggregate tokens/s) on at least one
+//! load × fleet point — the DistServe/Splitwise claim, reproduced on
+//! the virtual clock.
 
 use genie_bench::report::{render_table, write_artifact};
 use genie_cluster::GpuSpec;
 use genie_models::TransformerConfig;
 use genie_netsim::Nanos;
-use genie_serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel};
+use genie_serving::{ArrivalConfig, DisaggConfig, ServingConfig, ServingLoop, ServingModel};
 use serde_json::json;
 
 fn serving_config(lanes: u32, batched: bool) -> ServingConfig {
@@ -29,11 +38,141 @@ fn serving_config(lanes: u32, batched: bool) -> ServingConfig {
         fault_plan: None,
         slo: genie_serving::SloConfig::paper_default(),
         record_telemetry: false,
+        disagg: None,
     }
+}
+
+fn disagg_main(quick: bool) {
+    let loads: &[f64] = if quick {
+        &[2.0, 4.0]
+    } else {
+        &[1.0, 2.0, 4.0, 6.0]
+    };
+    // Equal total lanes per fleet: `total` colocated lanes vs.
+    // `total - 1` decode lanes + 1 dedicated prefill lane.
+    let fleets: &[u32] = if quick { &[2] } else { &[2, 3] };
+    let horizon = Nanos::from_secs_f64(if quick { 4.0 } else { 10.0 });
+    let model = TransformerConfig::gptj_6b();
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    let mut dominated = 0usize;
+    for &total in fleets {
+        for &load in loads {
+            let requests = ArrivalConfig {
+                seed: 42,
+                rate_per_s: load,
+                horizon,
+                prompt_len: (16, 48),
+                decode_tokens: (32, 96),
+                vocab: model.vocab,
+                tenants: 4,
+            }
+            .generate();
+            let colocated = ServingLoop::new(
+                ServingModel::Spec(model.clone()),
+                serving_config(total, true),
+            )
+            .run(&requests);
+            let mut dconf = serving_config(total - 1, true);
+            dconf.disagg = Some(DisaggConfig::paper_testbed(1));
+            let disagg = ServingLoop::new(ServingModel::Spec(model.clone()), dconf).run(&requests);
+            let point_dominates = disagg.ttft_p50() < colocated.ttft_p50()
+                && disagg.tokens_per_s() >= 0.95 * colocated.tokens_per_s()
+                && disagg.shed_rate() <= colocated.shed_rate();
+            if point_dominates {
+                dominated += 1;
+            }
+            for (mode, report) in [("colocated", &colocated), ("disagg", &disagg)] {
+                table.push(vec![
+                    format!("{load:.1}"),
+                    total.to_string(),
+                    mode.to_string(),
+                    report.completed().to_string(),
+                    format!("{:.1}", report.shed_rate() * 100.0),
+                    format!("{:.1}", report.ttft_p50() * 1e3),
+                    format!("{:.1}", report.ttft_p99() * 1e3),
+                    format!("{:.0}", report.tokens_per_s()),
+                    report.migrations.to_string(),
+                    report.reprefills_planned.to_string(),
+                ]);
+            }
+            let mode_json = |report: &genie_serving::ServingReport| {
+                json!({
+                    "requests": requests.len(),
+                    "completed": report.completed(),
+                    "shed_rate": report.shed_rate(),
+                    "ttft_p50_s": report.ttft_p50(),
+                    "ttft_p99_s": report.ttft_p99(),
+                    "tokens_per_s": report.tokens_per_s(),
+                    "makespan_s": report.makespan.as_secs_f64(),
+                    "migrations": report.migrations,
+                    "migrations_completed": report.migrations_completed,
+                    "migrations_failed": report.migrations_failed,
+                    "migrated_kv_bytes": report.migrated_kv_bytes,
+                    "reprefills_planned": report.reprefills_planned,
+                    "reprefills_evicted": report.reprefills_evicted,
+                    "reprefills_migration": report.reprefills_migration,
+                })
+            };
+            rows.push(json!({
+                "offered_load_req_s": load,
+                "total_lanes": total,
+                "colocated": mode_json(&colocated),
+                "disagg": mode_json(&disagg),
+                "disagg_dominates": point_dominates,
+            }));
+        }
+    }
+
+    assert!(
+        dominated >= 1,
+        "disaggregation must dominate colocated serving on at least one \
+         load × fleet point of the frontier"
+    );
+
+    let artifact = json!({
+        "bench": "disagg",
+        "quick": quick,
+        "model": "gptj_6b",
+        "seed": 42,
+        "policy": "planner",
+        "fabric": { "bandwidth_bps": 25e9, "latency_s": 250e-6 },
+        "dominated_points": dominated,
+        "sweep": rows,
+    });
+    let path = write_artifact("BENCH_disagg", &artifact).expect("artifact written");
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "load req/s",
+                "lanes",
+                "mode",
+                "completed",
+                "shed %",
+                "ttft p50 ms",
+                "ttft p99 ms",
+                "tok/s",
+                "migr",
+                "replan"
+            ],
+            &table,
+        )
+    );
+    println!(
+        "disagg dominates colocated on {dominated} point(s); artifact: {}",
+        path.display()
+    );
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--disagg") {
+        disagg_main(quick);
+        return;
+    }
     let loads: &[f64] = if quick {
         &[0.5, 2.0, 4.0]
     } else {

@@ -19,7 +19,10 @@
 use genie_bench::report::{render_table, write_artifact};
 use genie_models::TransformerConfig;
 use genie_netsim::{FaultPlan, FaultSchedule, FaultSpec, Nanos};
-use genie_serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel, ServingReport};
+use genie_serving::{
+    ArrivalConfig, DisaggConfig, MigrationPolicy, ServingConfig, ServingLoop, ServingModel,
+    ServingReport,
+};
 use genie_telemetry::causal::{self, BlameReport, WhatIf};
 use serde_json::json;
 
@@ -69,6 +72,28 @@ fn run(plan: Option<FaultPlan>) -> ServingReport {
     ServingLoop::new(ServingModel::Spec(model), config(plan)).run(&requests)
 }
 
+/// The disaggregated scenario: one prefill lane shipping every KV
+/// prefix to the decode lane, so `kv.migrate` wire time shows up as its
+/// own blame category.
+fn run_disagg() -> ServingReport {
+    let model = TransformerConfig::gptj_6b();
+    let requests = ArrivalConfig {
+        seed: SEED,
+        rate_per_s: 4.0,
+        horizon: Nanos::from_secs_f64(4.0),
+        prompt_len: (16, 48),
+        decode_tokens: (16, 48),
+        vocab: model.vocab,
+        tenants: 4,
+    }
+    .generate();
+    let mut c = config(None);
+    let mut d = DisaggConfig::paper_testbed(1);
+    d.policy = MigrationPolicy::AlwaysShip;
+    c.disagg = Some(d);
+    ServingLoop::new(ServingModel::Spec(model), c).run(&requests)
+}
+
 /// Analyze one scenario and enforce every blame invariant.
 fn analyze_checked(label: &str, report: &ServingReport) -> BlameReport {
     let blame = causal::analyze(&report.causal_doc());
@@ -112,10 +137,10 @@ fn analyze_checked(label: &str, report: &ServingReport) -> BlameReport {
 
 /// Aggregate mean fractions over a blame report (by total ns, so long
 /// requests weigh more — this is "where did the *time* go").
-fn mean_fractions(blame: &BlameReport) -> (f64, f64, f64, f64, f64) {
+fn mean_fractions(blame: &BlameReport) -> (f64, f64, f64, f64, f64, f64) {
     let total: u64 = blame.requests.iter().map(|r| r.ttlt_ns).sum();
     if total == 0 {
-        return (0.0, 0.0, 0.0, 0.0, 0.0);
+        return (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
     }
     let t = total as f64;
     let sum = |f: &dyn Fn(&causal::BlameBreakdown) -> u64| -> f64 {
@@ -127,6 +152,7 @@ fn mean_fractions(blame: &BlameReport) -> (f64, f64, f64, f64, f64) {
         sum(&|b| b.transfer_ns()),
         sum(&|b| b.fault_ns),
         sum(&|b| b.reprefill_ns),
+        sum(&|b| b.migrate_ns),
     )
 }
 
@@ -150,16 +176,17 @@ fn scenario_json(blame: &BlameReport, report: &ServingReport) -> serde_json::Val
 fn main() {
     let baseline = run(None);
     let chaos = run(Some(chaos_plan()));
+    let disagg = run_disagg();
 
     let baseline_blame = analyze_checked("baseline", &baseline);
     let chaos_blame = analyze_checked("chaos", &chaos);
+    let disagg_blame = analyze_checked("disagg", &disagg);
 
     // Determinism: a same-seed rerun must reproduce the blame report
     // byte for byte.
     let rerun = analyze_checked("chaos-rerun", &run(Some(chaos_plan())));
     assert_eq!(
-        serde_json::to_string(&chaos_blame).expect("serializes"),
-        serde_json::to_string(&rerun).expect("serializes"),
+        chaos_blame, rerun,
         "same-seed blame reports must be bit-identical"
     );
 
@@ -170,9 +197,24 @@ fn main() {
         "chaos run produced no fault-attributed time"
     );
 
+    // And shipped KV prefixes must surface as migrate blame.
+    let migrate_ns: u64 = disagg_blame
+        .requests
+        .iter()
+        .map(|r| r.blame.migrate_ns)
+        .sum();
+    assert!(
+        migrate_ns > 0,
+        "disagg run produced no migration-attributed time"
+    );
+
     let mut table = Vec::new();
-    for (label, blame) in [("baseline", &baseline_blame), ("chaos", &chaos_blame)] {
-        let (queue, compute, transfer, fault, reprefill) = mean_fractions(blame);
+    for (label, blame) in [
+        ("baseline", &baseline_blame),
+        ("chaos", &chaos_blame),
+        ("disagg", &disagg_blame),
+    ] {
+        let (queue, compute, transfer, fault, reprefill, migrate) = mean_fractions(blame);
         let zero_faults = causal::what_if(blame, "zero_faults", &WhatIf::zero_faults());
         let bw2 = causal::what_if(blame, "bw2x", &WhatIf::link_bandwidth(2.0));
         table.push(vec![
@@ -183,6 +225,7 @@ fn main() {
             format!("{:.1}", transfer * 100.0),
             format!("{:.1}", fault * 100.0),
             format!("{:.1}", reprefill * 100.0),
+            format!("{:.1}", migrate * 100.0),
             format!("{:.2}x", zero_faults.speedup),
             format!("{:.2}x", bw2.speedup),
         ]);
@@ -202,6 +245,7 @@ fn main() {
         })).collect::<Vec<_>>(),
         "baseline": scenario_json(&baseline_blame, &baseline),
         "chaos": scenario_json(&chaos_blame, &chaos),
+        "disagg": scenario_json(&disagg_blame, &disagg),
     });
     let path = write_artifact("BENCH_blame", &artifact).expect("artifact written");
 
@@ -216,6 +260,7 @@ fn main() {
                 "transfer %",
                 "fault %",
                 "reprefill %",
+                "migrate %",
                 "zero-fault",
                 "2x link"
             ],

@@ -141,6 +141,23 @@ impl FaultSpec {
     }
 }
 
+/// Outcome of shipping one bulk payload (e.g. a migrating KV prefix)
+/// over a possibly-faulted link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferOutcome {
+    /// The payload arrived; the receiving host owns it from `done_at`.
+    Delivered {
+        /// Virtual time the last byte lands.
+        done_at: Nanos,
+    },
+    /// An outage window severed the link mid-transfer; the in-flight
+    /// bytes are gone and the sender learns of the loss at `at`.
+    Lost {
+        /// Virtual time the link severed.
+        at: Nanos,
+    },
+}
+
 /// An ordered list of faults — the `schedule` half of a chaos config.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultSchedule {
@@ -235,6 +252,59 @@ impl FaultPlan {
     /// Faults affecting the (unordered) host pair.
     pub fn faults_for(&self, a: u32, b: u32) -> impl Iterator<Item = &FaultSpec> {
         self.schedule.specs.iter().filter(move |s| s.touches(a, b))
+    }
+
+    /// Simulate one bulk transfer of `bytes` from host `a` to host `b`
+    /// starting at `start`, over a link of `bandwidth_bps` /
+    /// `latency_s` (one-way). This is how the serving plane executes a
+    /// KV-prefix migration as real simulated link traffic: whole-run
+    /// derates stretch the serialization time, jitter faults draw
+    /// seeded extra latency from `rng`, and any outage window
+    /// (link-down or partition) overlapping the transfer interval
+    /// severs it — the in-flight payload is lost at the window start
+    /// (or at `start` when the window is already open).
+    ///
+    /// Deterministic: the outcome is a pure function of the plan, the
+    /// RNG state, and the arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_outcome(
+        &self,
+        rng: &mut XorShift64,
+        a: u32,
+        b: u32,
+        bytes: u64,
+        bandwidth_bps: f64,
+        latency_s: f64,
+        start: Nanos,
+    ) -> TransferOutcome {
+        let mut derate = 1.0f64;
+        let mut jitter = 0.0f64;
+        for fault in self.faults_for(a, b) {
+            match fault {
+                FaultSpec::Derate { factor, .. } => derate *= factor.max(1e-3),
+                FaultSpec::Jitter { max, .. } => {
+                    jitter += rng.next_f64() * max.as_secs_f64();
+                }
+                _ => {}
+            }
+        }
+        let wire_s = latency_s + jitter + bytes as f64 * 8.0 / (bandwidth_bps * derate).max(1.0);
+        let done_at = start + Nanos::from_secs_f64(wire_s);
+        // The earliest outage window that overlaps [start, done_at)
+        // severs the transfer.
+        let mut severed: Option<Nanos> = None;
+        for fault in self.faults_for(a, b) {
+            if let Some((from, until)) = fault.window() {
+                if from < done_at && until > start {
+                    let at = from.max(start);
+                    severed = Some(severed.map_or(at, |s: Nanos| s.min(at)));
+                }
+            }
+        }
+        match severed {
+            Some(at) => TransferOutcome::Lost { at },
+            None => TransferOutcome::Delivered { done_at },
+        }
     }
 
     /// Whether the pair is inside any partition or link-down window at

@@ -43,7 +43,7 @@ pub mod time;
 pub mod trace;
 
 pub use fabric::{Fabric, LinkStatus};
-pub use fault::{FaultPlan, FaultSchedule, FaultSpec, XorShift64};
+pub use fault::{FaultPlan, FaultSchedule, FaultSpec, TransferOutcome, XorShift64};
 pub use link::{LinkFault, LinkSim};
 pub use queue::EventQueue;
 pub use rpc::{CallTiming, OnewayTiming, RpcChannel, RpcParams};

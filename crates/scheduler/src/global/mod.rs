@@ -12,6 +12,7 @@
 pub mod batching;
 pub mod elastic;
 pub mod hetero;
+pub mod migrate;
 pub mod tenant;
 
 use crate::cost::CostModel;

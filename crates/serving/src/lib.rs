@@ -36,9 +36,9 @@ pub mod request;
 pub mod slo;
 
 pub use arrivals::ArrivalConfig;
-pub use engine::{ServingConfig, ServingLoop, ServingModel};
+pub use engine::{DisaggConfig, MigrationPolicy, ServingConfig, ServingLoop, ServingModel};
 pub use fleet::{bind_tenant, FleetBinding};
-pub use kv::KvLedger;
+pub use kv::{InFlightKv, KvLedger};
 pub use report::{percentile, ServingReport};
 pub use request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
 pub use slo::{SloConfig, SloStats, SloTracker, TenantSlo};

@@ -18,10 +18,25 @@ pub struct ServingReport {
     pub makespan: Nanos,
     /// Batched decode/prefill steps executed.
     pub steps: u64,
-    /// Evictions that later re-ran prefill to restore KV.
+    /// Re-prefill passes executed to restore lost KV (all causes).
     pub reprefills: u64,
+    /// Re-prefills caused by LRU eviction under KV pressure.
+    pub reprefills_evicted: u64,
+    /// Re-prefills caused by a migration lost to a fabric fault.
+    pub reprefills_migration: u64,
+    /// Re-prefills the migration planner *chose* (shipping priced
+    /// higher than recompute, or no decode lane had capacity).
+    pub reprefills_planned: u64,
     /// LRU evictions performed under KV pressure.
     pub preemptions: u64,
+    /// KV-prefix migrations started (disaggregated serving).
+    pub migrations: u64,
+    /// Migrations whose prefix landed on the decode lane.
+    pub migrations_completed: u64,
+    /// Migrations severed mid-flight by a fault.
+    pub migrations_failed: u64,
+    /// Total KV bytes successfully shipped across lanes.
+    pub migrated_kv_bytes: u64,
     /// High-water mark of resident KV bytes across lanes.
     pub peak_kv_bytes: u64,
     /// Serving spans (one per lane per step, plus lifecycle instants),
@@ -72,6 +87,12 @@ impl ServingReport {
                 EventKind::Admit { lane } => CausalEventKind::Admit { lane: *lane },
                 EventKind::Reprefill => CausalEventKind::Reprefill,
                 EventKind::Preempt => CausalEventKind::Preempt,
+                EventKind::MigrateStart { from, to, .. } => CausalEventKind::MigrateStart {
+                    from: *from,
+                    to: *to,
+                },
+                EventKind::MigrateDone { .. } => CausalEventKind::MigrateDone,
+                EventKind::MigrateFail { .. } => CausalEventKind::MigrateFail,
                 EventKind::Complete => CausalEventKind::Complete,
                 EventKind::Shed(_) => CausalEventKind::Shed,
                 EventKind::Token { .. } => continue,

@@ -91,6 +91,27 @@ pub enum EventKind {
     },
     /// The request's KV was evicted (LRU) and it re-queued.
     Preempt,
+    /// The request's KV prefix left its prefill lane for a decode lane
+    /// as simulated link traffic (disaggregated serving).
+    MigrateStart {
+        /// Source lane (prefill host).
+        from: u32,
+        /// Destination lane (decode host).
+        to: u32,
+        /// KV bytes on the wire.
+        bytes: u64,
+    },
+    /// The migrated prefix landed; the request decodes on `to`.
+    MigrateDone {
+        /// Destination lane now holding the prefix.
+        to: u32,
+    },
+    /// A fault severed the migration; the in-flight prefix is lost and
+    /// the request falls back to lineage re-prefill on the decode pool.
+    MigrateFail {
+        /// Destination lane the transfer was bound for.
+        to: u32,
+    },
     /// The request finished.
     Complete,
     /// The request was shed.

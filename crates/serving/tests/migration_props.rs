@@ -1,0 +1,193 @@
+//! Property suite for KV-prefix migration under disaggregated serving.
+//!
+//! Everything is asserted from the *event log and counters alone* — the
+//! log is the engine's public contract, so these hold for any consumer
+//! replaying it:
+//!
+//! 1. single residency: between a `MigrateStart` and its matching
+//!    `MigrateDone`/`MigrateFail` the request is in flight — no tokens
+//!    decode, no second migration starts, and exactly one resolution
+//!    event follows every start;
+//! 2. no KV bytes are lost or double-counted: resident-plus-in-flight
+//!    bytes never exceed fleet capacity (every lane, prefill included),
+//!    and the migration counters partition exactly
+//!    (`migrations == completed + failed`, re-prefill causes partition
+//!    the re-prefill total);
+//! 3. exactly one terminal event per offered request, migrations or not;
+//! 4. the loop is a pure function of (requests, config): same seed ⇒
+//!    byte-identical logs, outcomes, and migration counters.
+
+use genie_cluster::GpuSpec;
+use genie_models::TransformerConfig;
+use genie_netsim::Nanos;
+use genie_serving::{
+    ArrivalConfig, DisaggConfig, EventKind, MigrationPolicy, ServingConfig, ServingLoop,
+    ServingModel,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn config(
+    lanes: u32,
+    prefill_lanes: u32,
+    max_batch: usize,
+    kv_tokens: u64,
+    policy: MigrationPolicy,
+) -> ServingConfig {
+    let cfg = TransformerConfig::tiny();
+    let mut d = DisaggConfig::paper_testbed(prefill_lanes);
+    d.policy = policy;
+    ServingConfig {
+        lanes,
+        max_batch,
+        batched: true,
+        kv_capacity_bytes: kv_tokens * cfg.kv_bytes_per_token(),
+        queue_budget: Nanos::from_millis(200),
+        max_queue: 64,
+        gpu: GpuSpec::a100_80gb(),
+        link_bandwidth_bps: 25e9,
+        link_latency_s: 250e-6,
+        fault_plan: None,
+        slo: genie_serving::SloConfig::paper_default(),
+        record_telemetry: false,
+        disagg: Some(d),
+    }
+}
+
+fn policy_of(idx: u8) -> MigrationPolicy {
+    match idx % 3 {
+        0 => MigrationPolicy::Planner,
+        1 => MigrationPolicy::AlwaysShip,
+        _ => MigrationPolicy::AlwaysReprefill,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn migration_invariants_hold(
+        seed in any::<u64>(),
+        rate in 20u32..100,
+        lanes in 1u32..=2,
+        prefill_lanes in 1u32..=2,
+        max_batch in 1usize..=4,
+        kv_tokens in 24u64..=96,
+        policy_idx in 0u8..3,
+    ) {
+        let model = TransformerConfig::tiny();
+        let requests = ArrivalConfig {
+            seed,
+            rate_per_s: f64::from(rate),
+            horizon: Nanos::from_secs_f64(0.2),
+            prompt_len: (1, 6),
+            decode_tokens: (1, 6),
+            vocab: model.vocab,
+            tenants: 2,
+        }
+        .generate();
+        let conf = config(lanes, prefill_lanes, max_batch, kv_tokens, policy_of(policy_idx));
+        let report =
+            ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+
+        // 1. Single residency through migration: the event log's
+        //    migration state machine is Start → (Done | Fail), never
+        //    nested, and nothing decodes while in flight.
+        let mut in_flight: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut starts = 0u64;
+        let mut resolutions = 0u64;
+        for e in &report.events {
+            match &e.kind {
+                EventKind::MigrateStart { from, to, bytes } => {
+                    prop_assert!(
+                        !in_flight.contains_key(&e.request),
+                        "request {} started a second migration mid-flight",
+                        e.request
+                    );
+                    prop_assert!(from != to, "migration to the same lane");
+                    prop_assert!(
+                        u64::from(*from) >= u64::from(conf.lanes),
+                        "migrations depart prefill lanes only (from {from})"
+                    );
+                    prop_assert!(
+                        u64::from(*to) < u64::from(conf.lanes),
+                        "migrations land on decode lanes only (to {to})"
+                    );
+                    prop_assert!(*bytes > 0, "empty migration payload");
+                    in_flight.insert(e.request, *to);
+                    starts += 1;
+                }
+                EventKind::MigrateDone { to } | EventKind::MigrateFail { to } => {
+                    let expected = in_flight.remove(&e.request);
+                    prop_assert_eq!(
+                        expected, Some(*to),
+                        "resolution without a matching start for request {}",
+                        e.request
+                    );
+                    resolutions += 1;
+                }
+                EventKind::Token { .. } => {
+                    prop_assert!(
+                        !in_flight.contains_key(&e.request),
+                        "request {} decoded while its KV was on the wire",
+                        e.request
+                    );
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(in_flight.is_empty(), "unresolved migrations at drain");
+        prop_assert_eq!(starts, resolutions, "every start resolves exactly once");
+
+        // 2. Bytes conserved: resident + in-flight never exceeds fleet
+        //    capacity, and the counters partition exactly.
+        let total_lanes = u64::from(conf.lanes)
+            + u64::from(conf.disagg.as_ref().unwrap().prefill_lanes);
+        let fleet_cap = conf.kv_capacity_bytes * total_lanes;
+        for e in &report.events {
+            prop_assert!(
+                e.kv_resident_bytes <= fleet_cap,
+                "resident {} > fleet capacity {} at {:?}",
+                e.kv_resident_bytes,
+                fleet_cap,
+                e
+            );
+        }
+        prop_assert!(report.peak_kv_bytes <= fleet_cap);
+        prop_assert_eq!(
+            report.migrations,
+            report.migrations_completed + report.migrations_failed,
+            "migration counters must partition"
+        );
+        prop_assert_eq!(starts, report.migrations);
+        prop_assert_eq!(
+            report.reprefills,
+            report.reprefills_evicted + report.reprefills_migration + report.reprefills_planned,
+            "re-prefill cause counters must partition the total"
+        );
+        if matches!(conf.disagg.as_ref().unwrap().policy, MigrationPolicy::AlwaysReprefill) {
+            prop_assert_eq!(report.migrations, 0u64, "baseline never ships");
+        }
+
+        // 3. Exactly one terminal event per offered request.
+        let mut terminals: BTreeMap<u64, usize> = BTreeMap::new();
+        for e in &report.events {
+            if matches!(e.kind, EventKind::Complete | EventKind::Shed(_)) {
+                *terminals.entry(e.request).or_insert(0) += 1;
+            }
+        }
+        prop_assert_eq!(terminals.len(), requests.len(), "every request must terminate");
+        for (id, count) in &terminals {
+            prop_assert_eq!(*count, 1usize, "request {} terminated {} times", id, count);
+        }
+        prop_assert_eq!(report.outcomes.len(), requests.len());
+
+        // 4. Deterministic replay: identical inputs, identical log and
+        //    migration accounting.
+        let again = ServingLoop::new(ServingModel::Spec(model), conf).run(&requests);
+        prop_assert_eq!(&report.events, &again.events);
+        prop_assert_eq!(&report.outcomes, &again.outcomes);
+        prop_assert_eq!(report.migrations, again.migrations);
+        prop_assert_eq!(report.migrated_kv_bytes, again.migrated_kv_bytes);
+    }
+}

@@ -112,6 +112,19 @@ pub enum CausalEventKind {
     Preempt,
     /// Request rebuilt evicted KV state from prompt + prefix.
     Reprefill,
+    /// The request's KV prefix started migrating between hosts
+    /// (prefill/decode disaggregation).
+    MigrateStart {
+        /// Source lane (host) index.
+        from: u32,
+        /// Destination lane (host) index.
+        to: u32,
+    },
+    /// The migrating KV prefix landed on the destination host.
+    MigrateDone,
+    /// The migration was severed mid-flight; the KV prefix is lost and
+    /// the request falls back to lineage re-prefill.
+    MigrateFail,
     /// Request finished its final token.
     Complete,
     /// Request was shed without completing.
@@ -267,6 +280,10 @@ pub struct BlameBreakdown {
     /// Compute + transfer of re-prefill steps (work that exists only
     /// because an eviction destroyed KV state), ns.
     pub reprefill_ns: u64,
+    /// KV-prefix migration time between prefill and decode hosts
+    /// (disaggregated serving): the interval between `MigrateStart`
+    /// and `MigrateDone`/`MigrateFail`, ns.
+    pub migrate_ns: u64,
 }
 
 impl BlameBreakdown {
@@ -279,6 +296,7 @@ impl BlameBreakdown {
             + self.net_payload_ns
             + self.fault_ns
             + self.reprefill_ns
+            + self.migrate_ns
     }
 
     /// Link-transfer nanoseconds (latency + payload).
@@ -286,7 +304,7 @@ impl BlameBreakdown {
         self.net_latency_ns + self.net_payload_ns
     }
 
-    /// Collapse to the five headline fractions (summing to 1 ± a few
+    /// Collapse to the six headline fractions (summing to 1 ± a few
     /// float ulps). A zero-duration request is all queue by fiat.
     pub fn fractions(&self) -> BlameFractions {
         let total = self.total_ns();
@@ -297,6 +315,7 @@ impl BlameBreakdown {
                 transfer: 0.0,
                 fault: 0.0,
                 reprefill: 0.0,
+                migrate: 0.0,
             };
         }
         let t = total as f64;
@@ -306,6 +325,7 @@ impl BlameBreakdown {
             transfer: self.transfer_ns() as f64 / t,
             fault: self.fault_ns as f64 / t,
             reprefill: self.reprefill_ns as f64 / t,
+            migrate: self.migrate_ns as f64 / t,
         }
     }
 }
@@ -323,12 +343,14 @@ pub struct BlameFractions {
     pub fault: f64,
     /// KV re-prefill share (eviction-induced rework).
     pub reprefill: f64,
+    /// KV-migration share (prefill→decode prefix shipping).
+    pub migrate: f64,
 }
 
 impl BlameFractions {
-    /// Sum of the five fractions (should be ~1.0 for a real request).
+    /// Sum of the six fractions (should be ~1.0 for a real request).
     pub fn sum(&self) -> f64 {
-        self.queue + self.compute + self.transfer + self.fault + self.reprefill
+        self.queue + self.compute + self.transfer + self.fault + self.reprefill + self.migrate
     }
 }
 
@@ -343,6 +365,8 @@ pub enum SegmentKind {
     Decode,
     /// Member of a re-prefill step (eviction recovery).
     Reprefill,
+    /// KV prefix in flight between prefill and decode hosts.
+    Migrate,
 }
 
 /// One contiguous span of a request's critical path. Segments tile
@@ -404,7 +428,7 @@ fn percentile(values: &mut [f64], p: f64) -> f64 {
 }
 
 fn profile(requests: &[RequestBlame], p: f64) -> BlameFractions {
-    let mut dim = |f: &dyn Fn(&BlameFractions) -> f64| -> f64 {
+    let dim = |f: &dyn Fn(&BlameFractions) -> f64| -> f64 {
         let mut vs: Vec<f64> = requests.iter().map(|r| f(&r.fractions)).collect();
         percentile(&mut vs, p)
     };
@@ -414,6 +438,55 @@ fn profile(requests: &[RequestBlame], p: f64) -> BlameFractions {
         transfer: dim(&|f| f.transfer),
         fault: dim(&|f| f.fault),
         reprefill: dim(&|f| f.reprefill),
+        migrate: dim(&|f| f.migrate),
+    }
+}
+
+/// Tile the gap `[from, to)` of a request's timeline: portions covered
+/// by a KV-migration interval are blamed (and path-segmented) as
+/// `Migrate`, the rest as queue wait. `intervals` must be sorted by
+/// start and non-overlapping (the engine serializes migrations per
+/// request).
+fn fill_gap(
+    from: u64,
+    to: u64,
+    intervals: &[(u64, u64)],
+    blame: &mut BlameBreakdown,
+    path: &mut Vec<CriticalSegment>,
+) {
+    let mut cursor = from;
+    for &(ms, me) in intervals {
+        let s = ms.max(cursor);
+        let e = me.min(to);
+        if e <= cursor || s >= to {
+            continue;
+        }
+        if s > cursor {
+            blame.queue_ns += s - cursor;
+            path.push(CriticalSegment {
+                kind: SegmentKind::Wait,
+                start_ns: cursor,
+                end_ns: s,
+                lane: None,
+            });
+        }
+        blame.migrate_ns += e - s;
+        path.push(CriticalSegment {
+            kind: SegmentKind::Migrate,
+            start_ns: s,
+            end_ns: e,
+            lane: None,
+        });
+        cursor = e;
+    }
+    if cursor < to {
+        blame.queue_ns += to - cursor;
+        path.push(CriticalSegment {
+            kind: SegmentKind::Wait,
+            start_ns: cursor,
+            end_ns: to,
+            lane: None,
+        });
     }
 }
 
@@ -429,6 +502,10 @@ pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
     let mut arrival: BTreeMap<u64, u64> = BTreeMap::new();
     let mut finished: BTreeMap<u64, u64> = BTreeMap::new();
     let mut shed = 0u64;
+    // Per-request KV-migration intervals [start, done/fail), paired up
+    // in log order (the engine serializes migrations per request).
+    let mut migrations: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut open_migration: BTreeMap<u64, u64> = BTreeMap::new();
     for ev in &doc.events {
         match ev.kind {
             CausalEventKind::Arrive => {
@@ -438,8 +515,22 @@ pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
                 finished.insert(ev.request, ev.at_ns);
             }
             CausalEventKind::Shed => shed += 1,
+            CausalEventKind::MigrateStart { .. } => {
+                open_migration.insert(ev.request, ev.at_ns);
+            }
+            CausalEventKind::MigrateDone | CausalEventKind::MigrateFail => {
+                if let Some(start) = open_migration.remove(&ev.request) {
+                    migrations
+                        .entry(ev.request)
+                        .or_default()
+                        .push((start, ev.at_ns.max(start)));
+                }
+            }
             _ => {}
         }
+    }
+    for ivals in migrations.values_mut() {
+        ivals.sort_unstable();
     }
 
     // Per-request step participation, in step order.
@@ -460,6 +551,11 @@ pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
         let mut cursor = arrival_ns;
         let mut chain = steps.remove(&request).unwrap_or_default();
         chain.sort_by_key(|(s, _)| s.start_ns);
+        let no_migrations: Vec<(u64, u64)> = Vec::new();
+        let ivals: &[(u64, u64)] = migrations
+            .get(&request)
+            .map(|v| v.as_slice())
+            .unwrap_or(&no_migrations);
         for (slice, phase) in chain {
             assert!(
                 slice.start_ns >= cursor && slice.end_ns <= finished_ns,
@@ -468,13 +564,7 @@ pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
                 slice.end_ns,
             );
             if slice.start_ns > cursor {
-                blame.queue_ns += slice.start_ns - cursor;
-                path.push(CriticalSegment {
-                    kind: SegmentKind::Wait,
-                    start_ns: cursor,
-                    end_ns: slice.start_ns,
-                    lane: None,
-                });
+                fill_gap(cursor, slice.start_ns, ivals, &mut blame, &mut path);
             }
             blame.queue_ns += slice.sync_ns();
             blame.fault_ns += slice.fault_ns;
@@ -506,16 +596,11 @@ pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
             cursor = slice.end_ns;
         }
         if cursor < finished_ns {
-            // Trailing wait (only possible if completion was recorded
-            // after the last step barrier; engines that complete at
-            // the barrier never hit this).
-            blame.queue_ns += finished_ns - cursor;
-            path.push(CriticalSegment {
-                kind: SegmentKind::Wait,
-                start_ns: cursor,
-                end_ns: finished_ns,
-                lane: None,
-            });
+            // Trailing gap: migration transfers land between steps, so a
+            // request that migrated right before completing (or whose
+            // completion was recorded after the last barrier) spends this
+            // window in Migrate and/or Wait.
+            fill_gap(cursor, finished_ns, ivals, &mut blame, &mut path);
         }
         let ttlt_ns = finished_ns - arrival_ns;
         assert_eq!(
@@ -609,6 +694,9 @@ impl WhatIf {
         let fault = if self.zero_faults { 0 } else { b.fault_ns };
         let x = self.link_bandwidth_x.max(1e-9);
         let payload = (b.net_payload_ns as f64 / x).round() as u64;
+        // KV migration is pure link traffic, so it scales with bandwidth
+        // the same way step payload does.
+        let migrate = (b.migrate_ns as f64 / x).round() as u64;
         queue
             + b.compute_prefill_ns
             + b.compute_decode_ns
@@ -616,6 +704,7 @@ impl WhatIf {
             + payload
             + fault
             + b.reprefill_ns
+            + migrate
     }
 }
 
@@ -790,6 +879,74 @@ mod tests {
             assert_eq!(current().unwrap().request, 7);
         }
         assert_eq!(current(), None);
+    }
+
+    /// Insert a migration interval [300, 380] into the inter-step gap of
+    /// a widened doc: prefill [100, 300], migrate [300, 380], decode
+    /// [400, 500], complete at 500.
+    fn doc_with_migration() -> CausalTraceDoc {
+        let mut doc = doc_one_request();
+        doc.slices[1].start_ns = 400;
+        doc.slices[1].end_ns = 500;
+        doc.events[2].at_ns = 500; // Complete
+        doc.events.push(CausalEvent {
+            at_ns: 300,
+            request: 1,
+            kind: CausalEventKind::MigrateStart { from: 1, to: 0 },
+        });
+        doc.events.push(CausalEvent {
+            at_ns: 380,
+            request: 1,
+            kind: CausalEventKind::MigrateDone,
+        });
+        doc
+    }
+
+    #[test]
+    fn migration_blame_tiles_the_gap_and_ttlt() {
+        let report = analyze(&doc_with_migration());
+        let r = &report.requests[0];
+        assert_eq!(r.ttlt_ns, 500);
+        assert_eq!(r.blame.total_ns(), 500);
+        assert_eq!(r.blame.migrate_ns, 80);
+        // queue = 100 (admission wait) + 20 (migrate->decode gap)
+        //       + 20 + 5 (sync) = 145
+        assert_eq!(r.blame.queue_ns, 145);
+        assert!((r.fractions.sum() - 1.0).abs() < 1e-9);
+        // Critical path still tiles [arrival, finished] with a Migrate
+        // segment in the inter-step gap.
+        assert_eq!(r.critical_path.first().unwrap().start_ns, 0);
+        assert_eq!(r.critical_path.last().unwrap().end_ns, 500);
+        for w in r.critical_path.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns, "no gaps on the path");
+        }
+        assert!(r
+            .critical_path
+            .iter()
+            .any(|s| s.kind == SegmentKind::Migrate && s.start_ns == 300 && s.end_ns == 380));
+    }
+
+    #[test]
+    fn failed_migration_interval_is_still_blamed_to_migrate() {
+        let mut doc = doc_with_migration();
+        // Replace MigrateDone with MigrateFail at the same timestamp;
+        // the wire time until the severance is still migration blame.
+        let last = doc.events.len() - 1;
+        doc.events[last].kind = CausalEventKind::MigrateFail;
+        let report = analyze(&doc);
+        let r = &report.requests[0];
+        assert_eq!(r.blame.migrate_ns, 80);
+        assert_eq!(r.blame.total_ns(), r.ttlt_ns);
+    }
+
+    #[test]
+    fn what_if_bandwidth_scales_migration_time() {
+        let report = analyze(&doc_with_migration());
+        let r = &report.requests[0];
+        assert_eq!(WhatIf::observed().replay(r), r.ttlt_ns);
+        // 2x bandwidth halves payload (35 -> 18 rounded) and migrate
+        // (80 -> 40).
+        assert_eq!(WhatIf::link_bandwidth(2.0).replay(r), r.ttlt_ns - 17 - 40);
     }
 
     #[test]

@@ -225,8 +225,12 @@ fn serve_connection(
         let request = Request::decode(frame)?;
         // A duplicate delivery of an already-answered request (client
         // retry after a lost response) is answered from the cache; the
-        // handler must not run twice.
-        let payload = match dedup.lock().get(request.id) {
+        // handler must not run twice. The lookup is bound first so the
+        // cache guard is released before the miss arm re-locks to
+        // insert (a match scrutinee's temporaries live for the whole
+        // match, which would self-deadlock).
+        let cached = dedup.lock().get(request.id);
+        let payload = match cached {
             Some(cached) => {
                 telemetry
                     .metrics
@@ -255,7 +259,7 @@ fn serve_connection(
                     id: request.id,
                     body,
                 };
-                let payload = response.encode()?;
+                let payload = response.encode()?.to_vec();
                 dedup.lock().insert(request.id, payload.clone());
                 payload
             }

@@ -73,6 +73,7 @@ fn main() {
             fault_plan: None,
             slo: genie::serving::SloConfig::paper_default(),
             record_telemetry: false,
+            disagg: None,
         };
         let report = ServingLoop::new(ServingModel::Spec(model.clone()), config).run(&requests);
         println!(

@@ -112,6 +112,79 @@ fn chaos_is_blamed_to_fault_not_compute() {
 }
 
 #[test]
+fn migrate_blame_is_attributed_and_tiles_the_lifetime() {
+    // Disaggregated run with every prefix shipped: `kv.migrate` spans
+    // carry request attribution, and migration wire time surfaces as
+    // its own blame category while each request's blamed nanoseconds
+    // still tile [arrival, finished] exactly.
+    use genie::serving::{DisaggConfig, MigrationPolicy};
+
+    let run_disagg = || {
+        let mut config = ServingConfig::paper_testbed();
+        config.max_batch = 4;
+        config.record_telemetry = false;
+        let mut d = DisaggConfig::paper_testbed(1);
+        d.policy = MigrationPolicy::AlwaysShip;
+        config.disagg = Some(d);
+        ServingLoop::new(ServingModel::Spec(TransformerConfig::gptj_6b()), config).run(&requests())
+    };
+    let report = run_disagg();
+    assert!(report.migrations > 0, "AlwaysShip must migrate prefixes");
+
+    // Every kv.migrate span names its request and the fabric endpoints.
+    let migrate_spans: Vec<_> = report
+        .spans
+        .iter()
+        .filter(|s| s.name == "kv.migrate")
+        .collect();
+    assert_eq!(
+        migrate_spans.len() as u64,
+        report.migrations,
+        "one kv.migrate span per migration"
+    );
+    let mut attributed = std::collections::BTreeSet::new();
+    for s in &migrate_spans {
+        let request = s.attrs.request.expect("kv.migrate span names a request");
+        attributed.insert(request);
+        for key in ["from_lane", "to_lane", "bytes", "outcome"] {
+            assert!(
+                s.attrs.extra.iter().any(|(k, _)| k == key),
+                "kv.migrate span for request {request} is missing `{key}`"
+            );
+        }
+    }
+
+    let blame = causal::analyze(&report.causal_doc());
+    let migrate_ns: u64 = blame.requests.iter().map(|r| r.blame.migrate_ns).sum();
+    assert!(migrate_ns > 0, "shipped prefixes must accrue migrate blame");
+    for r in &blame.requests {
+        assert!(
+            (r.fractions.sum() - 1.0).abs() < 1e-6,
+            "request {} fractions sum to {}",
+            r.request,
+            r.fractions.sum()
+        );
+        assert_eq!(
+            r.blame.total_ns(),
+            r.ttlt_ns,
+            "request {}: blame (migrate included) must tile its lifetime",
+            r.request
+        );
+        if r.blame.migrate_ns > 0 {
+            assert!(
+                attributed.contains(&r.request),
+                "request {} accrued migrate blame without a kv.migrate span",
+                r.request
+            );
+        }
+    }
+
+    // The disaggregated blame pipeline is bit-stable under replay.
+    let again = causal::analyze(&run_disagg().causal_doc());
+    assert_eq!(blame, again, "same-seed disagg blame must be identical");
+}
+
+#[test]
 fn zero_fault_what_if_bounds_the_chaos_run() {
     let chaos = causal::analyze(&run(Some(chaos_plan())).causal_doc());
     for r in &chaos.requests {

@@ -292,6 +292,146 @@ fn derate_schedule_counts_injections_and_slows_the_run() {
     assert!(run.plan.estimate.transfer_s > run.oracle_plan.estimate.transfer_s * 2.0);
 }
 
+/// Disaggregated serving: a link-down window severs KV migrations on
+/// the prefill↔decode fabric mid-flight. The in-flight prefix is lost;
+/// the engine must fall back to lineage re-prefill at the decode pool
+/// and still produce oracle-identical tokens for every request — never
+/// a wedge, never wrong numerics.
+#[test]
+fn migration_severed_by_link_down_recovers_from_lineage() {
+    use genie::cluster::GpuSpec;
+    use genie::models::functional_transformers;
+    use genie::netsim::{FaultPlan, Nanos};
+    use genie::serving::{
+        DisaggConfig, MigrationPolicy, ServingConfig, ServingLoop, ServingModel, ServingRequest,
+    };
+
+    let _gate = metrics_gate();
+    for (name, m) in functional_transformers() {
+        let requests: Vec<ServingRequest> = (1..=4u64)
+            .map(|id| ServingRequest {
+                id,
+                tenant: 0,
+                arrival: Nanos::ZERO,
+                prompt: vec![id as i64 % 5, 2, 1],
+                total_tokens: 6,
+            })
+            .collect();
+        let mut d = DisaggConfig::paper_testbed(1);
+        d.policy = MigrationPolicy::AlwaysShip;
+        let conf = ServingConfig {
+            lanes: 1,
+            max_batch: 8,
+            batched: true,
+            kv_capacity_bytes: 1 << 30,
+            queue_budget: Nanos::from_secs_f64(1e6),
+            max_queue: 64,
+            gpu: GpuSpec::a100_80gb(),
+            link_bandwidth_bps: 25e9,
+            link_latency_s: 250e-6,
+            // Decode lane 0 is host 1, prefill lane 1 is host 2: take
+            // their link down across the whole prefill burst, so every
+            // early migration is severed mid-flight.
+            fault_plan: Some(FaultPlan::new(
+                13,
+                FaultSchedule {
+                    specs: vec![FaultSpec::LinkDown {
+                        a: 1,
+                        b: 2,
+                        from: Nanos::ZERO,
+                        until: Nanos::from_secs_f64(0.05),
+                    }],
+                },
+            )),
+            slo: genie::serving::SloConfig::paper_default(),
+            record_telemetry: false,
+            disagg: Some(d),
+        };
+        let report =
+            ServingLoop::new(ServingModel::Functional(m.clone()), conf.clone()).run(&requests);
+        assert_eq!(
+            report.outcomes.len(),
+            requests.len(),
+            "{name}: every request needs a terminal outcome"
+        );
+        assert_eq!(report.completed(), 4, "{name}: nobody wedges or sheds");
+        assert!(
+            report.migrations_failed >= 1,
+            "{name}: the outage must sever at least one transfer"
+        );
+        assert_eq!(
+            report.reprefills_migration, report.migrations_failed,
+            "{name}: every lost prefix re-prefills from lineage"
+        );
+        for r in &requests {
+            let want = m.generate(&r.prompt, r.total_tokens);
+            assert_eq!(
+                report.tokens_for(r.id),
+                Some(want.as_slice()),
+                "{name} request {}: recovery diverged from the oracle",
+                r.id
+            );
+        }
+        // The chaotic migration story replays bit-identically.
+        let again = ServingLoop::new(ServingModel::Functional(m.clone()), conf).run(&requests);
+        assert_eq!(report.events, again.events, "{name}: replay diverged");
+    }
+}
+
+/// Disaggregated serving under the seeded chaos sweep: derates, jitter,
+/// and partitions hit both the client links and the migration fabric.
+/// Every request still ends in exactly one typed outcome, the loop
+/// drains, and the whole story is a pure function of the seed.
+#[test]
+fn disaggregated_serving_survives_seeded_fault_schedules() {
+    use genie::models::TransformerConfig;
+    use genie::netsim::Nanos;
+    use genie::serving::{ArrivalConfig, DisaggConfig, ServingConfig, ServingLoop, ServingModel};
+
+    let _gate = metrics_gate();
+    let model = TransformerConfig::gptj_6b();
+    for seed in chaos_seeds() {
+        let chaos = ChaosConfig::for_testbed(seed);
+        let requests = ArrivalConfig {
+            seed,
+            rate_per_s: 20.0,
+            horizon: Nanos::from_secs_f64(2.0),
+            prompt_len: (8, 16),
+            decode_tokens: (4, 8),
+            vocab: model.vocab,
+            tenants: 4,
+        }
+        .generate();
+        let mut conf = ServingConfig::paper_testbed();
+        conf.max_batch = 4;
+        conf.max_queue = 256;
+        conf.queue_budget = Nanos::from_secs_f64(2.0);
+        conf.record_telemetry = false;
+        conf.fault_plan = Some(chaos.fault_plan());
+        conf.disagg = Some(DisaggConfig::paper_testbed(1));
+
+        let faulty =
+            ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+        assert_eq!(
+            faulty.outcomes.len(),
+            requests.len(),
+            "seed {seed}: every request needs a terminal outcome"
+        );
+        assert_eq!(
+            faulty.migrations,
+            faulty.migrations_completed + faulty.migrations_failed,
+            "seed {seed}: migration counters must partition"
+        );
+        assert!(
+            faulty.makespan.as_secs_f64() < 120.0,
+            "seed {seed}: loop failed to drain ({:?})",
+            faulty.makespan
+        );
+        let again = ServingLoop::new(ServingModel::Spec(model.clone()), conf).run(&requests);
+        assert_eq!(faulty.events, again.events, "seed {seed}: replay diverged");
+    }
+}
+
 /// Serving plane: a seeded fault schedule drives the continuous-batching
 /// loop — derates and jitter stretch steps, outage windows stall lanes —
 /// and every offered request still ends in exactly one typed outcome.

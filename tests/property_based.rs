@@ -185,6 +185,7 @@ proptest! {
         let req = genie::transport::Request {
             id: 1,
             body: genie::transport::RequestBody::Upload { key: 9, tensor: p },
+            trace: None,
         };
         let back = genie::transport::Request::decode(req.encode().unwrap()).unwrap();
         prop_assert_eq!(back, req);

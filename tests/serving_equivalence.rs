@@ -26,6 +26,7 @@ fn roomy_config(max_batch: usize) -> ServingConfig {
         fault_plan: None,
         slo: genie::serving::SloConfig::paper_default(),
         record_telemetry: false,
+        disagg: None,
     }
 }
 
