@@ -62,6 +62,10 @@ pub enum LintCode {
     /// transfers contains a cycle: the plan deadlocks before any dynamic
     /// scheduler can help.
     TransferDependencyCycle,
+    /// GA204 — the per-device participation order of blocking collectives
+    /// contains a waits-for cycle across shards: two devices each block in
+    /// a collective the other has not reached yet.
+    CollectiveScheduleCycle,
     /// GA301 — a criticality/tolerance annotation demands a tighter
     /// numerical error bound than the scheduled kernel tier / device
     /// class statically delivers.
@@ -76,7 +80,7 @@ pub enum LintCode {
 
 impl LintCode {
     /// Every code, in report order.
-    pub const ALL: [LintCode; 18] = [
+    pub const ALL: [LintCode; 19] = [
         LintCode::ShapeMismatch,
         LintCode::DtypeMismatch,
         LintCode::PhaseIncoherence,
@@ -92,6 +96,7 @@ impl LintCode {
         LintCode::TransferOrderHazard,
         LintCode::DoublePinnedBuffer,
         LintCode::TransferDependencyCycle,
+        LintCode::CollectiveScheduleCycle,
         LintCode::CriticalityToleranceExceeded,
         LintCode::PrecisionLossyCriticalPath,
         LintCode::ErrorIntervalUnknown,
@@ -115,6 +120,7 @@ impl LintCode {
             LintCode::TransferOrderHazard => "GA201",
             LintCode::DoublePinnedBuffer => "GA202",
             LintCode::TransferDependencyCycle => "GA203",
+            LintCode::CollectiveScheduleCycle => "GA204",
             LintCode::CriticalityToleranceExceeded => "GA301",
             LintCode::PrecisionLossyCriticalPath => "GA302",
             LintCode::ErrorIntervalUnknown => "GA303",
@@ -139,6 +145,7 @@ impl LintCode {
             | LintCode::TransferOrderHazard
             | LintCode::DoublePinnedBuffer
             | LintCode::TransferDependencyCycle
+            | LintCode::CollectiveScheduleCycle
             | LintCode::CriticalityToleranceExceeded => Severity::Deny,
             LintCode::CostHintInconsistent
             | LintCode::RateInconsistent
@@ -175,7 +182,8 @@ impl LintCode {
             | LintCode::KvCacheNotColocated => LintFamily::Plan,
             LintCode::TransferOrderHazard
             | LintCode::DoublePinnedBuffer
-            | LintCode::TransferDependencyCycle => LintFamily::Schedule,
+            | LintCode::TransferDependencyCycle
+            | LintCode::CollectiveScheduleCycle => LintFamily::Schedule,
             LintCode::CriticalityToleranceExceeded
             | LintCode::PrecisionLossyCriticalPath
             | LintCode::ErrorIntervalUnknown => LintFamily::Precision,
@@ -202,6 +210,9 @@ impl LintCode {
             LintCode::TransferOrderHazard => "a transfer must land before its consumer starts",
             LintCode::DoublePinnedBuffer => "one logical buffer pins at most once per device",
             LintCode::TransferDependencyCycle => "the waits-for graph must stay acyclic",
+            LintCode::CollectiveScheduleCycle => {
+                "every device must reach the plan's collectives in one consistent order"
+            }
             LintCode::CriticalityToleranceExceeded => {
                 "scheduled precision must meet the demanded tolerance"
             }

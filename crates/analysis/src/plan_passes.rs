@@ -53,8 +53,8 @@ pub fn run_plan_passes(
 ) -> Report {
     use crate::precision_passes::check_precision_plan;
     use crate::schedule_passes::{
-        check_double_pinning, check_memory_watermark, check_transfer_deadlock,
-        check_transfer_ordering,
+        check_collective_deadlock, check_double_pinning, check_memory_watermark,
+        check_transfer_deadlock, check_transfer_ordering,
     };
     let mut report = Report::new(facts.subject());
     timed_pass("memory_watermark", || {
@@ -77,6 +77,9 @@ pub fn run_plan_passes(
     });
     timed_pass("transfer_deadlock", || {
         check_transfer_deadlock(facts, cfg, &mut report)
+    });
+    timed_pass("collective_deadlock", || {
+        check_collective_deadlock(facts, cfg, &mut report)
     });
     timed_pass("precision_plan", || {
         check_precision_plan(facts, topo, cfg, &mut report)

@@ -354,7 +354,7 @@ pub fn check_transfer_deadlock(facts: &dyn PlanFacts, cfg: &LintConfig, report: 
     let total = n + transfers.len();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
     let mut indeg = vec![0usize; total];
-    let mut connect = |succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
+    let connect = |succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
         succs[a].push(b);
         indeg[b] += 1;
     };
@@ -433,6 +433,120 @@ pub fn check_transfer_deadlock(facts: &dyn PlanFacts, cfg: &LintConfig, report: 
             "transfer dependency cycle: channel FIFO order contradicts data \
              dependencies (transfers for {} wait on each other)",
             involved.join(", ")
+        ),
+    );
+}
+
+/// GA204 — collective schedule cycle: blocking collectives (all_reduce /
+/// all_gather / send_activation) must be reached by every participating
+/// device in one consistent global order.
+///
+/// A device participates in a collective when it produces one of the
+/// collective's inputs; it reaches the collective once its *last* such
+/// producer has run, so the device's participation order is the
+/// collectives sorted by the maximum topological index of its producers.
+/// If device A reaches `c1` before `c2` while device B reaches `c2`
+/// before `c1`, each blocks in a collective the other has not entered —
+/// the NCCL-style deadlock GA203 cannot see because no single transfer
+/// channel is involved. The waits-for graph over collectives (one edge
+/// per consecutive pair in each device's order) must be acyclic.
+pub fn check_collective_deadlock(facts: &dyn PlanFacts, cfg: &LintConfig, report: &mut Report) {
+    let srg = facts.srg();
+    let collectives: Vec<NodeId> = srg
+        .nodes()
+        .filter(|n| {
+            matches!(
+                n.op,
+                genie_srg::OpKind::AllReduce
+                    | genie_srg::OpKind::AllGather
+                    | genie_srg::OpKind::SendActivation
+            )
+        })
+        .map(|n| n.id)
+        .collect();
+    if collectives.len() < 2 {
+        return;
+    }
+    let Ok(flow) = SrgFlow::new(srg) else {
+        return; // cyclic SRG: GA203 / graph passes own that finding
+    };
+    let index: BTreeMap<NodeId, usize> = collectives
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+
+    // Per device: (reach step, collective) for every collective the
+    // device feeds.
+    let mut orders: BTreeMap<DevId, Vec<(usize, usize)>> = BTreeMap::new();
+    for (&c, &ci) in &index {
+        let mut reach: BTreeMap<DevId, usize> = BTreeMap::new();
+        for e in srg.in_edges(c) {
+            let Some(dev) = facts.node_device(e.src) else {
+                continue;
+            };
+            let Some(step) = flow.index_of(e.src) else {
+                continue;
+            };
+            let r = reach.entry(dev).or_insert(step);
+            *r = (*r).max(step);
+        }
+        for (dev, step) in reach {
+            orders.entry(dev).or_default().push((step, ci));
+        }
+    }
+
+    // Waits-for edges between consecutive collectives per device.
+    let n = collectives.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    let mut blamed_dev: BTreeMap<(usize, usize), DevId> = BTreeMap::new();
+    for (dev, mut list) in orders {
+        list.sort();
+        for pair in list.windows(2) {
+            let (a, b) = (pair[0].1, pair[1].1);
+            if a != b {
+                succs[a].push(b);
+                indeg[b] += 1;
+                blamed_dev.entry((a, b)).or_insert(dev);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut processed = 0usize;
+    while let Some(v) = ready.pop() {
+        processed += 1;
+        for &s in &succs[v].clone() {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if processed == n {
+        return;
+    }
+    let leftover: Vec<usize> = (0..n).filter(|&v| indeg[v] > 0).collect();
+    let names: Vec<String> = leftover
+        .iter()
+        .map(|&v| srg.node(collectives[v]).name.clone())
+        .collect();
+    let devs: BTreeSet<DevId> = blamed_dev
+        .iter()
+        .filter(|((a, b), _)| leftover.contains(a) && leftover.contains(b))
+        .map(|(_, &d)| d)
+        .collect();
+    let devs: Vec<String> = devs.iter().map(|d| d.to_string()).collect();
+    report.push(
+        cfg,
+        LintCode::CollectiveScheduleCycle,
+        Anchor::Node(collectives[leftover[0]]),
+        format!(
+            "collective schedule cycle: devices [{}] reach collectives [{}] in \
+             contradictory orders — each would block in a collective another \
+             device has not entered",
+            devs.join(", "),
+            names.join(", ")
         ),
     );
 }
@@ -805,6 +919,80 @@ mod tests {
         assert!(r
             .finish()
             .with_code(LintCode::TransferDependencyCycle)
+            .is_empty());
+    }
+
+    /// Two collectives whose producers land on two devices in
+    /// contradictory orders: d0 reaches c1 early and c2 late, d1 reaches
+    /// c2 early and c1 late — each device blocks in a collective the
+    /// other has not entered.
+    fn collective_fixture(contradictory: bool) -> (Srg, BTreeMap<NodeId, Option<DevId>>) {
+        let mut g = Srg::new("coll");
+        let m = TensorMeta::new([4, 4], ElemType::F32);
+        let p0 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "p0")); // d0 early
+        let p1 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "p1")); // d1 early
+        let q0 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "q0")); // d0 late
+        let q1 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "q1")); // d1 late
+        let c1 = g.add_node(Node::new(NodeId::new(0), OpKind::AllReduce, "c1"));
+        let c2 = g.add_node(Node::new(NodeId::new(0), OpKind::AllReduce, "c2"));
+        g.connect(p0, c1, m.clone());
+        g.connect(p1, c2, m.clone());
+        if contradictory {
+            // c1 also needs d1's LATE producer, c2 also needs d0's late.
+            g.connect(q1, c1, m.clone());
+            g.connect(q0, c2, m.clone());
+        } else {
+            // Both devices reach c1 early and c2 late: consistent.
+            g.connect(p1, c1, m.clone());
+            g.connect(q1, c2, m.clone());
+            g.connect(q0, c2, m.clone());
+        }
+        let (_, d0, d1) = two_dev_topo(80_000_000_000);
+        let placements = [
+            (p0, Some(d0)),
+            (q0, Some(d0)),
+            (p1, Some(d1)),
+            (q1, Some(d1)),
+            (c1, Some(d0)),
+            (c2, Some(d1)),
+        ]
+        .into_iter()
+        .collect();
+        (g, placements)
+    }
+
+    #[test]
+    fn ga204_contradictory_collective_orders_denied() {
+        let (g, placements) = collective_fixture(true);
+        let plan = FakePlan {
+            srg: g,
+            placements,
+            transfers: Vec::new(),
+            pinned: Vec::new(),
+        };
+        let mut r = Report::new("t");
+        check_collective_deadlock(&plan, &LintConfig::new(), &mut r);
+        let r = r.finish();
+        let hits = r.with_code(LintCode::CollectiveScheduleCycle);
+        assert_eq!(hits.len(), 1, "{r}");
+        assert!(r.has_deny());
+        assert!(hits[0].message.contains("contradictory orders"), "{r}");
+    }
+
+    #[test]
+    fn ga204_consistent_collective_order_is_clean() {
+        let (g, placements) = collective_fixture(false);
+        let plan = FakePlan {
+            srg: g,
+            placements,
+            transfers: Vec::new(),
+            pinned: Vec::new(),
+        };
+        let mut r = Report::new("t");
+        check_collective_deadlock(&plan, &LintConfig::new(), &mut r);
+        assert!(r
+            .finish()
+            .with_code(LintCode::CollectiveScheduleCycle)
             .is_empty());
     }
 

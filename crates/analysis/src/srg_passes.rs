@@ -27,7 +27,7 @@ pub fn run_srg_passes(srg: &Srg, cfg: &LintConfig) -> Report {
     report.finish().record_metrics()
 }
 
-fn data_inputs<'a>(srg: &'a Srg, node: genie_srg::NodeId) -> Vec<&'a Edge> {
+fn data_inputs(srg: &Srg, node: genie_srg::NodeId) -> Vec<&Edge> {
     srg.in_edges(node).collect()
 }
 
@@ -105,15 +105,13 @@ pub fn check_shapes(srg: &Srg, cfg: &LintConfig, report: &mut Report) {
                     }
                 }
             }
-            OpKind::Conv2d => {
-                if shapes.len() >= 2 {
-                    let (x, w) = (shapes[0], shapes[1]);
-                    if x.len() == 4 && w.len() == 4 && x[1] != w[1] {
-                        flag(format!(
-                            "conv2d input channels {} vs weight channels {}",
-                            x[1], w[1]
-                        ));
-                    }
+            OpKind::Conv2d if shapes.len() >= 2 => {
+                let (x, w) = (shapes[0], shapes[1]);
+                if x.len() == 4 && w.len() == 4 && x[1] != w[1] {
+                    flag(format!(
+                        "conv2d input channels {} vs weight channels {}",
+                        x[1], w[1]
+                    ));
                 }
             }
             _ => {}

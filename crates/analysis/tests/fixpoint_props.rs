@@ -110,8 +110,8 @@ proptest! {
                 }
             }
         }
-        for v in 0..len {
-            prop_assert_eq!(&fx.outputs[v], &anc[v], "ancestors of vertex {}", v);
+        for (v, a) in anc.iter().enumerate() {
+            prop_assert_eq!(&fx.outputs[v], a, "ancestors of vertex {}", v);
         }
     }
 

@@ -114,6 +114,106 @@ pub fn batched_step_time(
     }
 }
 
+/// How one serving lane's model is sharded across fabric-attached
+/// devices, for step pricing. Mirrors `genie_srg::shard::ShardSpec`
+/// (pipeline stages × tensor-parallel ranks) plus the inter-device
+/// fabric the collectives ride — which may be a different link than the
+/// client↔server path `batched_step_time` prices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardPlan {
+    /// Pipeline stages (contiguous layer blocks), ≥ 1.
+    pub pipeline_stages: u32,
+    /// Tensor-parallel ranks per stage, ≥ 1.
+    pub tensor_parallel: u32,
+    /// Device↔device fabric bandwidth in bits/s.
+    pub fabric_bandwidth_bps: f64,
+    /// Device↔device one-way fabric latency in seconds.
+    pub fabric_latency_s: f64,
+}
+
+impl ShardPlan {
+    /// Total devices the plan occupies.
+    pub fn shards(&self) -> u32 {
+        self.pipeline_stages * self.tensor_parallel
+    }
+}
+
+/// Price one engine step of `work` when the lane's model is sharded per
+/// `plan`. Returns the per-device [`StepCost`] (compute is the pipeline
+/// barrier; network is the unchanged client link) plus the collective
+/// seconds the fabric adds — all_gather/all_reduce rounds for tensor
+/// parallelism, activation hops for pipeline stages.
+///
+/// The compute model matches the functional sharded capture
+/// (`genie-models`): weights split `shards` ways (each device streams
+/// `1/shards` of them), KV splits across pipeline stages (each stage
+/// holds its own layers' caches) but not across tensor ranks, and a
+/// pipeline only overlaps across in-flight members — one resident
+/// request fills a single stage at a time and gets no speedup.
+#[allow(clippy::too_many_arguments)]
+pub fn sharded_step_time(
+    cfg: &TransformerConfig,
+    work: &StepWork,
+    gpu: &GpuSpec,
+    link_bandwidth_bps: f64,
+    link_latency_s: f64,
+    batched: bool,
+    plan: &ShardPlan,
+) -> (StepCost, f64) {
+    let base = batched_step_time(cfg, work, gpu, link_bandwidth_bps, link_latency_s, batched);
+    let shards = plan.shards() as f64;
+    if work.is_empty() || plan.shards() <= 1 {
+        return (base, 0.0);
+    }
+    let pp = plan.pipeline_stages as f64;
+    let tp = plan.tensor_parallel as f64;
+    let new_tokens = work.prefill_tokens + work.decode_members;
+    let flops = new_tokens as f64 * cfg.flops_per_token();
+    let weight_reads = if batched { 1 } else { work.members() } as f64;
+    let kv_traffic =
+        (work.kv_resident_tokens + new_tokens) as f64 * cfg.kv_bytes_per_token() as f64;
+
+    // One stage's kernel sweep: 1/shards of the weight stream and flops,
+    // 1/pp of the KV reads (caches live with their layers).
+    let stage_bytes = weight_reads * cfg.weight_bytes() as f64 / shards + kv_traffic / pp;
+    let stage_compute = gpu.kernel_time(flops / shards, stage_bytes);
+    // Pipeline fill/drain bubbles: `b` in-flight members keep at most
+    // `b` stages busy, so the per-step barrier is the classic
+    // (pp - 1 + b) / b microbatch factor (b = 1 → ×pp, no speedup).
+    let b = work.members().max(1) as f64;
+    let compute_s = stage_compute * (pp - 1.0 + b) / b;
+
+    // Collectives per step: tensor parallelism runs one all_gather
+    // (attention output) and one all_reduce-shaped chain (MLP row
+    // partials) per layer, each moving (tp-1)/tp of the activation;
+    // pipeline parallelism ships the activation across pp-1 stage hops.
+    let act_bytes = new_tokens as f64 * cfg.d_model as f64 * cfg.elem.size_bytes() as f64;
+    let mut collective_bytes = 0.0f64;
+    let mut collective_rounds = 0u64;
+    if plan.tensor_parallel > 1 {
+        let rounds = 2 * cfg.layers as u64;
+        collective_bytes += rounds as f64 * act_bytes * (tp - 1.0) / tp;
+        collective_rounds += rounds;
+    }
+    if plan.pipeline_stages > 1 {
+        let hops = plan.pipeline_stages as u64 - 1;
+        collective_bytes += hops as f64 * act_bytes;
+        collective_rounds += hops;
+    }
+    let collective_s = collective_bytes / plan.fabric_bandwidth_bps
+        + collective_rounds as f64 * plan.fabric_latency_s;
+
+    (
+        StepCost {
+            compute_s,
+            network_s: base.network_s,
+            net_latency_s: base.net_latency_s,
+            net_payload_s: base.net_payload_s,
+        },
+        collective_s,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +269,92 @@ mod tests {
             "step {}",
             one.compute_s
         );
+    }
+
+    fn sharded_gptj(pp: u32, tp: u32, fabric_bw: f64) -> (StepCost, f64) {
+        let cfg = TransformerConfig::gptj_6b();
+        let work = StepWork {
+            prefill_members: 0,
+            prefill_tokens: 0,
+            decode_members: 8,
+            kv_resident_tokens: 8 * 64,
+        };
+        sharded_step_time(
+            &cfg,
+            &work,
+            &GpuSpec::a100_80gb(),
+            25e9,
+            250e-6,
+            true,
+            &ShardPlan {
+                pipeline_stages: pp,
+                tensor_parallel: tp,
+                fabric_bandwidth_bps: fabric_bw,
+                fabric_latency_s: 5e-6,
+            },
+        )
+    }
+
+    #[test]
+    fn single_shard_matches_batched_pricing() {
+        let (cost, coll) = sharded_gptj(1, 1, 100e9);
+        let base = gptj_step(8, true);
+        assert_eq!(cost, base);
+        assert_eq!(coll, 0.0);
+    }
+
+    #[test]
+    fn tensor_parallel_splits_the_weight_stream() {
+        let base = gptj_step(8, true);
+        let (tp2, coll) = sharded_gptj(1, 2, 100e9);
+        // Decode is weight-stream bound; two ranks stream half each.
+        assert!(tp2.compute_s < base.compute_s * 0.6, "{tp2:?} vs {base:?}");
+        assert!(coll > 0.0);
+        // Two devices beat one on wall clock at a 100 Gbps fabric.
+        assert!(tp2.compute_s + coll < base.compute_s);
+    }
+
+    #[test]
+    fn collective_time_shrinks_with_fabric_bandwidth() {
+        let (_, slow) = sharded_gptj(1, 2, 10e9);
+        let (_, fast) = sharded_gptj(1, 2, 100e9);
+        assert!(slow > fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn pipeline_needs_in_flight_members_to_overlap() {
+        let cfg = TransformerConfig::gptj_6b();
+        let one = StepWork {
+            prefill_members: 0,
+            prefill_tokens: 0,
+            decode_members: 1,
+            kv_resident_tokens: 64,
+        };
+        let plan = ShardPlan {
+            pipeline_stages: 2,
+            tensor_parallel: 1,
+            fabric_bandwidth_bps: 100e9,
+            fabric_latency_s: 5e-6,
+        };
+        let gpu = GpuSpec::a100_80gb();
+        let (solo, _) = sharded_step_time(&cfg, &one, &gpu, 25e9, 250e-6, true, &plan);
+        let base = batched_step_time(&cfg, &one, &gpu, 25e9, 250e-6, true);
+        // One member fills one stage at a time: no compute speedup.
+        assert!(
+            (solo.compute_s - base.compute_s).abs() < base.compute_s * 0.05,
+            "{} vs {}",
+            solo.compute_s,
+            base.compute_s
+        );
+        // Eight members keep both stages busy.
+        let eight = StepWork {
+            decode_members: 8,
+            kv_resident_tokens: 8 * 64,
+            ..one
+        };
+        let (busy, _) = sharded_step_time(&cfg, &eight, &gpu, 25e9, 250e-6, true, &plan);
+        let base8 = batched_step_time(&cfg, &eight, &gpu, 25e9, 250e-6, true);
+        assert!(busy.compute_s < base8.compute_s * 0.7);
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn serving_config(lanes: u32, batched: bool) -> ServingConfig {
         slo: genie_serving::SloConfig::paper_default(),
         record_telemetry: false,
         disagg: None,
+        shard: None,
     }
 }
 

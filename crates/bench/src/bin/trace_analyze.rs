@@ -23,8 +23,22 @@ use genie_serving::{
     ArrivalConfig, DisaggConfig, MigrationPolicy, ServingConfig, ServingLoop, ServingModel,
     ServingReport,
 };
-use genie_telemetry::causal::{self, BlameReport, WhatIf};
+use genie_telemetry::causal::{self, BlameFractions, BlameReport, WhatIf};
 use serde_json::json;
+
+/// Render blame fractions field by field — the schema the CI jq gate
+/// sums over, so every category (including `collective`) must appear.
+fn fractions_json(f: &BlameFractions) -> serde_json::Value {
+    json!({
+        "queue": f.queue,
+        "compute": f.compute,
+        "transfer": f.transfer,
+        "fault": f.fault,
+        "reprefill": f.reprefill,
+        "migrate": f.migrate,
+        "collective": f.collective,
+    })
+}
 
 const SEED: u64 = 42;
 const CHAOS_SEED: u64 = 7;
@@ -157,7 +171,7 @@ fn mean_fractions(blame: &BlameReport) -> (f64, f64, f64, f64, f64, f64) {
 }
 
 fn scenario_json(blame: &BlameReport, report: &ServingReport) -> serde_json::Value {
-    let what_ifs = vec![
+    let what_ifs = [
         causal::what_if(blame, "observed", &WhatIf::observed()),
         causal::what_if(blame, "link_bandwidth_2x", &WhatIf::link_bandwidth(2.0)),
         causal::what_if(blame, "zero_faults", &WhatIf::zero_faults()),
@@ -166,10 +180,22 @@ fn scenario_json(blame: &BlameReport, report: &ServingReport) -> serde_json::Val
     json!({
         "completed": blame.requests.len(),
         "shed": blame.shed,
-        "profile_p50": blame.profile_p50,
-        "profile_p99": blame.profile_p99,
-        "what_if": what_ifs,
-        "slo": report.slo,
+        "profile_p50": fractions_json(&blame.profile_p50),
+        "profile_p99": fractions_json(&blame.profile_p99),
+        "what_if": what_ifs.iter().map(|w| json!({
+            "scenario": w.scenario.clone(),
+            "observed_mean_ns": w.observed_mean_ns,
+            "predicted_mean_ns": w.predicted_mean_ns,
+            "speedup": w.speedup,
+        })).collect::<Vec<_>>(),
+        "slo": json!({
+            "per_tenant": report.slo.per_tenant.iter().map(|(t, s)| json!({
+                "tenant": t,
+                "observed": s.observed,
+                "violations": s.violations,
+                "burn_rate": s.burn_rate,
+            })).collect::<Vec<_>>(),
+        }),
     })
 }
 
@@ -241,7 +267,7 @@ fn main() {
         "requests": chaos_blame.requests.iter().map(|r| json!({
             "request": r.request,
             "ttlt_ns": r.ttlt_ns,
-            "fractions": r.fractions,
+            "fractions": fractions_json(&r.fractions),
         })).collect::<Vec<_>>(),
         "baseline": scenario_json(&baseline_blame, &baseline),
         "chaos": scenario_json(&chaos_blame, &chaos),

@@ -116,6 +116,17 @@ impl CaptureCtx {
         self.state.lock().module_stack.join(".")
     }
 
+    /// Nodes recorded so far. Snapshot before/after a region to attribute
+    /// the nodes it created (sharding assignment does exactly this).
+    pub fn node_count(&self) -> usize {
+        self.state
+            .lock()
+            .srg
+            .as_ref()
+            .expect("capture already finished")
+            .node_count()
+    }
+
     // ---- sources ----------------------------------------------------
 
     /// Declare a model parameter. `payload` is `Some` on the functional
@@ -320,6 +331,55 @@ impl CaptureCtx {
             tensor,
             meta: out_meta,
         }
+    }
+
+    /// Fixed-order all-reduce over per-shard partial sums: the parts are
+    /// summed in ascending rank (slot) order with a left-leaning fold,
+    /// bit-identical to accumulating them sequentially on one device.
+    pub fn all_reduce(&self, parts: &[&LazyTensor]) -> LazyTensor {
+        assert!(!parts.is_empty(), "all_reduce of zero shards");
+        for p in parts {
+            assert_eq!(p.dims(), parts[0].dims(), "all_reduce shape mismatch");
+        }
+        let meta = parts[0].meta.clone();
+        let bytes = meta.size_bytes() as f64;
+        let k = parts.len() as f64;
+        self.record(
+            OpKind::AllReduce,
+            "all_reduce",
+            parts,
+            meta,
+            CostHints::new(
+                k * bytes / 4.0, // one add per element per extra shard
+                k * bytes,
+                bytes,
+            ),
+            &[("shards", parts.len().to_string())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Fixed-order all-gather: concatenate per-shard slices along `dim`
+    /// in ascending rank (slot) order.
+    pub fn all_gather(&self, parts: &[&LazyTensor], dim: usize) -> LazyTensor {
+        assert!(!parts.is_empty(), "all_gather of zero shards");
+        let mut shape = parts[0].dims().to_vec();
+        assert!(dim < shape.len(), "all_gather dim out of range");
+        shape[dim] = parts.iter().map(|p| p.dims()[dim]).sum();
+        let meta = TensorMeta::new(shape, parts[0].meta.elem);
+        let bytes = meta.size_bytes() as f64;
+        self.record(
+            OpKind::AllGather,
+            "all_gather",
+            parts,
+            meta,
+            CostHints::new(0.0, bytes, bytes),
+            &[
+                ("dim", dim.to_string()),
+                ("shards", parts.len().to_string()),
+            ],
+            Residency::EphemeralActivation,
+        )
     }
 
     fn lazy(&self, node: NodeId, meta: TensorMeta) -> LazyTensor {
@@ -669,6 +729,54 @@ impl LazyTensor {
             out,
             CostHints::new((n * d) as f64, bytes, d as f64 * self.es()),
             &[("pooled", "true".into())],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    // ---- sharding / collectives -------------------------------------
+
+    /// Matmul continuing a carried accumulator:
+    /// `init[m,n] + self[m,k] · rhs[k,n]`. Chained over contiguous
+    /// reduction-range chunks this is bit-identical to the unsharded
+    /// matmul (the accumulation order is the scalar reference order),
+    /// which makes row-parallel sharding exact.
+    pub fn matmul_acc(&self, rhs: &LazyTensor, init: &LazyTensor) -> LazyTensor {
+        assert_eq!(self.dims().len(), 2, "matmul_acc lhs rank");
+        assert_eq!(rhs.dims().len(), 2, "matmul_acc rhs rank");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul_acc inner dims {k} vs {k2}");
+        assert_eq!(init.dims(), &[m, n], "matmul_acc init shape");
+        let out = TensorMeta::new([m, n], self.meta.elem);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let read = (m * k + k * n + m * n) as f64 * self.es();
+        let write = (m * n) as f64 * self.es();
+        self.ctx.record(
+            OpKind::MatMulAcc,
+            "matmul_acc",
+            &[self, rhs, init],
+            out,
+            CostHints::new(flops, read, write),
+            &[],
+            Residency::EphemeralActivation,
+        )
+    }
+
+    /// Point-to-point activation send between shards. Arithmetic
+    /// identity; the scheduler prices it as `from_shard → to_shard`
+    /// fabric traffic.
+    pub fn send_activation(&self, from_shard: u32, to_shard: u32) -> LazyTensor {
+        let bytes = self.size_bytes() as f64;
+        self.ctx.record(
+            OpKind::SendActivation,
+            "send",
+            &[self],
+            self.meta.clone(),
+            CostHints::new(0.0, bytes, bytes),
+            &[
+                ("from_shard", from_shard.to_string()),
+                ("to_shard", to_shard.to_string()),
+            ],
             Residency::EphemeralActivation,
         )
     }

@@ -239,7 +239,7 @@ fn publish_dispatch_delta(before: &genie_tensor::stats::Snapshot) {
     }
 }
 
-fn eval_node(
+pub(crate) fn eval_node(
     srg: &Srg,
     id: NodeId,
     op: &OpKind,
@@ -378,6 +378,22 @@ fn eval_node(
             let last = ops::narrow(logits, 0, t - 1, 1);
             Value::I(ops::argmax_lastdim(&last))
         }
+        OpKind::MatMulAcc => Value::F(ops::matmul_acc(
+            inputs[0].as_f("matmul_acc"),
+            inputs[1].as_f("matmul_acc"),
+            inputs[2].as_f("acc"),
+        )),
+        OpKind::AllReduce => {
+            let parts: Vec<&Tensor> = inputs.iter().map(|v| v.as_f("all_reduce")).collect();
+            Value::F(ops::all_reduce_sum(&parts))
+        }
+        OpKind::AllGather => {
+            let parts: Vec<&Tensor> = inputs.iter().map(|v| v.as_f("all_gather")).collect();
+            Value::F(ops::all_gather(&parts, attr_usize("dim")))
+        }
+        // A point-to-point send is the identity on the value; its cost
+        // lives in the plan's transfer schedule, not the arithmetic.
+        OpKind::SendActivation => inputs[0].clone(),
         OpKind::Output => inputs[0].clone(),
         other => {
             return Err(InterpError::Unsupported {

@@ -47,11 +47,13 @@ pub mod capture;
 pub mod interp;
 pub mod patterns;
 pub mod recapture;
+pub mod shard;
 pub mod structure;
 pub mod value;
 
 pub use capture::{CaptureCtx, CapturedGraph, LazyTensor};
 pub use recapture::RecaptureSession;
+pub use shard::{execute_sharded, ShardExecReport};
 pub use value::Value;
 
 /// Convenient glob import for frontend users.

@@ -26,6 +26,7 @@ pub mod cnn;
 pub mod config;
 pub mod dlrm;
 pub mod multimodal;
+pub mod sharded;
 pub mod transformer;
 pub mod zoo;
 
@@ -33,5 +34,6 @@ pub use cnn::SimpleCnn;
 pub use config::{CnnConfig, DlrmConfig, TransformerConfig};
 pub use dlrm::Dlrm;
 pub use multimodal::{Multimodal, MultimodalConfig};
+pub use sharded::{ShardedLmCapture, ShardedTransformerLm};
 pub use transformer::{KvState, LmCapture, TransformerLm};
 pub use zoo::{functional_transformers, Workload};

@@ -14,15 +14,15 @@ use std::collections::HashMap;
 
 /// Per-layer weight payloads (functional plane only).
 #[derive(Clone, Debug)]
-struct LayerWeights {
-    wq: Tensor,
-    wk: Tensor,
-    wv: Tensor,
-    wo: Tensor,
-    w1: Tensor,
-    w2: Tensor,
-    ln_g: Tensor,
-    ln_b: Tensor,
+pub(crate) struct LayerWeights {
+    pub(crate) wq: Tensor,
+    pub(crate) wk: Tensor,
+    pub(crate) wv: Tensor,
+    pub(crate) wo: Tensor,
+    pub(crate) w1: Tensor,
+    pub(crate) w2: Tensor,
+    pub(crate) ln_g: Tensor,
+    pub(crate) ln_b: Tensor,
 }
 
 /// A transformer LM. `weights` is `Some` for functional configs.
@@ -34,12 +34,12 @@ pub struct TransformerLm {
 }
 
 #[derive(Clone, Debug)]
-struct ModelWeights {
-    wte: Tensor,
-    layers: Vec<LayerWeights>,
-    lnf_g: Tensor,
-    lnf_b: Tensor,
-    lm_head: Tensor,
+pub(crate) struct ModelWeights {
+    pub(crate) wte: Tensor,
+    pub(crate) layers: Vec<LayerWeights>,
+    pub(crate) lnf_g: Tensor,
+    pub(crate) lnf_b: Tensor,
+    pub(crate) lm_head: Tensor,
 }
 
 /// The KV state carried between decode steps: per-layer K and V tensors.
@@ -146,6 +146,11 @@ impl TransformerLm {
     /// Whether this model carries real weights.
     pub fn is_functional(&self) -> bool {
         self.weights.is_some()
+    }
+
+    /// Crate-internal weight access (the sharded wrapper narrows these).
+    pub(crate) fn weights(&self) -> Option<&ModelWeights> {
+        self.weights.as_ref()
     }
 
     /// Capture the prefill graph for a prompt. With payloads when
@@ -322,11 +327,14 @@ impl TransformerLm {
     }
 }
 
-fn take_token(values: &HashMap<genie_srg::NodeId, Value>, node: genie_srg::NodeId) -> i64 {
+pub(crate) fn take_token(
+    values: &HashMap<genie_srg::NodeId, Value>,
+    node: genie_srg::NodeId,
+) -> i64 {
     values[&node].as_i("sampled token").data()[0]
 }
 
-fn collect_kv(values: &HashMap<genie_srg::NodeId, Value>, cap: &LmCapture) -> KvState {
+pub(crate) fn collect_kv(values: &HashMap<genie_srg::NodeId, Value>, cap: &LmCapture) -> KvState {
     KvState {
         k: cap
             .k_caches
@@ -444,7 +452,7 @@ mod tests {
         // blocks from module paths alone.
         let m = TransformerLm::new_spec(TransformerConfig::gptj_6b());
         let ctx = CaptureCtx::new("p");
-        let cap = m.capture_prefill(&ctx, &vec![0; 8]);
+        let cap = m.capture_prefill(&ctx, &[0; 8]);
         cap.logits.mark_output();
         let srg = ctx.finish().srg;
         let blocks = genie_frontend::structure::repeated_blocks(&srg);

@@ -44,6 +44,6 @@ pub use cost::{CostCacheStats, CostModel};
 pub use global::migrate::{KvMigrationPlanner, MigrationDecision, MigrationPlan};
 pub use lint::lint_plan;
 pub use plan::{CostBreakdown, ExecutionPlan, Location, Transfer};
-pub use policy::{DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware};
+pub use policy::{DataAware, LeastLoaded, Policy, RoundRobin, SemanticsAware, Sharded};
 pub use schedule::{schedule, schedule_checked, schedule_with_lints};
 pub use view::ClusterView;

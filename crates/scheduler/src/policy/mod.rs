@@ -16,11 +16,13 @@ mod data_aware;
 mod least_loaded;
 mod round_robin;
 mod semantics_aware;
+mod sharded;
 
 pub use data_aware::DataAware;
 pub use least_loaded::LeastLoaded;
 pub use round_robin::RoundRobin;
 pub use semantics_aware::SemanticsAware;
+pub use sharded::Sharded;
 
 use crate::plan::Location;
 use crate::view::ClusterView;

@@ -33,12 +33,13 @@ use crate::kv::KvLedger;
 use crate::report::ServingReport;
 use crate::request::{EventKind, LogEvent, Outcome, ServingRequest, ShedReason};
 use crate::slo::{SloConfig, SloTracker};
-use genie_backend::{batched_step_time, StepWork};
+use genie_backend::{batched_step_time, sharded_step_time, ShardPlan, StepWork};
 use genie_cluster::GpuSpec;
 use genie_frontend::capture::CaptureCtx;
 use genie_models::{KvState, TransformerConfig, TransformerLm};
 use genie_netsim::{FaultPlan, FaultSpec, Nanos, TransferOutcome, XorShift64};
 use genie_scheduler::{CostModel, KvMigrationPlanner, MigrationDecision};
+use genie_srg::shard::ShardSpec;
 use genie_telemetry::causal::{MemberPhase, StepMember, StepSlice};
 use genie_telemetry::{SemAttrs, SpanKind, SpanRecord, Track, DEFAULT_TIME_BOUNDS};
 use std::collections::{BTreeMap, VecDeque};
@@ -139,6 +140,11 @@ pub struct ServingConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Prefill/decode disaggregation (colocated serving when `None`).
     pub disagg: Option<DisaggConfig>,
+    /// Shard each lane's model across fabric-attached devices
+    /// (`pipeline_stages × tensor_parallel`); `None` keeps one device
+    /// per lane. Collective traffic rides the same link the lane uses
+    /// and is blamed to the `collective` causal category.
+    pub shard: Option<ShardSpec>,
     /// Per-tenant SLO policy for burn-rate accounting (TTFT target,
     /// error budget, rolling window, sampling).
     pub slo: SloConfig,
@@ -163,6 +169,7 @@ impl ServingConfig {
             link_latency_s: 250e-6,
             fault_plan: None,
             disagg: None,
+            shard: None,
             slo: SloConfig::paper_default(),
             record_telemetry: true,
         }
@@ -683,7 +690,7 @@ impl ServingLoop {
             // net-latency, net-payload, fault) seconds plus the member
             // roster with phases, recorded as [`StepSlice`]s for blame
             // analysis.
-            let mut lane_parts = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); lanes];
+            let mut lane_parts = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64); lanes];
             let mut lane_members: Vec<Vec<StepMember>> = vec![Vec::new(); lanes];
             for (lane, roster) in rosters.iter().enumerate() {
                 if roster.is_empty() {
@@ -720,15 +727,35 @@ impl ServingLoop {
                     decode_members,
                     kv_resident_tokens,
                 };
-                let cost = batched_step_time(
-                    &cfg,
-                    &work,
-                    &self.config.gpu,
-                    self.config.link_bandwidth_bps,
-                    self.config.link_latency_s,
-                    self.config.batched,
-                );
-                let mut secs = cost.total_s();
+                let (cost, collective_s) = match &self.config.shard {
+                    Some(spec) if spec.shards() > 1 => sharded_step_time(
+                        &cfg,
+                        &work,
+                        &self.config.gpu,
+                        self.config.link_bandwidth_bps,
+                        self.config.link_latency_s,
+                        self.config.batched,
+                        &ShardPlan {
+                            pipeline_stages: spec.pipeline_stages,
+                            tensor_parallel: spec.tensor_parallel,
+                            fabric_bandwidth_bps: self.config.link_bandwidth_bps,
+                            fabric_latency_s: self.config.link_latency_s,
+                        },
+                    ),
+                    _ => (
+                        batched_step_time(
+                            &cfg,
+                            &work,
+                            &self.config.gpu,
+                            self.config.link_bandwidth_bps,
+                            self.config.link_latency_s,
+                            self.config.batched,
+                        ),
+                        0.0,
+                    ),
+                };
+                let clean_s = cost.total_s() + collective_s;
+                let mut secs = clean_s;
                 if let Some(plan) = &self.config.fault_plan {
                     let host = 1 + lane as u32;
                     let mut derate = 1.0f64;
@@ -742,7 +769,8 @@ impl ServingLoop {
                             _ => {}
                         }
                     }
-                    secs = cost.compute_s + cost.network_s / derate + jitter;
+                    // Collectives ride the same derated fabric.
+                    secs = cost.compute_s + (cost.network_s + collective_s) / derate + jitter;
                     // A severed link stalls the lane until every outage
                     // window containing the stall point has closed.
                     let mut resume = now;
@@ -765,12 +793,13 @@ impl ServingLoop {
                 // Everything the fault schedule added over the clean
                 // roofline cost (derate inflation, jitter, outage
                 // stall) is fault-attributable time.
-                let fault_s = (secs - cost.total_s()).max(0.0);
+                let fault_s = (secs - clean_s).max(0.0);
                 lane_parts[lane] = (
                     cost.compute_s,
                     cost.net_latency_s,
                     cost.net_payload_s,
                     fault_s,
+                    collective_s,
                 );
                 lane_secs[lane] = secs;
             }
@@ -788,18 +817,22 @@ impl ServingLoop {
                 if members.is_empty() {
                     continue;
                 }
-                let (compute_s, net_latency_s, net_payload_s, fault_s) = lane_parts[lane];
-                report.slices.push(StepSlice::from_secs(
-                    lane as u32,
-                    steps,
-                    now.0,
-                    step_end.0,
-                    compute_s,
-                    net_latency_s,
-                    net_payload_s,
-                    fault_s,
-                    std::mem::take(members),
-                ));
+                let (compute_s, net_latency_s, net_payload_s, fault_s, collective_s) =
+                    lane_parts[lane];
+                report.slices.push(
+                    StepSlice::from_secs(
+                        lane as u32,
+                        steps,
+                        now.0,
+                        step_end.0,
+                        compute_s,
+                        net_latency_s,
+                        net_payload_s,
+                        fault_s,
+                        std::mem::take(members),
+                    )
+                    .with_collective(collective_s),
+                );
             }
 
             // 7. Execute every member: prefill (fresh or re-prefill) or
@@ -1352,6 +1385,75 @@ mod tests {
             "batching must amortize weight reads: {} vs {}",
             batched.tokens_per_s(),
             sequential.tokens_per_s()
+        );
+    }
+
+    #[test]
+    fn sharded_lane_records_collective_blame_and_beats_one_device() {
+        // A fast local fabric (100 Gbps / 5 µs) where 2-way tensor
+        // parallelism should win despite the collective tax.
+        let fast = |shard: Option<ShardSpec>| {
+            let mut c = spec_config();
+            c.link_bandwidth_bps = 100e9;
+            c.link_latency_s = 5e-6;
+            c.shard = shard;
+            c
+        };
+        let reqs = burst(8, 16, 16);
+        let cfg = TransformerConfig::gptj_6b();
+        let sharded = ServingLoop::new(
+            ServingModel::Spec(cfg.clone()),
+            fast(Some(ShardSpec::tensor(2))),
+        )
+        .run(&reqs);
+        let flat = ServingLoop::new(ServingModel::Spec(cfg), fast(None)).run(&reqs);
+        assert_eq!(sharded.completed(), 8);
+
+        // Collective time is recorded on the slices and surfaces as its
+        // own blame category, with the tiling invariant intact.
+        assert!(
+            sharded.slices.iter().any(|s| s.collective_ns > 0),
+            "sharded steps must attribute collective time"
+        );
+        assert!(flat.slices.iter().all(|s| s.collective_ns == 0));
+        let blame = genie_telemetry::causal::analyze(&sharded.causal_doc());
+        let mut saw_collective = false;
+        for r in &blame.requests {
+            assert!(
+                (r.fractions.sum() - 1.0).abs() < 1e-6,
+                "blame fractions tile: {:?}",
+                r.fractions
+            );
+            saw_collective |= r.fractions.collective > 0.0;
+        }
+        assert!(saw_collective, "collective blame must be attributed");
+
+        // Two devices stream half the weights each: faster end-to-end.
+        assert!(
+            sharded.makespan < flat.makespan,
+            "2-way TP on a fast fabric must beat one device: {:?} vs {:?}",
+            sharded.makespan,
+            flat.makespan
+        );
+    }
+
+    #[test]
+    fn paper_fabric_latency_erodes_the_sharding_win() {
+        // Same sweep on the paper's 25 Gbps / 250 µs testbed: every
+        // per-layer collective pays the fabric round trip, so 2-way TP
+        // loses more to latency than it gains from the split weight
+        // stream — the paper's disaggregation-tax argument, quantified.
+        let reqs = burst(8, 16, 16);
+        let cfg = TransformerConfig::gptj_6b();
+        let mut conf = spec_config();
+        conf.shard = Some(ShardSpec::tensor(2));
+        let sharded = ServingLoop::new(ServingModel::Spec(cfg.clone()), conf).run(&reqs);
+        let flat = ServingLoop::new(ServingModel::Spec(cfg), spec_config()).run(&reqs);
+        assert!(
+            sharded.makespan > flat.makespan,
+            "250 µs collectives must erase the TP win: {:?} vs {:?}",
+            sharded.makespan,
+            flat.makespan
         );
     }
 

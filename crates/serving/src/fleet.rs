@@ -19,6 +19,7 @@ use genie_models::TransformerConfig;
 use genie_netsim::Nanos;
 use genie_scheduler::global::tenant::TenantRequest;
 use genie_scheduler::global::{FleetEvent, GlobalScheduler};
+use genie_srg::shard::ShardSpec;
 
 /// The fleet's answer for one serving tenant.
 #[derive(Clone, Debug)]
@@ -83,6 +84,61 @@ pub fn bind_tenant(
     }
 }
 
+/// Admit a *sharded* tenant: same lint gate and scheduler admission as
+/// [`bind_tenant`], but the assigned devices are grouped into shard
+/// sets of `spec.shards()` — one serving lane per complete group. Each
+/// device in a group holds `1/shards` of the weights, so the per-lane
+/// KV budget is derived from that smaller resident footprint. A tenant
+/// whose spec is invalid, or whose assignment cannot fill one complete
+/// group, is refused.
+pub fn bind_sharded_tenant(
+    sched: &mut GlobalScheduler,
+    topo: &Topology,
+    model: &TransformerConfig,
+    tenant: TenantRequest,
+    spec: ShardSpec,
+    now: Nanos,
+) -> FleetBinding {
+    let refused = FleetBinding {
+        admitted: false,
+        devices: Vec::new(),
+        lanes: 0,
+        kv_capacity_bytes: 0,
+    };
+    if spec.validate().is_err() {
+        return refused;
+    }
+    let binding = bind_tenant(sched, topo, model, tenant, now);
+    if !binding.admitted {
+        return binding;
+    }
+    let shards = spec.shards() as usize;
+    let groups = binding.devices.len() / shards;
+    if groups == 0 {
+        return refused;
+    }
+    // Keep only complete shard groups; each holds 1/shards of the
+    // weights per device.
+    let devices: Vec<DevId> = binding.devices[..groups * shards].to_vec();
+    let per_shard_weights = model.weight_bytes() / shards as u64;
+    let per_lane = devices
+        .iter()
+        .map(|d| {
+            topo.device(*d)
+                .spec
+                .mem_capacity
+                .saturating_sub(per_shard_weights)
+        })
+        .min()
+        .unwrap_or(0);
+    FleetBinding {
+        admitted: per_lane > 0,
+        lanes: groups as u32,
+        devices,
+        kv_capacity_bytes: per_lane,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +171,48 @@ mod tests {
             "kv budget {}",
             binding.kv_capacity_bytes
         );
+    }
+
+    #[test]
+    fn sharded_tenant_groups_devices_and_gains_kv_headroom() {
+        let topo = Topology::heterogeneous_fleet(2, 25e9);
+        let cfg = TransformerConfig::gptj_6b();
+        let tenant = |id| TenantRequest {
+            id,
+            name: format!("llm-{id}"),
+            srg: Workload::LlmServing.spec_graph(),
+            slo: Slo::Interactive,
+            model_fingerprint: 7,
+        };
+        let mut sched = GlobalScheduler::new(topo.clone(), CostModel::paper_stack());
+        let flat = bind_tenant(&mut sched, &topo, &cfg, tenant(1), Nanos::ZERO);
+        assert!(flat.admitted);
+
+        let mut sched = GlobalScheduler::new(topo.clone(), CostModel::paper_stack());
+        let spec = ShardSpec::tensor(2);
+        let sharded = bind_sharded_tenant(&mut sched, &topo, &cfg, tenant(1), spec, Nanos::ZERO);
+        if sharded.admitted {
+            // Lanes are whole shard groups, and each device holds half
+            // the weights, so the per-lane KV budget can only improve.
+            assert_eq!(sharded.devices.len() as u32, sharded.lanes * spec.shards());
+            assert!(sharded.kv_capacity_bytes >= flat.kv_capacity_bytes);
+        } else {
+            // Refusal is only legitimate when no complete group fits.
+            assert!((flat.devices.len() as u32) < spec.shards());
+        }
+
+        // A plan wider than the whole fleet can never bind.
+        let mut sched = GlobalScheduler::new(topo.clone(), CostModel::paper_stack());
+        let wide = bind_sharded_tenant(
+            &mut sched,
+            &topo,
+            &cfg,
+            tenant(2),
+            ShardSpec::new(64, 64),
+            Nanos::ZERO,
+        );
+        assert!(!wide.admitted);
+        assert!(wide.devices.is_empty());
     }
 
     #[test]

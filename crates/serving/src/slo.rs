@@ -84,7 +84,7 @@ impl SloTracker {
         let w = self.tenants.entry(tenant).or_default();
         let idx = w.seen;
         w.seen += 1;
-        if idx % self.config.sample_every != 0 {
+        if !idx.is_multiple_of(self.config.sample_every) {
             return;
         }
         w.observed += 1;

@@ -34,6 +34,7 @@ fn config(lanes: u32, max_batch: usize, kv_tokens: u64, budget_ms: u64) -> Servi
         slo: genie_serving::SloConfig::paper_default(),
         record_telemetry: false,
         disagg: None,
+        shard: None,
     }
 }
 

@@ -51,6 +51,7 @@ fn config(
         slo: genie_serving::SloConfig::paper_default(),
         record_telemetry: false,
         disagg: Some(d),
+        shard: None,
     }
 }
 

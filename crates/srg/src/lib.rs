@@ -60,6 +60,7 @@ pub mod ids;
 pub mod node;
 pub mod redact;
 pub mod serialize;
+pub mod shard;
 pub mod stats;
 pub mod traverse;
 pub mod validate;
@@ -71,3 +72,4 @@ pub use edge::Edge;
 pub use graph::Srg;
 pub use ids::{DeviceId, EdgeId, NodeId, TensorId};
 pub use node::{Node, OpKind};
+pub use shard::{Partition, ShardSpec, ShardedGraph};

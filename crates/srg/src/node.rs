@@ -57,6 +57,18 @@ pub enum OpKind {
     /// Sample / argmax over logits, collapsing a vocab-sized tensor to one
     /// token id.
     Sample,
+    /// Collective sum over per-shard partials (fixed rank order, so the
+    /// reduction is deterministic and bit-reproducible).
+    AllReduce,
+    /// Collective concatenation of per-shard slices along a dimension,
+    /// in ascending rank order.
+    AllGather,
+    /// Point-to-point activation send between pipeline stages.
+    SendActivation,
+    /// Matmul that continues a carried accumulator: `init + a @ b`,
+    /// folding `a @ b`'s reduction on top of `init` element-by-element.
+    /// The building block of bit-exact row-parallel sharding.
+    MatMulAcc,
     /// Graph input placeholder.
     Input,
     /// Materialized parameter (weight) placeholder.
@@ -107,6 +119,10 @@ impl OpKind {
             OpKind::Reduce => "reduce",
             OpKind::KvAppend => "kv_append",
             OpKind::Sample => "sample",
+            OpKind::AllReduce => "all_reduce",
+            OpKind::AllGather => "all_gather",
+            OpKind::SendActivation => "send",
+            OpKind::MatMulAcc => "matmul_acc",
             OpKind::Input => "input",
             OpKind::Parameter => "parameter",
             OpKind::Output => "output",

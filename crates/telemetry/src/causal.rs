@@ -188,6 +188,11 @@ pub struct StepSlice {
     pub net_payload_ns: u64,
     /// Fault-induced time: derate inflation + jitter + outage stall, ns.
     pub fault_ns: u64,
+    /// Collective time: all_reduce / all_gather / activation-send link
+    /// traffic of a sharded tenant's step, ns. Zero for unsharded runs
+    /// (and for traces recorded before sharding existed).
+    #[serde(default)]
+    pub collective_ns: u64,
     /// Batch members resident on this lane for this step.
     pub members: Vec<StepMember>,
 }
@@ -232,8 +237,18 @@ impl StepSlice {
             net_latency_ns,
             net_payload_ns,
             fault_ns,
+            collective_ns: 0,
             members,
         }
+    }
+
+    /// Assign `secs` of this step to collective traffic, clamped (like
+    /// every other component) by the nanoseconds still unassigned, so
+    /// the tiling invariant survives float rounding.
+    pub fn with_collective(mut self, secs: f64) -> Self {
+        let ns = ((secs.max(0.0)) * 1e9).round() as u64;
+        self.collective_ns = ns.min(self.sync_ns());
+        self
     }
 
     /// Synchronization residue: step time not assigned to any
@@ -244,6 +259,7 @@ impl StepSlice {
             - self.net_latency_ns
             - self.net_payload_ns
             - self.fault_ns
+            - self.collective_ns
     }
 }
 
@@ -284,6 +300,10 @@ pub struct BlameBreakdown {
     /// (disaggregated serving): the interval between `MigrateStart`
     /// and `MigrateDone`/`MigrateFail`, ns.
     pub migrate_ns: u64,
+    /// Collective time (all_reduce / all_gather / activation sends) of
+    /// sharded steps, ns.
+    #[serde(default)]
+    pub collective_ns: u64,
 }
 
 impl BlameBreakdown {
@@ -297,6 +317,7 @@ impl BlameBreakdown {
             + self.fault_ns
             + self.reprefill_ns
             + self.migrate_ns
+            + self.collective_ns
     }
 
     /// Link-transfer nanoseconds (latency + payload).
@@ -316,6 +337,7 @@ impl BlameBreakdown {
                 fault: 0.0,
                 reprefill: 0.0,
                 migrate: 0.0,
+                collective: 0.0,
             };
         }
         let t = total as f64;
@@ -326,6 +348,7 @@ impl BlameBreakdown {
             fault: self.fault_ns as f64 / t,
             reprefill: self.reprefill_ns as f64 / t,
             migrate: self.migrate_ns as f64 / t,
+            collective: self.collective_ns as f64 / t,
         }
     }
 }
@@ -345,12 +368,21 @@ pub struct BlameFractions {
     pub reprefill: f64,
     /// KV-migration share (prefill→decode prefix shipping).
     pub migrate: f64,
+    /// Collective share (sharded all_reduce / all_gather / sends).
+    #[serde(default)]
+    pub collective: f64,
 }
 
 impl BlameFractions {
-    /// Sum of the six fractions (should be ~1.0 for a real request).
+    /// Sum of the fractions (should be ~1.0 for a real request).
     pub fn sum(&self) -> f64 {
-        self.queue + self.compute + self.transfer + self.fault + self.reprefill + self.migrate
+        self.queue
+            + self.compute
+            + self.transfer
+            + self.fault
+            + self.reprefill
+            + self.migrate
+            + self.collective
     }
 }
 
@@ -439,6 +471,7 @@ fn profile(requests: &[RequestBlame], p: f64) -> BlameFractions {
         fault: dim(&|f| f.fault),
         reprefill: dim(&|f| f.reprefill),
         migrate: dim(&|f| f.migrate),
+        collective: dim(&|f| f.collective),
     }
 }
 
@@ -568,6 +601,7 @@ pub fn analyze(doc: &CausalTraceDoc) -> BlameReport {
             }
             blame.queue_ns += slice.sync_ns();
             blame.fault_ns += slice.fault_ns;
+            blame.collective_ns += slice.collective_ns;
             let kind = match phase {
                 MemberPhase::Reprefill => {
                     blame.reprefill_ns +=
@@ -694,9 +728,10 @@ impl WhatIf {
         let fault = if self.zero_faults { 0 } else { b.fault_ns };
         let x = self.link_bandwidth_x.max(1e-9);
         let payload = (b.net_payload_ns as f64 / x).round() as u64;
-        // KV migration is pure link traffic, so it scales with bandwidth
-        // the same way step payload does.
+        // KV migration and collectives are pure link traffic, so they
+        // scale with bandwidth the same way step payload does.
         let migrate = (b.migrate_ns as f64 / x).round() as u64;
+        let collective = (b.collective_ns as f64 / x).round() as u64;
         queue
             + b.compute_prefill_ns
             + b.compute_decode_ns
@@ -705,6 +740,7 @@ impl WhatIf {
             + fault
             + b.reprefill_ns
             + migrate
+            + collective
     }
 }
 
@@ -772,6 +808,7 @@ mod tests {
                     net_latency_ns: 20,
                     net_payload_ns: 30,
                     fault_ns: 10,
+                    collective_ns: 0,
                     members: vec![StepMember {
                         request: 1,
                         phase: MemberPhase::Prefill,
@@ -786,6 +823,7 @@ mod tests {
                     net_latency_ns: 10,
                     net_payload_ns: 5,
                     fault_ns: 0,
+                    collective_ns: 0,
                     members: vec![StepMember {
                         request: 1,
                         phase: MemberPhase::Decode,
@@ -793,6 +831,62 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn collective_time_is_blamed_and_scales_with_bandwidth() {
+        // One decode step: 100 ns total, 40 compute, 30 collective, the
+        // remaining 30 sync → queue. Collective must tile TTLT, show up
+        // in fractions, and shrink under a what-if bandwidth bump.
+        let mut doc = CausalTraceDoc::default();
+        doc.events.push(CausalEvent {
+            at_ns: 0,
+            request: 1,
+            kind: CausalEventKind::Arrive,
+        });
+        doc.events.push(CausalEvent {
+            at_ns: 100,
+            request: 1,
+            kind: CausalEventKind::Complete,
+        });
+        let slice = StepSlice::from_secs(
+            0,
+            0,
+            0,
+            100,
+            40e-9,
+            0.0,
+            0.0,
+            0.0,
+            vec![StepMember {
+                request: 1,
+                phase: MemberPhase::Decode,
+            }],
+        )
+        .with_collective(30e-9);
+        assert_eq!(slice.collective_ns, 30);
+        assert_eq!(slice.sync_ns(), 30);
+        doc.slices.push(slice);
+
+        let report = analyze(&doc);
+        let r = &report.requests[0];
+        assert_eq!(r.blame.collective_ns, 30);
+        assert_eq!(r.blame.total_ns(), r.ttlt_ns, "collective tiles TTLT");
+        assert!((r.fractions.collective - 0.30).abs() < 1e-9);
+        assert!((r.fractions.sum() - 1.0).abs() < 1e-9);
+
+        // 3x link bandwidth: 30 ns of collective traffic becomes 10.
+        let predicted = WhatIf::link_bandwidth(3.0).replay(r);
+        assert_eq!(predicted, r.ttlt_ns - 20);
+    }
+
+    #[test]
+    fn with_collective_clamps_to_unassigned_time() {
+        // Only 10 ns are unassigned: a 50 ns collective claim clamps.
+        let slice = StepSlice::from_secs(0, 0, 0, 100, 90e-9, 0.0, 0.0, 0.0, Vec::new())
+            .with_collective(50e-9);
+        assert_eq!(slice.collective_ns, 10);
+        assert_eq!(slice.sync_ns(), 0);
     }
 
     #[test]

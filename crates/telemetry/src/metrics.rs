@@ -293,6 +293,10 @@ pub struct BucketSample {
     pub count: u64,
 }
 
+// Referenced via `#[serde(with = "le_serde")]`, which the
+// typecheck-only derive stub does not expand — dead only under the
+// stub, load-bearing against real serde.
+#[allow(dead_code)]
 mod le_serde {
     use serde::de::Error as _;
     use serde::{Deserialize, Deserializer, Serializer};

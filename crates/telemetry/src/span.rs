@@ -12,10 +12,11 @@ use serde::{Deserialize, Serialize};
 /// Which display track an event belongs to. The Chrome/Perfetto exporter
 /// maps tracks to process/thread rows: one row per device, one per link,
 /// and one per runtime thread.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Track {
     /// Host-side runtime work measured on the wall clock (capture,
     /// scheduling, transport, local execution).
+    #[default]
     Runtime,
     /// A simulated accelerator, by device index.
     Device(u32),
@@ -26,12 +27,6 @@ pub enum Track {
         /// Destination host index.
         to: u32,
     },
-}
-
-impl Default for Track {
-    fn default() -> Self {
-        Track::Runtime
-    }
 }
 
 /// Whether an event has duration.

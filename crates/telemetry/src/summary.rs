@@ -149,7 +149,7 @@ pub fn render_top(snapshot: &MetricsSnapshot, records: &[SpanRecord]) -> String 
     if !by_name.is_empty() {
         let mut hot: Vec<(&str, u64, u64)> =
             by_name.into_iter().map(|(n, (c, d))| (n, c, d)).collect();
-        hot.sort_by(|a, b| b.2.cmp(&a.2));
+        hot.sort_by_key(|h| std::cmp::Reverse(h.2));
         let _ = writeln!(out, "\n{:<36} {:>8} {:>14}", "SPAN", "COUNT", "TOTAL(ms)");
         for (name, count, dur_ns) in hot.into_iter().take(12) {
             let _ = writeln!(out, "{name:<36} {count:>8} {:>14.3}", dur_ns as f64 / 1e6);

@@ -33,7 +33,7 @@ pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, causal: bool) -> Tensor {
     // Decode steps (tq == 1) compute QK^T straight off the row-major K
     // cache; everything else goes through the transposed matmul.
     let forced = stats::forced_path();
-    let mut scores = if tq == 1 && tk > 0 && !forced.map_or(false, Path::is_quantized) {
+    let mut scores = if tq == 1 && tk > 0 && !forced.is_some_and(Path::is_quantized) {
         qk_decode_scores(q, k, forced)
     } else {
         matmul(q, &transpose2d(k))
@@ -121,7 +121,7 @@ pub fn multi_head_attention(
     // straight out of the packed projections — bit-identical to the
     // slice-per-head reference on every non-quantized tier.
     let forced = stats::forced_path();
-    if tq == 1 && tk > 0 && !forced.map_or(false, Path::is_quantized) {
+    if tq == 1 && tk > 0 && !forced.is_some_and(Path::is_quantized) {
         return mha_decode(q, k, v, heads, forced);
     }
     // A forced non-parallel path maps to the sequential head loop; the

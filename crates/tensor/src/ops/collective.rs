@@ -1,0 +1,84 @@
+//! Deterministic collectives for sharded execution.
+//!
+//! Real collective libraries pick reduction trees by topology, so the
+//! same all-reduce can return different bits run to run. Here the tree
+//! is *fixed*: a left-leaning chain in ascending rank order, i.e. the
+//! degenerate tree whose fold order is exactly the sequential sum
+//! `((r0 + r1) + r2) + …`. That choice is load-bearing — f32 addition
+//! is not associative, so a balanced pairwise tree would NOT be
+//! bit-identical to the sequential oracle; the left-leaning chain is,
+//! by construction, and `collective_props.rs` pins it across shard
+//! counts, shapes, and dispatch tiers.
+
+use crate::ops::elementwise::add;
+use crate::ops::shape_ops::concat;
+use crate::tensor::Tensor;
+
+/// Fixed-order all-reduce: sum `parts` in ascending rank order with a
+/// left-leaning fold. Bit-identical to sequentially accumulating the
+/// shards on one device.
+pub fn all_reduce_sum(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "all_reduce_sum of zero shards");
+    let mut acc = parts[0].clone();
+    for p in &parts[1..] {
+        acc = add(&acc, p);
+    }
+    acc
+}
+
+/// Fixed-order all-gather: concatenate `parts` along `dim` in ascending
+/// rank order. Reassembles column-split (output-dimension-split) shards
+/// into the tensor the unsharded computation would have produced.
+pub fn all_gather(parts: &[&Tensor], dim: usize) -> Tensor {
+    assert!(!parts.is_empty(), "all_gather of zero shards");
+    let mut acc = parts[0].clone();
+    for p in &parts[1..] {
+        acc = concat(&acc, p, dim);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::randn;
+    use crate::ops::linalg::{matmul, matmul_acc};
+    use crate::ops::shape_ops::narrow;
+
+    #[test]
+    fn all_reduce_is_the_sequential_fold() {
+        let a = randn([3, 5], 1);
+        let b = randn([3, 5], 2);
+        let c = randn([3, 5], 3);
+        let seq = add(&add(&a, &b), &c);
+        assert_eq!(all_reduce_sum(&[&a, &b, &c]), seq);
+    }
+
+    #[test]
+    fn all_gather_reassembles_column_splits() {
+        let x = randn([4, 6], 7);
+        let w = randn([6, 8], 8);
+        let full = matmul(&x, &w);
+        let parts: Vec<Tensor> = (0..4)
+            .map(|r| matmul(&x, &narrow(&w, 1, r * 2, 2)))
+            .collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        assert_eq!(all_gather(&refs, 1), full);
+    }
+
+    #[test]
+    fn chained_matmul_acc_is_bit_exact_row_split() {
+        let x = randn([4, 6], 9);
+        let w = randn([6, 8], 10);
+        let full = matmul(&x, &w);
+        let p0 = matmul(&narrow(&x, 1, 0, 3), &narrow(&w, 0, 0, 3));
+        let p1 = matmul_acc(&narrow(&x, 1, 3, 3), &narrow(&w, 0, 3, 3), &p0);
+        assert_eq!(p1, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn empty_all_reduce_panics() {
+        all_reduce_sum(&[]);
+    }
+}

@@ -100,9 +100,9 @@ fn matmul_blocked_rows(
                     }
                 }
             }
-            for r in 0..ir {
+            for (r, arow) in acc.iter().enumerate().take(ir) {
                 let obase = (i0 + r) * n + jt;
-                out_rows[obase..obase + jw].copy_from_slice(&acc[r][..jw]);
+                out_rows[obase..obase + jw].copy_from_slice(&arow[..jw]);
             }
         }
     }
@@ -296,6 +296,32 @@ pub fn batched_matmul_parallel(a: &Tensor, b: &Tensor) -> Tensor {
                 }
             });
         }
+    })
+}
+
+/// `C[m,n] = init[m,n] + A[m,k] · B[k,n]`, continuing `init`'s
+/// accumulation: each output element starts from the carried partial and
+/// folds `A`'s reduction in ascending-`p` order with the same zero-skip
+/// as [`matmul_scalar_into`]. Chaining
+/// `matmul_acc(a_i, b_i, partial_{i-1})` over contiguous k-range chunks
+/// `(a_i, b_i)` therefore replays the *identical* f32 operation sequence
+/// as the unsharded `matmul(a, b)` — the bit-exact row-parallel
+/// (reduction-split) sharding primitive.
+pub fn matmul_acc(a: &Tensor, b: &Tensor, init: &Tensor) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    assert_eq!(
+        init.dims(),
+        &[m, n],
+        "matmul_acc init must be [{m},{n}], got {}",
+        init.shape()
+    );
+    // Recorded under the matmul family: it is a matmul, pinned to the
+    // scalar tier so the carried fold order is the reference order.
+    stats::note("matmul", Path::Scalar);
+    let id = init.data();
+    Tensor::build([m, n], |out| {
+        out.copy_from_slice(id);
+        matmul_scalar_into(out, a.data(), b.data(), m, k, n);
     })
 }
 

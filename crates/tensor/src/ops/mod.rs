@@ -2,6 +2,7 @@
 
 pub mod activation;
 pub mod attention;
+pub mod collective;
 pub mod conv;
 pub mod elementwise;
 pub mod embedding;
@@ -15,6 +16,7 @@ pub use attention::{
     attention, multi_head_attention, multi_head_attention_parallel,
     multi_head_attention_sequential, ATTENTION_PAR_MIN_FLOPS,
 };
+pub use collective::{all_gather, all_reduce_sum};
 pub use conv::{
     conv2d, conv2d_parallel, conv2d_scalar, conv2d_simd, global_avg_pool, pool2d, PoolMode,
     CONV_PAR_MIN_MACS, CONV_SIMD_MIN_MACS,
@@ -23,8 +25,8 @@ pub use elementwise::{add, add_bias, mul, scale, sub};
 pub use embedding::{gather_rows, gather_sum};
 pub use linalg::{
     batched_matmul, batched_matmul_blocked, batched_matmul_parallel, batched_matmul_scalar,
-    batched_matmul_simd, matmul, matmul_blocked, matmul_parallel, matmul_scalar, matmul_simd,
-    matvec, transpose2d, MATMUL_BLOCK_MIN_FLOPS, MATMUL_PAR_MIN_FLOPS,
+    batched_matmul_simd, matmul, matmul_acc, matmul_blocked, matmul_parallel, matmul_scalar,
+    matmul_simd, matvec, transpose2d, MATMUL_BLOCK_MIN_FLOPS, MATMUL_PAR_MIN_FLOPS,
 };
 pub use norm::{batch_norm_2d, layer_norm, rms_norm};
 pub use reduce::{argmax_lastdim, max_lastdim, mean_lastdim, sum_lastdim};

@@ -37,7 +37,7 @@ pub(crate) fn par_rows<F>(out: &mut [f32], row_len: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    debug_assert!(row_len > 0 && out.len() % row_len == 0);
+    debug_assert!(row_len > 0 && out.len().is_multiple_of(row_len));
     if out.is_empty() {
         return;
     }

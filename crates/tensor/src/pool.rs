@@ -331,11 +331,11 @@ mod tests {
     fn nested_scopes_do_not_deadlock() {
         // More nested scopes than workers: the owner threads must help
         // drain the queue instead of all parking.
-        let mut totals = vec![0u64; 4];
+        let mut totals = [0u64; 4];
         scope(|outer| {
             for (i, slot) in totals.iter_mut().enumerate() {
                 outer.spawn(move || {
-                    let mut inner_out = vec![0u64; 8];
+                    let mut inner_out = [0u64; 8];
                     scope(|inner| {
                         for (j, v) in inner_out.iter_mut().enumerate() {
                             inner.spawn(move || *v = (i * 8 + j) as u64);

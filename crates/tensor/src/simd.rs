@@ -25,6 +25,7 @@ const MR: usize = 4;
 /// Micro-kernel: `IR` rows × one 8-column strip, accumulators
 /// register-resident across the whole `k` reduction.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn micro<const IR: usize>(
     out_rows: &mut [f32],
     row0: usize,
@@ -59,6 +60,7 @@ fn micro<const IR: usize>(
 /// Column tail (`n % 8` trailing columns) for one row, scalar
 /// per-element accumulation in the same ascending-`p` order.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn row_tail(
     out_rows: &mut [f32],
     row0: usize,

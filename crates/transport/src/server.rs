@@ -442,6 +442,7 @@ mod tests {
                 let mut count = 0u64;
                 move |_body: RequestBody| {
                     count += 1;
+                    std::hint::black_box(count);
                     ResponseBody::Ok
                 }
             },

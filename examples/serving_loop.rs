@@ -74,6 +74,7 @@ fn main() {
             slo: genie::serving::SloConfig::paper_default(),
             record_telemetry: false,
             disagg: None,
+            shard: None,
         };
         let report = ServingLoop::new(ServingModel::Spec(model.clone()), config).run(&requests);
         println!(

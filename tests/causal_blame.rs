@@ -65,9 +65,9 @@ fn pinned_seed_blame_is_bit_stable() {
     let b = causal::analyze(&run(None).causal_doc());
     assert!(!a.requests.is_empty(), "pinned seed must complete requests");
     assert_eq!(
-        serde_json::to_string(&a).unwrap(),
-        serde_json::to_string(&b).unwrap(),
-        "same-seed blame must serialize byte-identically"
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "same-seed blame must render byte-identically"
     );
     for r in &a.requests {
         assert!(

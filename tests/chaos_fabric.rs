@@ -346,6 +346,7 @@ fn migration_severed_by_link_down_recovers_from_lineage() {
             slo: genie::serving::SloConfig::paper_default(),
             record_telemetry: false,
             disagg: Some(d),
+            shard: None,
         };
         let report =
             ServingLoop::new(ServingModel::Functional(m.clone()), conf.clone()).run(&requests);
@@ -430,6 +431,158 @@ fn disaggregated_serving_survives_seeded_fault_schedules() {
         let again = ServingLoop::new(ServingModel::Spec(model.clone()), conf).run(&requests);
         assert_eq!(faulty.events, again.events, "seed {seed}: replay diverged");
     }
+}
+
+/// Sharded serving under chaos: a seeded link-down window severs the
+/// fabric the per-layer collectives ride, mid-decode. The lane stalls
+/// through the outage (collective time derates and stalls exactly like
+/// other link traffic), every request still ends in one typed outcome,
+/// the loop never wedges, and the whole story replays bit-identically
+/// from the seed.
+#[test]
+fn sharded_lane_survives_link_down_during_collectives() {
+    use genie::models::TransformerConfig;
+    use genie::netsim::{FaultPlan, Nanos};
+    use genie::serving::{ArrivalConfig, ServingConfig, ServingLoop, ServingModel};
+    use genie::srg::shard::ShardSpec;
+
+    let _gate = metrics_gate();
+    let model = TransformerConfig::gptj_6b();
+    for seed in chaos_seeds() {
+        let requests = ArrivalConfig {
+            seed,
+            rate_per_s: 20.0,
+            horizon: Nanos::from_secs_f64(1.0),
+            prompt_len: (8, 16),
+            decode_tokens: (4, 8),
+            vocab: model.vocab,
+            tenants: 2,
+        }
+        .generate();
+        let mut conf = ServingConfig::paper_testbed();
+        conf.max_batch = 4;
+        conf.queue_budget = Nanos::from_secs_f64(1e6);
+        conf.record_telemetry = false;
+        conf.shard = Some(ShardSpec::tensor(2));
+        // Sever lane 0's link (host 0 ↔ host 1) after a few decode
+        // steps: the all_reduce window lands inside the outage.
+        conf.fault_plan = Some(FaultPlan::new(
+            seed,
+            FaultSchedule {
+                specs: vec![FaultSpec::LinkDown {
+                    a: 0,
+                    b: 1,
+                    from: Nanos::from_secs_f64(0.02),
+                    until: Nanos::from_secs_f64(0.08),
+                }],
+            },
+        ));
+
+        let faulty =
+            ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+        assert_eq!(
+            faulty.outcomes.len(),
+            requests.len(),
+            "seed {seed}: every request needs a terminal outcome"
+        );
+        assert_eq!(
+            faulty.completed(),
+            requests.len(),
+            "seed {seed}: an outage must stall, not shed, under a roomy budget"
+        );
+        assert!(
+            faulty.makespan.as_secs_f64() < 120.0,
+            "seed {seed}: sharded loop failed to drain ({:?})",
+            faulty.makespan
+        );
+        // Collective time is still attributed through the outage, and
+        // the stall shows up as fault time on some slice.
+        assert!(
+            faulty.slices.iter().any(|s| s.collective_ns > 0),
+            "seed {seed}: collectives must be attributed"
+        );
+        assert!(
+            faulty.slices.iter().any(|s| s.fault_ns > 0),
+            "seed {seed}: the outage must be blamed as fault time"
+        );
+
+        // Same seed, same story — byte for byte.
+        let again =
+            ServingLoop::new(ServingModel::Spec(model.clone()), conf.clone()).run(&requests);
+        assert_eq!(faulty.events, again.events, "seed {seed}: replay diverged");
+
+        // Fault-free sharded oracle: same arrivals, no outage. Chaos can
+        // only be slower.
+        conf.fault_plan = None;
+        let oracle = ServingLoop::new(ServingModel::Spec(model.clone()), conf).run(&requests);
+        assert!(
+            faulty.makespan >= oracle.makespan,
+            "seed {seed}: outage made serving faster ({:?} < {:?})",
+            faulty.makespan,
+            oracle.makespan
+        );
+    }
+}
+
+/// Functional plane: sever one shard of a sharded capture and recover
+/// via lineage. `shard_loss_replay` must name exactly the lost shard's
+/// nodes as the replay set, its frontier must live on surviving shards,
+/// and re-running the capture (the re-prefill path) must reproduce the
+/// oracle's bits exactly.
+#[test]
+fn severed_shard_recovers_via_lineage_replay() {
+    use genie::frontend::{execute_sharded, CaptureCtx};
+    use genie::models::{ShardedTransformerLm, TransformerConfig, TransformerLm};
+    use genie::srg::shard::{shard_loss_replay, Partition, ShardSpec};
+
+    let _gate = metrics_gate();
+    let spec = ShardSpec::tensor(2);
+    let model = ShardedTransformerLm::new(
+        TransformerLm::new_functional(TransformerConfig::tiny(), 42),
+        spec,
+    );
+    let prompt = [1i64, 2, 3];
+    let ctx = CaptureCtx::new("chaos.shard");
+    let shc = model.capture_prefill(&ctx, &prompt);
+    let logits = shc.cap.logits.node;
+    let shard_of = shc.shard_of.clone();
+    let cap = ctx.finish();
+
+    let (oracle, _) = execute_sharded(&cap.srg, &cap.values, &shard_of).unwrap();
+
+    // Sever shard 1: everything it computed is lost, everything else
+    // survives. The replay cut is exactly the lost shard's nodes, and
+    // its frontier (the values to re-fetch) lives on surviving shards.
+    let part = Partition {
+        spec,
+        assignment: shard_of.clone(),
+    };
+    let cut = shard_loss_replay(&cap.srg, &part, 1);
+    let lost = part.shard_nodes(1);
+    assert!(!lost.is_empty(), "shard 1 must own nodes");
+    assert_eq!(
+        cut.replay, lost,
+        "with all other shards surviving, replay is exactly the lost shard"
+    );
+    assert!(!cut.frontier.is_empty(), "recovery re-fetches inputs");
+    for n in &cut.frontier {
+        assert_ne!(
+            shard_of.get(n).copied().unwrap_or(0),
+            1,
+            "frontier values must come from surviving shards"
+        );
+    }
+
+    // Lineage re-prefill: re-run the capture from retained inputs. The
+    // interpreter is deterministic, so the recovered logits are the
+    // oracle's bits.
+    let (recovered, report) = execute_sharded(&cap.srg, &cap.values, &shard_of).unwrap();
+    assert_eq!(
+        recovered[&logits].as_f("logits").data(),
+        oracle[&logits].as_f("logits").data(),
+        "recovery must be bit-identical"
+    );
+    assert_eq!(report.active_shards(), 2);
 }
 
 /// Serving plane: a seeded fault schedule drives the continuous-batching

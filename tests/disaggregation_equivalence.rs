@@ -34,6 +34,7 @@ fn disagg_config(max_batch: usize, policy: MigrationPolicy) -> ServingConfig {
         slo: genie::serving::SloConfig::paper_default(),
         record_telemetry: false,
         disagg: Some(d),
+        shard: None,
     }
 }
 

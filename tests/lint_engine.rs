@@ -181,6 +181,98 @@ fn ga3xx_findings_render_to_json() {
     assert_eq!(back, report);
 }
 
+/// GA204 fixture: two devices that reach two all_reduce collectives in
+/// contradictory orders must be denied — and the sharded model's own
+/// captures, whose collective order is the capture program order on
+/// every rank, must stay clean.
+#[test]
+fn ga204_collective_schedule_cycle_denied() {
+    use genie::analysis::{run_plan_passes, PlanFacts, TransferFact};
+    use genie::cluster::DevId;
+    use genie::srg::{ElemType, Node, NodeId, OpKind, Srg, TensorId, TensorMeta};
+    use std::collections::BTreeMap;
+
+    struct FakePlan {
+        srg: Srg,
+        devices: BTreeMap<NodeId, DevId>,
+    }
+    impl PlanFacts for FakePlan {
+        fn subject(&self) -> String {
+            "collective-fixture@test".into()
+        }
+        fn srg(&self) -> &Srg {
+            &self.srg
+        }
+        fn node_device(&self, node: NodeId) -> Option<DevId> {
+            self.devices.get(&node).copied()
+        }
+        fn transfers(&self) -> Vec<TransferFact> {
+            Vec::new()
+        }
+        fn pinned_uploads(&self) -> Vec<(TensorId, DevId, u64)> {
+            Vec::new()
+        }
+    }
+
+    // d0 produces p0 (early) and q0 (late); d1 produces p1 (early) and
+    // q1 (late). c1 consumes {p0, q1}, c2 consumes {p1, q0}: d0 reaches
+    // c1 first, d1 reaches c2 first — each blocks in a collective the
+    // other has not entered.
+    let mut g = Srg::new("collective-fixture");
+    let meta = TensorMeta::new([4, 4], ElemType::F32);
+    let p0 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "p0"));
+    let p1 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "p1"));
+    let q0 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "q0"));
+    let q1 = g.add_node(Node::new(NodeId::new(0), OpKind::Relu, "q1"));
+    let c1 = g.add_node(Node::new(NodeId::new(0), OpKind::AllReduce, "c1"));
+    let c2 = g.add_node(Node::new(NodeId::new(0), OpKind::AllReduce, "c2"));
+    g.connect(p0, c1, meta.clone());
+    g.connect(q1, c1, meta.clone());
+    g.connect(p1, c2, meta.clone());
+    g.connect(q0, c2, meta);
+
+    let (d0, d1) = (DevId(0), DevId(1));
+    let plan = FakePlan {
+        devices: [(p0, d0), (q0, d0), (p1, d1), (q1, d1), (c1, d0), (c2, d1)].into(),
+        srg: g,
+    };
+    let topo = Topology::rack(2, 25e9);
+    let report = run_plan_passes(&plan, &topo, &ClusterState::new(), &LintConfig::new());
+    let hits = report.with_code(LintCode::CollectiveScheduleCycle);
+    assert_eq!(hits.len(), 1, "{report}");
+    assert_eq!(hits[0].severity, Severity::Deny, "{report}");
+    assert_eq!(hits[0].code.code(), "GA204");
+    assert!(
+        report.render().contains("GA204"),
+        "stable code renders: {report}"
+    );
+}
+
+/// A real sharded capture scheduled by the sharded policy is GA204-clean:
+/// capture program order gives every rank the same collective order.
+#[test]
+fn sharded_plans_pass_collective_deadlock_gate() {
+    use genie::models::sharded::ShardedTransformerLm;
+    use genie::srg::shard::ShardSpec;
+
+    let m = TransformerLm::new_spec(TransformerConfig::tiny());
+    let sharded = ShardedTransformerLm::new(m, ShardSpec::new(2, 2));
+    let (cap, shard_of) = sharded.capture_decode_spec(16);
+    let topo = Topology::rack(4, 25e9);
+    let state = ClusterState::new();
+    let cost = CostModel::ideal_25g();
+    let policy = genie::scheduler::Sharded::new(shard_of);
+    let plan = genie::scheduler::schedule(&cap.srg, &topo, &state, &cost, &policy);
+    assert!(
+        !plan
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::CollectiveScheduleCycle),
+        "sharded capture order is consistent across ranks: {:?}",
+        plan.diagnostics
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

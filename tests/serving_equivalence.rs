@@ -27,6 +27,7 @@ fn roomy_config(max_batch: usize) -> ServingConfig {
         slo: genie::serving::SloConfig::paper_default(),
         record_telemetry: false,
         disagg: None,
+        shard: None,
     }
 }
 
